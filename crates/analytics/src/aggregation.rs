@@ -1,0 +1,77 @@
+//! Packet-aggregation analysis (paper Appendix D, Fig 16d): "We compare
+//! the TBS in each TTI and the receiving packet size to get packets per
+//! TTI" — blocks carrying multiple application packets defeat
+//! inter-packet-arrival-based bandwidth estimators.
+
+use ue_sim::ue::Delivery;
+
+/// Packets-per-TTI samples split by whether the RAN had spare capacity
+/// (lone UE drains instantly, aggregating more) or competition.
+#[derive(Debug, Clone, Default)]
+pub struct AggregationStats {
+    /// Packets in each delivered transport block.
+    pub packets_per_tti: Vec<f64>,
+}
+
+impl AggregationStats {
+    /// Build from a UE's ground-truth delivery log, counting only blocks
+    /// that completed at least one packet.
+    pub fn from_deliveries(deliveries: &[Delivery]) -> AggregationStats {
+        AggregationStats {
+            packets_per_tti: deliveries
+                .iter()
+                .filter(|d| d.packets > 0)
+                .map(|d| d.packets as f64)
+                .collect(),
+        }
+    }
+
+    /// Mean packets per TTI.
+    pub fn mean(&self) -> f64 {
+        crate::stats::mean(&self.packets_per_tti)
+    }
+
+    /// Fraction of blocks aggregating more than one packet.
+    pub fn multi_packet_fraction(&self) -> f64 {
+        if self.packets_per_tti.is_empty() {
+            return 0.0;
+        }
+        self.packets_per_tti.iter().filter(|&&p| p > 1.0).count() as f64
+            / self.packets_per_tti.len() as f64
+    }
+
+    /// CDF points for the figure.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        crate::stats::cdf_points(&self.packets_per_tti)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(slot: u64, packets: usize) -> Delivery {
+        Delivery {
+            slot,
+            bytes: packets * 1400,
+            packets,
+            was_retransmitted: false,
+        }
+    }
+
+    #[test]
+    fn counts_only_packet_bearing_blocks() {
+        let stats = AggregationStats::from_deliveries(&[d(1, 3), d(2, 0), d(3, 1)]);
+        assert_eq!(stats.packets_per_tti.len(), 2);
+        assert_eq!(stats.mean(), 2.0);
+        assert_eq!(stats.multi_packet_fraction(), 0.5);
+    }
+
+    #[test]
+    fn empty_log_is_defined() {
+        let stats = AggregationStats::from_deliveries(&[]);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.multi_packet_fraction(), 0.0);
+        assert!(stats.cdf().is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! DCI matching against the ground-truth log (paper §5.2.1): "We match the
+//! number of DCIs captured by NR-Scope and srsRAN's log using the
+//! timestamp and the TTI index, through which we calculate a DCI decoding
+//! miss rate."
+
+use gnb_sim::TruthLog;
+use nr_phy::dci::DciFormat;
+use nr_phy::types::{Rnti, RntiType};
+use nrscope::TelemetryRecord;
+use std::collections::HashSet;
+
+/// Outcome of matching a telemetry session against a truth log.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    /// Ground-truth DL data DCIs (C-RNTI, 1_1).
+    pub dl_truth: usize,
+    /// DL data DCIs NR-Scope decoded and matched.
+    pub dl_matched: usize,
+    /// Ground-truth UL DCIs.
+    pub ul_truth: usize,
+    /// UL DCIs matched.
+    pub ul_matched: usize,
+    /// Decoded records with no truth counterpart (false positives).
+    pub spurious: usize,
+    /// Per-TTI REG-count absolute errors (Fig 8's variable), one entry per
+    /// TTI that carried any DL data traffic.
+    pub reg_errors: Vec<f64>,
+}
+
+impl MatchReport {
+    /// DL DCI miss rate in percent (Fig 7's y-axis).
+    pub fn dl_miss_rate_pct(&self) -> f64 {
+        miss_pct(self.dl_truth, self.dl_matched)
+    }
+
+    /// UL DCI miss rate in percent.
+    pub fn ul_miss_rate_pct(&self) -> f64 {
+        miss_pct(self.ul_truth, self.ul_matched)
+    }
+
+    /// Mean REG error per TTI (the paper reports an average of 0.77).
+    pub fn mean_reg_error(&self) -> f64 {
+        crate::stats::mean(&self.reg_errors)
+    }
+
+    /// Fraction of TTIs with zero REG error (paper: > 99%).
+    pub fn zero_reg_fraction(&self) -> f64 {
+        if self.reg_errors.is_empty() {
+            return 1.0;
+        }
+        self.reg_errors.iter().filter(|&&e| e == 0.0).count() as f64
+            / self.reg_errors.len() as f64
+    }
+}
+
+fn miss_pct(truth: usize, matched: usize) -> f64 {
+    if truth == 0 {
+        0.0
+    } else {
+        100.0 * (truth.saturating_sub(matched)) as f64 / truth as f64
+    }
+}
+
+/// Match decoded records against the truth log over `slots`.
+///
+/// A record matches when the truth log contains a DCI with the same
+/// (slot, RNTI, format); REG errors compare the summed DL REG counts per
+/// TTI. `slot_offset` aligns the sniffer's local slot counter with the
+/// gNB's absolute slot (0 when the sniffer starts with the cell).
+pub fn match_dcis(
+    truth: &TruthLog,
+    records: &[TelemetryRecord],
+    slots: std::ops::Range<u64>,
+    slot_offset: i64,
+) -> MatchReport {
+    let mut report = MatchReport::default();
+    // Index decoded records by (gnb_slot, rnti, format).
+    let decoded: HashSet<(u64, Rnti, DciFormat)> = records
+        .iter()
+        .filter(|r| r.rnti_type == RntiType::C)
+        .filter_map(|r| {
+            let gnb_slot = r.slot as i64 + slot_offset;
+            u64::try_from(gnb_slot).ok().map(|s| (s, r.rnti, r.format))
+        })
+        .collect();
+    let mut truth_keys: HashSet<(u64, Rnti, DciFormat)> = HashSet::new();
+    for rec in truth.records() {
+        if !slots.contains(&rec.slot) || rec.rnti_type != RntiType::C {
+            continue;
+        }
+        truth_keys.insert((rec.slot, rec.rnti, rec.alloc.format));
+        let hit = decoded.contains(&(rec.slot, rec.rnti, rec.alloc.format));
+        match rec.alloc.format {
+            DciFormat::Dl1_1 => {
+                report.dl_truth += 1;
+                if hit {
+                    report.dl_matched += 1;
+                }
+            }
+            DciFormat::Ul0_1 => {
+                report.ul_truth += 1;
+                if hit {
+                    report.ul_matched += 1;
+                }
+            }
+        }
+    }
+    report.spurious = decoded
+        .iter()
+        .filter(|k| slots.contains(&k.0) && !truth_keys.contains(k))
+        .count();
+    // Per-TTI REG error for TTIs with DL data traffic.
+    let mut per_slot_truth: std::collections::HashMap<u64, usize> = Default::default();
+    for rec in truth.records() {
+        if slots.contains(&rec.slot)
+            && rec.rnti_type == RntiType::C
+            && rec.alloc.format == DciFormat::Dl1_1
+        {
+            *per_slot_truth.entry(rec.slot).or_default() += rec.alloc.reg_count();
+        }
+    }
+    let mut per_slot_decoded: std::collections::HashMap<u64, usize> = Default::default();
+    for r in records {
+        if r.rnti_type != RntiType::C || r.format != DciFormat::Dl1_1 {
+            continue;
+        }
+        let gnb_slot = r.slot as i64 + slot_offset;
+        if let Ok(s) = u64::try_from(gnb_slot) {
+            if slots.contains(&s) {
+                *per_slot_decoded.entry(s).or_default() += r.reg_count();
+            }
+        }
+    }
+    for (slot, truth_regs) in &per_slot_truth {
+        let got = per_slot_decoded.get(slot).copied().unwrap_or(0);
+        report
+            .reg_errors
+            .push((*truth_regs as f64 - got as f64).abs());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnb_sim::{CellConfig, Gnb};
+    use nr_mac::RoundRobin;
+    use nr_phy::channel::ChannelProfile;
+    use nrscope::observe::Observer;
+    use nrscope::{NrScope, ScopeConfig};
+    use ue_sim::traffic::{TrafficKind, TrafficSource};
+    use ue_sim::{MobilityScenario, SimUe};
+
+    fn run(snr_db: f64, slots: u64) -> (Gnb, NrScope) {
+        let cell = CellConfig::srsran_n41();
+        let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 21);
+        for i in 1..=2u64 {
+            gnb.ue_arrives(SimUe::new(
+                i,
+                ChannelProfile::Awgn,
+                MobilityScenario::Static,
+                TrafficSource::new(
+                    TrafficKind::Cbr {
+                        rate_bps: 3e6,
+                        packet_bytes: 1200,
+                    },
+                    i,
+                ),
+                0.0,
+                300.0,
+                i,
+            ));
+        }
+        let mut obs = Observer::new(&cell, snr_db, false, 7);
+        let mut scope = NrScope::new(ScopeConfig::default(), Some(cell.pci));
+        for s in 0..slots {
+            let out = gnb.step();
+            let observed = obs.observe(&out, s as f64 * 0.0005);
+            scope.process(&observed);
+        }
+        (gnb, scope)
+    }
+
+    #[test]
+    fn high_snr_miss_rate_is_tiny() {
+        let (gnb, scope) = run(35.0, 6000);
+        let report = match_dcis(gnb.truth(), scope.records(), 0..6000, 0);
+        assert!(report.dl_truth > 500, "dl_truth {}", report.dl_truth);
+        assert!(report.ul_truth > 100, "ul_truth {}", report.ul_truth);
+        assert!(
+            report.dl_miss_rate_pct() < 0.5,
+            "dl miss {}",
+            report.dl_miss_rate_pct()
+        );
+        assert!(report.ul_miss_rate_pct() < 0.5);
+        assert_eq!(report.spurious, 0);
+        // REG errors almost always zero (paper: > 99%).
+        assert!(report.zero_reg_fraction() > 0.98);
+    }
+
+    #[test]
+    fn low_snr_increases_misses() {
+        let (gnb, scope) = run(-3.0, 4000);
+        let report = match_dcis(gnb.truth(), scope.records(), 0..4000, 0);
+        let (gnb2, scope2) = run(35.0, 4000);
+        let report2 = match_dcis(gnb2.truth(), scope2.records(), 0..4000, 0);
+        assert!(
+            report.dl_miss_rate_pct() > report2.dl_miss_rate_pct(),
+            "low SNR {} vs high SNR {}",
+            report.dl_miss_rate_pct(),
+            report2.dl_miss_rate_pct()
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_well_defined() {
+        let report = match_dcis(&TruthLog::new(), &[], 0..100, 0);
+        assert_eq!(report.dl_miss_rate_pct(), 0.0);
+        assert_eq!(report.zero_reg_fraction(), 1.0);
+        assert_eq!(report.mean_reg_error(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Plain-text figure output: each bench binary prints the same series the
+//! paper plots, in a stable grep-friendly format consumed by
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// Print a figure header.
+pub fn figure_header(id: &str, caption: &str) -> String {
+    format!("== {id} — {caption} ==")
+}
+
+/// Render one named series of (x, y) points, downsampled for readability.
+pub fn series(name: &str, points: &[(f64, f64)], max_points: usize) -> String {
+    let pts = crate::stats::downsample(points, max_points);
+    let mut out = String::new();
+    let _ = writeln!(out, "series {name} ({} points)", points.len());
+    for (x, y) in pts {
+        let _ = writeln!(out, "  {x:>12.4}  {y:>10.6}");
+    }
+    out
+}
+
+/// Render a labelled scalar row ("dl_miss_rate_pct 0.33").
+pub fn scalar(name: &str, value: f64) -> String {
+    format!("{name} {value:.6}")
+}
+
+/// Render a bar-group row (x label + one value per named column).
+pub fn bars(x_label: &str, columns: &[(&str, f64)]) -> String {
+    let mut out = format!("{x_label:>12}");
+    for (name, v) in columns {
+        let _ = write!(out, "  {name}={v:.4}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_scalar_shapes() {
+        assert_eq!(
+            figure_header("fig07a", "DCI miss rate"),
+            "== fig07a — DCI miss rate =="
+        );
+        assert!(scalar("dl_miss", 0.331234).starts_with("dl_miss 0.331234"));
+    }
+
+    #[test]
+    fn series_is_grep_friendly() {
+        let s = series("1ue", &[(0.0, 1.0), (1.0, 0.5), (2.0, 0.0)], 10);
+        assert!(s.starts_with("series 1ue (3 points)"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn bars_join_columns() {
+        let b = bars("8", &[("dl", 0.5), ("ul", 0.25)]);
+        assert!(b.contains("dl=0.5000"));
+        assert!(b.contains("ul=0.2500"));
+    }
+}

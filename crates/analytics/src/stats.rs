@@ -1,0 +1,140 @@
+//! Distribution statistics used across the evaluation figures.
+
+/// Linear-interpolated percentile (`p` ∈ [0, 100]) of an unsorted sample.
+/// Returns 0.0 for an empty sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (v[hi] - v[lo]) * (rank - lo as f64)
+    }
+}
+
+/// Arithmetic mean (0.0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Empirical CDF sampled at each distinct data point: returns
+/// `(x, P[X ≤ x])` pairs sorted by `x`.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len() as f64;
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Empirical CCDF: `(x, P[X > x])` pairs sorted by `x` — the paper plots
+/// error distributions this way (Figs 8, 9, 10, 16).
+pub fn ccdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    cdf_points(values)
+        .into_iter()
+        .map(|(x, p)| (x, 1.0 - p))
+        .collect()
+}
+
+/// Coefficient of determination R² between two paired samples — the
+/// paper's Fig 15 agreement metric (0.9970 for MCS, 0.9862 for
+/// retransmissions).
+pub fn r_squared(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let m = mean(truth);
+    let ss_tot: f64 = truth.iter().map(|t| (t - m).powi(2)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t - e).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Downsample a CDF/CCDF point set to at most `n` points for printing
+/// (keeps the first and last points).
+pub fn downsample(points: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if points.len() <= n || n < 2 {
+        return points.to_vec();
+    }
+    let step = (points.len() - 1) as f64 / (n - 1) as f64;
+    (0..n)
+        .map(|i| points[(i as f64 * step).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_and_ccdf_are_complementary() {
+        let v = [3.0, 1.0, 2.0];
+        let cdf = cdf_points(&v);
+        let ccdf = ccdf_points(&v);
+        for ((xa, pa), (xb, pb)) in cdf.iter().zip(&ccdf) {
+            assert_eq!(xa, xb);
+            assert!((pa + pb - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_poor() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r_squared(&t, &t), 1.0);
+        let bad = [4.0, 1.0, 3.0, 0.0];
+        assert!(r_squared(&t, &bad) < 0.5);
+    }
+
+    #[test]
+    fn r_squared_constant_truth() {
+        let t = [2.0, 2.0];
+        assert_eq!(r_squared(&t, &[2.0, 2.0]), 1.0);
+        assert_eq!(r_squared(&t, &[1.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 / 100.0)).collect();
+        let d = downsample(&pts, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], pts[0]);
+        assert_eq!(*d.last().unwrap(), *pts.last().unwrap());
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the PHY hot paths the paper's §5.3.2
+//! cost model names: the per-slot FFT (`O(n log n)`), polar decoding and
+//! CRC checking per DCI candidate (`O(m)` across UEs), TBS computation,
+//! and the ablation between SC and SC-list decoding (DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nr_phy::complex::Cf32;
+use nr_phy::crc::{dci_attach_crc, dci_check_crc};
+use nr_phy::fft::Fft;
+use nr_phy::mcs::McsTable;
+use nr_phy::modulation::{demodulate_llr, modulate, Modulation};
+use nr_phy::polar::PolarCode;
+use nr_phy::tbs::{transport_block_size, TbsParams};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for size in [256usize, 1024, 2048] {
+        let fft = Fft::new(size);
+        let data: Vec<Cf32> = (0..size)
+            .map(|i| Cf32::from_angle(i as f32 * 0.1))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut x = data.clone();
+                fft.forward(&mut x);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_polar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polar");
+    let payload: Vec<u8> = (0..69).map(|i| (i % 2) as u8).collect();
+    for e in [108usize, 216, 432] {
+        let code = PolarCode::new(69, e);
+        let tx = code.encode(&payload);
+        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        group.bench_with_input(BenchmarkId::new("sc_decode", e), &e, |b, _| {
+            b.iter(|| code.decode_sc(&llrs))
+        });
+    }
+    // Ablation: SC vs list decoding at the common L2 size.
+    let code = PolarCode::new(69, 216);
+    let tx = code.encode(&payload);
+    let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+    for list in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("scl_decode", list), &list, |b, &l| {
+            b.iter(|| code.decode_scl(&llrs, l, |_| true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc_rnti_check(c: &mut Criterion) {
+    // The per-(candidate × UE) cost of blind decoding at message level.
+    let payload: Vec<u8> = (0..45).map(|i| (i % 2) as u8).collect();
+    let cw = dci_attach_crc(&payload, 0x4601);
+    c.bench_function("dci_crc_check", |b| {
+        b.iter(|| dci_check_crc(&cw, 0x4601))
+    });
+}
+
+fn bench_tbs(c: &mut Criterion) {
+    let entry = McsTable::Qam256.entry(27).unwrap();
+    c.bench_function("tbs_compute", |b| {
+        b.iter(|| {
+            transport_block_size(&TbsParams {
+                n_prb: 51,
+                n_symbols: 12,
+                dmrs_per_prb: 12,
+                overhead_per_prb: 0,
+                mcs: entry,
+                layers: 2,
+            })
+        })
+    });
+}
+
+fn bench_qpsk_demod(c: &mut Criterion) {
+    let bits: Vec<u8> = (0..216).map(|i| (i % 2) as u8).collect();
+    let syms = modulate(&bits, Modulation::Qpsk);
+    c.bench_function("qpsk_llr_demod_108sym", |b| {
+        b.iter(|| demodulate_llr(&syms, Modulation::Qpsk, 0.1))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_polar,
+    bench_crc_rnti_check,
+    bench_tbs,
+    bench_qpsk_demod
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig 11 — CDF of the number of active UEs per second and per minute.
+//!
+//! Paper: fewer than 60 UEs in most one-minute windows.
+
+use gnb_sim::CellConfig;
+use nrscope_analytics::{cdf_points, percentile, report};
+use nrscope_bench::{capture_seconds, run_population};
+use ue_sim::arrival::{active_per_window, ArrivalConfig};
+
+fn main() {
+    println!("{}", report::figure_header("fig11", "active UEs per second / minute, T-Mobile cells"));
+    let seconds = capture_seconds(120.0);
+    for (cell_name, cell, arrivals) in [
+        ("Cell 1", CellConfig::tmobile_n25(), ArrivalConfig::tmobile_cell1()),
+        ("Cell 2", CellConfig::tmobile_n71(), ArrivalConfig::tmobile_cell2()),
+    ] {
+        let p = run_population(cell, arrivals, seconds, 3);
+        let sessions = p.population.sessions();
+        for (window_name, window_s) in [("1 Second", 1.0), ("1 Minute", 60.0)] {
+            let counts: Vec<f64> = active_per_window(&sessions, seconds, window_s)
+                .into_iter()
+                .map(|c| c as f64)
+                .collect();
+            println!("{}", report::scalar(
+                &format!("{cell_name}_{window_name}_p95_ues"),
+                percentile(&counts, 95.0),
+            ));
+            println!("{}", report::series(
+                &format!("{cell_name}, {window_name}"),
+                &cdf_points(&counts),
+                10,
+            ));
+        }
+    }
+    println!();
+    println!("paper: < 60 distinct UEs in most one-minute windows");
+}

@@ -1,0 +1,57 @@
+//! NR-Scope runtime configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// At what fidelity the sniffer consumes the cell's emissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Typed per-slot messages with a calibrated corruption model —
+    /// fast enough for 10-minute × 64-UE runs (Figs 9–11, 14–16).
+    Message,
+    /// Full IQ: OFDM demodulation, channel estimation, polar decoding —
+    /// used where misses must emerge physically (Figs 7, 8, 13).
+    Iq,
+}
+
+/// Sniffer configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScopeConfig {
+    /// Observation fidelity.
+    pub fidelity: Fidelity,
+    /// Sliding window for bit-rate estimation, in slots (the paper keeps a
+    /// sliding window per UE, §3.2.2; 1 s at µ=1 = 2000 slots).
+    pub rate_window_slots: u64,
+    /// Drop a UE from the tracked list after this many slots without any
+    /// DCI (idle-release shadowing; cells release after inactivity).
+    pub ue_expiry_slots: u64,
+    /// Skip PDSCH decoding of RRC Setup after the first UE (§3.1.2's
+    /// optimisation; `false` re-decodes every time — the Fig 12 ablation).
+    pub skip_rrc_decode: bool,
+    /// Number of DCI worker threads in the Fig 4 pipeline.
+    pub dci_threads: usize,
+}
+
+impl Default for ScopeConfig {
+    fn default() -> Self {
+        ScopeConfig {
+            fidelity: Fidelity::Message,
+            rate_window_slots: 2000,
+            ue_expiry_slots: 20_000, // 10 s at µ=1
+            skip_rrc_decode: true,
+            dci_threads: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = ScopeConfig::default();
+        assert_eq!(c.fidelity, Fidelity::Message);
+        assert!(c.skip_rrc_decode, "paper §3.1.2 optimisation on by default");
+        assert_eq!(c.dci_threads, 4, "paper evaluates with four DCI threads");
+    }
+}

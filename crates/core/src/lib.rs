@@ -1,0 +1,40 @@
+//! # nrscope — the NR-Scope 5G Standalone telemetry tool
+//!
+//! The paper's primary contribution: a passive sniffer that, given the
+//! downlink of a 5G SA cell (either IQ samples from the virtual USRP or
+//! message-level slot captures), performs
+//!
+//! 1. **Cell search and common parameter acquisition** (§3.1.1): SSB
+//!    detection, MIB decode, SIB1 acquisition — no operator cooperation.
+//! 2. **UE association tracking** (§3.1.2): watching the RACH — RA-RNTI
+//!    DCIs, RAR TC-RNTI extraction, MSG 4 CRC verification, TC→C-RNTI
+//!    promotion — plus the CRC-XOR RNTI recovery trick as fallback.
+//! 3. **Per-TTI telemetry** (§3.2): blind PDCCH decoding for every known
+//!    UE, DCI→grant translation, Appendix-A TBS computation, HARQ/NDI
+//!    retransmission detection, sliding-window throughput, and fair-share
+//!    spare-capacity estimation.
+//!
+//! The [`worker`] module implements the Fig 4 processing pipeline
+//! (scheduler + worker pool + result queue) with real threads.
+
+pub mod config;
+pub mod decoder;
+pub mod log;
+pub mod observe;
+pub mod scope;
+pub mod spare;
+pub mod telemetry;
+pub mod throughput;
+pub mod tracker;
+pub mod worker;
+
+pub use config::{Fidelity, ScopeConfig};
+pub use observe::{ObservedDci, ObservedSlot, Observer};
+pub use scope::NrScope;
+pub use telemetry::TelemetryRecord;
+
+/// Rate-matched PBCH bit budget. Must equal the renderer's
+/// (`gnb_sim::iq::PBCH_E_BITS`); asserted in integration tests.
+pub fn pbch_e_bits() -> usize {
+    gnb_sim::iq::PBCH_E_BITS
+}

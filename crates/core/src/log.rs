@@ -1,0 +1,88 @@
+//! JSON-lines telemetry log output (the Fig 4 "Log File").
+//!
+//! One JSON object per decoded DCI, newline-delimited, so downstream
+//! applications (congestion controllers, video servers) can tail the
+//! stream — the integration path the paper's §6 use cases rely on.
+
+use crate::telemetry::TelemetryRecord;
+use std::io::{self, Write};
+
+/// Write records as JSON lines.
+pub fn write_jsonl<W: Write>(mut sink: W, records: &[TelemetryRecord]) -> io::Result<()> {
+    for r in records {
+        serde_json::to_writer(&mut sink, r)?;
+        sink.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read records back from JSON lines (skips malformed lines, returning the
+/// parse-error count alongside).
+pub fn read_jsonl(data: &str) -> (Vec<TelemetryRecord>, usize) {
+    let mut out = Vec::new();
+    let mut bad = 0;
+    for line in data.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(r) => out.push(r),
+            Err(_) => bad += 1,
+        }
+    }
+    (out, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_phy::dci::DciFormat;
+    use nr_phy::pdcch::AggregationLevel;
+    use nr_phy::types::{Rnti, RntiType};
+
+    fn rec(slot: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            slot,
+            sfn: 0,
+            rnti: Rnti(0x4601),
+            rnti_type: RntiType::C,
+            format: DciFormat::Dl1_1,
+            level: AggregationLevel::L2,
+            cce_start: 0,
+            prb_start: 0,
+            prb_len: 4,
+            symbol_start: 2,
+            symbol_len: 12,
+            mcs: 15,
+            ndi: 1,
+            rv: 0,
+            harq_id: 3,
+            layers: 2,
+            tbs: 4000,
+            is_retx: false,
+        }
+    }
+
+    #[test]
+    fn round_trip_through_jsonl() {
+        let records = vec![rec(1), rec(2), rec(3)];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let (back, bad) = read_jsonl(&text);
+        assert_eq!(bad, 0);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[rec(9)]).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("{not json}\n");
+        let (back, bad) = read_jsonl(&text);
+        assert_eq!(back.len(), 1);
+        assert_eq!(bad, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fair-share spare-capacity estimation (paper §5.4.1, Fig 14).
+//!
+//! "In each TTI, we can split unused REs evenly across UEs and recalculate
+//! these REs to yield a fair-share spare capacity attributable to each UE…
+//! the calculated spare bit rates are different because two UEs have
+//! different modulation and coding rates in the same TTI."
+
+use nr_phy::mcs::McsTable;
+use nr_phy::numerology::SUBCARRIERS_PER_PRB;
+use nr_phy::types::Rnti;
+use serde::{Deserialize, Serialize};
+
+/// Per-TTI spare-capacity result for one UE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpareShare {
+    /// The UE.
+    pub rnti: Rnti,
+    /// REs the UE actually used this TTI.
+    pub used_res: usize,
+    /// Fair share of the unused REs.
+    pub spare_res: usize,
+    /// Spare capacity in bits, at the UE's own spectral efficiency.
+    pub spare_bits: f64,
+}
+
+/// One UE's usage within a TTI, as decoded from its DCI.
+#[derive(Debug, Clone, Copy)]
+pub struct UeUsage {
+    /// The UE.
+    pub rnti: Rnti,
+    /// PRBs × symbols × 12 REs occupied by its grant.
+    pub used_res: usize,
+    /// The MCS its grant used (sets the spare-to-bits conversion).
+    pub mcs: u8,
+    /// Layers.
+    pub layers: usize,
+}
+
+/// Compute the fair-share spare capacity of one TTI.
+///
+/// `total_data_res` is the PDSCH capacity of the slot (carrier PRBs ×
+/// data symbols × 12). UEs beyond the decoded ones are unknown to the
+/// sniffer, exactly as in the paper.
+pub fn spare_capacity(
+    usages: &[UeUsage],
+    total_data_res: usize,
+    table: McsTable,
+) -> Vec<SpareShare> {
+    if usages.is_empty() {
+        return Vec::new();
+    }
+    let used: usize = usages.iter().map(|u| u.used_res).sum();
+    let spare = total_data_res.saturating_sub(used);
+    let share = spare / usages.len();
+    usages
+        .iter()
+        .map(|u| {
+            let eff = table
+                .entry(u.mcs)
+                .map(|e| e.efficiency())
+                .unwrap_or(0.0);
+            SpareShare {
+                rnti: u.rnti,
+                used_res: u.used_res,
+                spare_res: share,
+                spare_bits: share as f64 * eff * u.layers as f64,
+            }
+        })
+        .collect()
+}
+
+/// PDSCH RE capacity of one downlink slot.
+pub fn slot_data_res(carrier_prbs: usize, data_symbols: usize) -> usize {
+    carrier_prbs * data_symbols * SUBCARRIERS_PER_PRB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shares_but_different_bits() {
+        // The paper's observation: same spare REs, different spare bits
+        // because the UEs run different MCS.
+        let usages = [
+            UeUsage {
+                rnti: Rnti(1),
+                used_res: 1000,
+                mcs: 27,
+                layers: 2,
+            },
+            UeUsage {
+                rnti: Rnti(2),
+                used_res: 500,
+                mcs: 5,
+                layers: 2,
+            },
+        ];
+        let total = slot_data_res(51, 12);
+        let shares = spare_capacity(&usages, total, McsTable::Qam256);
+        assert_eq!(shares[0].spare_res, shares[1].spare_res);
+        assert!(shares[0].spare_bits > shares[1].spare_bits);
+    }
+
+    #[test]
+    fn fully_loaded_slot_has_no_spare() {
+        let total = slot_data_res(51, 12);
+        let usages = [UeUsage {
+            rnti: Rnti(1),
+            used_res: total,
+            mcs: 10,
+            layers: 1,
+        }];
+        let shares = spare_capacity(&usages, total, McsTable::Qam256);
+        assert_eq!(shares[0].spare_res, 0);
+        assert_eq!(shares[0].spare_bits, 0.0);
+    }
+
+    #[test]
+    fn empty_usage_list_yields_nothing() {
+        assert!(spare_capacity(&[], 1000, McsTable::Qam64).is_empty());
+    }
+
+    #[test]
+    fn slot_capacity_formula() {
+        // 51 PRB × 12 symbols × 12 subcarriers = 7344 REs.
+        assert_eq!(slot_data_res(51, 12), 7344);
+    }
+
+    #[test]
+    fn overcommitted_usage_saturates_to_zero_spare() {
+        let usages = [UeUsage {
+            rnti: Rnti(1),
+            used_res: 10_000,
+            mcs: 10,
+            layers: 1,
+        }];
+        let shares = spare_capacity(&usages, 7344, McsTable::Qam256);
+        assert_eq!(shares[0].spare_res, 0);
+    }
+}

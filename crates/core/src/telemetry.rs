@@ -1,0 +1,178 @@
+//! Telemetry records — NR-Scope's output stream (one line per decoded DCI,
+//! the format the paper's Fig 4 "Log File" holds and application servers
+//! consume).
+
+use nr_phy::dci::{Dci, DciFormat};
+use nr_phy::pdcch::AggregationLevel;
+use nr_phy::types::{Rnti, RntiType};
+use serde::{Deserialize, Serialize};
+
+/// One decoded DCI, translated to a grant, with telemetry annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Absolute TTI index at the sniffer (slot counter since start).
+    pub slot: u64,
+    /// System frame number (once synchronised from the MIB).
+    pub sfn: u32,
+    /// The UE (or broadcast function) addressed.
+    pub rnti: Rnti,
+    /// How the RNTI was classified.
+    pub rnti_type: RntiType,
+    /// DCI format.
+    pub format: DciFormat,
+    /// Aggregation level the DCI was found at.
+    pub level: AggregationLevel,
+    /// First CCE of the decoded candidate.
+    pub cce_start: usize,
+    /// First allocated PRB.
+    pub prb_start: usize,
+    /// Allocated PRB count.
+    pub prb_len: usize,
+    /// First allocated symbol.
+    pub symbol_start: usize,
+    /// Allocated symbol count.
+    pub symbol_len: usize,
+    /// MCS index.
+    pub mcs: u8,
+    /// New-data indicator.
+    pub ndi: u8,
+    /// Redundancy version.
+    pub rv: u8,
+    /// HARQ process id.
+    pub harq_id: u8,
+    /// MIMO layers assumed (from the cached RRC Setup).
+    pub layers: usize,
+    /// Transport block size computed per Appendix A.
+    pub tbs: u32,
+    /// Retransmission flag from (harq_id, ndi) tracking (§3.2.2).
+    pub is_retx: bool,
+}
+
+impl TelemetryRecord {
+    /// REG count of the grant (Fig 8's unit).
+    pub fn reg_count(&self) -> usize {
+        self.prb_len * self.symbol_len
+    }
+
+    /// Whether this record contributes to a UE's downlink throughput: a
+    /// C-RNTI DL grant carrying new data.
+    pub fn counts_for_dl_throughput(&self) -> bool {
+        self.rnti_type == RntiType::C && self.format == DciFormat::Dl1_1 && !self.is_retx
+    }
+
+    /// Render a srsRAN-style log line (the Appendix B "DCI:" shape).
+    pub fn log_line(&self) -> String {
+        format!(
+            "c-rnti={}, dci={}, L={}, cce={}, f_alloc={}:{}, t_alloc={}:{}, mcs={}, ndi={}, rv={}, harq_id={}, tbs={}{}",
+            self.rnti,
+            self.format.name(),
+            self.level.cces(),
+            self.cce_start,
+            self.prb_start,
+            self.prb_len,
+            self.symbol_start,
+            self.symbol_len,
+            self.mcs,
+            self.ndi,
+            self.rv,
+            self.harq_id,
+            self.tbs,
+            if self.is_retx { ", retx" } else { "" },
+        )
+    }
+
+    /// Build a record from an unpacked DCI plus grant translation context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_dci(
+        slot: u64,
+        sfn: u32,
+        rnti: Rnti,
+        rnti_type: RntiType,
+        dci: &Dci,
+        level: AggregationLevel,
+        cce_start: usize,
+        prb_span: (usize, usize),
+        symbol_span: (usize, usize),
+        layers: usize,
+        tbs: u32,
+        is_retx: bool,
+    ) -> TelemetryRecord {
+        TelemetryRecord {
+            slot,
+            sfn,
+            rnti,
+            rnti_type,
+            format: dci.format,
+            level,
+            cce_start,
+            prb_start: prb_span.0,
+            prb_len: prb_span.1,
+            symbol_start: symbol_span.0,
+            symbol_len: symbol_span.1,
+            mcs: dci.mcs,
+            ndi: dci.ndi,
+            rv: dci.rv,
+            harq_id: dci.harq_id,
+            layers,
+            tbs,
+            is_retx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetryRecord {
+        TelemetryRecord {
+            slot: 1234,
+            sfn: 61,
+            rnti: Rnti(0x4296),
+            rnti_type: RntiType::C,
+            format: DciFormat::Dl1_1,
+            level: AggregationLevel::L2,
+            cce_start: 4,
+            prb_start: 0,
+            prb_len: 2,
+            symbol_start: 2,
+            symbol_len: 12,
+            mcs: 27,
+            ndi: 0,
+            rv: 0,
+            harq_id: 11,
+            layers: 2,
+            tbs: 6400,
+            is_retx: false,
+        }
+    }
+
+    #[test]
+    fn log_line_matches_appendix_b_shape() {
+        let line = sample().log_line();
+        assert!(line.contains("c-rnti=0x4296"));
+        assert!(line.contains("dci=1_1"));
+        assert!(line.contains("mcs=27"));
+        assert!(line.contains("harq_id=11"));
+        assert!(!line.contains("retx"));
+    }
+
+    #[test]
+    fn throughput_eligibility() {
+        let mut r = sample();
+        assert!(r.counts_for_dl_throughput());
+        r.is_retx = true;
+        assert!(!r.counts_for_dl_throughput());
+        r.is_retx = false;
+        r.format = DciFormat::Ul0_1;
+        assert!(!r.counts_for_dl_throughput());
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let j = serde_json::to_string(&sample()).unwrap();
+        assert!(j.contains("\"tbs\":6400"));
+        let back: TelemetryRecord = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, sample());
+    }
+}

@@ -1,0 +1,159 @@
+//! Sliding-window per-UE bit-rate estimation (paper §3.2.2: "We record the
+//! TBS for every UE in each TTI, maintaining a sliding window to calculate
+//! the bit rate for each UE").
+
+use nr_phy::types::Rnti;
+use std::collections::{HashMap, VecDeque};
+
+/// Sliding-window rate estimator for one UE.
+#[derive(Debug, Clone, Default)]
+pub struct RateWindow {
+    /// (slot, bits) samples inside the window.
+    samples: VecDeque<(u64, u64)>,
+    /// Running sum of bits in the window.
+    sum_bits: u64,
+}
+
+impl RateWindow {
+    /// Record `bits` delivered in `slot`, evicting samples older than
+    /// `window_slots`.
+    pub fn push(&mut self, slot: u64, bits: u64, window_slots: u64) {
+        self.samples.push_back((slot, bits));
+        self.sum_bits += bits;
+        let cutoff = slot.saturating_sub(window_slots);
+        while let Some(&(s, b)) = self.samples.front() {
+            if s < cutoff {
+                self.samples.pop_front();
+                self.sum_bits -= b;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Bits currently inside the window (caller converts to a rate with
+    /// the slot duration).
+    pub fn bits(&self) -> u64 {
+        self.sum_bits
+    }
+
+    /// Rate in bits/s given the window length and slot duration.
+    pub fn rate_bps(&self, window_slots: u64, slot_s: f64) -> f64 {
+        self.sum_bits as f64 / (window_slots as f64 * slot_s)
+    }
+}
+
+/// Per-UE rate bookkeeping plus cell-total accounting.
+#[derive(Debug, Default)]
+pub struct ThroughputEstimator {
+    windows: HashMap<Rnti, RateWindow>,
+    /// Per-(UE, slot-bucket) delivered bits, for time-series export
+    /// (Fig 14a).
+    history: HashMap<Rnti, Vec<(u64, u64)>>,
+}
+
+impl ThroughputEstimator {
+    /// Fresh estimator.
+    pub fn new() -> ThroughputEstimator {
+        ThroughputEstimator::default()
+    }
+
+    /// Record a decoded grant's TBS.
+    pub fn record(&mut self, rnti: Rnti, slot: u64, tbs_bits: u32, window_slots: u64) {
+        self.windows
+            .entry(rnti)
+            .or_default()
+            .push(slot, tbs_bits as u64, window_slots);
+        self.history
+            .entry(rnti)
+            .or_default()
+            .push((slot, tbs_bits as u64));
+    }
+
+    /// Current estimated rate for a UE.
+    pub fn rate_bps(&self, rnti: Rnti, window_slots: u64, slot_s: f64) -> f64 {
+        self.windows
+            .get(&rnti)
+            .map(|w| w.rate_bps(window_slots, slot_s))
+            .unwrap_or(0.0)
+    }
+
+    /// Total bits recorded for a UE in a slot range (for offline
+    /// comparison against ground truth).
+    pub fn bits_in(&self, rnti: Rnti, slots: std::ops::Range<u64>) -> u64 {
+        self.history
+            .get(&rnti)
+            .map(|h| {
+                h.iter()
+                    .filter(|(s, _)| slots.contains(s))
+                    .map(|(_, b)| *b)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// UEs with any recorded traffic.
+    pub fn rntis(&self) -> Vec<Rnti> {
+        let mut v: Vec<Rnti> = self.history.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Drop a departed UE's live window (history is kept for evaluation).
+    pub fn forget(&mut self, rnti: Rnti) {
+        self.windows.remove(&rnti);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_old_samples() {
+        let mut w = RateWindow::default();
+        w.push(0, 100, 10);
+        w.push(5, 100, 10);
+        assert_eq!(w.bits(), 200);
+        w.push(16, 100, 10);
+        // Slot 0 is now outside [6, 16]; slot 5 too.
+        assert_eq!(w.bits(), 200 - 100);
+    }
+
+    #[test]
+    fn rate_matches_constant_stream() {
+        let mut w = RateWindow::default();
+        // 1000 bits every slot for 2000 slots at 0.5 ms → 2 Mbit/s.
+        for s in 0..2000u64 {
+            w.push(s, 1000, 2000);
+        }
+        let rate = w.rate_bps(2000, 0.0005);
+        assert!((rate - 2.0e6).abs() / 2.0e6 < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn estimator_separates_ues() {
+        let mut e = ThroughputEstimator::new();
+        e.record(Rnti(1), 10, 5000, 100);
+        e.record(Rnti(2), 10, 9000, 100);
+        assert_eq!(e.bits_in(Rnti(1), 0..20), 5000);
+        assert_eq!(e.bits_in(Rnti(2), 0..20), 9000);
+        assert_eq!(e.rntis(), vec![Rnti(1), Rnti(2)]);
+    }
+
+    #[test]
+    fn forget_clears_live_window_but_keeps_history() {
+        let mut e = ThroughputEstimator::new();
+        e.record(Rnti(1), 10, 5000, 100);
+        e.forget(Rnti(1));
+        assert_eq!(e.rate_bps(Rnti(1), 100, 0.0005), 0.0);
+        assert_eq!(e.bits_in(Rnti(1), 0..20), 5000);
+    }
+
+    #[test]
+    fn unknown_ue_rates_are_zero() {
+        let e = ThroughputEstimator::new();
+        assert_eq!(e.rate_bps(Rnti(42), 100, 0.0005), 0.0);
+        assert_eq!(e.bits_in(Rnti(42), 0..100), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! UE association tracking (paper §3.1.2): the known-UE list, the RACH
+//! watcher that feeds it, and per-UE HARQ/NDI state.
+
+use nr_mac::HarqTracker;
+use nr_phy::types::Rnti;
+use nr_rrc::RrcSetup;
+use std::collections::HashMap;
+
+/// Telemetry-side state for one tracked UE.
+#[derive(Debug, Clone)]
+pub struct TrackedUe {
+    /// The UE's C-RNTI.
+    pub rnti: Rnti,
+    /// Slot the UE was discovered (MSG 4 seen).
+    pub discovered_slot: u64,
+    /// Last slot with any decoded DCI for this UE.
+    pub last_active_slot: u64,
+    /// Downlink HARQ/NDI memory (retransmission detection).
+    pub harq_dl: HarqTracker,
+    /// Uplink HARQ/NDI memory.
+    pub harq_ul: HarqTracker,
+    /// The UE-specific parameters from its RRC Setup.
+    pub rrc: RrcSetup,
+}
+
+/// The known-UE list plus RACH-procedure shadowing state.
+#[derive(Debug, Default)]
+pub struct UeTracker {
+    ues: HashMap<Rnti, TrackedUe>,
+    /// TC-RNTIs learned from RAR (MSG 2) payloads, awaiting their MSG 4,
+    /// with the slot the RAR was seen.
+    pending_tc: HashMap<Rnti, u64>,
+    /// Cached RRC Setup (identical across UEs, §3.1.2) enabling the
+    /// skip-PDSCH optimisation.
+    cached_rrc: Option<RrcSetup>,
+    /// Total UEs ever discovered (Fig 10-style accounting).
+    pub total_discovered: u64,
+}
+
+impl UeTracker {
+    /// Fresh tracker.
+    pub fn new() -> UeTracker {
+        UeTracker::default()
+    }
+
+    /// Note a TC-RNTI announced in a decoded RAR (MSG 2).
+    pub fn rar_seen(&mut self, tc_rnti: Rnti, slot: u64) {
+        self.pending_tc.insert(tc_rnti, slot);
+    }
+
+    /// TC-RNTIs currently awaiting MSG 4 (tried as CRC hypotheses on
+    /// common-search-space candidates).
+    pub fn pending_tc_rntis(&self) -> Vec<Rnti> {
+        self.pending_tc.keys().copied().collect()
+    }
+
+    /// MSG 4 for `tc_rnti` decoded: promote it to a tracked C-RNTI.
+    /// `rrc` is the decoded (or cached) RRC Setup.
+    pub fn promote(&mut self, tc_rnti: Rnti, slot: u64, rrc: RrcSetup) {
+        self.pending_tc.remove(&tc_rnti);
+        self.cached_rrc = Some(rrc);
+        self.total_discovered += 1;
+        self.ues.insert(
+            tc_rnti,
+            TrackedUe {
+                rnti: tc_rnti,
+                discovered_slot: slot,
+                last_active_slot: slot,
+                harq_dl: HarqTracker::new(),
+                harq_ul: HarqTracker::new(),
+                rrc,
+            },
+        );
+    }
+
+    /// The cached RRC Setup, if any UE has been decoded yet.
+    pub fn cached_rrc(&self) -> Option<&RrcSetup> {
+        self.cached_rrc.as_ref()
+    }
+
+    /// Whether an RNTI is currently tracked.
+    pub fn contains(&self, rnti: Rnti) -> bool {
+        self.ues.contains_key(&rnti)
+    }
+
+    /// All currently tracked RNTIs (sorted, deterministic).
+    pub fn rntis(&self) -> Vec<Rnti> {
+        let mut v: Vec<Rnti> = self.ues.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of tracked UEs.
+    pub fn len(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// Whether no UEs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ues.is_empty()
+    }
+
+    /// Mutable access for HARQ observation and activity updates.
+    pub fn get_mut(&mut self, rnti: Rnti) -> Option<&mut TrackedUe> {
+        self.ues.get_mut(&rnti)
+    }
+
+    /// Shared access.
+    pub fn get(&self, rnti: Rnti) -> Option<&TrackedUe> {
+        self.ues.get(&rnti)
+    }
+
+    /// Expire UEs idle longer than `expiry_slots`, and stale pending
+    /// TC-RNTIs whose MSG 4 never appeared within `ra_window_slots`.
+    /// Returns the expired RNTIs.
+    pub fn expire(&mut self, now: u64, expiry_slots: u64, ra_window_slots: u64) -> Vec<Rnti> {
+        let dead: Vec<Rnti> = self
+            .ues
+            .iter()
+            .filter(|(_, u)| now.saturating_sub(u.last_active_slot) > expiry_slots)
+            .map(|(r, _)| *r)
+            .collect();
+        for r in &dead {
+            self.ues.remove(r);
+        }
+        self.pending_tc
+            .retain(|_, seen| now.saturating_sub(*seen) <= ra_window_slots);
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rrc() -> RrcSetup {
+        gnb_sim::CellConfig::srsran_n41().rrc_setup()
+    }
+
+    #[test]
+    fn rar_then_promote_flow() {
+        let mut t = UeTracker::new();
+        let tc = Rnti(0x4601);
+        t.rar_seen(tc, 10);
+        assert_eq!(t.pending_tc_rntis(), vec![tc]);
+        assert!(!t.contains(tc));
+        t.promote(tc, 17, rrc());
+        assert!(t.contains(tc));
+        assert!(t.pending_tc_rntis().is_empty());
+        assert_eq!(t.total_discovered, 1);
+        assert!(t.cached_rrc().is_some());
+    }
+
+    #[test]
+    fn expiry_removes_idle_ues() {
+        let mut t = UeTracker::new();
+        t.promote(Rnti(1), 0, rrc());
+        t.promote(Rnti(2), 0, rrc());
+        t.get_mut(Rnti(2)).unwrap().last_active_slot = 900;
+        let dead = t.expire(1000, 500, 100);
+        assert_eq!(dead, vec![Rnti(1)]);
+        assert!(t.contains(Rnti(2)));
+    }
+
+    #[test]
+    fn stale_pending_tc_rntis_are_dropped() {
+        let mut t = UeTracker::new();
+        t.rar_seen(Rnti(5), 0);
+        t.rar_seen(Rnti(6), 95);
+        t.expire(100, 1000, 20);
+        assert_eq!(t.pending_tc_rntis(), vec![Rnti(6)]);
+    }
+
+    #[test]
+    fn rntis_are_sorted() {
+        let mut t = UeTracker::new();
+        for r in [9u16, 3, 7] {
+            t.promote(Rnti(r), 0, rrc());
+        }
+        assert_eq!(t.rntis(), vec![Rnti(3), Rnti(7), Rnti(9)]);
+    }
+}

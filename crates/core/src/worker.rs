@@ -1,0 +1,345 @@
+//! The Fig 4 processing pipeline: scheduler → worker pool → result queue.
+//!
+//! "The scheduler copies the data and its state (known UE list, cell's
+//! configurations) to an idle worker. For each slot data, the worker
+//! spawns SIBs thread, RACH thread and DCI threads for SIBs decoding, UE
+//! discovery and DCIs extraction, and then put the slot result into the
+//! result queue." — paper §4.
+//!
+//! The DCI workload shards the known-UE list across `dci_threads`
+//! (paper §4: "UE list is sharded among threads, and the final results are
+//! gathered from the threads"); the common search space (SIB + RACH
+//! hypotheses) runs as its own shard, standing in for the SIBs/RACH
+//! threads.
+
+use crate::decoder::{decode_candidates, decode_message_slot, extract_all_candidates, DecodedDci, DecoderContext, ExtractedCandidate, Hypotheses};
+use crate::observe::ObservedSlot;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One slot of work, self-contained (the "copy of data and state").
+#[derive(Debug, Clone)]
+pub struct SlotJob {
+    /// Sniffer slot counter.
+    pub slot: u64,
+    /// Slot-in-frame for candidate hashing and OFDM timing.
+    pub slot_in_frame: usize,
+    /// The captured slot.
+    pub observed: ObservedSlot,
+    /// Decoder configuration snapshot.
+    pub ctx: DecoderContext,
+    /// RNTI hypothesis sets snapshot.
+    pub hyp: Hypotheses,
+    /// How many DCI threads to shard across.
+    pub dci_threads: usize,
+}
+
+/// A processed slot.
+#[derive(Debug)]
+pub struct SlotResult {
+    /// Sniffer slot counter.
+    pub slot: u64,
+    /// All DCIs decoded in the slot.
+    pub decoded: Vec<DecodedDci>,
+    /// Wall-clock processing time (the Fig 12 metric).
+    pub processing: Duration,
+}
+
+/// Process one slot, sharding the known-UE list across `dci_threads`
+/// OS threads (scoped). Returns the decoded DCIs and the processing time.
+pub fn process_slot(job: &SlotJob) -> SlotResult {
+    let start = Instant::now();
+    let threads = job.dci_threads.max(1);
+    // Shard the C-RNTI list; the common hypotheses ride with shard 0
+    // (the SIBs/RACH thread role).
+    let shards: Vec<Hypotheses> = (0..threads)
+        .map(|i| {
+            let c_rntis: Vec<_> = job
+                .hyp
+                .c_rntis
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j % threads == i)
+                .map(|(_, r)| *r)
+                .collect();
+            if i == 0 {
+                Hypotheses {
+                    ra_rntis: job.hyp.ra_rntis.clone(),
+                    tc_rntis: job.hyp.tc_rntis.clone(),
+                    c_rntis,
+                    allow_recovery: job.hyp.allow_recovery,
+                    skip_common: false,
+                }
+            } else {
+                Hypotheses {
+                    ra_rntis: Vec::new(),
+                    tc_rntis: Vec::new(),
+                    c_rntis,
+                    allow_recovery: false,
+                    skip_common: true,
+                }
+            }
+        })
+        .collect();
+    // Signal processing (the O(n log n) term of §5.3.2 — OFDM demod plus
+    // candidate extraction/equalisation) runs once per slot; only the
+    // per-UE DCI hypothesis testing (the O(m) term) is sharded across
+    // threads — exactly the Fig 4 division of labour.
+    let candidates: Option<Vec<ExtractedCandidate>> = match &job.observed {
+        ObservedSlot::Iq { samples, .. } => {
+            match ofdm_for(&job.ctx, samples.len(), job.slot_in_frame) {
+                Some(o) => {
+                    let grid = o.demodulate(samples, job.slot_in_frame);
+                    Some(extract_all_candidates(&job.ctx, &grid, job.slot_in_frame))
+                }
+                None => {
+                    return SlotResult {
+                        slot: job.slot,
+                        decoded: Vec::new(),
+                        processing: start.elapsed(),
+                    }
+                }
+            }
+        }
+        ObservedSlot::Message { .. } => None,
+    };
+    let mut decoded: Vec<DecodedDci> = Vec::new();
+    if threads == 1 {
+        // Single-thread path avoids spawn overhead entirely.
+        decoded = run_shard(job, candidates.as_deref(), &shards[0]);
+    } else {
+        std::thread::scope(|scope| {
+            let candidates = candidates.as_deref();
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|hyp| scope.spawn(move || run_shard(job, candidates, hyp)))
+                .collect();
+            for h in handles {
+                decoded.extend(h.join().expect("decoder shard panicked"));
+            }
+        });
+    }
+    SlotResult {
+        slot: job.slot,
+        decoded,
+        processing: start.elapsed(),
+    }
+}
+
+/// Run one hypothesis shard against the pre-processed slot.
+fn run_shard(
+    job: &SlotJob,
+    candidates: Option<&[ExtractedCandidate]>,
+    hyp: &Hypotheses,
+) -> Vec<DecodedDci> {
+    match (&job.observed, candidates) {
+        (ObservedSlot::Message { dcis, .. }, _) => decode_message_slot(&job.ctx, dcis, hyp),
+        (ObservedSlot::Iq { .. }, Some(c)) => decode_candidates(&job.ctx, c, hyp),
+        (ObservedSlot::Iq { .. }, None) => Vec::new(),
+    }
+}
+
+/// Pick the OFDM layout matching a sample count (workers bootstrap the
+/// same way the live scope does).
+fn ofdm_for(
+    ctx: &DecoderContext,
+    n_samples: usize,
+    slot_in_frame: usize,
+) -> Option<nr_phy::ofdm::Ofdm> {
+    let widths = [
+        ctx.ue_sizing.map(|s| s.bwp_prbs).unwrap_or(51),
+        51,
+        52,
+        79,
+        24,
+    ];
+    for numer in [nr_phy::Numerology::Mu1, nr_phy::Numerology::Mu0] {
+        for prbs in widths {
+            let o = nr_phy::ofdm::Ofdm::new(numer, prbs);
+            if o.samples_per_slot(slot_in_frame) == n_samples {
+                return Some(o);
+            }
+        }
+    }
+    None
+}
+
+/// The asynchronous worker pool of Fig 4: jobs in, results out, processed
+/// by `n_workers` OS threads. "The worker pool design enables
+/// asynchronous, on-demand slot data processing" (§4).
+pub struct WorkerPool {
+    job_tx: Option<Sender<SlotJob>>,
+    result_rx: Receiver<SlotResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `n_workers` workers.
+    pub fn new(n_workers: usize) -> WorkerPool {
+        let (job_tx, job_rx) = unbounded::<SlotJob>();
+        let (result_tx, result_rx) = unbounded::<SlotResult>();
+        let handles = (0..n_workers.max(1))
+            .map(|_| {
+                let rx = job_rx.clone();
+                let tx = result_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let result = process_slot(&job);
+                        if tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            result_rx,
+            handles,
+        }
+    }
+
+    /// Submit a slot job (non-blocking).
+    pub fn submit(&self, job: SlotJob) {
+        self.job_tx
+            .as_ref()
+            .expect("pool open")
+            .send(job)
+            .expect("workers alive");
+    }
+
+    /// Drain any results already finished (non-blocking).
+    pub fn poll(&self) -> Vec<SlotResult> {
+        self.result_rx.try_iter().collect()
+    }
+
+    /// Close the job queue and wait for all in-flight work; returns the
+    /// remaining results.
+    pub fn finish(mut self) -> Vec<SlotResult> {
+        drop(self.job_tx.take());
+        for h in self.handles.drain(..) {
+            h.join().expect("worker panicked");
+        }
+        self.result_rx.try_iter().collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.job_tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::Observer;
+    use gnb_sim::{CellConfig, Gnb};
+    use nr_mac::RoundRobin;
+    use nr_phy::channel::ChannelProfile;
+    use nr_phy::dci::DciSizing;
+    use ue_sim::traffic::{TrafficKind, TrafficSource};
+    use ue_sim::{MobilityScenario, SimUe};
+
+    fn make_job(dci_threads: usize) -> (SlotJob, usize) {
+        let cell = CellConfig::srsran_n41();
+        let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 9);
+        for i in 1..=4u64 {
+            gnb.ue_arrives(SimUe::new(
+                i,
+                ChannelProfile::Awgn,
+                MobilityScenario::Static,
+                TrafficSource::new(
+                    TrafficKind::Cbr {
+                        rate_bps: 3e6,
+                        packet_bytes: 1200,
+                    },
+                    i,
+                ),
+                0.0,
+                10.0,
+                i,
+            ));
+        }
+        let mut obs = Observer::new(&cell, 35.0, false, 2);
+        // Run until a slot with multiple C-RNTI DCIs.
+        for s in 0..4000u64 {
+            let out = gnb.step();
+            let n_c = out
+                .dcis
+                .iter()
+                .filter(|d| d.rnti_type == nr_phy::types::RntiType::C)
+                .count();
+            let observed = obs.observe(&out, s as f64 * 0.0005);
+            if n_c >= 2 {
+                let ctx = DecoderContext {
+                    coreset: cell.coreset,
+                    pci: cell.pci.0,
+                    common_sizing: DciSizing {
+                        bwp_prbs: cell.coreset.n_prb,
+                    },
+                    ue_sizing: Some(DciSizing {
+                        bwp_prbs: cell.carrier_prbs,
+                    }),
+                };
+                let hyp = Hypotheses {
+                    c_rntis: gnb.connected_rntis(),
+                    allow_recovery: true,
+                    ..Hypotheses::default()
+                };
+                return (
+                    SlotJob {
+                        slot: s,
+                        slot_in_frame: out.slot_in_frame,
+                        observed,
+                        ctx,
+                        hyp,
+                        dci_threads,
+                    },
+                    n_c,
+                );
+            }
+        }
+        panic!("no multi-DCI slot found");
+    }
+
+    #[test]
+    fn sharded_decode_finds_everything_single_and_multi_thread() {
+        let (job1, n_c) = make_job(1);
+        let r1 = process_slot(&job1);
+        let mut job4 = job1.clone();
+        job4.dci_threads = 4;
+        let r4 = process_slot(&job4);
+        let count =
+            |r: &SlotResult| r.decoded.iter().filter(|d| d.rnti_type == nr_phy::types::RntiType::C).count();
+        assert_eq!(count(&r1), n_c);
+        assert_eq!(count(&r4), n_c, "sharding must not lose DCIs");
+    }
+
+    #[test]
+    fn pool_processes_jobs_asynchronously() {
+        let (job, _) = make_job(2);
+        let pool = WorkerPool::new(3);
+        for i in 0..12 {
+            let mut j = job.clone();
+            j.slot = i;
+            pool.submit(j);
+        }
+        let results = pool.finish();
+        assert_eq!(results.len(), 12);
+        let mut slots: Vec<u64> = results.iter().map(|r| r.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn processing_time_is_measured() {
+        let (job, _) = make_job(1);
+        let r = process_slot(&job);
+        assert!(r.processing > Duration::ZERO);
+    }
+}

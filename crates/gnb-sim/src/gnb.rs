@@ -1,0 +1,913 @@
+//! The slot-synchronous gNB simulator.
+//!
+//! Each call to [`Gnb::step`] advances one TTI and returns the
+//! [`SlotOutput`] a passive observer could capture off the air: the MIB (if
+//! an SSB burst falls in the slot), every PDCCH DCI with its payload bits
+//! and CCE placement, and the PDSCH payloads of the broadcast messages
+//! (SIB1, RAR, RRC Setup). Simultaneously it appends the srsRAN-log-style
+//! ground truth (`TruthLog`) used by the evaluation.
+//!
+//! Simplifications relative to a production gNB (documented in DESIGN.md):
+//! HARQ feedback is applied in the transmitting slot (no n+k PUCCH delay)
+//! and MSG 3 contention resolution always succeeds. Neither affects what
+//! the sniffer can observe — DCI placement, scrambling and HARQ/NDI
+//! sequences are exactly as a real cell would emit them.
+
+use crate::cell::CellConfig;
+use crate::truth::{TruthLog, TruthRecord};
+use nr_mac::{Allocation, GnbHarqEntity, RachEvent, RachProcedure, RntiAllocator, Scheduler};
+use nr_phy::dci::{riv_encode, Dci, DciFormat, DciSizing};
+use nr_phy::frame::{SlotClock, SlotDirection};
+use nr_phy::mcs::{bler, McsEntry};
+use nr_phy::pdcch::{candidate_cce, ue_search_space_y, AggregationLevel};
+use nr_phy::types::{Rnti, RntiType};
+use nr_rrc::Mib;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use ue_sim::SimUe;
+
+/// One DCI as transmitted on the PDCCH in a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxDci {
+    /// Addressed RNTI (scrambles the CRC).
+    pub rnti: Rnti,
+    /// RNTI classification.
+    pub rnti_type: RntiType,
+    /// Packed DCI payload bits (pre-CRC).
+    pub payload_bits: Vec<u8>,
+    /// The translated grant.
+    pub alloc: Allocation,
+    /// First CCE of the candidate carrying this DCI.
+    pub cce_start: usize,
+    /// Aggregation level.
+    pub level: AggregationLevel,
+}
+
+/// PDSCH payloads of the broadcast/setup messages (message-level content —
+/// user-plane PDSCH carries only its size, which is what telemetry needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdschContent {
+    /// SIB1 bits.
+    Sib1(Vec<u8>),
+    /// Random access response: carries the TC-RNTI assignment.
+    Rar {
+        /// Assigned temporary C-RNTI.
+        tc_rnti: Rnti,
+    },
+    /// MSG 4 RRC Setup bits.
+    RrcSetup(Vec<u8>),
+    /// User data of a given size (content abstracted).
+    UserData {
+        /// Transport block size in bits.
+        tbs: u32,
+    },
+}
+
+/// Everything observable in one downlink slot.
+#[derive(Debug, Clone, Default)]
+pub struct SlotOutput {
+    /// Absolute TTI index.
+    pub slot: u64,
+    /// System frame number.
+    pub sfn: u32,
+    /// Slot within the frame.
+    pub slot_in_frame: usize,
+    /// Slot direction under the cell's TDD pattern.
+    pub direction: Option<SlotDirection>,
+    /// MIB, when an SSB burst falls in this slot.
+    pub mib: Option<Mib>,
+    /// All PDCCH transmissions.
+    pub dcis: Vec<TxDci>,
+    /// PDSCH payloads keyed by the RNTI whose DCI schedules them.
+    pub pdsch: Vec<(Rnti, PdschContent)>,
+}
+
+/// Attachment state of a UE inside the gNB.
+#[derive(Debug)]
+struct AttachedUe {
+    ue: SimUe,
+    /// Slot the UE connected (MSG 4 sent).
+    connected_slot: u64,
+}
+
+/// In-flight HARQ payload bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    bytes: usize,
+    packets: usize,
+    retransmitted: bool,
+}
+
+/// The simulated gNodeB.
+pub struct Gnb {
+    /// Static cell configuration.
+    pub cfg: CellConfig,
+    clock: SlotClock,
+    rnti_alloc: RntiAllocator,
+    rach: RachProcedure,
+    /// UEs that sent a preamble and await MSG 4, keyed by TC-RNTI.
+    rach_pending: HashMap<Rnti, SimUe>,
+    /// UEs waiting for the next PRACH occasion.
+    arrival_queue: Vec<SimUe>,
+    /// RRC-connected UEs keyed by C-RNTI (BTreeMap for deterministic order).
+    connected: std::collections::BTreeMap<Rnti, AttachedUe>,
+    harqs: HashMap<Rnti, GnbHarqEntity>,
+    in_flight: HashMap<(Rnti, u8), InFlight>,
+    scheduler: Box<dyn Scheduler + Send>,
+    truth: TruthLog,
+    rng: StdRng,
+    /// Sizing for UE-specific DCIs (carrier-wide BWP).
+    sizing: DciSizing,
+    /// Sizing for common-search-space DCIs (initial BWP = CORESET 0 width,
+    /// so a sniffer can size them from the MIB alone).
+    common_sizing: DciSizing,
+}
+
+impl Gnb {
+    /// Build a gNB for a cell with a scheduler.
+    pub fn new(cfg: CellConfig, scheduler: Box<dyn Scheduler + Send>, seed: u64) -> Gnb {
+        let sizing = DciSizing {
+            bwp_prbs: cfg.carrier_prbs,
+        };
+        let common_sizing = DciSizing {
+            bwp_prbs: cfg.coreset.n_prb,
+        };
+        Gnb {
+            clock: SlotClock::new(cfg.numerology),
+            rnti_alloc: RntiAllocator::new(),
+            rach: RachProcedure::new(),
+            rach_pending: HashMap::new(),
+            arrival_queue: Vec::new(),
+            connected: std::collections::BTreeMap::new(),
+            harqs: HashMap::new(),
+            in_flight: HashMap::new(),
+            scheduler,
+            truth: TruthLog::new(),
+            rng: StdRng::seed_from_u64(seed),
+            sizing,
+            common_sizing,
+            cfg,
+        }
+    }
+
+    /// Queue a UE to start random access at the next PRACH occasion.
+    pub fn ue_arrives(&mut self, ue: SimUe) {
+        self.arrival_queue.push(ue);
+    }
+
+    /// Detach a UE by simulation id (session ended). Returns the UE with
+    /// its ground-truth delivery log.
+    pub fn ue_departs(&mut self, id: u64) -> Option<SimUe> {
+        let rnti = self
+            .connected
+            .iter()
+            .find(|(_, a)| a.ue.id == id)
+            .map(|(r, _)| *r)?;
+        let att = self.connected.remove(&rnti)?;
+        self.rnti_alloc.release(rnti);
+        self.harqs.remove(&rnti);
+        self.in_flight.retain(|(r, _), _| *r != rnti);
+        Some(att.ue)
+    }
+
+    /// Connected C-RNTIs (ground truth for the UE-tracking evaluation).
+    pub fn connected_rntis(&self) -> Vec<Rnti> {
+        self.connected.keys().copied().collect()
+    }
+
+    /// Access a connected UE by RNTI.
+    pub fn ue(&self, rnti: Rnti) -> Option<&SimUe> {
+        self.connected.get(&rnti).map(|a| &a.ue)
+    }
+
+    /// Mutable access to a connected UE.
+    pub fn ue_mut(&mut self, rnti: Rnti) -> Option<&mut SimUe> {
+        self.connected.get_mut(&rnti).map(|a| &mut a.ue)
+    }
+
+    /// The ground-truth log.
+    pub fn truth(&self) -> &TruthLog {
+        &self.truth
+    }
+
+    /// Current slot clock.
+    pub fn clock(&self) -> SlotClock {
+        self.clock
+    }
+
+    /// DCI payload sizing for UE-specific DCIs in this cell.
+    pub fn sizing(&self) -> DciSizing {
+        self.sizing
+    }
+
+    /// DCI payload sizing for common-search-space DCIs (initial BWP).
+    pub fn common_sizing(&self) -> DciSizing {
+        self.common_sizing
+    }
+
+    /// Advance one TTI.
+    pub fn step(&mut self) -> SlotOutput {
+        let slot = self.clock.absolute_slot;
+        let sfn = self.clock.sfn;
+        let slot_in_frame = self.clock.slot;
+        let t = self.clock.elapsed_s();
+        let dt = self.cfg.slot_s();
+        let pattern = match self.cfg.duplex {
+            nr_rrc::sib1::Duplex::Fdd => nr_phy::TddPattern::fdd(),
+            nr_rrc::sib1::Duplex::Tdd => self.cfg.tdd.clone(),
+        };
+        let direction = pattern.direction(slot_in_frame);
+
+        // 1. Application traffic accrues for every attached UE.
+        for a in self.connected.values_mut() {
+            a.ue.generate_traffic(dt);
+        }
+        for ue in self.rach_pending.values_mut() {
+            ue.generate_traffic(dt);
+        }
+
+        // 2. PRACH occasion: waiting UEs transmit preambles (MSG 1).
+        if self.cfg.rach.is_prach_occasion(slot) && !self.arrival_queue.is_empty() {
+            for ue in self.arrival_queue.drain(..) {
+                if let Some(tc_rnti) = self.rnti_alloc.allocate() {
+                    self.rach.preamble_received(slot, tc_rnti);
+                    self.rach_pending.insert(tc_rnti, ue);
+                }
+            }
+        }
+
+        let mut out = SlotOutput {
+            slot,
+            sfn,
+            slot_in_frame,
+            direction: Some(direction),
+            ..SlotOutput::default()
+        };
+
+        if pattern.has_downlink(slot_in_frame) {
+            self.downlink_slot(&mut out, slot, sfn, slot_in_frame, t);
+        }
+
+        self.clock.tick();
+        out
+    }
+
+    /// Emit everything belonging to a downlink(-capable) slot.
+    fn downlink_slot(
+        &mut self,
+        out: &mut SlotOutput,
+        slot: u64,
+        sfn: u32,
+        slot_in_frame: usize,
+        t: f64,
+    ) {
+        let n_cces = self.cfg.coreset.n_cces();
+        let mut cce_used = vec![false; n_cces];
+        let mut dci_budget = self.cfg.max_dcis_per_slot();
+
+        // SSB burst: MIB every `ssb_period_frames`, in slot 0.
+        if slot_in_frame == 0 && sfn.is_multiple_of(self.cfg.ssb_period_frames) {
+            out.mib = Some(self.cfg.mib((sfn % 1024) as u16));
+        }
+
+        // SIB1: SI-RNTI DCI + payload, every `sib1_period_frames`, slot 0.
+        if slot_in_frame == 0 && sfn.is_multiple_of(self.cfg.sib1_period_frames) && dci_budget > 0 {
+            let sib_bits = self.cfg.sib1().encode();
+            let prb_len = 6.min(self.cfg.carrier_prbs);
+            if let Some(tx) = self.place_dci(
+                Rnti::SI,
+                RntiType::Si,
+                DciFormat::Dl1_1,
+                0,
+                prb_len,
+                0,
+                0,
+                slot_in_frame,
+                &mut cce_used,
+            ) {
+                out.pdsch.push((Rnti::SI, PdschContent::Sib1(sib_bits)));
+                self.truth.push(TruthRecord {
+                    slot,
+                    sfn,
+                    rnti: Rnti::SI,
+                    rnti_type: RntiType::Si,
+                    alloc: tx.alloc,
+                    acked: true,
+                });
+                out.dcis.push(tx);
+                dci_budget -= 1;
+            }
+        }
+
+        // RACH progress: MSG 2 and MSG 4 consume PDCCH space too.
+        for event in self.rach.tick(slot) {
+            match event {
+                RachEvent::SendMsg2 { ra_rnti, tc_rnti } => {
+                    if dci_budget == 0 {
+                        // PDCCH congestion: restart the procedure (the UE
+                        // retries its preamble after the response window).
+                        self.rach.retry(self.next_prach_occasion(slot), tc_rnti);
+                        continue;
+                    }
+                    if let Some(tx) = self.place_dci(
+                        ra_rnti,
+                        RntiType::Ra,
+                        DciFormat::Dl1_1,
+                        0,
+                        2.min(self.cfg.carrier_prbs),
+                        0,
+                        0,
+                        slot_in_frame,
+                        &mut cce_used,
+                    ) {
+                        out.pdsch.push((ra_rnti, PdschContent::Rar { tc_rnti }));
+                        self.truth.push(TruthRecord {
+                            slot,
+                            sfn,
+                            rnti: ra_rnti,
+                            rnti_type: RntiType::Ra,
+                            alloc: tx.alloc,
+                            acked: true,
+                        });
+                        out.dcis.push(tx);
+                        dci_budget -= 1;
+                    } else {
+                        // Both common candidates blocked: retry later.
+                        self.rach.retry(self.next_prach_occasion(slot), tc_rnti);
+                    }
+                }
+                RachEvent::UeSendsMsg3 { .. } => {
+                    // Uplink; invisible to the DL sniffer. Contention
+                    // resolution always succeeds in this simulation.
+                }
+                RachEvent::SendMsg4 { tc_rnti } => {
+                    if dci_budget == 0 {
+                        // Postpone: restart so MSG 4 retries shortly (rare
+                        // under realistic load).
+                        self.rach.retry(self.next_prach_occasion(slot), tc_rnti);
+                        continue;
+                    }
+                    let setup_bits = self.cfg.rrc_setup().encode();
+                    if let Some(tx) = self.place_dci(
+                        tc_rnti,
+                        RntiType::Tc,
+                        DciFormat::Dl1_1,
+                        0,
+                        3.min(self.cfg.carrier_prbs),
+                        0,
+                        0,
+                        slot_in_frame,
+                        &mut cce_used,
+                    ) {
+                        out.pdsch
+                            .push((tc_rnti, PdschContent::RrcSetup(setup_bits)));
+                        self.truth.push(TruthRecord {
+                            slot,
+                            sfn,
+                            rnti: tc_rnti,
+                            rnti_type: RntiType::Tc,
+                            alloc: tx.alloc,
+                            acked: true,
+                        });
+                        out.dcis.push(tx);
+                        dci_budget -= 1;
+                        // TC-RNTI promotes to C-RNTI: the UE is connected.
+                        if let Some(ue) = self.rach_pending.remove(&tc_rnti) {
+                            self.connected.insert(
+                                tc_rnti,
+                                AttachedUe {
+                                    ue,
+                                    connected_slot: slot,
+                                },
+                            );
+                            self.harqs.insert(tc_rnti, GnbHarqEntity::new());
+                        }
+                    } else {
+                        // Candidate collision: retry the whole procedure so
+                        // the UE is not stranded.
+                        self.rach.retry(self.next_prach_occasion(slot), tc_rnti);
+                    }
+                }
+            }
+        }
+
+        // Downlink data scheduling.
+        let sched_cfg = {
+            let mut c = self.cfg.scheduler_config();
+            c.max_dcis_per_slot = dci_budget;
+            c
+        };
+        let sched_ues: Vec<nr_mac::SchedUe> = self
+            .connected
+            .iter()
+            .map(|(r, a)| nr_mac::SchedUe {
+                rnti: *r,
+                buffer_bytes: a.ue.dl_buffer,
+                snr_db: a.ue.snr_db_at(t),
+                avg_rate: a.ue.avg_rate,
+            })
+            .collect();
+        let allocations = self
+            .scheduler
+            .schedule(slot, &sched_ues, &mut self.harqs, &sched_cfg);
+        for alloc in allocations {
+            let Some(tx) = self.place_ue_dci(&alloc, slot_in_frame, &mut cce_used) else {
+                // PDCCH blocking: revert the optimistic HARQ transition so
+                // no NDI toggle or phantom retransmission leaks on air.
+                let harq = self.harqs.get_mut(&alloc.rnti).expect("scheduled UE has HARQ");
+                if alloc.is_retx {
+                    harq.cancel_retx(alloc.harq_id);
+                } else {
+                    harq.cancel_new(alloc.harq_id);
+                }
+                continue;
+            };
+            dci_budget = dci_budget.saturating_sub(1);
+            let acked = self.transmit_dl_block(&alloc, slot, t);
+            self.truth.push(TruthRecord {
+                slot,
+                sfn,
+                rnti: alloc.rnti,
+                rnti_type: RntiType::C,
+                alloc,
+                acked,
+            });
+            out.pdsch
+                .push((alloc.rnti, PdschContent::UserData { tbs: alloc.tbs }));
+            out.dcis.push(tx);
+        }
+
+        // Uplink grants for UEs with uplink demand, in leftover budget.
+        if dci_budget > 0 {
+            let ul_ues: Vec<Rnti> = self
+                .connected
+                .iter()
+                .filter(|(_, a)| a.ue.ul_buffer > 0)
+                .map(|(r, _)| *r)
+                .take(dci_budget)
+                .collect();
+            let mut prb_cursor = 0usize;
+            for rnti in ul_ues {
+                let att = self.connected.get(&rnti).expect("listed above");
+                let snr = att.ue.snr_db_at(t);
+                let mcs = nr_phy::mcs::select_mcs(self.cfg.mcs_table, snr, 0.1);
+                let entry = self.cfg.mcs_table.entry(mcs).expect("valid MCS");
+                let demand = att.ue.ul_buffer;
+                let prb_len = ul_span_for(demand, entry, &self.cfg).max(1);
+                if prb_cursor + prb_len > self.cfg.carrier_prbs {
+                    break;
+                }
+                let tbs = nr_phy::tbs::transport_block_size(&nr_phy::tbs::TbsParams {
+                    n_prb: prb_len,
+                    n_symbols: self.cfg.data_symbols(),
+                    dmrs_per_prb: self.cfg.dmrs_per_prb,
+                    overhead_per_prb: self.cfg.x_overhead,
+                    mcs: entry,
+                    layers: 1,
+                });
+                let alloc = Allocation {
+                    rnti,
+                    format: DciFormat::Ul0_1,
+                    prb_start: prb_cursor,
+                    prb_len,
+                    symbol_start: 0,
+                    symbol_len: self.cfg.data_symbols(),
+                    mcs,
+                    layers: 1,
+                    harq_id: (slot % 16) as u8,
+                    ndi: (slot / 16 % 2) as u8,
+                    rv: 0,
+                    is_retx: false,
+                    tbs,
+                };
+                let Some(tx) = self.place_ue_dci(&alloc, slot_in_frame, &mut cce_used) else {
+                    continue;
+                };
+                self.connected
+                    .get_mut(&rnti)
+                    .expect("listed above")
+                    .ue
+                    .consume_uplink((tbs / 8) as usize);
+                self.truth.push(TruthRecord {
+                    slot,
+                    sfn,
+                    rnti,
+                    rnti_type: RntiType::C,
+                    alloc,
+                    acked: true,
+                });
+                out.dcis.push(tx);
+                prb_cursor += prb_len;
+            }
+        }
+    }
+
+    /// Transmit one downlink data block: dequeue bytes on first TX, draw
+    /// the UE's decode outcome from the link-abstraction BLER, apply HARQ
+    /// feedback, and record the delivery on ACK. Returns `acked`.
+    fn transmit_dl_block(&mut self, alloc: &Allocation, slot: u64, t: f64) -> bool {
+        let key = (alloc.rnti, alloc.harq_id);
+        let slot_s = self.cfg.slot_s();
+        let att = self.connected.get_mut(&alloc.rnti).expect("connected");
+        if !alloc.is_retx {
+            let (bytes, packets) = att.ue.dequeue_for_tx(alloc.payload_bytes());
+            self.in_flight.insert(
+                key,
+                InFlight {
+                    bytes,
+                    packets,
+                    retransmitted: false,
+                },
+            );
+        } else if let Some(f) = self.in_flight.get_mut(&key) {
+            f.retransmitted = true;
+        }
+        // Decode probability from the UE's instantaneous SNR. Each
+        // retransmission adds combining gain (~+3 dB of effective SNR).
+        let entry = self.cfg.mcs_table.entry(alloc.mcs).expect("valid MCS");
+        let harq = self.harqs.get_mut(&alloc.rnti).expect("connected UE has HARQ");
+        let combining_gain = 3.0 * harq.retx_count(alloc.harq_id) as f64;
+        let p_err = bler(entry, att.ue.snr_db_at(t) + combining_gain);
+        let ack = self.rng.gen::<f64>() >= p_err;
+        let completed = harq.feedback(alloc.harq_id, ack);
+        if completed {
+            if let Some(f) = self.in_flight.remove(&key) {
+                if ack {
+                    att.ue
+                        .record_delivery(slot, f.bytes, f.packets, f.retransmitted, slot_s);
+                }
+                // On drop (max retx), bytes are simply lost (RLC would
+                // recover them; out of scope).
+            }
+        }
+        ack
+    }
+
+    /// Pack a broadcast-ish DCI and place it on a common-search-space
+    /// candidate. Returns `None` if every candidate is blocked.
+    #[allow(clippy::too_many_arguments)]
+    fn place_dci(
+        &mut self,
+        rnti: Rnti,
+        rnti_type: RntiType,
+        format: DciFormat,
+        prb_start: usize,
+        prb_len: usize,
+        mcs: u8,
+        harq_id: u8,
+        slot_in_frame: usize,
+        cce_used: &mut [bool],
+    ) -> Option<TxDci> {
+        let tbs = nr_phy::tbs::transport_block_size(&nr_phy::tbs::TbsParams {
+            n_prb: prb_len,
+            n_symbols: self.cfg.data_symbols(),
+            dmrs_per_prb: self.cfg.dmrs_per_prb,
+            overhead_per_prb: self.cfg.x_overhead,
+            mcs: self.cfg.mcs_table.entry(mcs)?,
+            layers: 1,
+        });
+        let alloc = Allocation {
+            rnti,
+            format,
+            prb_start,
+            prb_len,
+            symbol_start: 2,
+            symbol_len: self.cfg.data_symbols(),
+            mcs,
+            layers: 1,
+            harq_id,
+            ndi: 0,
+            rv: 0,
+            is_retx: false,
+            tbs,
+        };
+        self.place_with_y(&alloc, rnti_type, 0, slot_in_frame, cce_used)
+    }
+
+    /// Pack a scheduled allocation's DCI and place it on the UE's search
+    /// space.
+    fn place_ue_dci(
+        &mut self,
+        alloc: &Allocation,
+        slot_in_frame: usize,
+        cce_used: &mut [bool],
+    ) -> Option<TxDci> {
+        let y = ue_search_space_y(alloc.rnti, 0, slot_in_frame);
+        self.place_with_y(alloc, RntiType::C, y, slot_in_frame, cce_used)
+    }
+
+    fn place_with_y(
+        &mut self,
+        alloc: &Allocation,
+        rnti_type: RntiType,
+        y: u32,
+        _slot_in_frame: usize,
+        cce_used: &mut [bool],
+    ) -> Option<TxDci> {
+        let sizing = if rnti_type == RntiType::C {
+            self.sizing
+        } else {
+            self.common_sizing
+        };
+        let bwp_prbs = sizing.bwp_prbs;
+        let level = self.cfg.aggregation_level;
+        let n_cces = self.cfg.coreset.n_cces();
+        let n_cand = self.cfg.candidates_per_level as usize;
+        let cce_start = (0..n_cand).find_map(|m| {
+            let start = candidate_cce(y, level, m, n_cand, n_cces)?;
+            let span = start..start + level.cces();
+            if span.end <= n_cces && !cce_used[span.clone()].iter().any(|&u| u) {
+                Some(start)
+            } else {
+                None
+            }
+        })?;
+        cce_used[cce_start..cce_start + level.cces()].fill(true);
+        let t_alloc_row = 0u8; // rows 2..14 per TIME_ALLOC_TABLE[0]
+        debug_assert!(alloc.prb_start + alloc.prb_len <= bwp_prbs);
+        let dci = Dci {
+            format: alloc.format,
+            f_alloc: riv_encode(alloc.prb_start, alloc.prb_len, bwp_prbs),
+            t_alloc: t_alloc_row,
+            mcs: alloc.mcs,
+            ndi: alloc.ndi,
+            rv: alloc.rv,
+            harq_id: alloc.harq_id,
+            dai: 0,
+            tpc: 1,
+            harq_feedback: 2,
+            ports: if alloc.layers > 1 { 7 } else { 2 },
+            srs_request: 0,
+            dmrs_id: 0,
+        };
+        Some(TxDci {
+            rnti: alloc.rnti,
+            rnti_type,
+            payload_bits: dci.pack(&sizing),
+            alloc: *alloc,
+            cce_start,
+            level,
+        })
+    }
+
+    /// The next PRACH occasion strictly after `slot` (retries re-enter the
+    /// RACH there, like a real UE backing off to the next occasion).
+    fn next_prach_occasion(&self, slot: u64) -> u64 {
+        let period = self.cfg.rach.prach_period_slots as u64;
+        let offset = self.cfg.rach.prach_slot_offset as u64;
+        let base = slot + 1;
+        base + (period + offset - base % period) % period
+    }
+
+    /// Slots since a UE connected (used by tests/evaluation).
+    pub fn connected_duration(&self, rnti: Rnti) -> Option<u64> {
+        self.connected
+            .get(&rnti)
+            .map(|a| self.clock.absolute_slot.saturating_sub(a.connected_slot))
+    }
+}
+
+/// Smallest UL PRB span whose single-layer TBS covers `bytes`.
+fn ul_span_for(bytes: usize, entry: McsEntry, cfg: &CellConfig) -> usize {
+    let bits = (bytes * 8) as u32;
+    for n_prb in 1..=cfg.carrier_prbs {
+        let tbs = nr_phy::tbs::transport_block_size(&nr_phy::tbs::TbsParams {
+            n_prb,
+            n_symbols: cfg.data_symbols(),
+            dmrs_per_prb: cfg.dmrs_per_prb,
+            overhead_per_prb: cfg.x_overhead,
+            mcs: entry,
+            layers: 1,
+        });
+        if tbs >= bits {
+            return n_prb;
+        }
+    }
+    cfg.carrier_prbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_mac::RoundRobin;
+    use nr_phy::channel::ChannelProfile;
+    use ue_sim::traffic::{TrafficKind, TrafficSource};
+    use ue_sim::MobilityScenario;
+
+    fn test_ue(id: u64) -> SimUe {
+        SimUe::new(
+            id,
+            ChannelProfile::Awgn,
+            MobilityScenario::Static,
+            TrafficSource::new(
+                TrafficKind::Cbr {
+                    rate_bps: 2e6,
+                    packet_bytes: 1200,
+                },
+                id,
+            ),
+            0.0,
+            30.0,
+            id,
+        )
+    }
+
+    fn gnb() -> Gnb {
+        Gnb::new(CellConfig::srsran_n41(), Box::new(RoundRobin::new()), 42)
+    }
+
+    #[test]
+    fn ssb_and_sib1_appear_periodically() {
+        let mut g = gnb();
+        let mut mibs = 0;
+        let mut sibs = 0;
+        for _ in 0..(20 * 40) {
+            let out = g.step();
+            if out.mib.is_some() {
+                mibs += 1;
+            }
+            if out
+                .pdsch
+                .iter()
+                .any(|(_, c)| matches!(c, PdschContent::Sib1(_)))
+            {
+                sibs += 1;
+            }
+        }
+        // 40 frames: SSB every 2 frames → 20; SIB1 every 16 frames → 3.
+        assert_eq!(mibs, 20);
+        assert_eq!(sibs, 3);
+    }
+
+    #[test]
+    fn rach_connects_a_ue_and_promotes_tc_rnti() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(1));
+        let mut saw_msg2 = false;
+        let mut saw_msg4 = false;
+        for _ in 0..60 {
+            let out = g.step();
+            for (_, c) in &out.pdsch {
+                match c {
+                    PdschContent::Rar { .. } => saw_msg2 = true,
+                    PdschContent::RrcSetup(bits) => {
+                        saw_msg4 = true;
+                        // RRC Setup decodes with the cell's configuration.
+                        let setup = nr_rrc::RrcSetup::decode(bits).unwrap();
+                        assert_eq!(setup, g.cfg.rrc_setup());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_msg2 && saw_msg4);
+        assert_eq!(g.connected_rntis().len(), 1);
+    }
+
+    #[test]
+    fn connected_ue_gets_dl_data_dcis() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(1));
+        let mut data_dcis = 0;
+        for _ in 0..2000 {
+            let out = g.step();
+            data_dcis += out
+                .dcis
+                .iter()
+                .filter(|d| {
+                    d.rnti_type == RntiType::C && d.alloc.format == DciFormat::Dl1_1
+                })
+                .count();
+        }
+        assert!(data_dcis > 100, "got {data_dcis} data DCIs in 1 s");
+    }
+
+    #[test]
+    fn ul_grants_issued_for_uplink_demand() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(1));
+        let mut ul = 0;
+        for _ in 0..2000 {
+            let out = g.step();
+            ul += out
+                .dcis
+                .iter()
+                .filter(|d| d.alloc.format == DciFormat::Ul0_1)
+                .count();
+        }
+        assert!(ul > 10, "got {ul} UL DCIs");
+    }
+
+    #[test]
+    fn delivered_bytes_track_offered_load() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(1));
+        for _ in 0..4000 {
+            g.step();
+        }
+        let rnti = g.connected_rntis()[0];
+        let ue = g.ue(rnti).unwrap();
+        let delivered = ue.delivered_bytes_in(0..4000);
+        // 2 s at 2 Mbit/s ≈ 500 kB offered; connection setup eats a little.
+        assert!(
+            (300_000..=550_000).contains(&delivered),
+            "delivered {delivered}"
+        );
+    }
+
+    #[test]
+    fn truth_log_matches_emitted_dcis() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(1));
+        let mut emitted = 0usize;
+        for _ in 0..1000 {
+            let out = g.step();
+            emitted += out.dcis.len();
+        }
+        assert_eq!(g.truth().records().len(), emitted);
+    }
+
+    #[test]
+    fn no_dcis_in_pure_uplink_slots() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(1));
+        for _ in 0..2000 {
+            let out = g.step();
+            if out.direction == Some(SlotDirection::Uplink) {
+                assert!(out.dcis.is_empty());
+                assert!(out.mib.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cce_placements_never_collide() {
+        let mut g = gnb();
+        for i in 0..8 {
+            g.ue_arrives(test_ue(i));
+        }
+        for _ in 0..2000 {
+            let out = g.step();
+            let mut used = vec![false; g.cfg.coreset.n_cces()];
+            for d in &out.dcis {
+                for (c, u) in used
+                    .iter_mut()
+                    .enumerate()
+                    .skip(d.cce_start)
+                    .take(d.level.cces())
+                {
+                    assert!(!*u, "CCE {c} double-booked in slot {}", out.slot);
+                    *u = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn departure_releases_state() {
+        let mut g = gnb();
+        g.ue_arrives(test_ue(5));
+        for _ in 0..100 {
+            g.step();
+        }
+        assert_eq!(g.connected_rntis().len(), 1);
+        let ue = g.ue_departs(5).expect("was connected");
+        assert!(!ue.deliveries.is_empty() || ue.dl_buffer > 0);
+        assert!(g.connected_rntis().is_empty());
+    }
+
+    #[test]
+    fn retransmissions_happen_on_bad_channels() {
+        let mut g = Gnb::new(
+            CellConfig::srsran_n41(),
+            Box::new(RoundRobin::new()),
+            7,
+        );
+        let ue = SimUe::new(
+            9,
+            ChannelProfile::Urban,
+            MobilityScenario::Static,
+            TrafficSource::new(
+                TrafficKind::FileDownload {
+                    total_bytes: usize::MAX / 2,
+                },
+                9,
+            ),
+            -4.0,
+            60.0,
+            9,
+        );
+        g.ue_arrives(ue);
+        for _ in 0..4000 {
+            g.step();
+        }
+        let retx = g
+            .truth()
+            .records()
+            .iter()
+            .filter(|r| r.alloc.is_retx)
+            .count();
+        assert!(retx > 5, "urban channel should cause retransmissions: {retx}");
+    }
+}

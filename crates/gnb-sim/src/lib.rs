@@ -1,0 +1,21 @@
+//! # gnb-sim — a simulated 5G Standalone gNodeB
+//!
+//! Substitute for the paper's four testbeds (srsRAN/Open5GS, Mosolabs
+//! Aether small cell, Amarisoft Callbox, T-Mobile commercial cells): a
+//! slot-synchronous gNB that broadcasts MIB/SIB1, runs the four-message
+//! RACH procedure, schedules downlink and uplink traffic with HARQ and
+//! link adaptation, and emits everything a passive sniffer can observe —
+//! either as typed per-slot messages (message fidelity) or rendered to IQ
+//! samples (IQ fidelity) — **plus** a ground-truth log in the role of the
+//! srsRAN gNB log the paper matches against (§5.2.1).
+
+pub mod cell;
+pub mod gnb;
+pub mod iq;
+pub mod population;
+pub mod truth;
+
+pub use cell::CellConfig;
+pub use gnb::{Gnb, SlotOutput, TxDci};
+pub use population::Population;
+pub use truth::{TruthLog, TruthRecord};

@@ -1,0 +1,76 @@
+//! Scheduler output records shared between the MAC and the PHY mapper.
+
+use nr_phy::dci::DciFormat;
+use nr_phy::types::Rnti;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled allocation in one TTI — what becomes a DCI plus a PDSCH /
+/// PUSCH region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The scheduled UE.
+    pub rnti: Rnti,
+    /// DL (1_1) or UL (0_1).
+    pub format: DciFormat,
+    /// First PRB.
+    pub prb_start: usize,
+    /// PRB count.
+    pub prb_len: usize,
+    /// First OFDM symbol of the data allocation.
+    pub symbol_start: usize,
+    /// Symbol count.
+    pub symbol_len: usize,
+    /// MCS index (in the UE's configured table).
+    pub mcs: u8,
+    /// MIMO layers.
+    pub layers: usize,
+    /// HARQ process.
+    pub harq_id: u8,
+    /// New-data indicator (as transmitted in the DCI).
+    pub ndi: u8,
+    /// Redundancy version.
+    pub rv: u8,
+    /// Whether this is a HARQ retransmission.
+    pub is_retx: bool,
+    /// Transport block size in bits.
+    pub tbs: u32,
+}
+
+impl Allocation {
+    /// REG count of the data region (PRBs × symbols) — the paper's Fig 8
+    /// comparison unit.
+    pub fn reg_count(&self) -> usize {
+        self.prb_len * self.symbol_len
+    }
+
+    /// Bytes delivered if this block is eventually decoded.
+    pub fn payload_bytes(&self) -> usize {
+        (self.tbs / 8) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_and_byte_accounting() {
+        let a = Allocation {
+            rnti: Rnti(0x4601),
+            format: DciFormat::Dl1_1,
+            prb_start: 0,
+            prb_len: 10,
+            symbol_start: 2,
+            symbol_len: 12,
+            mcs: 20,
+            layers: 2,
+            harq_id: 0,
+            ndi: 1,
+            rv: 0,
+            is_retx: false,
+            tbs: 8000,
+        };
+        assert_eq!(a.reg_count(), 120);
+        assert_eq!(a.payload_bytes(), 1000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # nr-mac — MAC-layer substrate for the simulated gNB
+//!
+//! The scheduling machinery the paper's cells run and NR-Scope observes:
+//!
+//! * [`harq`] — HARQ entities (gNB side) and the (harq_id, ndi) tracker
+//!   NR-Scope uses to detect retransmissions (paper §3.2.2),
+//! * [`rnti`] — C-RNTI allocation,
+//! * [`rach`] — the four-message random-access procedure state machine
+//!   (paper Fig 2),
+//! * [`scheduler`] — round-robin and proportional-fair downlink/uplink
+//!   schedulers with a PDCCH CCE budget,
+//! * [`grant`] — allocation records shared between scheduler and PHY.
+
+pub mod grant;
+pub mod harq;
+pub mod rach;
+pub mod rnti;
+pub mod scheduler;
+
+pub use grant::Allocation;
+pub use harq::{GnbHarqEntity, HarqTracker, NUM_HARQ_PROCESSES};
+pub use rach::{RachEvent, RachProcedure};
+pub use rnti::RntiAllocator;
+pub use scheduler::{ProportionalFair, RoundRobin, SchedUe, Scheduler, SchedulerConfig};

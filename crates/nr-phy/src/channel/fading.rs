@@ -1,0 +1,140 @@
+//! Time-correlated Rayleigh fading via the Jakes sum-of-sinusoids model.
+//!
+//! Each fader produces a complex gain process whose autocorrelation follows
+//! the classic Clarke/Jakes Doppler spectrum for a given maximum Doppler
+//! frequency — 5 Hz-ish for pedestrians, ~70 Hz for vehicles at mid-band.
+
+use crate::complex::Cf32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of sinusoids in the sum (classic Jakes uses 8–16).
+const N_OSCILLATORS: usize = 12;
+
+/// A single-tap Jakes fader.
+#[derive(Debug, Clone)]
+pub struct JakesFader {
+    doppler_hz: f64,
+    /// Per-oscillator arrival angles and phases.
+    cos_theta: [f64; N_OSCILLATORS],
+    phase_i: [f64; N_OSCILLATORS],
+    phase_q: [f64; N_OSCILLATORS],
+    /// Mean power of the tap.
+    power: f64,
+}
+
+impl JakesFader {
+    /// A fader with `power` mean gain, maximum Doppler `doppler_hz`, seeded
+    /// deterministically.
+    pub fn new(power: f64, doppler_hz: f64, seed: u64) -> JakesFader {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cos_theta = [0.0; N_OSCILLATORS];
+        let mut phase_i = [0.0; N_OSCILLATORS];
+        let mut phase_q = [0.0; N_OSCILLATORS];
+        for k in 0..N_OSCILLATORS {
+            // Random arrival angles avoid the periodicity artifacts of the
+            // deterministic Jakes angle grid.
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            cos_theta[k] = theta.cos();
+            phase_i[k] = rng.gen_range(0.0..std::f64::consts::TAU);
+            phase_q[k] = rng.gen_range(0.0..std::f64::consts::TAU);
+        }
+        JakesFader {
+            doppler_hz,
+            cos_theta,
+            phase_i,
+            phase_q,
+            power,
+        }
+    }
+
+    /// Complex gain at absolute time `t` seconds.
+    pub fn gain_at(&self, t: f64) -> Cf32 {
+        let mut re = 0.0f64;
+        let mut im = 0.0f64;
+        for k in 0..N_OSCILLATORS {
+            let w = std::f64::consts::TAU * self.doppler_hz * self.cos_theta[k] * t;
+            re += (w + self.phase_i[k]).cos();
+            im += (w + self.phase_q[k]).sin();
+        }
+        let scale = (self.power / N_OSCILLATORS as f64).sqrt();
+        Cf32::new((re * scale) as f32, (im * scale) as f32)
+    }
+
+    /// Maximum Doppler shift.
+    pub fn doppler_hz(&self) -> f64 {
+        self.doppler_hz
+    }
+
+    /// Coherence time estimate (`0.423/f_d`), the time over which the gain
+    /// stays correlated.
+    pub fn coherence_time_s(&self) -> f64 {
+        if self.doppler_hz <= 0.0 {
+            f64::INFINITY
+        } else {
+            0.423 / self.doppler_hz
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_power_matches_configuration() {
+        let f = JakesFader::new(2.0, 50.0, 3);
+        let n = 20_000;
+        let p: f64 = (0..n)
+            .map(|i| f.gain_at(i as f64 * 1e-3).norm_sqr() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 2.0).abs() < 0.35, "measured {p}");
+    }
+
+    #[test]
+    fn gain_is_correlated_within_coherence_time() {
+        let f = JakesFader::new(1.0, 10.0, 7);
+        let tc = f.coherence_time_s();
+        let g0 = f.gain_at(1.0);
+        let g1 = f.gain_at(1.0 + tc / 50.0);
+        // Samples a tiny fraction of Tc apart are nearly identical.
+        assert!((g0 - g1).abs() < 0.15 * g0.abs().max(0.1));
+    }
+
+    #[test]
+    fn gain_decorrelates_over_many_coherence_times() {
+        let f = JakesFader::new(1.0, 50.0, 11);
+        // Correlation over lags ≫ Tc should be low on average.
+        let n = 2000;
+        let dt = 0.25; // 12.5 coherence times at 50 Hz
+        let mut corr = 0.0f64;
+        let mut e0 = 0.0f64;
+        let mut e1 = 0.0f64;
+        for i in 0..n {
+            let a = f.gain_at(i as f64 * 0.001);
+            let b = f.gain_at(i as f64 * 0.001 + dt);
+            corr += (a * b.conj()).re as f64;
+            e0 += a.norm_sqr() as f64;
+            e1 += b.norm_sqr() as f64;
+        }
+        let rho = corr / (e0 * e1).sqrt();
+        assert!(rho.abs() < 0.35, "rho {rho}");
+    }
+
+    #[test]
+    fn zero_doppler_is_static() {
+        let f = JakesFader::new(1.0, 0.0, 5);
+        let g0 = f.gain_at(0.0);
+        let g1 = f.gain_at(100.0);
+        assert!((g0 - g1).abs() < 1e-6);
+        assert!(f.coherence_time_s().is_infinite());
+    }
+
+    #[test]
+    fn different_seeds_give_different_processes() {
+        let a = JakesFader::new(1.0, 20.0, 1).gain_at(0.5);
+        let b = JakesFader::new(1.0, 20.0, 2).gain_at(0.5);
+        assert!((a - b).abs() > 1e-3);
+    }
+}

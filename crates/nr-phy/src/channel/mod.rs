@@ -1,0 +1,16 @@
+//! Statistical radio channel models.
+//!
+//! The paper's Fig 15 experiment drives 64 emulated UEs through the
+//! Amarisoft channel simulator's AWGN / Pedestrian / Vehicle / Urban
+//! profiles. These modules reproduce that machinery: a white-noise source,
+//! Jakes-style time-correlated Rayleigh fading with 3GPP-flavoured delay
+//! profiles, and a composite per-UE channel that produces both an SNR trace
+//! (message fidelity) and complex gains (IQ fidelity).
+
+mod awgn;
+mod fading;
+mod profile;
+
+pub use awgn::AwgnChannel;
+pub use fading::JakesFader;
+pub use profile::{ChannelProfile, UeChannel};

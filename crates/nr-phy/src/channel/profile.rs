@@ -1,0 +1,212 @@
+//! Composite per-UE channel profiles mirroring the Amarisoft channel
+//! simulator settings used in the paper's Fig 15: Normal (no emulation),
+//! AWGN, Pedestrian, Vehicle, and Urban.
+//!
+//! Each profile defines a mean SNR and a set of fading taps; the composite
+//! produces an instantaneous SNR trace (for the message-fidelity link
+//! abstraction) or a complex flat-fading gain (for IQ-fidelity slots —
+//! PDCCH bandwidths are narrow enough that a single effective tap per
+//! CORESET is an adequate flat-fading approximation).
+
+use super::fading::JakesFader;
+use serde::{Deserialize, Serialize};
+
+/// The channel conditions of Fig 15, plus `Normal` (emulator bypassed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelProfile {
+    /// No channel emulation: high, stable SNR.
+    Normal,
+    /// Pure AWGN at a good SNR, no fading.
+    Awgn,
+    /// EPA-like: low Doppler (5 Hz), mild multipath.
+    Pedestrian,
+    /// EVA-like: high Doppler (70 Hz), moderate multipath.
+    Vehicle,
+    /// ETU-like: deep urban multipath, moderate Doppler.
+    Urban,
+}
+
+impl ChannelProfile {
+    /// All profiles in Fig 15's legend order.
+    pub fn all() -> [ChannelProfile; 5] {
+        [
+            ChannelProfile::Normal,
+            ChannelProfile::Awgn,
+            ChannelProfile::Pedestrian,
+            ChannelProfile::Vehicle,
+            ChannelProfile::Urban,
+        ]
+    }
+
+    /// Display name matching the figure legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelProfile::Normal => "Normal",
+            ChannelProfile::Awgn => "AWGN",
+            ChannelProfile::Pedestrian => "Pedestrian",
+            ChannelProfile::Vehicle => "Vehicle",
+            ChannelProfile::Urban => "Urban",
+        }
+    }
+
+    /// Mean SNR (dB) the profile is run at.
+    pub fn mean_snr_db(self) -> f64 {
+        match self {
+            ChannelProfile::Normal => 28.0,
+            ChannelProfile::Awgn => 24.0,
+            ChannelProfile::Pedestrian => 17.0,
+            ChannelProfile::Vehicle => 13.0,
+            ChannelProfile::Urban => 9.0,
+        }
+    }
+
+    /// Maximum Doppler (Hz) of the fading component.
+    pub fn doppler_hz(self) -> f64 {
+        match self {
+            ChannelProfile::Normal | ChannelProfile::Awgn => 0.0,
+            ChannelProfile::Pedestrian => 5.0,
+            ChannelProfile::Vehicle => 70.0,
+            ChannelProfile::Urban => 30.0,
+        }
+    }
+
+    /// Fading severity: fraction of received power subject to Rayleigh
+    /// fading (the rest is a stable line-of-sight-like component). 1.0 is
+    /// pure Rayleigh.
+    pub fn fading_fraction(self) -> f64 {
+        match self {
+            ChannelProfile::Normal | ChannelProfile::Awgn => 0.0,
+            ChannelProfile::Pedestrian => 0.5,
+            ChannelProfile::Vehicle => 0.7,
+            ChannelProfile::Urban => 0.95,
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A stateful per-UE channel: profile + fader + per-UE SNR offset.
+#[derive(Debug, Clone)]
+pub struct UeChannel {
+    profile: ChannelProfile,
+    fader: JakesFader,
+    /// Static per-UE offset (placement diversity), dB.
+    offset_db: f64,
+}
+
+impl UeChannel {
+    /// Build a channel for one UE. `seed` decorrelates UEs; `offset_db`
+    /// models placement (distance/obstruction) diversity.
+    pub fn new(profile: ChannelProfile, offset_db: f64, seed: u64) -> UeChannel {
+        UeChannel {
+            profile,
+            fader: JakesFader::new(1.0, profile.doppler_hz(), seed),
+            offset_db,
+        }
+    }
+
+    /// Profile in use.
+    pub fn profile(&self) -> ChannelProfile {
+        self.profile
+    }
+
+    /// Instantaneous SNR (dB) at time `t`.
+    pub fn snr_db_at(&self, t: f64) -> f64 {
+        let base = self.profile.mean_snr_db() + self.offset_db;
+        let ff = self.profile.fading_fraction();
+        if ff == 0.0 {
+            return base;
+        }
+        // Rician-style mix: (1-ff) stable + ff·|g|² fading power.
+        let g2 = self.fader.gain_at(t).norm_sqr() as f64;
+        let lin = (1.0 - ff) + ff * g2;
+        base + 10.0 * lin.max(1e-6).log10()
+    }
+
+    /// Complex flat-fading gain at time `t` (unit mean power before the
+    /// SNR offset; multiply signal by this in IQ paths).
+    pub fn gain_at(&self, t: f64) -> crate::complex::Cf32 {
+        let ff = self.profile.fading_fraction();
+        let amp_off = 10f64.powf(self.offset_db / 20.0) as f32;
+        if ff == 0.0 {
+            return crate::complex::Cf32::new(amp_off, 0.0);
+        }
+        let los = crate::complex::Cf32::new(((1.0 - ff) as f32).sqrt(), 0.0);
+        let nlos = self.fader.gain_at(t).scale((ff as f32).sqrt());
+        (los + nlos).scale(amp_off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_profiles_have_constant_snr() {
+        for p in [ChannelProfile::Normal, ChannelProfile::Awgn] {
+            let ch = UeChannel::new(p, 0.0, 1);
+            let a = ch.snr_db_at(0.0);
+            let b = ch.snr_db_at(5.0);
+            assert_eq!(a, b);
+            assert_eq!(a, p.mean_snr_db());
+        }
+    }
+
+    #[test]
+    fn fading_profiles_vary_over_time() {
+        for p in [
+            ChannelProfile::Pedestrian,
+            ChannelProfile::Vehicle,
+            ChannelProfile::Urban,
+        ] {
+            let ch = UeChannel::new(p, 0.0, 2);
+            let samples: Vec<f64> = (0..1000).map(|i| ch.snr_db_at(i as f64 * 0.01)).collect();
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(max - min > 2.0, "{p}: range {}", max - min);
+        }
+    }
+
+    #[test]
+    fn urban_fades_deeper_than_pedestrian() {
+        let urban = UeChannel::new(ChannelProfile::Urban, 0.0, 3);
+        let ped = UeChannel::new(ChannelProfile::Pedestrian, 0.0, 3);
+        let deep = |ch: &UeChannel, mean: f64| {
+            (0..5000)
+                .map(|i| ch.snr_db_at(i as f64 * 0.002))
+                .filter(|&s| s < mean - 6.0)
+                .count()
+        };
+        let u = deep(&urban, ChannelProfile::Urban.mean_snr_db());
+        let p = deep(&ped, ChannelProfile::Pedestrian.mean_snr_db());
+        assert!(u > p, "urban deep fades {u} ≤ pedestrian {p}");
+    }
+
+    #[test]
+    fn offset_shifts_snr() {
+        let a = UeChannel::new(ChannelProfile::Awgn, -5.0, 4);
+        assert_eq!(a.snr_db_at(1.0), ChannelProfile::Awgn.mean_snr_db() - 5.0);
+    }
+
+    #[test]
+    fn gain_mean_power_is_near_unity() {
+        let ch = UeChannel::new(ChannelProfile::Urban, 0.0, 9);
+        let n = 20_000;
+        let p: f64 = (0..n)
+            .map(|i| ch.gain_at(i as f64 * 0.001).norm_sqr() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 1.0).abs() < 0.3, "mean gain power {p}");
+    }
+
+    #[test]
+    fn profile_ordering_matches_figure_intuition() {
+        // Better channels → higher SNR: Normal ≥ AWGN ≥ Ped ≥ Veh ≥ Urban.
+        let snrs: Vec<f64> = ChannelProfile::all().iter().map(|p| p.mean_snr_db()).collect();
+        assert!(snrs.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal complex arithmetic used throughout the PHY.
+//!
+//! We implement our own complex type rather than pulling in `num-complex`:
+//! the PHY needs only a handful of operations and keeping the type local
+//! lets us derive exactly the traits the sample pipeline needs.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex sample (single-precision), the unit of all IQ processing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cf32 {
+    /// In-phase (real) component.
+    pub re: f32,
+    /// Quadrature (imaginary) component.
+    pub im: f32,
+}
+
+impl Cf32 {
+    /// Complex zero.
+    pub const ZERO: Cf32 = Cf32 { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Cf32 = Cf32 { re: 1.0, im: 0.0 };
+
+    /// Construct from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Cf32 { re, im }
+    }
+
+    /// Construct a unit phasor `e^{jθ}`.
+    #[inline]
+    pub fn from_angle(theta: f32) -> Self {
+        Cf32::new(theta.cos(), theta.sin())
+    }
+
+    /// Construct from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f32, theta: f32) -> Self {
+        Cf32::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Squared magnitude `|z|²` (cheaper than [`Cf32::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in radians.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cf32::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse; returns zero for a zero input.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let n = self.norm_sqr();
+        if n == 0.0 {
+            Cf32::ZERO
+        } else {
+            Cf32::new(self.re / n, -self.im / n)
+        }
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Cf32::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn add(self, rhs: Cf32) -> Cf32 {
+        Cf32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Cf32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cf32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn sub(self, rhs: Cf32) -> Cf32 {
+        Cf32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Cf32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cf32) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn mul(self, rhs: Cf32) -> Cf32 {
+        Cf32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Cf32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cf32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn mul(self, rhs: f32) -> Cf32 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Cf32 {
+    type Output = Cf32;
+    // Complex division is multiplication by the inverse, by definition.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Cf32) -> Cf32 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f32> for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn div(self, rhs: f32) -> Cf32 {
+        Cf32::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn neg(self) -> Cf32 {
+        Cf32::new(-self.re, -self.im)
+    }
+}
+
+/// Mean power (average `|z|²`) of a slice of samples.
+pub fn mean_power(samples: &[Cf32]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sqr()).sum::<f32>() / samples.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn multiply_matches_hand_computation() {
+        let a = Cf32::new(1.0, 2.0);
+        let b = Cf32::new(3.0, -1.0);
+        let c = a * b;
+        assert!(close(c.re, 5.0) && close(c.im, 5.0));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let a = Cf32::new(0.3, -0.7);
+        let r = a * a.inv();
+        assert!(close(r.re, 1.0) && close(r.im, 0.0));
+    }
+
+    #[test]
+    fn zero_inverse_is_zero() {
+        assert_eq!(Cf32::ZERO.inv(), Cf32::ZERO);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Cf32::from_polar(2.0, 0.7);
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), 0.7));
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Cf32::new(-1.5, 2.5);
+        let n = z * z.conj();
+        assert!(close(n.re, z.norm_sqr()) && close(n.im, 0.0));
+    }
+
+    #[test]
+    fn division_round_trips() {
+        let a = Cf32::new(4.0, -2.0);
+        let b = Cf32::new(1.0, 1.0);
+        let q = a / b;
+        let back = q * b;
+        assert!(close(back.re, a.re) && close(back.im, a.im));
+    }
+
+    #[test]
+    fn mean_power_of_unit_phasors_is_one() {
+        let v: Vec<Cf32> = (0..16).map(|i| Cf32::from_angle(i as f32)).collect();
+        assert!(close(mean_power(&v), 1.0));
+    }
+
+    #[test]
+    fn mean_power_empty_is_zero() {
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Downlink Control Information: formats 1_1 (DL grant) and 0_1 (UL grant),
+//! field packing per 38.212 §7.3.1 and the grant translation of the paper's
+//! Appendix B.
+//!
+//! A DCI is 30–80 bits (paper §3.2.1) whose layout depends on cell
+//! configuration (bandwidth-part width, RRC options). NR-Scope learns that
+//! configuration from SIB1/MSG 4 and can then unpack every field — most
+//! importantly the frequency/time allocations and MCS that feed the TBS
+//! computation.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::types::{Rnti, RntiType};
+use serde::{Deserialize, Serialize};
+
+/// DCI format discriminator (the leading identifier bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DciFormat {
+    /// Format 0_1: uplink grant for the PUSCH.
+    Ul0_1,
+    /// Format 1_1: downlink grant for the PDSCH.
+    Dl1_1,
+}
+
+impl DciFormat {
+    /// Name as printed in srsRAN-style logs (`dci=1_1`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DciFormat::Ul0_1 => "0_1",
+            DciFormat::Dl1_1 => "1_1",
+        }
+    }
+}
+
+/// Cell/BWP-dependent sizing information for DCI packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DciSizing {
+    /// Bandwidth-part width in PRBs (`N_BWP`), which sets the frequency-
+    /// allocation field width.
+    pub bwp_prbs: usize,
+}
+
+impl DciSizing {
+    /// Bits in the type-1 frequency allocation field:
+    /// `⌈log2(N(N+1)/2)⌉`.
+    pub fn f_alloc_bits(&self) -> usize {
+        let n = self.bwp_prbs as u64;
+        (64 - (n * (n + 1) / 2 - 1).leading_zeros()) as usize
+    }
+
+    /// Total payload bits of a format in this sizing.
+    pub fn payload_bits(&self, format: DciFormat) -> usize {
+        match format {
+            // id + f_alloc + t_alloc + vrb2prb + mcs + ndi + rv + harq +
+            // dai + tpc + pucch_res + harq_feedback + ports + srs + dmrs_id
+            DciFormat::Dl1_1 => 1 + self.f_alloc_bits() + 4 + 1 + 5 + 1 + 2 + 4 + 2 + 2 + 3 + 3 + 3 + 2 + 1,
+            // id + f_alloc + t_alloc + hopping + mcs + ndi + rv + harq +
+            // tpc + ports + srs
+            DciFormat::Ul0_1 => 1 + self.f_alloc_bits() + 4 + 1 + 5 + 1 + 2 + 4 + 2 + 3 + 2,
+        }
+    }
+}
+
+/// A decoded DCI's fields — the struct printed in the paper's Appendix B
+/// (`f_alloc=0x33, t_alloc=0x0, mcs=27, ndi=0, rv=0, harq_id=11, …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dci {
+    /// Format of this DCI.
+    pub format: DciFormat,
+    /// Type-1 frequency-domain allocation (RIV-coded PRB span).
+    pub f_alloc: u32,
+    /// Time-domain allocation: row index of the PDSCH/PUSCH time table.
+    pub t_alloc: u8,
+    /// 5-bit modulation and coding scheme index.
+    pub mcs: u8,
+    /// New-data indicator: toggles per (UE, HARQ process) for fresh data.
+    pub ndi: u8,
+    /// Redundancy version (0–3).
+    pub rv: u8,
+    /// HARQ process number (0–15).
+    pub harq_id: u8,
+    /// Downlink assignment index (DL only; 0 for UL).
+    pub dai: u8,
+    /// Transmit power control command.
+    pub tpc: u8,
+    /// PDSCH-to-HARQ feedback timing (DL only).
+    pub harq_feedback: u8,
+    /// Antenna-ports field (drives DMRS CDM groups / layer count).
+    pub ports: u8,
+    /// SRS request.
+    pub srs_request: u8,
+    /// DMRS sequence initialisation bit (DL only).
+    pub dmrs_id: u8,
+}
+
+impl Dci {
+    /// Pack to the over-the-air payload bit string.
+    pub fn pack(&self, sizing: &DciSizing) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        match self.format {
+            DciFormat::Dl1_1 => {
+                w.put(1, 1);
+                w.put(self.f_alloc as u64, sizing.f_alloc_bits());
+                w.put(self.t_alloc as u64, 4);
+                w.put(0, 1); // vrb-to-prb mapping: non-interleaved
+                w.put(self.mcs as u64, 5);
+                w.put(self.ndi as u64, 1);
+                w.put(self.rv as u64, 2);
+                w.put(self.harq_id as u64, 4);
+                w.put(self.dai as u64, 2);
+                w.put(self.tpc as u64, 2);
+                w.put(0, 3); // pucch resource indicator
+                w.put(self.harq_feedback as u64, 3);
+                w.put(self.ports as u64, 3);
+                w.put(self.srs_request as u64, 2);
+                w.put(self.dmrs_id as u64, 1);
+            }
+            DciFormat::Ul0_1 => {
+                w.put(0, 1);
+                w.put(self.f_alloc as u64, sizing.f_alloc_bits());
+                w.put(self.t_alloc as u64, 4);
+                w.put(0, 1); // frequency hopping disabled
+                w.put(self.mcs as u64, 5);
+                w.put(self.ndi as u64, 1);
+                w.put(self.rv as u64, 2);
+                w.put(self.harq_id as u64, 4);
+                w.put(self.tpc as u64, 2);
+                w.put(self.ports as u64, 3);
+                w.put(self.srs_request as u64, 2);
+            }
+        }
+        debug_assert_eq!(w.len(), sizing.payload_bits(self.format));
+        w.into_bits()
+    }
+
+    /// Unpack from a payload bit string. Returns `None` if the length does
+    /// not match either format at this sizing or a field is out of range.
+    pub fn unpack(bits: &[u8], sizing: &DciSizing) -> Option<Dci> {
+        let mut r = BitReader::new(bits);
+        let id = r.get(1)?;
+        let format = if id == 1 { DciFormat::Dl1_1 } else { DciFormat::Ul0_1 };
+        if bits.len() != sizing.payload_bits(format) {
+            return None;
+        }
+        let f_alloc = r.get(sizing.f_alloc_bits())? as u32;
+        match format {
+            DciFormat::Dl1_1 => {
+                let t_alloc = r.get(4)? as u8;
+                let _vrb2prb = r.get(1)?;
+                let mcs = r.get(5)? as u8;
+                let ndi = r.get(1)? as u8;
+                let rv = r.get(2)? as u8;
+                let harq_id = r.get(4)? as u8;
+                let dai = r.get(2)? as u8;
+                let tpc = r.get(2)? as u8;
+                let _pucch = r.get(3)?;
+                let harq_feedback = r.get(3)? as u8;
+                let ports = r.get(3)? as u8;
+                let srs_request = r.get(2)? as u8;
+                let dmrs_id = r.get(1)? as u8;
+                Some(Dci {
+                    format,
+                    f_alloc,
+                    t_alloc,
+                    mcs,
+                    ndi,
+                    rv,
+                    harq_id,
+                    dai,
+                    tpc,
+                    harq_feedback,
+                    ports,
+                    srs_request,
+                    dmrs_id,
+                })
+            }
+            DciFormat::Ul0_1 => {
+                let t_alloc = r.get(4)? as u8;
+                let _hopping = r.get(1)?;
+                let mcs = r.get(5)? as u8;
+                let ndi = r.get(1)? as u8;
+                let rv = r.get(2)? as u8;
+                let harq_id = r.get(4)? as u8;
+                let tpc = r.get(2)? as u8;
+                let ports = r.get(3)? as u8;
+                let srs_request = r.get(2)? as u8;
+                Some(Dci {
+                    format,
+                    f_alloc,
+                    t_alloc,
+                    mcs,
+                    ndi,
+                    rv,
+                    harq_id,
+                    dai: 0,
+                    tpc,
+                    harq_feedback: 0,
+                    ports,
+                    srs_request,
+                    dmrs_id: 0,
+                })
+            }
+        }
+    }
+}
+
+/// Resource indication value for a contiguous PRB span (38.214 §5.1.2.2.2):
+/// encodes `(start, len)` in `⌈log2(N(N+1)/2)⌉` bits.
+pub fn riv_encode(start: usize, len: usize, bwp_prbs: usize) -> u32 {
+    assert!(len >= 1 && start + len <= bwp_prbs, "span out of BWP");
+    let n = bwp_prbs as u32;
+    if (len - 1) as u32 <= n / 2 {
+        n * (len as u32 - 1) + start as u32
+    } else {
+        n * (n - len as u32 + 1) + (n - 1 - start as u32)
+    }
+}
+
+/// Decode a RIV back to `(start, len)`.
+pub fn riv_decode(riv: u32, bwp_prbs: usize) -> Option<(usize, usize)> {
+    let n = bwp_prbs as u32;
+    let a = riv / n;
+    let b = riv % n;
+    let (start, len) = if a + 1 + b <= n && (a) <= n / 2 {
+        (b, a + 1)
+    } else {
+        (n - 1 - b, n - a + 1)
+    };
+    let (start, len) = (start as usize, len as usize);
+    if len >= 1 && start + len <= bwp_prbs {
+        Some((start, len))
+    } else {
+        None
+    }
+}
+
+/// One row of the PDSCH/PUSCH time-domain allocation table: start symbol
+/// and length within the slot. In a live cell the table comes from
+/// `pdsch-ConfigCommon`; these are the 38.214 default table A rows the
+/// simulated cells configure.
+pub const TIME_ALLOC_TABLE: [(usize, usize); 16] = [
+    (2, 12), // row 0: the paper's Appendix B grant (t_alloc=2:12)
+    (2, 10),
+    (2, 9),
+    (2, 7),
+    (2, 5),
+    (2, 4),
+    (2, 3),
+    (2, 2),
+    (3, 11),
+    (3, 9),
+    (3, 7),
+    (3, 5),
+    (4, 10),
+    (4, 8),
+    (4, 6),
+    (4, 4),
+];
+
+/// Look up a `t_alloc` row. Returns `(start_symbol, n_symbols)`.
+pub fn time_alloc(row: u8) -> (usize, usize) {
+    TIME_ALLOC_TABLE[row as usize & 0xF]
+}
+
+/// A DCI translated into a scheduling grant (the paper's Appendix B
+/// "Grant" record) — everything NR-Scope needs for TBS and REG accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grant {
+    /// Addressed RNTI.
+    pub rnti: Rnti,
+    /// How the RNTI was classified.
+    pub rnti_type: RntiType,
+    /// Grant direction/format.
+    pub format: DciFormat,
+    /// First allocated PRB.
+    pub prb_start: usize,
+    /// Number of allocated PRBs.
+    pub prb_len: usize,
+    /// First allocated OFDM symbol.
+    pub symbol_start: usize,
+    /// Number of allocated OFDM symbols.
+    pub symbol_len: usize,
+    /// MCS index.
+    pub mcs: u8,
+    /// MIMO layers.
+    pub layers: usize,
+    /// New-data indicator.
+    pub ndi: u8,
+    /// Redundancy version.
+    pub rv: u8,
+    /// HARQ process.
+    pub harq_id: u8,
+    /// Transport block size in bits (computed per Appendix A).
+    pub tbs: u32,
+}
+
+impl Grant {
+    /// Number of REGs (PRB × symbol units) this grant occupies — the
+    /// quantity compared against ground truth in the paper's Fig 8.
+    pub fn reg_count(&self) -> usize {
+        self.prb_len * self.symbol_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizing() -> DciSizing {
+        DciSizing { bwp_prbs: 51 }
+    }
+
+    fn sample_dci() -> Dci {
+        // Mirrors the Appendix B example fields.
+        Dci {
+            format: DciFormat::Dl1_1,
+            f_alloc: 0x33,
+            t_alloc: 0,
+            mcs: 27,
+            ndi: 0,
+            rv: 0,
+            harq_id: 11,
+            dai: 2,
+            tpc: 1,
+            harq_feedback: 2,
+            ports: 7,
+            srs_request: 0,
+            dmrs_id: 0,
+        }
+    }
+
+    #[test]
+    fn payload_size_is_in_paper_range() {
+        // Paper §3.2.1: DCIs are 30–80 bits.
+        for bwp in [24usize, 51, 52, 79, 106, 273] {
+            let s = DciSizing { bwp_prbs: bwp };
+            for f in [DciFormat::Dl1_1, DciFormat::Ul0_1] {
+                let bits = s.payload_bits(f);
+                assert!((30..=80).contains(&bits), "bwp={bwp} {f:?}: {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_dl() {
+        let s = sizing();
+        let dci = sample_dci();
+        let bits = dci.pack(&s);
+        assert_eq!(bits.len(), s.payload_bits(DciFormat::Dl1_1));
+        assert_eq!(Dci::unpack(&bits, &s), Some(dci));
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_ul() {
+        let s = sizing();
+        let dci = Dci {
+            format: DciFormat::Ul0_1,
+            f_alloc: 120,
+            t_alloc: 3,
+            mcs: 9,
+            ndi: 1,
+            rv: 2,
+            harq_id: 5,
+            dai: 0,
+            tpc: 3,
+            harq_feedback: 0,
+            ports: 2,
+            srs_request: 1,
+            dmrs_id: 0,
+        };
+        let bits = dci.pack(&s);
+        assert_eq!(Dci::unpack(&bits, &s), Some(dci));
+    }
+
+    #[test]
+    fn unpack_rejects_wrong_length() {
+        let s = sizing();
+        let mut bits = sample_dci().pack(&s);
+        bits.push(0);
+        assert_eq!(Dci::unpack(&bits, &s), None);
+    }
+
+    #[test]
+    fn riv_round_trips_all_spans() {
+        for bwp in [24usize, 51, 52] {
+            for start in 0..bwp {
+                for len in 1..=(bwp - start) {
+                    let riv = riv_encode(start, len, bwp);
+                    assert_eq!(
+                        riv_decode(riv, bwp),
+                        Some((start, len)),
+                        "bwp={bwp} start={start} len={len} riv={riv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn riv_fits_field_width() {
+        let s = sizing();
+        let max_riv = (0..51)
+            .flat_map(|st| (1..=51 - st).map(move |l| riv_encode(st, l, 51)))
+            .max()
+            .unwrap();
+        assert!(max_riv < (1 << s.f_alloc_bits()));
+    }
+
+    #[test]
+    fn appendix_b_time_alloc_row() {
+        // t_alloc=0x0 translates to the 2:12 symbol allocation in the log.
+        assert_eq!(time_alloc(0), (2, 12));
+    }
+
+    #[test]
+    fn grant_reg_count() {
+        let g = Grant {
+            rnti: Rnti(0x4296),
+            rnti_type: RntiType::C,
+            format: DciFormat::Dl1_1,
+            prb_start: 0,
+            prb_len: 3,
+            symbol_start: 2,
+            symbol_len: 12,
+            mcs: 27,
+            layers: 2,
+            ndi: 0,
+            rv: 0,
+            harq_id: 11,
+            tbs: 6400,
+        };
+        assert_eq!(g.reg_count(), 36);
+    }
+}

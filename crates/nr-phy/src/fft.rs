@@ -1,0 +1,179 @@
+//! In-tree radix-2 decimation-in-time FFT.
+//!
+//! The paper identifies per-slot FFTs as the dominant signal-processing cost
+//! (§5.3.2, `O(n log n)`), so the transform is implemented here rather than
+//! behind an external crate: iterative Cooley–Tukey with precomputed twiddle
+//! tables, power-of-two sizes only (all NR FFT sizes are powers of two).
+
+use crate::complex::Cf32;
+
+/// A planned FFT of a fixed power-of-two size (forward and inverse).
+#[derive(Debug, Clone)]
+pub struct Fft {
+    size: usize,
+    /// Twiddles for the forward transform: `e^{-2πik/N}` for k < N/2.
+    twiddles: Vec<Cf32>,
+    /// Bit-reversal permutation table.
+    bitrev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plan an FFT of `size` points. Panics if `size` is not a power of two.
+    pub fn new(size: usize) -> Fft {
+        assert!(size.is_power_of_two() && size >= 2, "FFT size must be a power of two ≥ 2");
+        let twiddles = (0..size / 2)
+            .map(|k| Cf32::from_angle(-2.0 * std::f32::consts::PI * k as f32 / size as f32))
+            .collect();
+        let bits = size.trailing_zeros();
+        let bitrev = (0..size as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Fft {
+            size,
+            twiddles,
+            bitrev,
+        }
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward FFT (no normalisation).
+    pub fn forward(&self, data: &mut [Cf32]) {
+        self.run(data, false);
+    }
+
+    /// In-place inverse FFT, normalised by `1/N` so that
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, data: &mut [Cf32]) {
+        self.run(data, true);
+        let scale = 1.0 / self.size as f32;
+        for v in data.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    fn run(&self, data: &mut [Cf32], inverse: bool) {
+        assert_eq!(data.len(), self.size, "buffer length must equal FFT size");
+        // Bit-reversal reordering.
+        for i in 0..self.size {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut len = 2;
+        while len <= self.size {
+            let half = len / 2;
+            let stride = self.size / len;
+            for start in (0..self.size).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cf32, b: Cf32, tol: f32) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let fft = Fft::new(64);
+        let mut x = vec![Cf32::ZERO; 64];
+        x[0] = Cf32::ONE;
+        fft.forward(&mut x);
+        for v in &x {
+            assert!(close(*v, Cf32::ONE, 1e-4));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let fft = Fft::new(n);
+        let k0 = 37;
+        let mut x: Vec<Cf32> = (0..n)
+            .map(|t| Cf32::from_angle(2.0 * std::f32::consts::PI * k0 as f32 * t as f32 / n as f32))
+            .collect();
+        fft.forward(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f32).abs() < 1e-2);
+            } else {
+                assert!(v.abs() < 1e-2, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let n = 1024;
+        let fft = Fft::new(n);
+        let orig: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft.forward(&mut x);
+        fft.inverse(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!(close(*a, *b, 1e-3));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 512;
+        let fft = Fft::new(n);
+        let orig: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::new(((i * 7 + 3) % 13) as f32 - 6.0, ((i * 5) % 11) as f32 - 5.0))
+            .collect();
+        let time_energy: f32 = orig.iter().map(|v| v.norm_sqr()).sum();
+        let mut x = orig;
+        fft.forward(&mut x);
+        let freq_energy: f32 = x.iter().map(|v| v.norm_sqr()).sum();
+        assert!((freq_energy / n as f32 - time_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let fft = Fft::new(n);
+        let orig: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::new((i as f32).sin(), (i as f32 * 2.0).cos()))
+            .collect();
+        let mut fast = orig.clone();
+        fft.forward(&mut fast);
+        for (k, f) in fast.iter().enumerate() {
+            let mut acc = Cf32::ZERO;
+            for (t, v) in orig.iter().enumerate() {
+                acc += *v
+                    * Cf32::from_angle(-2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32);
+            }
+            assert!(close(*f, acc, 1e-3), "bin {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        Fft::new(48);
+    }
+}

@@ -1,0 +1,260 @@
+//! 5G NR numerology (38.211 §4): subcarrier spacing, slot and symbol timing.
+//!
+//! Unlike LTE's fixed 15 kHz grid, NR scales the subcarrier spacing as
+//! `15·2^µ` kHz, shrinking the slot (TTI) to `1/2^µ` ms. The paper's cells
+//! use µ=0 (T-Mobile FDD) and µ=1 (all the 30 kHz TDD cells).
+
+use serde::{Deserialize, Serialize};
+
+/// Subcarriers per physical resource block (fixed across numerologies).
+pub const SUBCARRIERS_PER_PRB: usize = 12;
+/// OFDM symbols per slot with the normal cyclic prefix.
+pub const SYMBOLS_PER_SLOT: usize = 14;
+/// Subframes (1 ms each) per 10 ms radio frame.
+pub const SUBFRAMES_PER_FRAME: usize = 10;
+/// System frame number period (SFN wraps at 1024 frames = 10.24 s).
+pub const SFN_PERIOD: u32 = 1024;
+
+/// A 5G NR numerology µ ∈ {0, 1, 2} (15/30/60 kHz — the set the paper's
+/// telemetry tool supports; µ=3/4 are mmWave-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Numerology {
+    /// µ=0: 15 kHz SCS, 1 ms slot (LTE-compatible grid; T-Mobile n25/n71).
+    Mu0,
+    /// µ=1: 30 kHz SCS, 0.5 ms slot (mid-band TDD; srsRAN/Mosolab/Amarisoft).
+    Mu1,
+    /// µ=2: 60 kHz SCS, 0.25 ms slot.
+    Mu2,
+}
+
+impl Numerology {
+    /// The µ exponent.
+    pub fn mu(self) -> u32 {
+        match self {
+            Numerology::Mu0 => 0,
+            Numerology::Mu1 => 1,
+            Numerology::Mu2 => 2,
+        }
+    }
+
+    /// Construct from the µ exponent.
+    pub fn from_mu(mu: u32) -> Option<Numerology> {
+        match mu {
+            0 => Some(Numerology::Mu0),
+            1 => Some(Numerology::Mu1),
+            2 => Some(Numerology::Mu2),
+            _ => None,
+        }
+    }
+
+    /// Subcarrier spacing in Hz.
+    pub fn scs_hz(self) -> f64 {
+        15_000.0 * (1u32 << self.mu()) as f64
+    }
+
+    /// Subcarrier spacing in kHz (15, 30 or 60).
+    pub fn scs_khz(self) -> u32 {
+        15 * (1 << self.mu())
+    }
+
+    /// Slots per 1 ms subframe.
+    pub fn slots_per_subframe(self) -> usize {
+        1 << self.mu()
+    }
+
+    /// Slots per 10 ms frame.
+    pub fn slots_per_frame(self) -> usize {
+        SUBFRAMES_PER_FRAME * self.slots_per_subframe()
+    }
+
+    /// Slot (TTI) duration in seconds: 1 ms / 2^µ.
+    pub fn slot_duration_s(self) -> f64 {
+        1.0e-3 / (1u32 << self.mu()) as f64
+    }
+
+    /// Slot duration in microseconds.
+    pub fn slot_duration_us(self) -> f64 {
+        self.slot_duration_s() * 1e6
+    }
+
+    /// Smallest power-of-two FFT size that fits `n_prb` resource blocks
+    /// with a guard band, mirroring how an SDR receiver picks its FFT.
+    pub fn fft_size(self, n_prb: usize) -> usize {
+        let used = n_prb * SUBCARRIERS_PER_PRB;
+        let mut n = 128;
+        while n < used * 9 / 8 + 1 {
+            n *= 2;
+        }
+        n
+    }
+
+    /// Sample rate for a given FFT size: `fft_size × SCS`.
+    pub fn sample_rate_hz(self, fft_size: usize) -> f64 {
+        fft_size as f64 * self.scs_hz()
+    }
+
+    /// Number of PRBs a given channel bandwidth supports, per the 38.101-1
+    /// §5.3.2 transmission-bandwidth tables (FR1, the bands the paper uses).
+    pub fn max_prb_for_bandwidth(self, bandwidth_hz: f64) -> usize {
+        let mhz = (bandwidth_hz / 1e6).round() as u32;
+        // Subset of Table 5.3.2-1 covering the paper's configurations.
+        match (self, mhz) {
+            (Numerology::Mu0, 5) => 25,
+            (Numerology::Mu0, 10) => 52,
+            (Numerology::Mu0, 15) => 79,
+            (Numerology::Mu0, 20) => 106,
+            (Numerology::Mu0, 25) => 133,
+            (Numerology::Mu0, 30) => 160,
+            (Numerology::Mu0, 40) => 216,
+            (Numerology::Mu0, 50) => 270,
+            (Numerology::Mu1, 5) => 11,
+            (Numerology::Mu1, 10) => 24,
+            (Numerology::Mu1, 15) => 38,
+            (Numerology::Mu1, 20) => 51,
+            (Numerology::Mu1, 25) => 65,
+            (Numerology::Mu1, 30) => 78,
+            (Numerology::Mu1, 40) => 106,
+            (Numerology::Mu1, 50) => 133,
+            (Numerology::Mu1, 60) => 162,
+            (Numerology::Mu1, 80) => 217,
+            (Numerology::Mu1, 100) => 273,
+            (Numerology::Mu2, 10) => 11,
+            (Numerology::Mu2, 15) => 18,
+            (Numerology::Mu2, 20) => 24,
+            (Numerology::Mu2, 40) => 51,
+            (Numerology::Mu2, 50) => 65,
+            (Numerology::Mu2, 100) => 135,
+            // Fall back to the asymptotic 90%-ish spectral occupancy rule.
+            _ => {
+                let used = bandwidth_hz * 0.9;
+                (used / (self.scs_hz() * SUBCARRIERS_PER_PRB as f64)).floor() as usize
+            }
+        }
+    }
+
+    /// Normal-CP cyclic prefix length in samples for a symbol index within a
+    /// half-subframe (0.5 ms), per 38.211 §5.3.1: the first symbol of each
+    /// half-subframe gets the longer CP.
+    pub fn cp_len(self, fft_size: usize, symbol_in_half_subframe: usize) -> usize {
+        // Base CP is 144 samples at the 2048-FFT reference scale; the long CP
+        // adds 16·2^µ reference samples to the first symbol.
+        let base = 144 * fft_size / 2048;
+        if symbol_in_half_subframe == 0 {
+            base + 16 * fft_size / 2048 * (1 << self.mu())
+        } else {
+            base
+        }
+    }
+
+    /// Symbols per half-subframe (0.5 ms): 7·2^µ.
+    pub fn symbols_per_half_subframe(self) -> usize {
+        7 * (1 << self.mu())
+    }
+
+    /// Total samples in one slot (14 symbols + CPs) for a given FFT size.
+    ///
+    /// `slot_in_frame` matters for µ=2, where two slots share one 0.5 ms
+    /// half-subframe and only the first carries the long cyclic prefix.
+    pub fn samples_per_slot(self, fft_size: usize, slot_in_frame: usize) -> usize {
+        (0..SYMBOLS_PER_SLOT)
+            .map(|l| fft_size + self.cp_len(fft_size, self.symbol_in_half_subframe(slot_in_frame, l)))
+            .sum()
+    }
+
+    /// Index of a slot-relative symbol within its 0.5 ms half-subframe —
+    /// determines whether it carries the long CP (index 0 does).
+    pub fn symbol_in_half_subframe(self, slot_in_frame: usize, symbol_in_slot: usize) -> usize {
+        let per_half = self.symbols_per_half_subframe();
+        let slots_per_half = per_half / SYMBOLS_PER_SLOT; // 2^µ / 2, at least 1 for µ≥1
+        if slots_per_half <= 1 {
+            // µ ∈ {0, 1}: every slot starts at (or spans past) a half-subframe
+            // boundary; µ=0 slots contain two half-subframes of 7 symbols.
+            symbol_in_slot % per_half
+        } else {
+            let pos_in_half = slot_in_frame % slots_per_half;
+            pos_in_half * SYMBOLS_PER_SLOT + symbol_in_slot
+        }
+    }
+}
+
+impl std::fmt::Display for Numerology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "µ={} ({} kHz)", self.mu(), self.scs_khz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tti_durations_match_paper() {
+        // Paper §3 Preliminaries: TTIs of 1, 0.5, and 0.25 ms.
+        assert_eq!(Numerology::Mu0.slot_duration_us(), 1000.0);
+        assert_eq!(Numerology::Mu1.slot_duration_us(), 500.0);
+        assert_eq!(Numerology::Mu2.slot_duration_us(), 250.0);
+    }
+
+    #[test]
+    fn prb_tables_match_paper_cells() {
+        // srsRAN/Mosolab/Amarisoft: 20 MHz at 30 kHz SCS → 51 PRB.
+        assert_eq!(Numerology::Mu1.max_prb_for_bandwidth(20e6), 51);
+        // T-Mobile cell 1: 10 MHz at 15 kHz → 52 PRB.
+        assert_eq!(Numerology::Mu0.max_prb_for_bandwidth(10e6), 52);
+        // T-Mobile cell 2: 15 MHz at 15 kHz → 79 PRB.
+        assert_eq!(Numerology::Mu0.max_prb_for_bandwidth(15e6), 79);
+    }
+
+    #[test]
+    fn fft_size_covers_used_subcarriers() {
+        for (n, prb) in [
+            (Numerology::Mu1, 51),
+            (Numerology::Mu0, 52),
+            (Numerology::Mu0, 79),
+            (Numerology::Mu1, 273),
+        ] {
+            let fft = n.fft_size(prb);
+            assert!(fft >= prb * SUBCARRIERS_PER_PRB);
+            assert!(fft.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn slots_per_frame_scale_with_mu() {
+        assert_eq!(Numerology::Mu0.slots_per_frame(), 10);
+        assert_eq!(Numerology::Mu1.slots_per_frame(), 20);
+        assert_eq!(Numerology::Mu2.slots_per_frame(), 40);
+    }
+
+    #[test]
+    fn frame_samples_equal_sample_rate_times_duration() {
+        for n in [Numerology::Mu0, Numerology::Mu1, Numerology::Mu2] {
+            let fft = 1024;
+            let fs = n.sample_rate_hz(fft);
+            let frame_expect = (fs * 10.0e-3).round() as usize;
+            // Long/short CP bookkeeping must conserve total frame samples.
+            let frame_actual: usize = (0..n.slots_per_frame())
+                .map(|s| n.samples_per_slot(fft, s))
+                .sum();
+            assert_eq!(frame_actual, frame_expect, "{n}");
+        }
+    }
+
+    #[test]
+    fn mu2_slots_in_one_half_subframe_differ_by_long_cp() {
+        let n = Numerology::Mu2;
+        let a = n.samples_per_slot(1024, 0);
+        let b = n.samples_per_slot(1024, 1);
+        assert!(a > b, "first slot of the half-subframe carries the long CP");
+        // Both together must exactly fill 0.25+0.25 = 0.5 ms.
+        let fs = n.sample_rate_hz(1024);
+        assert_eq!(a + b, (fs * 0.5e-3).round() as usize);
+    }
+
+    #[test]
+    fn first_symbol_cp_is_longer() {
+        let n = Numerology::Mu1;
+        assert!(n.cp_len(1024, 0) > n.cp_len(1024, 1));
+        assert_eq!(n.cp_len(1024, 1), n.cp_len(1024, 6));
+    }
+}

@@ -1,0 +1,513 @@
+//! PDCCH: CORESETs, search spaces, candidate hashing, and the complete DCI
+//! encode/decode chain (38.211 §7.3.2, 38.212 §7.3, 38.213 §10.1).
+//!
+//! Encode chain (gNB): DCI payload → CRC24C attach + RNTI scramble → polar
+//! encode → rate match to the aggregation level's bit budget → Gold
+//! scramble → QPSK → map to CORESET REs with DMRS pilots interleaved.
+//!
+//! Decode chain (NR-Scope): channel-estimate from DMRS → equalise → LLR
+//! demap → descramble → polar SC decode → CRC check against each known
+//! RNTI (or RNTI recovery for RACH tracking).
+
+use crate::complex::Cf32;
+use crate::crc::{dci_attach_crc, dci_check_crc, dci_recover_rnti};
+use crate::dmrs::{ls_channel_estimate, noise_estimate, pdcch_dmrs, DATA_PER_REG, DMRS_OFFSETS};
+use crate::grid::ResourceGrid;
+use crate::modulation::{demodulate_llr, modulate, Modulation};
+use crate::polar::PolarCode;
+use crate::sequence::{pdcch_scrambling_cinit, scramble_in_place};
+use crate::types::Rnti;
+use serde::{Deserialize, Serialize};
+
+/// REGs (PRB × symbol) per CCE.
+pub const REGS_PER_CCE: usize = 6;
+/// Data bits carried per CCE: 6 REGs × 9 data REs × 2 bits (QPSK).
+pub const BITS_PER_CCE: usize = REGS_PER_CCE * DATA_PER_REG * 2;
+
+/// PDCCH aggregation level: how many CCEs one DCI candidate spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggregationLevel {
+    /// 1 CCE (108 bits).
+    L1,
+    /// 2 CCEs.
+    L2,
+    /// 4 CCEs.
+    L4,
+    /// 8 CCEs.
+    L8,
+    /// 16 CCEs.
+    L16,
+}
+
+impl AggregationLevel {
+    /// CCE count.
+    pub fn cces(self) -> usize {
+        match self {
+            AggregationLevel::L1 => 1,
+            AggregationLevel::L2 => 2,
+            AggregationLevel::L4 => 4,
+            AggregationLevel::L8 => 8,
+            AggregationLevel::L16 => 16,
+        }
+    }
+
+    /// Rate-matched bit budget `E` at this level.
+    pub fn bits(self) -> usize {
+        self.cces() * BITS_PER_CCE
+    }
+
+    /// All levels, smallest first.
+    pub fn all() -> [AggregationLevel; 5] {
+        [
+            AggregationLevel::L1,
+            AggregationLevel::L2,
+            AggregationLevel::L4,
+            AggregationLevel::L8,
+            AggregationLevel::L16,
+        ]
+    }
+
+    /// Construct from a CCE count.
+    pub fn from_cces(cces: usize) -> Option<AggregationLevel> {
+        match cces {
+            1 => Some(AggregationLevel::L1),
+            2 => Some(AggregationLevel::L2),
+            4 => Some(AggregationLevel::L4),
+            8 => Some(AggregationLevel::L8),
+            16 => Some(AggregationLevel::L16),
+            _ => None,
+        }
+    }
+}
+
+/// A control resource set: a block of PRBs × (1–3) symbols at the start of
+/// the slot holding PDCCH candidates. CORESET 0 (from the MIB) is the
+/// common instance every UE — and NR-Scope — starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coreset {
+    /// First PRB of the CORESET within the carrier.
+    pub prb_start: usize,
+    /// Width in PRBs (multiple of 6 in the spec; enforced here).
+    pub n_prb: usize,
+    /// First symbol (0 in all the paper's cells).
+    pub symbol_start: usize,
+    /// Duration in symbols (1–3).
+    pub n_symbols: usize,
+}
+
+impl Coreset {
+    /// Total REGs in the CORESET.
+    pub fn n_regs(&self) -> usize {
+        self.n_prb * self.n_symbols
+    }
+
+    /// Total CCEs available.
+    pub fn n_cces(&self) -> usize {
+        self.n_regs() / REGS_PER_CCE
+    }
+
+    /// The REG coordinates (symbol, prb) of one CCE under non-interleaved
+    /// CCE-to-REG mapping: REG bundles of 6 laid out time-first within the
+    /// CORESET, matching srsRAN's default CORESET configuration.
+    pub fn cce_regs(&self, cce: usize) -> Vec<(usize, usize)> {
+        assert!(cce < self.n_cces(), "CCE {cce} out of range");
+        (0..REGS_PER_CCE)
+            .map(|i| {
+                let reg = cce * REGS_PER_CCE + i;
+                // Time-first numbering: REG r → symbol r % n_symbols,
+                // PRB offset r / n_symbols.
+                let sym = self.symbol_start + reg % self.n_symbols;
+                let prb = self.prb_start + reg / self.n_symbols;
+                (sym, prb)
+            })
+            .collect()
+    }
+}
+
+/// Search-space candidate hashing (38.213 §10.1).
+///
+/// For the common search space `Y = 0`; for a UE-specific search space `Y`
+/// evolves per slot from the C-RNTI. Both the gNB (placing) and NR-Scope
+/// (finding) compute the same candidate CCE indices.
+pub fn candidate_cce(
+    y: u32,
+    level: AggregationLevel,
+    candidate: usize,
+    n_candidates: usize,
+    n_cces: usize,
+) -> Option<usize> {
+    let l = level.cces();
+    if n_cces < l {
+        return None;
+    }
+    let per = n_cces / l;
+    let m = candidate as u32;
+    let idx = ((y as u64 + (m as u64 * n_cces as u64) / (l as u64 * n_candidates as u64))
+        % per as u64) as usize;
+    Some(idx * l)
+}
+
+/// Per-slot `Y` recursion for a UE-specific search space:
+/// `Y_{-1} = C-RNTI`, `Y_s = (A_p · Y_{s-1}) mod 65537`.
+pub fn ue_search_space_y(rnti: Rnti, coreset_index: usize, slot: usize) -> u32 {
+    const D: u64 = 65537;
+    let a: u64 = match coreset_index % 3 {
+        0 => 39827,
+        1 => 39829,
+        _ => 39839,
+    };
+    let mut y = rnti.0 as u64;
+    for _ in 0..=slot {
+        y = (a * y) % D;
+    }
+    y as u32
+}
+
+/// One encoded PDCCH transmission: where it sits and its payload metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdcchAllocation {
+    /// First CCE index.
+    pub cce_start: usize,
+    /// Aggregation level.
+    pub level: AggregationLevel,
+    /// The RNTI whose CRC scrambling protects this DCI.
+    pub rnti: Rnti,
+}
+
+/// PDCCH payload-scrambling `c_init` for a search space (38.211 §7.3.2.3):
+/// the common search space scrambles with the cell identity alone, while a
+/// UE-specific search space mixes in the C-RNTI — the 5G property that
+/// forces NR-Scope to learn RNTIs from the RACH rather than recovering
+/// them from arbitrary DCIs as 4G sniffers do.
+pub fn search_space_cinit(rnti: Rnti, ue_specific: bool, n_id: u16) -> u32 {
+    if ue_specific {
+        pdcch_scrambling_cinit(rnti.0, n_id)
+    } else {
+        pdcch_scrambling_cinit(0, n_id)
+    }
+}
+
+/// Encode a DCI payload and map it onto the grid, including DMRS pilots.
+///
+/// `n_id` drives the DMRS sequences (the PCI in the common configuration);
+/// `c_init` is the payload-scrambling initialiser (see
+/// [`search_space_cinit`]); `slot` feeds the DMRS sequence.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_pdcch(
+    grid: &mut ResourceGrid,
+    coreset: &Coreset,
+    alloc: &PdcchAllocation,
+    payload: &[u8],
+    n_id: u16,
+    c_init: u32,
+    slot: usize,
+) {
+    let e = alloc.level.bits();
+    let cw = dci_attach_crc(payload, alloc.rnti.0);
+    let code = PolarCode::new(cw.len(), e);
+    let mut bits = code.encode(&cw);
+    scramble_in_place(&mut bits, c_init);
+    let symbols = modulate(&bits, Modulation::Qpsk);
+    // Lay QPSK data over the data REs of each REG; pilots on DMRS REs.
+    let mut it = symbols.iter();
+    for cce in alloc.cce_start..alloc.cce_start + alloc.level.cces() {
+        for (sym, prb) in coreset.cce_regs(cce) {
+            let pilots = pdcch_dmrs(slot, sym, n_id, prb, 1);
+            let base = prb * crate::numerology::SUBCARRIERS_PER_PRB;
+            let mut p = 0;
+            for k in 0..crate::numerology::SUBCARRIERS_PER_PRB {
+                if DMRS_OFFSETS.contains(&k) {
+                    grid.set(sym, base + k, pilots[p]);
+                    p += 1;
+                } else {
+                    let s = it.next().expect("bit budget matches RE budget");
+                    grid.set(sym, base + k, *s);
+                }
+            }
+        }
+    }
+    debug_assert!(it.next().is_none(), "all symbols mapped");
+}
+
+/// Soft data extracted from one PDCCH candidate: equalised LLRs plus the
+/// channel-quality estimates the decoder needs.
+#[derive(Debug, Clone)]
+pub struct CandidateSoftBits {
+    /// Descrambled LLRs, length `level.bits()`.
+    pub llrs: Vec<f32>,
+    /// Mean pilot SNR estimate (linear) over the candidate.
+    pub pilot_snr: f32,
+}
+
+/// Extract and equalise the soft bits of one candidate from a received
+/// grid, descrambling with `c_init` (callers try the common and per-RNTI
+/// initialisers as appropriate).
+pub fn extract_candidate(
+    grid: &ResourceGrid,
+    coreset: &Coreset,
+    cce_start: usize,
+    level: AggregationLevel,
+    n_id: u16,
+    c_init: u32,
+    slot: usize,
+) -> CandidateSoftBits {
+    let mut rx_pilots = Vec::new();
+    let mut ref_pilots = Vec::new();
+    let mut data = Vec::new();
+    for cce in cce_start..cce_start + level.cces() {
+        for (sym, prb) in coreset.cce_regs(cce) {
+            let pilots = pdcch_dmrs(slot, sym, n_id, prb, 1);
+            let base = prb * crate::numerology::SUBCARRIERS_PER_PRB;
+            let mut p = 0;
+            for k in 0..crate::numerology::SUBCARRIERS_PER_PRB {
+                if DMRS_OFFSETS.contains(&k) {
+                    rx_pilots.push(grid.get(sym, base + k));
+                    ref_pilots.push(pilots[p]);
+                    p += 1;
+                } else {
+                    data.push(grid.get(sym, base + k));
+                }
+            }
+        }
+    }
+    let h = ls_channel_estimate(&rx_pilots, &ref_pilots);
+    let nv = noise_estimate(&rx_pilots, &ref_pilots, h).max(1e-6);
+    // Zero-forcing equalisation; noise variance scales by 1/|h|².
+    let h_pow = h.norm_sqr().max(1e-9);
+    let eq: Vec<Cf32> = data.iter().map(|y| *y / h).collect();
+    let mut llrs = demodulate_llr(&eq, Modulation::Qpsk, nv / h_pow);
+    // Descramble by flipping LLR signs where the scrambling bit is 1.
+    let scr = crate::sequence::gold_bits(c_init, llrs.len());
+    for (l, s) in llrs.iter_mut().zip(scr) {
+        if s == 1 {
+            *l = -*l;
+        }
+    }
+    CandidateSoftBits {
+        llrs,
+        pilot_snr: h_pow / nv,
+    }
+}
+
+/// Result of a successful blind decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlindDecodeResult {
+    /// The DCI payload bits (CRC removed).
+    pub payload: Vec<u8>,
+    /// The RNTI that validated the CRC.
+    pub rnti: Rnti,
+    /// Aggregation level the DCI was found at.
+    pub level: AggregationLevel,
+    /// First CCE of the matched candidate.
+    pub cce_start: usize,
+}
+
+/// Attempt to decode one candidate for a specific RNTI and payload size.
+///
+/// Returns `None` when the polar decode fails the RNTI-scrambled CRC.
+pub fn decode_candidate_for_rnti(
+    soft: &CandidateSoftBits,
+    payload_bits: usize,
+    rnti: Rnti,
+    level: AggregationLevel,
+    cce_start: usize,
+) -> Option<BlindDecodeResult> {
+    let k = payload_bits + 24;
+    if k >= level.bits() {
+        return None;
+    }
+    let code = PolarCode::new(k, level.bits());
+    let cw = code.decode_sc(&soft.llrs);
+    let payload = dci_check_crc(&cw, rnti.0)?;
+    Some(BlindDecodeResult {
+        payload,
+        rnti,
+        level,
+        cce_start,
+    })
+}
+
+/// Attempt to decode one candidate and *recover* an unknown RNTI (the RACH
+/// tracking path, §3.1.2): the CRC's unscrambled high bits act as the
+/// confidence check.
+pub fn decode_candidate_recover_rnti(
+    soft: &CandidateSoftBits,
+    payload_bits: usize,
+    level: AggregationLevel,
+    cce_start: usize,
+) -> Option<BlindDecodeResult> {
+    let k = payload_bits + 24;
+    if k >= level.bits() {
+        return None;
+    }
+    let code = PolarCode::new(k, level.bits());
+    let cw = code.decode_sc(&soft.llrs);
+    let rnti = dci_recover_rnti(&cw)?;
+    let payload = cw[..payload_bits].to_vec();
+    Some(BlindDecodeResult {
+        payload,
+        rnti: Rnti(rnti),
+        level,
+        cce_start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coreset() -> Coreset {
+        Coreset {
+            prb_start: 0,
+            n_prb: 48,
+            symbol_start: 0,
+            n_symbols: 1,
+        }
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 11 + 3) % 2) as u8).collect()
+    }
+
+    #[test]
+    fn cce_geometry() {
+        let c = coreset();
+        assert_eq!(c.n_regs(), 48);
+        assert_eq!(c.n_cces(), 8);
+        let regs = c.cce_regs(2);
+        assert_eq!(regs.len(), 6);
+        // Non-interleaved, 1 symbol: CCE 2 = PRBs 12..18.
+        assert_eq!(regs[0], (0, 12));
+        assert_eq!(regs[5], (0, 17));
+    }
+
+    #[test]
+    fn multi_symbol_coreset_is_time_first() {
+        let c = Coreset {
+            prb_start: 6,
+            n_prb: 12,
+            symbol_start: 0,
+            n_symbols: 2,
+        };
+        let regs = c.cce_regs(0);
+        // Time-first: (sym0, prb6), (sym1, prb6), (sym0, prb7), ...
+        assert_eq!(regs[0], (0, 6));
+        assert_eq!(regs[1], (1, 6));
+        assert_eq!(regs[2], (0, 7));
+    }
+
+    #[test]
+    fn encode_decode_clean_channel() {
+        let c = coreset();
+        let mut grid = ResourceGrid::new(51);
+        let rnti = Rnti(0x4601);
+        let pl = payload(40);
+        let alloc = PdcchAllocation {
+            cce_start: 2,
+            level: AggregationLevel::L2,
+            rnti,
+        };
+        encode_pdcch(&mut grid, &c, &alloc, &pl, 500, search_space_cinit(rnti, false, 500), 3);
+        let soft = extract_candidate(&grid, &c, 2, AggregationLevel::L2, 500, search_space_cinit(rnti, false, 500), 3);
+        let res =
+            decode_candidate_for_rnti(&soft, 40, rnti, AggregationLevel::L2, 2).expect("decode");
+        assert_eq!(res.payload, pl);
+        assert_eq!(res.rnti, rnti);
+    }
+
+    #[test]
+    fn wrong_rnti_fails_crc() {
+        let c = coreset();
+        let mut grid = ResourceGrid::new(51);
+        let pl = payload(40);
+        let alloc = PdcchAllocation {
+            cce_start: 0,
+            level: AggregationLevel::L4,
+            rnti: Rnti(0x4601),
+        };
+        encode_pdcch(&mut grid, &c, &alloc, &pl, 500, search_space_cinit(Rnti(0x4601), false, 500), 0);
+        let soft = extract_candidate(&grid, &c, 0, AggregationLevel::L4, 500, search_space_cinit(Rnti(0x4601), false, 500), 0);
+        assert!(decode_candidate_for_rnti(&soft, 40, Rnti(0x4602), AggregationLevel::L4, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn rnti_recovery_on_clean_candidate() {
+        let c = coreset();
+        let mut grid = ResourceGrid::new(51);
+        let pl = payload(40);
+        let rnti = Rnti(0x4296);
+        let alloc = PdcchAllocation {
+            cce_start: 4,
+            level: AggregationLevel::L4,
+            rnti,
+        };
+        encode_pdcch(&mut grid, &c, &alloc, &pl, 123, search_space_cinit(rnti, false, 123), 7);
+        let soft = extract_candidate(&grid, &c, 4, AggregationLevel::L4, 123, search_space_cinit(rnti, false, 123), 7);
+        let res = decode_candidate_recover_rnti(&soft, 40, AggregationLevel::L4, 4)
+            .expect("recovery");
+        assert_eq!(res.rnti, rnti);
+        assert_eq!(res.payload, pl);
+    }
+
+    #[test]
+    fn decode_survives_flat_channel_and_noise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let c = coreset();
+        let mut grid = ResourceGrid::new(51);
+        let pl = payload(44);
+        let rnti = Rnti(0x17A3);
+        let alloc = PdcchAllocation {
+            cce_start: 0,
+            level: AggregationLevel::L2,
+            rnti,
+        };
+        encode_pdcch(&mut grid, &c, &alloc, &pl, 77, search_space_cinit(rnti, true, 77), 5);
+        // Apply a flat channel (gain+rotation) and mild AWGN.
+        let h = Cf32::from_polar(0.7, 2.1);
+        for sym in 0..1 {
+            for k in 0..grid.n_subcarriers() {
+                let v = grid.get(sym, k) * h
+                    + Cf32::new(rng.gen_range(-0.03..0.03), rng.gen_range(-0.03..0.03));
+                grid.set(sym, k, v);
+            }
+        }
+        let soft = extract_candidate(&grid, &c, 0, AggregationLevel::L2, 77, search_space_cinit(rnti, true, 77), 5);
+        assert!(soft.pilot_snr > 10.0, "pilot snr {}", soft.pilot_snr);
+        let res =
+            decode_candidate_for_rnti(&soft, 44, rnti, AggregationLevel::L2, 0).expect("decode");
+        assert_eq!(res.payload, pl);
+    }
+
+    #[test]
+    fn candidate_hashing_is_deterministic_and_in_range() {
+        for level in AggregationLevel::all() {
+            for slot in 0..20 {
+                let y = ue_search_space_y(Rnti(0x4601), 1, slot);
+                if let Some(cce) = candidate_cce(y, level, 0, 2, 8) {
+                    assert!(cce + level.cces() <= 8 || level.cces() > 8);
+                    assert_eq!(cce % level.cces(), 0, "aligned to level");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn y_recursion_varies_by_slot_and_rnti() {
+        let a = ue_search_space_y(Rnti(0x4601), 0, 0);
+        let b = ue_search_space_y(Rnti(0x4601), 0, 1);
+        let c = ue_search_space_y(Rnti(0x4602), 0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bits_per_cce_matches_re_budget() {
+        // 6 REGs × (12-3) data REs × 2 bits = 108 — the E the paper's DCI
+        // encoding implies per CCE.
+        assert_eq!(BITS_PER_CCE, 108);
+        assert_eq!(AggregationLevel::L8.bits(), 864);
+    }
+}

@@ -1,0 +1,128 @@
+//! Polar code construction: reliability ordering by β-expansion.
+//!
+//! The polarization weight of input index `i` with binary expansion
+//! `b_{n-1}…b_0` is `W(i) = Σ_j b_j · β^j` with `β = 2^{1/4}` — the method
+//! the 3GPP universal reliability sequence was derived from (Huawei
+//! R1-1708833). Larger weight ⇒ more reliable synthetic channel.
+
+/// Polarization weight of one index.
+pub fn polarization_weight(index: usize) -> f64 {
+    let beta = 2f64.powf(0.25);
+    let mut w = 0.0;
+    let mut bit = 0u32;
+    let mut v = index;
+    while v != 0 {
+        if v & 1 == 1 {
+            w += beta.powi(bit as i32);
+        }
+        v >>= 1;
+        bit += 1;
+    }
+    w
+}
+
+/// All indices `0..n` sorted by ascending reliability (least reliable
+/// first). Ties (which occur only between identical weights of distinct
+/// indices — rare under β-expansion) break by index for determinism.
+pub fn reliability_order(n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        polarization_weight(a)
+            .partial_cmp(&polarization_weight(b))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Choose the `k` information positions for a mother code of length `n`,
+/// excluding `pre_frozen` positions (forced frozen by rate matching).
+/// Returns the positions sorted ascending.
+///
+/// Panics if fewer than `k` positions remain after pre-freezing.
+pub fn info_positions(n: usize, k: usize, pre_frozen: &[usize]) -> Vec<usize> {
+    let mut frozen = vec![false; n];
+    for &p in pre_frozen {
+        frozen[p] = true;
+    }
+    let order = reliability_order(n);
+    // Walk from the most reliable end, taking k non-pre-frozen positions.
+    let mut picked: Vec<usize> = order
+        .iter()
+        .rev()
+        .copied()
+        .filter(|&p| !frozen[p])
+        .take(k)
+        .collect();
+    assert!(
+        picked.len() == k,
+        "not enough usable positions: n={n}, k={k}, pre_frozen={}",
+        pre_frozen.len()
+    );
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_monotone_in_bit_count_at_same_positions() {
+        // Adding a set bit strictly increases the weight.
+        assert!(polarization_weight(0b1011) > polarization_weight(0b0011));
+        assert!(polarization_weight(0b1111) > polarization_weight(0b0111));
+    }
+
+    #[test]
+    fn index_zero_is_least_reliable_and_max_is_most() {
+        let order = reliability_order(64);
+        assert_eq!(order[0], 0, "all-frozen index 0 must be least reliable");
+        assert_eq!(*order.last().unwrap(), 63, "index N-1 most reliable");
+    }
+
+    #[test]
+    fn higher_bits_weigh_more() {
+        // W(2^j) grows with j, so 32 > 16 > 8 in reliability.
+        assert!(polarization_weight(32) > polarization_weight(16));
+        assert!(polarization_weight(16) > polarization_weight(8));
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let order = reliability_order(128);
+        let mut seen = vec![false; 128];
+        for &i in &order {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn info_positions_respect_pre_frozen() {
+        let pf = [60usize, 61, 62, 63];
+        let pos = info_positions(64, 16, &pf);
+        assert_eq!(pos.len(), 16);
+        for p in &pf {
+            assert!(!pos.contains(p));
+        }
+        // Sorted ascending.
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn info_positions_prefer_reliable_indices() {
+        let pos = info_positions(32, 4, &[]);
+        // The four most reliable β-expansion indices of N=32 include 31 and 30.
+        assert!(pos.contains(&31));
+        assert!(pos.contains(&30));
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough usable positions")]
+    fn over_freezing_panics() {
+        let pf: Vec<usize> = (0..64).collect();
+        info_positions(64, 1, &pf);
+    }
+}

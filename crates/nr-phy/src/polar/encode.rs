@@ -1,0 +1,75 @@
+//! The Arikan polar transform `x = u · F^{⊗n}` with `F = [[1,0],[1,1]]`.
+//!
+//! Implemented as the standard in-place butterfly over GF(2), natural bit
+//! order (no bit-reversal permutation — encoder and decoder agree on the
+//! ordering, which is all that matters for correctness end-to-end).
+
+/// Apply the polar transform in natural order. `u.len()` must be a power of
+/// two. Returns the codeword `x`.
+pub fn polar_transform(u: &[u8]) -> Vec<u8> {
+    let n = u.len();
+    assert!(n.is_power_of_two(), "polar transform length must be a power of two");
+    let mut x = u.to_vec();
+    let mut half = 1;
+    while half < n {
+        for start in (0..n).step_by(half * 2) {
+            for i in start..start + half {
+                x[i] ^= x[i + half];
+            }
+        }
+        half *= 2;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_is_involution() {
+        // F^{⊗n} is its own inverse over GF(2).
+        let u: Vec<u8> = (0..64).map(|i| ((i * 3 + 1) % 2) as u8).collect();
+        assert_eq!(polar_transform(&polar_transform(&u)), u);
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let a: Vec<u8> = (0..32).map(|i| ((i / 2) % 2) as u8).collect();
+        let b: Vec<u8> = (0..32).map(|i| ((i / 5) % 2) as u8).collect();
+        let sum: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let ta = polar_transform(&a);
+        let tb = polar_transform(&b);
+        let tsum: Vec<u8> = ta.iter().zip(&tb).map(|(x, y)| x ^ y).collect();
+        assert_eq!(polar_transform(&sum), tsum);
+    }
+
+    #[test]
+    fn size_two_kernel() {
+        // x0 = u0 ^ u1, x1 = u1.
+        assert_eq!(polar_transform(&[1, 0]), vec![1, 0]);
+        assert_eq!(polar_transform(&[0, 1]), vec![1, 1]);
+        assert_eq!(polar_transform(&[1, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn lower_triangular_property() {
+        // With natural ordering, x_i depends only on u_j for j ≥ i: setting
+        // u_j = 0 for all j ≥ m forces x_i = 0 for all i ≥ m. This property
+        // is what makes tail-shortening in the rate matcher sound.
+        let n = 64;
+        let m = 40;
+        let mut u = vec![0u8; n];
+        for (i, v) in u.iter_mut().enumerate().take(m) {
+            *v = ((i * 7 + 1) % 2) as u8;
+        }
+        let x = polar_transform(&u);
+        assert!(x[m..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        polar_transform(&[0, 1, 1]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Polar coding for the NR control channels (38.212 §5.3.1).
+//!
+//! The PDCCH (and PBCH) protect their payloads with a CRC-aided polar code.
+//! This module provides:
+//!
+//! * [`construction`] — code construction: reliability ordering via the
+//!   β-expansion (polarization-weight) method. 3GPP publishes a fixed
+//!   reliability table derived from the same principle; using the
+//!   β-expansion directly keeps the implementation self-contained and is
+//!   transparent to every consumer because encoder and decoder share it
+//!   (documented in `DESIGN.md`).
+//! * [`encode`] — the Arikan butterfly transform `x = u·F^{⊗n}`.
+//! * [`ratematch`] — mother-code length selection and
+//!   puncture/shorten/repeat rate matching (spec §5.3.1/§5.4.1 selection
+//!   rule; the sub-block interleaver is replaced by natural-order
+//!   puncturing/shortening — see `DESIGN.md`).
+//! * [`decode`] — successive-cancellation (SC) and CRC-aided
+//!   successive-cancellation list (SCL) decoding over LLRs.
+//!
+//! The [`PolarCode`] type ties these together for a (K, E) configuration.
+
+pub mod construction;
+pub mod decode;
+pub mod encode;
+pub mod ratematch;
+
+use ratematch::RateMatchKind;
+
+/// A configured polar code carrying payloads of `k` bits in `e` channel bits.
+#[derive(Debug, Clone)]
+pub struct PolarCode {
+    /// Information length (payload including any CRC bits).
+    pub k: usize,
+    /// Rate-matched output length (channel bits).
+    pub e: usize,
+    /// Mother code length `N = 2^n`.
+    pub n: usize,
+    /// Rate-matching mode chosen by the spec selection rule.
+    pub kind: RateMatchKind,
+    /// `true` at input positions carrying information bits (length `n`).
+    pub info_mask: Vec<bool>,
+    /// Information positions in increasing order (length `k`).
+    pub info_positions: Vec<usize>,
+}
+
+impl PolarCode {
+    /// Configure a code for `k` information bits in `e` transmitted bits.
+    ///
+    /// Panics if the configuration is infeasible (`k` ≥ `e` or `k` = 0).
+    pub fn new(k: usize, e: usize) -> PolarCode {
+        assert!(k > 0, "polar code needs at least one information bit");
+        assert!(k < e, "polar code requires k < e (k={k}, e={e})");
+        let n = ratematch::mother_code_length(k, e);
+        let kind = ratematch::rate_match_kind(k, e, n);
+        let pre_frozen = ratematch::pre_frozen_positions(n, e, kind);
+        let info_positions = construction::info_positions(n, k, &pre_frozen);
+        let mut info_mask = vec![false; n];
+        for &p in &info_positions {
+            info_mask[p] = true;
+        }
+        PolarCode {
+            k,
+            e,
+            n,
+            kind,
+            info_mask,
+            info_positions,
+        }
+    }
+
+    /// Encode `payload` (length `k`) to `e` channel bits.
+    pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        assert_eq!(payload.len(), self.k, "payload length must equal k");
+        let mut u = vec![0u8; self.n];
+        for (bit, &pos) in payload.iter().zip(&self.info_positions) {
+            u[pos] = *bit;
+        }
+        let x = encode::polar_transform(&u);
+        ratematch::select(&x, self.e, self.kind)
+    }
+
+    /// Decode `e` channel LLRs (convention `LLR > 0 ⇔ bit 0`) with plain
+    /// successive cancellation. Returns the `k` payload bits.
+    pub fn decode_sc(&self, llrs: &[f32]) -> Vec<u8> {
+        assert_eq!(llrs.len(), self.e, "LLR length must equal e");
+        let mother = ratematch::deselect(llrs, self.n, self.kind);
+        let u = decode::sc_decode(&mother, &self.info_mask);
+        self.extract_payload(&u)
+    }
+
+    /// CRC-aided list decode: try the `list_size` most likely paths and
+    /// return the first whose payload satisfies `crc_ok`. Falls back to the
+    /// best path's payload wrapped in `Err` if none passes, so callers can
+    /// still inspect it.
+    pub fn decode_scl<F>(
+        &self,
+        llrs: &[f32],
+        list_size: usize,
+        crc_ok: F,
+    ) -> Result<Vec<u8>, Vec<u8>>
+    where
+        F: Fn(&[u8]) -> bool,
+    {
+        assert_eq!(llrs.len(), self.e, "LLR length must equal e");
+        let mother = ratematch::deselect(llrs, self.n, self.kind);
+        let candidates = decode::scl_decode(&mother, &self.info_mask, list_size);
+        let mut best: Option<Vec<u8>> = None;
+        for u in candidates {
+            let payload = self.extract_payload(&u);
+            if crc_ok(&payload) {
+                return Ok(payload);
+            }
+            if best.is_none() {
+                best = Some(payload);
+            }
+        }
+        Err(best.expect("scl_decode returns at least one path"))
+    }
+
+    fn extract_payload(&self, u: &[u8]) -> Vec<u8> {
+        self.info_positions.iter().map(|&p| u[p]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bpsk_llrs(bits: &[u8], snr_linear: f32) -> Vec<f32> {
+        // Noiseless BPSK mapping to LLRs for decoder tests.
+        bits.iter()
+            .map(|&b| if b == 0 { snr_linear } else { -snr_linear })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_noiseless() {
+        for (k, e) in [(12, 54), (40, 108), (64, 108), (64, 216), (30, 432), (140, 864)] {
+            let code = PolarCode::new(k, e);
+            let payload: Vec<u8> = (0..k).map(|i| ((i * 5 + 1) % 2) as u8).collect();
+            let tx = code.encode(&payload);
+            assert_eq!(tx.len(), e);
+            let rx = code.decode_sc(&bpsk_llrs(&tx, 10.0));
+            assert_eq!(rx, payload, "k={k} e={e} kind={:?}", code.kind);
+        }
+    }
+
+    #[test]
+    fn all_zero_payload_gives_all_zero_codeword() {
+        let code = PolarCode::new(32, 108);
+        let tx = code.encode(&[0; 32]);
+        assert!(tx.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn scl_matches_sc_on_clean_channel() {
+        let code = PolarCode::new(48, 108);
+        let payload: Vec<u8> = (0..48).map(|i| ((i / 3) % 2) as u8).collect();
+        let tx = code.encode(&payload);
+        let llrs = bpsk_llrs(&tx, 8.0);
+        let sc = code.decode_sc(&llrs);
+        let scl = code.decode_scl(&llrs, 4, |p| p == payload.as_slice());
+        assert_eq!(sc, payload);
+        assert_eq!(scl.unwrap(), payload);
+    }
+
+    #[test]
+    fn list_decoding_recovers_what_sc_loses() {
+        // Flip-noise channel at moderate SNR: list+CRC should beat plain SC
+        // on at least some realisations. We verify SCL with an oracle CRC
+        // recovers the payload in a case where SC fails.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let code = PolarCode::new(56, 108);
+        let payload: Vec<u8> = (0..56).map(|i| ((i * 7) % 2) as u8).collect();
+        let tx = code.encode(&payload);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_scl_win = false;
+        for _ in 0..200 {
+            let llrs: Vec<f32> = tx
+                .iter()
+                .map(|&b| {
+                    let s = if b == 0 { 1.0 } else { -1.0 };
+                    s + rng.gen_range(-1.5..1.5)
+                })
+                .collect();
+            let sc = code.decode_sc(&llrs);
+            if sc != payload {
+                if let Ok(got) = code.decode_scl(&llrs, 8, |p| p == payload.as_slice()) {
+                    assert_eq!(got, payload);
+                    seen_scl_win = true;
+                    break;
+                }
+            }
+        }
+        assert!(seen_scl_win, "expected at least one SCL-over-SC win in 200 trials");
+    }
+
+    #[test]
+    #[should_panic(expected = "k < e")]
+    fn rejects_rate_one_or_more() {
+        PolarCode::new(108, 108);
+    }
+
+    #[test]
+    fn repetition_mode_used_when_e_exceeds_mother() {
+        // Small K forces a small mother code; large E → repetition.
+        let code = PolarCode::new(12, 400);
+        assert_eq!(code.kind, RateMatchKind::Repeat);
+        let payload = vec![1u8; 12];
+        let tx = code.encode(&payload);
+        let rx = code.decode_sc(&bpsk_llrs(&tx, 4.0));
+        assert_eq!(rx, payload);
+    }
+}

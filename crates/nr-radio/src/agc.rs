@@ -1,0 +1,97 @@
+//! Automatic gain control: normalises received slot power toward a target,
+//! with a bounded per-slot gain slew like a hardware AGC loop (paper §4:
+//! "use automatic gain control (AGC) for better signal strength").
+
+use nr_phy::complex::{mean_power, Cf32};
+
+/// A simple decibel-domain AGC loop.
+#[derive(Debug, Clone)]
+pub struct Agc {
+    /// Target mean sample power.
+    target_power: f32,
+    /// Current linear gain.
+    gain: f32,
+    /// Maximum gain change per adjustment, in dB.
+    max_step_db: f32,
+}
+
+impl Agc {
+    /// AGC aiming at `target_power` mean power per complex sample.
+    pub fn new(target_power: f32) -> Agc {
+        Agc {
+            target_power,
+            gain: 1.0,
+            max_step_db: 6.0,
+        }
+    }
+
+    /// Current gain (linear).
+    pub fn gain(&self) -> f32 {
+        self.gain
+    }
+
+    /// Process one slot in place: measure, adjust gain (slew-limited),
+    /// apply.
+    pub fn process(&mut self, samples: &mut [Cf32]) {
+        let p = mean_power(samples);
+        if p > 0.0 {
+            let desired = (self.target_power / p).sqrt();
+            let step_db = 20.0 * (desired / self.gain).log10();
+            let clamped = step_db.clamp(-self.max_step_db, self.max_step_db);
+            self.gain *= 10f32.powf(clamped / 20.0);
+        }
+        for s in samples.iter_mut() {
+            *s = s.scale(self.gain);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, amp: f32) -> Vec<Cf32> {
+        (0..n).map(|i| Cf32::from_polar(amp, i as f32 * 0.1)).collect()
+    }
+
+    #[test]
+    fn converges_to_target_power() {
+        let mut agc = Agc::new(1.0);
+        let mut samples = tone(1024, 0.01);
+        for _ in 0..10 {
+            let mut s = tone(1024, 0.01);
+            agc.process(&mut s);
+            samples = s;
+        }
+        let p = mean_power(&samples);
+        assert!((p - 1.0).abs() < 0.05, "converged power {p}");
+    }
+
+    #[test]
+    fn gain_step_is_slew_limited() {
+        let mut agc = Agc::new(1.0);
+        let mut s = tone(256, 1e-4); // needs +80 dB, only gets +6 per slot
+        agc.process(&mut s);
+        let g_db = 20.0 * agc.gain().log10();
+        assert!(g_db <= 6.0 + 1e-3, "gain jumped {g_db} dB");
+    }
+
+    #[test]
+    fn silence_does_not_blow_up_gain() {
+        let mut agc = Agc::new(1.0);
+        let mut s = vec![Cf32::ZERO; 128];
+        agc.process(&mut s);
+        assert_eq!(agc.gain(), 1.0);
+        assert!(s.iter().all(|v| *v == Cf32::ZERO));
+    }
+
+    #[test]
+    fn attenuates_loud_signals() {
+        let mut agc = Agc::new(1.0);
+        for _ in 0..10 {
+            let mut s = tone(256, 10.0);
+            agc.process(&mut s);
+        }
+        assert!(agc.gain() < 1.0);
+    }
+}

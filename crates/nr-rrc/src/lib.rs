@@ -1,0 +1,43 @@
+//! # nr-rrc — RRC message model and bit-level codec
+//!
+//! The Radio Resource Control messages NR-Scope decodes off the air
+//! (paper §3.1): the **MIB** broadcast on the PBCH, **SIB1** carrying the
+//! cell-common configuration (including everything needed to watch the
+//! RACH), and the **RRC Setup** (MSG 4) carrying the UE-specific PDCCH and
+//! PDSCH parameters that make per-UE DCI decoding possible.
+//!
+//! Real RRC is ASN.1 UPER; this crate defines an explicit UPER-like binary
+//! codec over the same field inventory (fixed-width unsigned fields,
+//! MSB-first, optional fields behind presence bits). Both the simulated gNB
+//! and the telemetry decoder use this codec, so the bits on the "air" are
+//! parsed, not assumed — message corruption is detectable end to end.
+
+pub mod mib;
+pub mod rach;
+pub mod rrc_setup;
+pub mod sib1;
+
+pub use mib::Mib;
+pub use rach::RachConfigCommon;
+pub use rrc_setup::RrcSetup;
+pub use sib1::Sib1;
+
+/// Errors the codec can produce while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bits mid-message.
+    Truncated,
+    /// A field held a value outside its legal range.
+    InvalidField(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::InvalidField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -1,0 +1,150 @@
+//! The Master Information Block (38.331 `MIB`), broadcast on the PBCH.
+//!
+//! First thing NR-Scope decodes (paper §3.1.1): the system frame number and
+//! the pointer to CORESET 0, where SIB1 scheduling appears.
+
+use crate::DecodeError;
+use nr_phy::bits::{BitReader, BitWriter};
+use nr_phy::Numerology;
+use serde::{Deserialize, Serialize};
+
+/// Master Information Block contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mib {
+    /// System frame number (the full 10 bits; in real PBCH 6 MIB bits + 4
+    /// PBCH payload bits — carried together here).
+    pub sfn: u16,
+    /// Common subcarrier spacing of SIB1/Msg2/4 transmissions.
+    pub scs_common: Numerology,
+    /// CORESET 0 table index: first PRB of CORESET 0.
+    pub coreset0_prb_start: u8,
+    /// CORESET 0 width in PRBs (24/48/96 in the spec's table).
+    pub coreset0_n_prb: u8,
+    /// CORESET 0 duration in symbols (1–3).
+    pub coreset0_symbols: u8,
+    /// `ssb-SubcarrierOffset` (k_SSB), kept for completeness.
+    pub ssb_subcarrier_offset: u8,
+    /// DMRS type A position (2 or 3).
+    pub dmrs_type_a_position: u8,
+    /// Whether the cell bars access (telemetry still works on barred cells).
+    pub cell_barred: bool,
+}
+
+impl Mib {
+    /// Encoded size in bits.
+    pub const BITS: usize = 10 + 2 + 8 + 7 + 2 + 5 + 1 + 1;
+
+    /// Encode to the PBCH payload bit string.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.put(self.sfn as u64, 10);
+        w.put(self.scs_common.mu() as u64, 2);
+        w.put(self.coreset0_prb_start as u64, 8);
+        w.put(self.coreset0_n_prb as u64, 7);
+        w.put(self.coreset0_symbols as u64 - 1, 2);
+        w.put(self.ssb_subcarrier_offset as u64, 5);
+        w.put(self.dmrs_type_a_position as u64 - 2, 1);
+        w.put_bool(self.cell_barred);
+        debug_assert_eq!(w.len(), Self::BITS);
+        w.into_bits()
+    }
+
+    /// Decode from a PBCH payload bit string.
+    pub fn decode(bits: &[u8]) -> Result<Mib, DecodeError> {
+        if bits.len() < Self::BITS {
+            return Err(DecodeError::Truncated);
+        }
+        let mut r = BitReader::new(bits);
+        let sfn = r.get(10).ok_or(DecodeError::Truncated)? as u16;
+        let mu = r.get(2).ok_or(DecodeError::Truncated)? as u32;
+        let scs_common =
+            Numerology::from_mu(mu).ok_or(DecodeError::InvalidField("scs_common"))?;
+        let coreset0_prb_start = r.get(8).ok_or(DecodeError::Truncated)? as u8;
+        let coreset0_n_prb = r.get(7).ok_or(DecodeError::Truncated)? as u8;
+        if coreset0_n_prb == 0 {
+            return Err(DecodeError::InvalidField("coreset0_n_prb"));
+        }
+        let coreset0_symbols = r.get(2).ok_or(DecodeError::Truncated)? as u8 + 1;
+        let ssb_subcarrier_offset = r.get(5).ok_or(DecodeError::Truncated)? as u8;
+        let dmrs_type_a_position = r.get(1).ok_or(DecodeError::Truncated)? as u8 + 2;
+        let cell_barred = r.get_bool().ok_or(DecodeError::Truncated)?;
+        Ok(Mib {
+            sfn,
+            scs_common,
+            coreset0_prb_start,
+            coreset0_n_prb,
+            coreset0_symbols,
+            ssb_subcarrier_offset,
+            dmrs_type_a_position,
+            cell_barred,
+        })
+    }
+
+    /// The CORESET 0 this MIB points at, as a PHY-layer object.
+    pub fn coreset0(&self) -> nr_phy::pdcch::Coreset {
+        nr_phy::pdcch::Coreset {
+            prb_start: self.coreset0_prb_start as usize,
+            n_prb: self.coreset0_n_prb as usize,
+            symbol_start: 0,
+            n_symbols: self.coreset0_symbols as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mib {
+        Mib {
+            sfn: 517,
+            scs_common: Numerology::Mu1,
+            coreset0_prb_start: 0,
+            coreset0_n_prb: 48,
+            coreset0_symbols: 1,
+            ssb_subcarrier_offset: 6,
+            dmrs_type_a_position: 2,
+            cell_barred: false,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mib = sample();
+        let bits = mib.encode();
+        assert_eq!(bits.len(), Mib::BITS);
+        assert_eq!(Mib::decode(&bits), Ok(mib));
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let bits = sample().encode();
+        assert_eq!(Mib::decode(&bits[..10]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn zero_width_coreset_rejected() {
+        let mut mib = sample();
+        mib.coreset0_n_prb = 0;
+        let bits = mib.encode();
+        assert_eq!(
+            Mib::decode(&bits),
+            Err(DecodeError::InvalidField("coreset0_n_prb"))
+        );
+    }
+
+    #[test]
+    fn coreset0_object_matches_fields() {
+        let c = sample().coreset0();
+        assert_eq!(c.n_prb, 48);
+        assert_eq!(c.n_cces(), 8);
+    }
+
+    #[test]
+    fn sfn_wraps_within_ten_bits() {
+        let mut mib = sample();
+        mib.sfn = 1023;
+        let bits = mib.encode();
+        assert_eq!(Mib::decode(&bits).unwrap().sfn, 1023);
+    }
+}

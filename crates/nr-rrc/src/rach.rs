@@ -1,0 +1,134 @@
+//! `RACH-ConfigCommon` — the SIB1 subtree telling UEs (and NR-Scope) where
+//! the random-access procedure happens (paper §3.1.1: "the parameter and
+//! time-frequency position for MSG 1 in RACH").
+
+use crate::DecodeError;
+use nr_phy::bits::{BitReader, BitWriter};
+use serde::{Deserialize, Serialize};
+
+/// Common RACH configuration broadcast in SIB1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RachConfigCommon {
+    /// PRACH configuration index: selects which slots carry PRACH occasions.
+    /// Occasions repeat every `prach_period_slots`, at slot offset
+    /// `prach_slot_offset`.
+    pub prach_period_slots: u8,
+    /// Slot offset of the PRACH occasion within its period.
+    pub prach_slot_offset: u8,
+    /// First PRB of the PRACH occasion.
+    pub msg1_frequency_start: u8,
+    /// Number of preambles the cell accepts (≤64).
+    pub total_preambles: u8,
+    /// RA response window in slots: MSG 2 must arrive within this window.
+    pub ra_response_window: u8,
+    /// Max preamble retransmissions before the UE gives up.
+    pub preamble_trans_max: u8,
+}
+
+impl RachConfigCommon {
+    /// Encoded size in bits.
+    pub const BITS: usize = 8 + 8 + 8 + 7 + 5 + 4;
+
+    /// A typical small-cell configuration: PRACH every 10 slots.
+    pub fn typical() -> RachConfigCommon {
+        RachConfigCommon {
+            prach_period_slots: 10,
+            prach_slot_offset: 9,
+            msg1_frequency_start: 0,
+            total_preambles: 64,
+            ra_response_window: 10,
+            preamble_trans_max: 7,
+        }
+    }
+
+    /// Encode to bits.
+    pub fn encode_to(&self, w: &mut BitWriter) {
+        w.put(self.prach_period_slots as u64, 8);
+        w.put(self.prach_slot_offset as u64, 8);
+        w.put(self.msg1_frequency_start as u64, 8);
+        w.put(self.total_preambles as u64, 7);
+        w.put(self.ra_response_window as u64, 5);
+        w.put(self.preamble_trans_max as u64, 4);
+    }
+
+    /// Decode from a reader.
+    pub fn decode_from(r: &mut BitReader<'_>) -> Result<RachConfigCommon, DecodeError> {
+        let prach_period_slots = r.get(8).ok_or(DecodeError::Truncated)? as u8;
+        if prach_period_slots == 0 {
+            return Err(DecodeError::InvalidField("prach_period_slots"));
+        }
+        let prach_slot_offset = r.get(8).ok_or(DecodeError::Truncated)? as u8;
+        let msg1_frequency_start = r.get(8).ok_or(DecodeError::Truncated)? as u8;
+        let total_preambles = r.get(7).ok_or(DecodeError::Truncated)? as u8;
+        if total_preambles == 0 || total_preambles > 64 {
+            return Err(DecodeError::InvalidField("total_preambles"));
+        }
+        let ra_response_window = r.get(5).ok_or(DecodeError::Truncated)? as u8;
+        let preamble_trans_max = r.get(4).ok_or(DecodeError::Truncated)? as u8;
+        Ok(RachConfigCommon {
+            prach_period_slots,
+            prach_slot_offset,
+            msg1_frequency_start,
+            total_preambles,
+            ra_response_window,
+            preamble_trans_max,
+        })
+    }
+
+    /// Whether `slot_in_frame`-absolute slot `abs_slot` is a PRACH occasion.
+    pub fn is_prach_occasion(&self, abs_slot: u64) -> bool {
+        abs_slot % self.prach_period_slots as u64 == self.prach_slot_offset as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cfg = RachConfigCommon::typical();
+        let mut w = BitWriter::new();
+        cfg.encode_to(&mut w);
+        let bits = w.into_bits();
+        assert_eq!(bits.len(), RachConfigCommon::BITS);
+        let mut r = BitReader::new(&bits);
+        assert_eq!(RachConfigCommon::decode_from(&mut r), Ok(cfg));
+    }
+
+    #[test]
+    fn prach_occasions_follow_period() {
+        let cfg = RachConfigCommon::typical();
+        assert!(cfg.is_prach_occasion(9));
+        assert!(cfg.is_prach_occasion(19));
+        assert!(!cfg.is_prach_occasion(10));
+        // One occasion per period.
+        let count = (0..100).filter(|&s| cfg.is_prach_occasion(s)).count();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let mut w = BitWriter::new();
+        let mut cfg = RachConfigCommon::typical();
+        cfg.prach_period_slots = 0;
+        cfg.encode_to(&mut w);
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(
+            RachConfigCommon::decode_from(&mut r),
+            Err(DecodeError::InvalidField("prach_period_slots"))
+        );
+    }
+
+    #[test]
+    fn preamble_count_bounds() {
+        let mut cfg = RachConfigCommon::typical();
+        cfg.total_preambles = 65;
+        let mut w = BitWriter::new();
+        cfg.encode_to(&mut w);
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        assert!(RachConfigCommon::decode_from(&mut r).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! The RRC Setup message (MSG 4 payload) — "most of the UE-specific
+//! information required for mobile communication and for telemetry"
+//! (paper §3.1.2): the UE's PDCCH configuration (CORESET position, DCI
+//! format, aggregation level), plus the PDSCH parameters the TBS
+//! computation needs (`maxMIMO-Layers`, MCS table, DMRS overhead,
+//! `xOverhead`).
+
+use crate::DecodeError;
+use nr_phy::bits::{BitReader, BitWriter};
+use nr_phy::dci::DciFormat;
+use nr_phy::mcs::McsTable;
+use nr_phy::pdcch::{AggregationLevel, Coreset};
+use serde::{Deserialize, Serialize};
+
+/// UE-specific configuration delivered in the RRC Setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RrcSetup {
+    /// UE-specific CORESET: first PRB.
+    pub coreset_prb_start: u8,
+    /// UE-specific CORESET width in PRBs.
+    pub coreset_n_prb: u8,
+    /// CORESET duration in symbols.
+    pub coreset_symbols: u8,
+    /// DCI format the gNB will use for DL scheduling of this UE.
+    pub dl_dci_format: DciFormat,
+    /// Aggregation level for this UE's candidates.
+    pub aggregation_level: AggregationLevel,
+    /// Number of PDCCH candidates monitored per level.
+    pub candidates_per_level: u8,
+    /// `pdsch-ServingCellConfig → maxMIMO-Layers` (the `v` of Appendix A).
+    pub max_mimo_layers: u8,
+    /// MCS table for the PDSCH.
+    pub mcs_table: McsTable,
+    /// DMRS REs per PRB (`N^PRB_DMRS`).
+    pub dmrs_per_prb: u8,
+    /// `xOverhead` (`N^PRB_oh`): 0, 6, 12 or 18.
+    pub x_overhead: u8,
+    /// Bandwidth part the UE is moved to (paper: NR-Scope follows the UE's
+    /// BWP for DCI reception).
+    pub bwp_id: u8,
+}
+
+impl RrcSetup {
+    /// Encoded size in bits.
+    pub const BITS: usize = 8 + 8 + 2 + 1 + 3 + 3 + 3 + 1 + 4 + 2 + 2;
+
+    /// Encode to bits.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.put(self.coreset_prb_start as u64, 8);
+        w.put(self.coreset_n_prb as u64, 8);
+        w.put(self.coreset_symbols as u64 - 1, 2);
+        w.put_bool(matches!(self.dl_dci_format, DciFormat::Dl1_1));
+        let level_code = match self.aggregation_level {
+            AggregationLevel::L1 => 0u64,
+            AggregationLevel::L2 => 1,
+            AggregationLevel::L4 => 2,
+            AggregationLevel::L8 => 3,
+            AggregationLevel::L16 => 4,
+        };
+        w.put(level_code, 3);
+        w.put(self.candidates_per_level as u64, 3);
+        w.put(self.max_mimo_layers as u64, 3);
+        w.put_bool(matches!(self.mcs_table, McsTable::Qam256));
+        w.put(self.dmrs_per_prb as u64, 4);
+        w.put((self.x_overhead / 6) as u64, 2);
+        w.put(self.bwp_id as u64, 2);
+        debug_assert_eq!(w.len(), Self::BITS);
+        w.into_bits()
+    }
+
+    /// Decode from bits.
+    pub fn decode(bits: &[u8]) -> Result<RrcSetup, DecodeError> {
+        let mut r = BitReader::new(bits);
+        let coreset_prb_start = r.get(8).ok_or(DecodeError::Truncated)? as u8;
+        let coreset_n_prb = r.get(8).ok_or(DecodeError::Truncated)? as u8;
+        if coreset_n_prb == 0 {
+            return Err(DecodeError::InvalidField("coreset_n_prb"));
+        }
+        let coreset_symbols = r.get(2).ok_or(DecodeError::Truncated)? as u8 + 1;
+        let dl_dci_format = if r.get_bool().ok_or(DecodeError::Truncated)? {
+            DciFormat::Dl1_1
+        } else {
+            DciFormat::Ul0_1
+        };
+        let aggregation_level = match r.get(3).ok_or(DecodeError::Truncated)? {
+            0 => AggregationLevel::L1,
+            1 => AggregationLevel::L2,
+            2 => AggregationLevel::L4,
+            3 => AggregationLevel::L8,
+            4 => AggregationLevel::L16,
+            _ => return Err(DecodeError::InvalidField("aggregation_level")),
+        };
+        let candidates_per_level = r.get(3).ok_or(DecodeError::Truncated)? as u8;
+        if candidates_per_level == 0 {
+            return Err(DecodeError::InvalidField("candidates_per_level"));
+        }
+        let max_mimo_layers = r.get(3).ok_or(DecodeError::Truncated)? as u8;
+        if max_mimo_layers == 0 || max_mimo_layers > 4 {
+            return Err(DecodeError::InvalidField("max_mimo_layers"));
+        }
+        let mcs_table = if r.get_bool().ok_or(DecodeError::Truncated)? {
+            McsTable::Qam256
+        } else {
+            McsTable::Qam64
+        };
+        let dmrs_per_prb = r.get(4).ok_or(DecodeError::Truncated)? as u8;
+        let x_overhead = r.get(2).ok_or(DecodeError::Truncated)? as u8 * 6;
+        let bwp_id = r.get(2).ok_or(DecodeError::Truncated)? as u8;
+        Ok(RrcSetup {
+            coreset_prb_start,
+            coreset_n_prb,
+            coreset_symbols,
+            dl_dci_format,
+            aggregation_level,
+            candidates_per_level,
+            max_mimo_layers,
+            mcs_table,
+            dmrs_per_prb,
+            x_overhead,
+            bwp_id,
+        })
+    }
+
+    /// The UE-specific CORESET as a PHY object.
+    pub fn coreset(&self) -> Coreset {
+        Coreset {
+            prb_start: self.coreset_prb_start as usize,
+            n_prb: self.coreset_n_prb as usize,
+            symbol_start: 0,
+            n_symbols: self.coreset_symbols as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RrcSetup {
+        RrcSetup {
+            coreset_prb_start: 0,
+            coreset_n_prb: 48,
+            coreset_symbols: 1,
+            dl_dci_format: DciFormat::Dl1_1,
+            aggregation_level: AggregationLevel::L2,
+            candidates_per_level: 2,
+            max_mimo_layers: 2,
+            mcs_table: McsTable::Qam256,
+            dmrs_per_prb: 12,
+            x_overhead: 0,
+            bwp_id: 0,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        assert_eq!(RrcSetup::decode(&s.encode()), Ok(s));
+    }
+
+    #[test]
+    fn all_aggregation_levels_round_trip() {
+        for level in AggregationLevel::all() {
+            let mut s = sample();
+            s.aggregation_level = level;
+            assert_eq!(RrcSetup::decode(&s.encode()).unwrap().aggregation_level, level);
+        }
+    }
+
+    #[test]
+    fn x_overhead_quantised_to_multiples_of_six() {
+        for (set, expect) in [(0u8, 0u8), (6, 6), (12, 12), (18, 18)] {
+            let mut s = sample();
+            s.x_overhead = set;
+            assert_eq!(RrcSetup::decode(&s.encode()).unwrap().x_overhead, expect);
+        }
+    }
+
+    #[test]
+    fn layer_bounds_enforced() {
+        let mut s = sample();
+        s.max_mimo_layers = 5;
+        assert!(RrcSetup::decode(&s.encode()).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bits = sample().encode();
+        assert!(RrcSetup::decode(&bits[..20]).is_err());
+    }
+
+    #[test]
+    fn identical_across_ues_supports_skip_optimisation() {
+        // Paper §3.1.2: "the RRC Setup is identical among UEs, thus we can
+        // skip decoding the PDSCH". Our message has no per-UE fields, so two
+        // encodes are bit-identical — the property the optimisation rests on.
+        assert_eq!(sample().encode(), sample().encode());
+    }
+}

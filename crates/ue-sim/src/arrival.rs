@@ -1,0 +1,207 @@
+//! The "come-and-go" UE population process (paper §5.3.1, Figs 10–11).
+//!
+//! The paper measures 400–600 distinct UEs per 10 minutes in T-Mobile
+//! cell 1 (100–200 in cell 2), with 90% of UEs staying under 35 seconds —
+//! "an unique come-and-go cellular network pattern". We model arrivals as
+//! Poisson and active times as log-normal fitted to those observations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Population process parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean UE arrivals per second.
+    pub arrivals_per_s: f64,
+    /// Median active time in seconds (log-normal median `e^µ`).
+    pub median_active_s: f64,
+    /// Log-normal shape σ. With the default median 8 s, σ = 1.15 puts the
+    /// 90th percentile at ≈ 35 s — the paper's headline number.
+    pub sigma: f64,
+}
+
+impl ArrivalConfig {
+    /// Fit for T-Mobile cell 1 (≈500 UEs / 10 min → 0.83 arrivals/s).
+    pub fn tmobile_cell1() -> ArrivalConfig {
+        ArrivalConfig {
+            arrivals_per_s: 0.83,
+            median_active_s: 8.0,
+            sigma: 1.15,
+        }
+    }
+
+    /// Fit for T-Mobile cell 2 (≈150 UEs / 10 min → 0.25 arrivals/s).
+    pub fn tmobile_cell2() -> ArrivalConfig {
+        ArrivalConfig {
+            arrivals_per_s: 0.25,
+            median_active_s: 8.0,
+            sigma: 1.15,
+        }
+    }
+}
+
+/// One generated UE session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Arrival time in seconds from trace start.
+    pub arrival_s: f64,
+    /// Active duration in seconds.
+    pub duration_s: f64,
+}
+
+impl Session {
+    /// Departure time.
+    pub fn departure_s(&self) -> f64 {
+        self.arrival_s + self.duration_s
+    }
+
+    /// Whether the session is active at time `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.arrival_s && t < self.departure_s()
+    }
+}
+
+/// Poisson-arrival, log-normal-holding-time session generator.
+#[derive(Debug, Clone)]
+pub struct ComeAndGo {
+    cfg: ArrivalConfig,
+    rng: StdRng,
+}
+
+impl ComeAndGo {
+    /// New generator.
+    pub fn new(cfg: ArrivalConfig, seed: u64) -> ComeAndGo {
+        ComeAndGo {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Standard normal via Box–Muller.
+    fn std_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        (-2.0 * u1.ln()).sqrt() * u2.cos()
+    }
+
+    /// Draw one active duration (log-normal).
+    pub fn draw_duration(&mut self) -> f64 {
+        let mu = self.cfg.median_active_s.ln();
+        (mu + self.cfg.sigma * self.std_normal()).exp()
+    }
+
+    /// Generate all sessions arriving within `[0, horizon_s)`.
+    pub fn generate(&mut self, horizon_s: f64) -> Vec<Session> {
+        let mut sessions = Vec::new();
+        let mut t = 0.0;
+        loop {
+            // Exponential inter-arrival.
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / self.cfg.arrivals_per_s;
+            if t >= horizon_s {
+                break;
+            }
+            let duration_s = self.draw_duration();
+            sessions.push(Session {
+                arrival_s: t,
+                duration_s,
+            });
+        }
+        sessions
+    }
+}
+
+/// Count distinct sessions active in each window of `window_s` over
+/// `[0, horizon_s)` — the statistic behind Fig 11 ("number of active UEs
+/// per second or minute").
+pub fn active_per_window(sessions: &[Session], horizon_s: f64, window_s: f64) -> Vec<usize> {
+    let n = (horizon_s / window_s).ceil() as usize;
+    (0..n)
+        .map(|w| {
+            let lo = w as f64 * window_s;
+            let hi = lo + window_s;
+            sessions
+                .iter()
+                .filter(|s| s.arrival_s < hi && s.departure_s() > lo)
+                .count()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_count_matches_paper_scale() {
+        // Cell 1: 400–600 distinct UEs in 10 minutes.
+        let mut g = ComeAndGo::new(ArrivalConfig::tmobile_cell1(), 1);
+        let sessions = g.generate(600.0);
+        assert!(
+            (380..=650).contains(&sessions.len()),
+            "{} sessions",
+            sessions.len()
+        );
+    }
+
+    #[test]
+    fn ninety_percent_under_35s() {
+        // The paper's headline: 90% of UEs stay < 35 s.
+        let mut g = ComeAndGo::new(ArrivalConfig::tmobile_cell1(), 2);
+        let mut durations: Vec<f64> = (0..20_000).map(|_| g.draw_duration()).collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p90 = durations[(durations.len() as f64 * 0.9) as usize];
+        assert!((25.0..=45.0).contains(&p90), "p90 = {p90}");
+    }
+
+    #[test]
+    fn tail_reaches_hundreds_of_seconds() {
+        // Fig 10's x-axis runs to 400 s: the tail must exist but be rare.
+        let mut g = ComeAndGo::new(ArrivalConfig::tmobile_cell1(), 3);
+        let durations: Vec<f64> = (0..50_000).map(|_| g.draw_duration()).collect();
+        let long = durations.iter().filter(|&&d| d > 300.0).count();
+        assert!(long > 0, "some sessions exceed 300 s");
+        assert!((long as f64) < 0.01 * durations.len() as f64, "but under 1%");
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_within_horizon() {
+        let mut g = ComeAndGo::new(ArrivalConfig::tmobile_cell2(), 4);
+        let sessions = g.generate(600.0);
+        assert!(sessions.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(sessions.iter().all(|s| s.arrival_s < 600.0));
+        // Cell 2 scale: 100–200 UEs.
+        assert!((100..=220).contains(&sessions.len()), "{}", sessions.len());
+    }
+
+    #[test]
+    fn active_window_counts_are_sane() {
+        let mut g = ComeAndGo::new(ArrivalConfig::tmobile_cell1(), 5);
+        let sessions = g.generate(600.0);
+        let per_sec = active_per_window(&sessions, 600.0, 1.0);
+        let per_min = active_per_window(&sessions, 600.0, 60.0);
+        assert_eq!(per_sec.len(), 600);
+        assert_eq!(per_min.len(), 10);
+        // A minute window can only see at least as many as any of its
+        // seconds.
+        let max_sec = *per_sec.iter().max().unwrap();
+        let max_min = *per_min.iter().max().unwrap();
+        assert!(max_min >= max_sec);
+        // Fig 11: under ~60 distinct UEs per minute (it's a statistical
+        // bound — allow headroom).
+        assert!(max_min < 90, "max per minute {max_min}");
+    }
+
+    #[test]
+    fn session_active_at_boundaries() {
+        let s = Session {
+            arrival_s: 10.0,
+            duration_s: 5.0,
+        };
+        assert!(s.active_at(10.0));
+        assert!(s.active_at(14.999));
+        assert!(!s.active_at(15.0));
+        assert!(!s.active_at(9.999));
+    }
+}

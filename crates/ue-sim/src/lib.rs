@@ -1,0 +1,23 @@
+//! # ue-sim — the UE population substrate
+//!
+//! Stands in for the paper's Motorola phones and the Amarisoft UE emulator:
+//!
+//! * [`traffic`] — downlink/uplink traffic models (file download, video
+//!   streaming, CBR, Poisson packet arrivals) with per-packet boundaries so
+//!   the packet-aggregation analysis (paper Fig 16d) has real packets,
+//! * [`arrival`] — the "come-and-go" population process behind Figs 10/11
+//!   (Poisson arrivals, heavy-tailed active times, 90% < 35 s),
+//! * [`mobility`] — static / blocked / moving placement scenarios (Fig 9c,
+//!   Fig 16a–c),
+//! * [`ue`] — the simulated UE tying traffic, channel and ground-truth
+//!   delivery log (the tcpdump equivalent) together.
+
+pub mod arrival;
+pub mod mobility;
+pub mod traffic;
+pub mod ue;
+
+pub use arrival::{ArrivalConfig, ComeAndGo};
+pub use mobility::MobilityScenario;
+pub use traffic::{Packet, TrafficKind, TrafficSource};
+pub use ue::SimUe;

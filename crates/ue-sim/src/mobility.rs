@@ -1,0 +1,203 @@
+//! UE placement/mobility scenarios: static, blocked, moving (paper Fig 9c,
+//! Fig 16a–c) plus a floor-position model for the coverage experiment
+//! (Fig 13).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three UE usage scenarios the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityScenario {
+    /// Stationary UE with a clear path.
+    Static,
+    /// Stationary UE with intermittent body/furniture blockage episodes.
+    Blocked,
+    /// Walking UE: slow SNR random walk plus extra Doppler.
+    Moving,
+}
+
+impl MobilityScenario {
+    /// All scenarios in the paper's order.
+    pub fn all() -> [MobilityScenario; 3] {
+        [
+            MobilityScenario::Static,
+            MobilityScenario::Blocked,
+            MobilityScenario::Moving,
+        ]
+    }
+
+    /// Legend name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MobilityScenario::Static => "Static",
+            MobilityScenario::Blocked => "Blocked",
+            MobilityScenario::Moving => "Moving",
+        }
+    }
+
+    /// Doppler the scenario adds to the fading process (Hz).
+    pub fn doppler_hz(self) -> f64 {
+        match self {
+            MobilityScenario::Static => 1.0,
+            MobilityScenario::Blocked => 1.0,
+            MobilityScenario::Moving => 10.0,
+        }
+    }
+}
+
+impl std::fmt::Display for MobilityScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Time-varying SNR offset (dB) produced by a mobility scenario.
+#[derive(Debug, Clone)]
+pub struct MobilityTrace {
+    scenario: MobilityScenario,
+    /// Blockage episode boundaries: (start_s, end_s, depth_db).
+    episodes: Vec<(f64, f64, f64)>,
+    /// Random-walk samples at 10 Hz for the moving case.
+    walk: Vec<f64>,
+}
+
+/// Walk sampling rate (samples per second).
+const WALK_HZ: f64 = 10.0;
+
+impl MobilityTrace {
+    /// Build a trace covering `horizon_s` seconds.
+    pub fn new(scenario: MobilityScenario, horizon_s: f64, seed: u64) -> MobilityTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut episodes = Vec::new();
+        let mut walk = Vec::new();
+        match scenario {
+            MobilityScenario::Static => {}
+            MobilityScenario::Blocked => {
+                // Blockage episodes: every ~8 s on average, 1–4 s long,
+                // 6–15 dB deep (hand/body blockage magnitudes).
+                let mut t = 0.0;
+                while t < horizon_s {
+                    t += rng.gen_range(4.0..12.0);
+                    let dur = rng.gen_range(1.0..4.0);
+                    let depth = rng.gen_range(6.0..15.0);
+                    episodes.push((t, t + dur, depth));
+                    t += dur;
+                }
+            }
+            MobilityScenario::Moving => {
+                // Bounded random walk, ±6 dB around the mean, step σ 0.3 dB
+                // per 100 ms.
+                let n = (horizon_s * WALK_HZ).ceil() as usize + 1;
+                let mut x = 0.0f64;
+                for _ in 0..n {
+                    x += rng.gen_range(-0.3..0.3);
+                    x = x.clamp(-6.0, 6.0);
+                    walk.push(x);
+                }
+            }
+        }
+        MobilityTrace {
+            scenario,
+            episodes,
+            walk,
+        }
+    }
+
+    /// Scenario of this trace.
+    pub fn scenario(&self) -> MobilityScenario {
+        self.scenario
+    }
+
+    /// SNR offset at time `t` (dB, ≤ 0 for blockage, ±6 for movement).
+    pub fn offset_db_at(&self, t: f64) -> f64 {
+        match self.scenario {
+            MobilityScenario::Static => 0.0,
+            MobilityScenario::Blocked => self
+                .episodes
+                .iter()
+                .find(|(s, e, _)| t >= *s && t < *e)
+                .map(|(_, _, d)| -d)
+                .unwrap_or(0.0),
+            MobilityScenario::Moving => {
+                let idx = ((t * WALK_HZ) as usize).min(self.walk.len().saturating_sub(1));
+                self.walk.get(idx).copied().unwrap_or(0.0)
+            }
+        }
+    }
+}
+
+/// A floor position for the coverage experiment (paper Fig 13): distance
+/// from the gNB plus wall obstructions determine the sniffer's receive SNR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FloorPosition {
+    /// Metres from the gNB.
+    pub distance_m: f64,
+    /// Intervening walls.
+    pub walls: u32,
+}
+
+impl FloorPosition {
+    /// Receive SNR (dB) at this position for a small-cell transmit power:
+    /// log-distance path loss (n = 2.2 indoors LoS) + 4 dB per wall,
+    /// referenced to ~34 dB SNR at 1 m.
+    pub fn snr_db(&self) -> f64 {
+        let d = self.distance_m.max(0.5);
+        34.0 - 22.0 * d.log10() - 4.0 * self.walls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_offset_is_zero() {
+        let t = MobilityTrace::new(MobilityScenario::Static, 60.0, 1);
+        for i in 0..600 {
+            assert_eq!(t.offset_db_at(i as f64 * 0.1), 0.0);
+        }
+    }
+
+    #[test]
+    fn blocked_has_deep_episodes_and_clear_gaps() {
+        let t = MobilityTrace::new(MobilityScenario::Blocked, 120.0, 2);
+        let offsets: Vec<f64> = (0..1200).map(|i| t.offset_db_at(i as f64 * 0.1)).collect();
+        let blocked = offsets.iter().filter(|&&o| o < -5.0).count();
+        let clear = offsets.iter().filter(|&&o| o == 0.0).count();
+        assert!(blocked > 50, "blockage occurs ({blocked})");
+        assert!(clear > 500, "mostly clear ({clear})");
+    }
+
+    #[test]
+    fn moving_walk_is_bounded_and_varies() {
+        let t = MobilityTrace::new(MobilityScenario::Moving, 60.0, 3);
+        let offsets: Vec<f64> = (0..600).map(|i| t.offset_db_at(i as f64 * 0.1)).collect();
+        assert!(offsets.iter().all(|o| o.abs() <= 6.0));
+        let range = offsets.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - offsets.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(range > 1.0, "walk moves ({range} dB)");
+    }
+
+    #[test]
+    fn walk_is_piecewise_continuous() {
+        let t = MobilityTrace::new(MobilityScenario::Moving, 10.0, 4);
+        for i in 0..99 {
+            let a = t.offset_db_at(i as f64 * 0.1);
+            let b = t.offset_db_at((i + 1) as f64 * 0.1);
+            assert!((a - b).abs() <= 0.3 + 1e-9, "step too large");
+        }
+    }
+
+    #[test]
+    fn floor_positions_order_by_distance_and_walls() {
+        let near = FloorPosition { distance_m: 1.0, walls: 0 };
+        let far = FloorPosition { distance_m: 10.0, walls: 0 };
+        let far_walled = FloorPosition { distance_m: 10.0, walls: 2 };
+        assert!(near.snr_db() > far.snr_db());
+        assert!(far.snr_db() > far_walled.snr_db());
+        // 1 m no walls ≈ 34 dB; 10 m + 2 walls ≈ 4 dB.
+        assert!((near.snr_db() - 34.0).abs() < 1.0);
+        assert!(far_walled.snr_db() < 10.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Application traffic models feeding the downlink (and uplink) buffers.
+//!
+//! The paper's UEs "use the data to watch videos or download files"
+//! (§5.2.2). Each model emits discrete packets with sizes and arrival
+//! times; packet boundaries matter because Fig 16d measures how many
+//! packets the RAN aggregates into one TTI.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One application packet arriving at the gNB for a UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Which application the UE is running.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// Bulk file download: the sender keeps the pipe full (backlogged).
+    FileDownload {
+        /// Total file size in bytes (`usize::MAX`-ish for endless).
+        total_bytes: usize,
+    },
+    /// Chunked adaptive video: a burst of segment data every chunk period.
+    Video {
+        /// Mean video bitrate, bits/s.
+        bitrate_bps: f64,
+        /// Segment duration in seconds (chunk cadence).
+        chunk_s: f64,
+    },
+    /// Constant bit rate (e.g. voice/gaming): evenly spaced packets.
+    Cbr {
+        /// Rate in bits/s.
+        rate_bps: f64,
+        /// Packet size in bytes.
+        packet_bytes: usize,
+    },
+    /// Poisson packet arrivals (background/web-ish traffic).
+    Poisson {
+        /// Mean packet rate, packets/s.
+        pkts_per_s: f64,
+        /// Mean packet size, bytes (exponential-ish sizes).
+        mean_bytes: usize,
+    },
+}
+
+/// A stateful traffic source producing packets per tick.
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    kind: TrafficKind,
+    rng: StdRng,
+    /// Bytes already generated (for finite downloads).
+    generated: usize,
+    /// Time carry-over for periodic emission.
+    accum_s: f64,
+}
+
+/// MTU-ish packetisation used to split bursts into packets.
+const PACKET_BYTES: usize = 1400;
+
+impl TrafficSource {
+    /// New source for a model; `seed` decorrelates UEs.
+    pub fn new(kind: TrafficKind, seed: u64) -> TrafficSource {
+        TrafficSource {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            generated: 0,
+            accum_s: 0.0,
+        }
+    }
+
+    /// The model this source runs.
+    pub fn kind(&self) -> TrafficKind {
+        self.kind
+    }
+
+    /// Whether the source has produced all it ever will.
+    pub fn finished(&self) -> bool {
+        match self.kind {
+            TrafficKind::FileDownload { total_bytes } => self.generated >= total_bytes,
+            _ => false,
+        }
+    }
+
+    /// Advance by `dt` seconds, returning the packets that arrived.
+    pub fn tick(&mut self, dt: f64) -> Vec<Packet> {
+        match self.kind {
+            TrafficKind::FileDownload { total_bytes } => {
+                // Backlogged source: models a sender that always has ~a
+                // congestion window outstanding. Emit up to 64 kB per tick
+                // until the file is done (the RAN, not the source, is the
+                // bottleneck).
+                let burst = 65_536.min(total_bytes - self.generated);
+                self.generated += burst;
+                packetise(burst)
+            }
+            TrafficKind::Video { bitrate_bps, chunk_s } => {
+                self.accum_s += dt;
+                if self.accum_s >= chunk_s {
+                    self.accum_s -= chunk_s;
+                    // One segment: bitrate × chunk duration, ±20% encoder
+                    // variance.
+                    let nominal = bitrate_bps * chunk_s / 8.0;
+                    let scale = self.rng.gen_range(0.8..1.2);
+                    let bytes = (nominal * scale) as usize;
+                    self.generated += bytes;
+                    packetise(bytes)
+                } else {
+                    Vec::new()
+                }
+            }
+            TrafficKind::Cbr { rate_bps, packet_bytes } => {
+                self.accum_s += dt;
+                let interval = packet_bytes as f64 * 8.0 / rate_bps;
+                let mut out = Vec::new();
+                while self.accum_s >= interval {
+                    self.accum_s -= interval;
+                    out.push(Packet { bytes: packet_bytes });
+                    self.generated += packet_bytes;
+                }
+                out
+            }
+            TrafficKind::Poisson { pkts_per_s, mean_bytes } => {
+                // Number of arrivals in dt ~ Poisson(λ·dt); λ·dt is small
+                // per slot so Bernoulli splitting is adequate and cheap.
+                let mut out = Vec::new();
+                let mut p = pkts_per_s * dt;
+                while p > 0.0 {
+                    let draw: f64 = self.rng.gen();
+                    if draw < p.min(1.0) {
+                        let size = ((mean_bytes as f64)
+                            * (-(1.0 - self.rng.gen::<f64>()).ln()))
+                        .clamp(40.0, 9000.0) as usize;
+                        self.generated += size;
+                        out.push(Packet { bytes: size });
+                    }
+                    p -= 1.0;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Split a burst into MTU-sized packets (last one short).
+fn packetise(bytes: usize) -> Vec<Packet> {
+    let mut out = Vec::with_capacity(bytes / PACKET_BYTES + 1);
+    let mut left = bytes;
+    while left > 0 {
+        let take = left.min(PACKET_BYTES);
+        out.push(Packet { bytes: take });
+        left -= take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_download_finishes_exactly() {
+        let mut s = TrafficSource::new(
+            TrafficKind::FileDownload { total_bytes: 150_000 },
+            1,
+        );
+        let mut total = 0usize;
+        let mut ticks = 0;
+        while !s.finished() {
+            total += s.tick(0.0005).iter().map(|p| p.bytes).sum::<usize>();
+            ticks += 1;
+            assert!(ticks < 100, "download should complete quickly");
+        }
+        assert_eq!(total, 150_000);
+        assert!(s.tick(0.0005).is_empty(), "no data after completion");
+    }
+
+    #[test]
+    fn cbr_rate_is_accurate() {
+        let mut s = TrafficSource::new(
+            TrafficKind::Cbr { rate_bps: 1_000_000.0, packet_bytes: 1250 },
+            2,
+        );
+        let mut bytes = 0usize;
+        for _ in 0..2000 {
+            bytes += s.tick(0.0005).iter().map(|p| p.bytes).sum::<usize>();
+        }
+        // 1 Mbit/s over 1 s = 125 000 bytes.
+        assert!((bytes as f64 - 125_000.0).abs() < 2500.0, "{bytes}");
+    }
+
+    #[test]
+    fn video_emits_chunks_at_cadence() {
+        let mut s = TrafficSource::new(
+            TrafficKind::Video { bitrate_bps: 4_000_000.0, chunk_s: 1.0 },
+            3,
+        );
+        let mut chunk_ticks = 0;
+        // 3 s of slots plus a couple of ticks of float-accumulation slack.
+        for _ in 0..6010 {
+            if !s.tick(0.0005).is_empty() {
+                chunk_ticks += 1;
+            }
+        }
+        assert_eq!(chunk_ticks, 3, "one chunk per second");
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_right() {
+        let mut s = TrafficSource::new(
+            TrafficKind::Poisson { pkts_per_s: 200.0, mean_bytes: 500 },
+            4,
+        );
+        let mut pkts = 0usize;
+        for _ in 0..20_000 {
+            pkts += s.tick(0.0005).len();
+        }
+        // 10 s at 200 pkt/s → ~2000.
+        assert!((pkts as f64 - 2000.0).abs() < 200.0, "{pkts}");
+    }
+
+    #[test]
+    fn packets_respect_mtu() {
+        let pkts = packetise(10_000);
+        assert!(pkts.iter().all(|p| p.bytes <= PACKET_BYTES));
+        assert_eq!(pkts.iter().map(|p| p.bytes).sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = TrafficSource::new(
+                TrafficKind::Poisson { pkts_per_s: 100.0, mean_bytes: 700 },
+                seed,
+            );
+            (0..1000).flat_map(|_| s.tick(0.0005)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

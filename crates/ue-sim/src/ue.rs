@@ -1,0 +1,278 @@
+//! The simulated UE: traffic + channel + the ground-truth delivery log.
+//!
+//! The delivery log plays the role of `tcpdump` on the paper's phones
+//! (§5.2.2): it records exactly when how many bytes reached the UE, so the
+//! evaluation can compare NR-Scope's estimates against what the UE really
+//! received — including HARQ retransmission and packet aggregation effects.
+//!
+//! Byte life cycle: application packets enter `dl_buffer`; when the gNB
+//! transmits a transport block it calls [`SimUe::dequeue_for_tx`] (bytes
+//! move into the HARQ process, leaving the buffer so the scheduler can't
+//! double-schedule them); when the block is finally ACKed the gNB calls
+//! [`SimUe::record_delivery`], which appends the tcpdump-equivalent record.
+
+use crate::mobility::{MobilityScenario, MobilityTrace};
+use crate::traffic::{Packet, TrafficSource};
+use nr_phy::channel::{ChannelProfile, UeChannel};
+use nr_phy::mcs::snr_db_to_cqi;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One ground-truth delivery record (the tcpdump equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Slot in which the transport block was (finally) decoded.
+    pub slot: u64,
+    /// Bytes delivered.
+    pub bytes: usize,
+    /// Application packets completed in this block.
+    pub packets: usize,
+    /// Whether HARQ retransmission preceded delivery.
+    pub was_retransmitted: bool,
+}
+
+/// A simulated UE attached (or attaching) to the cell.
+#[derive(Debug, Clone)]
+pub struct SimUe {
+    /// Stable simulation-side identity (not the RNTI).
+    pub id: u64,
+    /// Radio channel (profile + fading + placement offset).
+    pub channel: UeChannel,
+    /// Mobility overlay on the channel.
+    pub mobility: MobilityTrace,
+    /// Application traffic source.
+    pub traffic: TrafficSource,
+    /// Bytes queued at the gNB for this UE (downlink buffer, excluding
+    /// bytes already in flight in a HARQ process).
+    pub dl_buffer: usize,
+    /// Pending packet boundaries inside the buffer (for aggregation stats).
+    pending_packets: VecDeque<Packet>,
+    /// Uplink demand in bytes (drives UL grants).
+    pub ul_buffer: usize,
+    /// Ground-truth deliveries.
+    pub deliveries: Vec<Delivery>,
+    /// Exponentially averaged served rate (bits/s) for PF scheduling.
+    pub avg_rate: f64,
+}
+
+impl SimUe {
+    /// Create a UE with the given channel profile, mobility scenario and
+    /// traffic model.
+    pub fn new(
+        id: u64,
+        profile: ChannelProfile,
+        scenario: MobilityScenario,
+        traffic: TrafficSource,
+        placement_offset_db: f64,
+        horizon_s: f64,
+        seed: u64,
+    ) -> SimUe {
+        SimUe {
+            id,
+            channel: UeChannel::new(profile, placement_offset_db, seed),
+            mobility: MobilityTrace::new(scenario, horizon_s, seed.wrapping_mul(31)),
+            traffic,
+            dl_buffer: 0,
+            pending_packets: VecDeque::new(),
+            ul_buffer: 0,
+            deliveries: Vec::new(),
+            avg_rate: 1.0,
+        }
+    }
+
+    /// Effective SNR at time `t`: channel plus mobility offset.
+    pub fn snr_db_at(&self, t: f64) -> f64 {
+        self.channel.snr_db_at(t) + self.mobility.offset_db_at(t)
+    }
+
+    /// The CQI the UE would report at time `t`.
+    pub fn cqi_at(&self, t: f64) -> u8 {
+        snr_db_to_cqi(self.snr_db_at(t))
+    }
+
+    /// Advance traffic generation by one slot of `dt` seconds: new packets
+    /// enter the downlink buffer. A small uplink echo (ACK traffic, ~3% of
+    /// DL) accrues too, so UL grants exist like in the paper's cells.
+    pub fn generate_traffic(&mut self, dt: f64) {
+        let pkts = self.traffic.tick(dt);
+        for p in &pkts {
+            self.dl_buffer += p.bytes;
+            self.ul_buffer += (p.bytes / 30).max(2);
+        }
+        self.pending_packets.extend(pkts);
+    }
+
+    /// Move up to `bytes` from the buffer into a HARQ process at
+    /// transmission time. Returns `(actual_bytes, whole_packets_covered)`.
+    pub fn dequeue_for_tx(&mut self, bytes: usize) -> (usize, usize) {
+        let bytes = bytes.min(self.dl_buffer);
+        self.dl_buffer -= bytes;
+        let mut covered = 0usize;
+        let mut packets = 0usize;
+        while let Some(p) = self.pending_packets.front() {
+            if covered + p.bytes > bytes {
+                break;
+            }
+            covered += p.bytes;
+            packets += 1;
+            self.pending_packets.pop_front();
+        }
+        // Partial head packet: shrink it (rest goes in a later block).
+        if covered < bytes {
+            if let Some(p) = self.pending_packets.front_mut() {
+                p.bytes -= bytes - covered;
+            }
+        }
+        (bytes, packets)
+    }
+
+    /// Record the final (ACKed) delivery of a transport block and update
+    /// the PF average rate.
+    pub fn record_delivery(
+        &mut self,
+        slot: u64,
+        bytes: usize,
+        packets: usize,
+        was_retransmitted: bool,
+        slot_s: f64,
+    ) {
+        self.deliveries.push(Delivery {
+            slot,
+            bytes,
+            packets,
+            was_retransmitted,
+        });
+        let inst = bytes as f64 * 8.0 / slot_s;
+        self.avg_rate = 0.99 * self.avg_rate + 0.01 * inst;
+    }
+
+    /// Consume `bytes` of uplink demand (the gNB granted a PUSCH).
+    pub fn consume_uplink(&mut self, bytes: usize) {
+        self.ul_buffer = self.ul_buffer.saturating_sub(bytes);
+    }
+
+    /// Total ground-truth bytes delivered in a slot range — the quantity a
+    /// tcpdump-based bitrate computation would produce.
+    pub fn delivered_bytes_in(&self, slots: std::ops::Range<u64>) -> usize {
+        self.deliveries
+            .iter()
+            .filter(|d| slots.contains(&d.slot))
+            .map(|d| d.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficKind;
+
+    fn test_ue() -> SimUe {
+        SimUe::new(
+            1,
+            ChannelProfile::Awgn,
+            MobilityScenario::Static,
+            TrafficSource::new(TrafficKind::Cbr { rate_bps: 1e6, packet_bytes: 1000 }, 7),
+            0.0,
+            60.0,
+            7,
+        )
+    }
+
+    #[test]
+    fn traffic_fills_buffer() {
+        let mut ue = test_ue();
+        for _ in 0..2000 {
+            ue.generate_traffic(0.0005);
+        }
+        // 1 Mbit/s over 1 s = 125 kB.
+        assert!((ue.dl_buffer as f64 - 125_000.0).abs() < 5_000.0);
+        assert!(ue.ul_buffer > 0, "uplink echo demand exists");
+    }
+
+    #[test]
+    fn dequeue_moves_bytes_out_of_buffer() {
+        let mut ue = test_ue();
+        for _ in 0..200 {
+            ue.generate_traffic(0.0005);
+        }
+        let before = ue.dl_buffer;
+        let (bytes, packets) = ue.dequeue_for_tx(2500);
+        assert_eq!(bytes, 2500);
+        assert_eq!(ue.dl_buffer, before - 2500);
+        // 2.5 kB at 1 kB packets → 2 whole packets.
+        assert_eq!(packets, 2);
+        // Nothing delivered yet.
+        assert!(ue.deliveries.is_empty());
+    }
+
+    #[test]
+    fn dequeue_caps_at_buffer() {
+        let mut ue = test_ue();
+        ue.generate_traffic(0.0005);
+        let buffered = ue.dl_buffer;
+        let (bytes, _) = ue.dequeue_for_tx(buffered + 10_000);
+        assert_eq!(bytes, buffered);
+        assert_eq!(ue.dl_buffer, 0);
+    }
+
+    #[test]
+    fn partial_packet_is_split_across_blocks() {
+        let mut ue = test_ue();
+        for _ in 0..200 {
+            ue.generate_traffic(0.0005);
+        }
+        // Take 1.5 packets.
+        let (_, p1) = ue.dequeue_for_tx(1500);
+        assert_eq!(p1, 1);
+        // The next kilobyte completes the split packet.
+        let (_, p2) = ue.dequeue_for_tx(500);
+        assert_eq!(p2, 1, "remainder of the split packet completes");
+    }
+
+    #[test]
+    fn delivered_bytes_window_query() {
+        let mut ue = test_ue();
+        for _ in 0..2000 {
+            ue.generate_traffic(0.0005);
+        }
+        ue.record_delivery(10, 1000, 1, false, 0.0005);
+        ue.record_delivery(20, 2000, 2, true, 0.0005);
+        ue.record_delivery(30, 4000, 3, false, 0.0005);
+        assert_eq!(ue.delivered_bytes_in(0..25), 3000);
+        assert_eq!(ue.delivered_bytes_in(20..31), 6000);
+    }
+
+    #[test]
+    fn cqi_tracks_snr() {
+        let good = SimUe::new(
+            1,
+            ChannelProfile::Normal,
+            MobilityScenario::Static,
+            TrafficSource::new(TrafficKind::FileDownload { total_bytes: 1 }, 1),
+            0.0,
+            10.0,
+            1,
+        );
+        let bad = SimUe::new(
+            2,
+            ChannelProfile::Urban,
+            MobilityScenario::Static,
+            TrafficSource::new(TrafficKind::FileDownload { total_bytes: 1 }, 2),
+            -5.0,
+            10.0,
+            2,
+        );
+        assert!(good.cqi_at(1.0) > bad.cqi_at(1.0));
+    }
+
+    #[test]
+    fn pf_average_rises_with_service() {
+        let mut ue = test_ue();
+        let before = ue.avg_rate;
+        for s in 0..50 {
+            ue.record_delivery(s, 1000, 1, false, 0.0005);
+        }
+        assert!(ue.avg_rate > before);
+    }
+}

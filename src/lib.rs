@@ -1,0 +1,10 @@
+//! Facade crate for the NR-Scope workspace: re-exports the public crates so
+//! examples and integration tests can use a single import root.
+pub use gnb_sim as gnb;
+pub use nr_mac as mac;
+pub use nr_phy as phy;
+pub use nr_radio as radio;
+pub use nr_rrc as rrc;
+pub use nrscope as scope;
+pub use nrscope_analytics as analytics;
+pub use ue_sim as ue;

@@ -1,0 +1,190 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use nr_scope::phy::bits::{BitReader, BitWriter};
+use nr_scope::phy::crc::{dci_attach_crc, dci_check_crc, dci_recover_rnti};
+use nr_scope::phy::dci::{riv_decode, riv_encode, Dci, DciFormat, DciSizing};
+use nr_scope::phy::mcs::{bler, select_mcs, McsTable};
+use nr_scope::phy::polar::PolarCode;
+use nr_scope::phy::sequence::{gold_bits, scramble_in_place};
+use nr_scope::phy::tbs::{transport_block_size, TbsParams};
+use nr_scope::rrc::{Mib, RrcSetup, Sib1};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn crc_rnti_recovery_is_exact_for_any_payload(
+        payload in prop::collection::vec(0u8..2, 20..60),
+        rnti in 1u16..0xFFF0,
+    ) {
+        let cw = dci_attach_crc(&payload, rnti);
+        prop_assert_eq!(dci_recover_rnti(&cw), Some(rnti));
+        let checked = dci_check_crc(&cw, rnti);
+        prop_assert_eq!(checked.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn corrupted_codewords_never_validate(
+        payload in prop::collection::vec(0u8..2, 30..50),
+        rnti in 1u16..0xFFF0,
+        flip in 0usize..50,
+    ) {
+        let mut cw = dci_attach_crc(&payload, rnti);
+        let idx = flip % cw.len();
+        cw[idx] ^= 1;
+        prop_assert!(dci_check_crc(&cw, rnti).is_none());
+    }
+
+    #[test]
+    fn polar_round_trips_any_payload(
+        bits in prop::collection::vec(0u8..2, 25..90),
+    ) {
+        let e = 216; // aggregation level 2
+        let code = PolarCode::new(bits.len(), e);
+        let tx = code.encode(&bits);
+        prop_assert_eq!(tx.len(), e);
+        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 6.0 } else { -6.0 }).collect();
+        prop_assert_eq!(code.decode_sc(&llrs), bits);
+    }
+
+    #[test]
+    fn gold_scrambling_is_always_an_involution(
+        mut data in prop::collection::vec(0u8..2, 1..300),
+        c_init in 0u32..0x7FFF_FFFF,
+    ) {
+        let orig = data.clone();
+        scramble_in_place(&mut data, c_init);
+        scramble_in_place(&mut data, c_init);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn gold_sequences_differ_across_inits(a in 0u32..1000, b in 1000u32..2000) {
+        prop_assert_ne!(gold_bits(a, 64), gold_bits(b, 64));
+    }
+
+    #[test]
+    fn riv_round_trips_within_any_bwp(
+        bwp in 11usize..275,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let start = ((bwp - 1) as f64 * start_frac) as usize;
+        let max_len = bwp - start;
+        let len = 1 + ((max_len - 1) as f64 * len_frac) as usize;
+        let riv = riv_encode(start, len, bwp);
+        prop_assert_eq!(riv_decode(riv, bwp), Some((start, len)));
+    }
+
+    #[test]
+    fn dci_pack_unpack_is_identity(
+        bwp in 24usize..275,
+        f_frac in 0.0f64..1.0,
+        t_alloc in 0u8..16,
+        mcs in 0u8..28,
+        ndi in 0u8..2,
+        rv in 0u8..4,
+        harq_id in 0u8..16,
+        dl in proptest::bool::ANY,
+    ) {
+        let sizing = DciSizing { bwp_prbs: bwp };
+        let max_riv = riv_encode(0, bwp, bwp);
+        let f_alloc = (max_riv as f64 * f_frac) as u32;
+        let dci = Dci {
+            format: if dl { DciFormat::Dl1_1 } else { DciFormat::Ul0_1 },
+            f_alloc,
+            t_alloc,
+            mcs,
+            ndi,
+            rv,
+            harq_id,
+            dai: if dl { 2 } else { 0 },
+            tpc: 1,
+            harq_feedback: if dl { 3 } else { 0 },
+            ports: 5,
+            srs_request: 1,
+            dmrs_id: 0,
+        };
+        let bits = dci.pack(&sizing);
+        prop_assert_eq!(Dci::unpack(&bits, &sizing), Some(dci));
+    }
+
+    #[test]
+    fn tbs_is_monotone_in_resources(
+        prbs in 1usize..100,
+        extra in 1usize..50,
+        mcs in 0u8..28,
+    ) {
+        let entry = McsTable::Qam256.entry(mcs).unwrap();
+        let params = |n| TbsParams {
+            n_prb: n,
+            n_symbols: 12,
+            dmrs_per_prb: 12,
+            overhead_per_prb: 0,
+            mcs: entry,
+            layers: 2,
+        };
+        prop_assert!(transport_block_size(&params(prbs + extra)) >= transport_block_size(&params(prbs)));
+    }
+
+    #[test]
+    fn bler_is_between_zero_and_one(mcs in 0u8..28, snr in -30.0f64..50.0) {
+        let entry = McsTable::Qam256.entry(mcs).unwrap();
+        let p = bler(entry, snr);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn selected_mcs_is_always_valid(snr in -30.0f64..50.0) {
+        for table in [McsTable::Qam64, McsTable::Qam256] {
+            let m = select_mcs(table, snr, 0.1);
+            prop_assert!(table.entry(m).is_some());
+        }
+    }
+
+    #[test]
+    fn mib_decode_never_panics_on_junk(bits in prop::collection::vec(0u8..2, 0..80)) {
+        let _ = Mib::decode(&bits);
+    }
+
+    #[test]
+    fn sib1_decode_never_panics_on_junk(bits in prop::collection::vec(0u8..2, 0..200)) {
+        let _ = Sib1::decode(&bits);
+    }
+
+    #[test]
+    fn rrc_setup_decode_never_panics_on_junk(bits in prop::collection::vec(0u8..2, 0..80)) {
+        let _ = RrcSetup::decode(&bits);
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip(
+        values in prop::collection::vec((0u64..u32::MAX as u64, 1usize..33), 1..20),
+    ) {
+        let mut w = BitWriter::new();
+        for (v, width) in &values {
+            let masked = v & ((1u64 << width) - 1);
+            w.put(masked, *width);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for (v, width) in &values {
+            let masked = v & ((1u64 << width) - 1);
+            prop_assert_eq!(r.get(*width), Some(masked));
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn harq_tracker_flags_iff_ndi_repeats(
+        observations in prop::collection::vec((0u8..16, 0u8..2), 1..100),
+    ) {
+        use nr_scope::mac::HarqTracker;
+        let mut tracker = HarqTracker::new();
+        let mut last: [Option<u8>; 16] = [None; 16];
+        for (harq_id, ndi) in observations {
+            let expect = last[harq_id as usize] == Some(ndi);
+            prop_assert_eq!(tracker.observe(harq_id, ndi), expect);
+            last[harq_id as usize] = Some(ndi);
+        }
+    }
+}
