@@ -56,6 +56,7 @@ fn job(observed: &ObservedSlot, sif: usize, ctx: &DecoderContext, ues: usize, th
             ..Hypotheses::default()
         },
         dci_threads: threads,
+        fault: None,
     }
 }
 

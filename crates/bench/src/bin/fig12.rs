@@ -66,6 +66,7 @@ fn mean_processing_us(
                 ..Hypotheses::default()
             },
             dci_threads: threads,
+            fault: None,
         };
         let r = process_slot(&job);
         total_us += r.processing.as_secs_f64() * 1e6;

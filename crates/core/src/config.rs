@@ -29,6 +29,15 @@ pub struct ScopeConfig {
     pub skip_rrc_decode: bool,
     /// Number of DCI worker threads in the Fig 4 pipeline.
     pub dci_threads: usize,
+    /// Consecutive unhealthy slots (no DCI decoded while UEs are expected,
+    /// or slots dropped outright) before sync is considered degraded.
+    pub degraded_after_slots: u64,
+    /// Consecutive unhealthy slots before sync is declared lost and the
+    /// cell identity is discarded for re-acquisition.
+    pub lost_after_slots: u64,
+    /// Upper bound (exclusive) of the PCI range scanned while re-acquiring
+    /// at message fidelity (IQ fidelity re-detects from PSS/SSS instead).
+    pub pci_scan_max: u16,
 }
 
 impl Default for ScopeConfig {
@@ -39,6 +48,9 @@ impl Default for ScopeConfig {
             ue_expiry_slots: 20_000, // 10 s at µ=1
             skip_rrc_decode: true,
             dci_threads: 4,
+            degraded_after_slots: 120,
+            lost_after_slots: 400,
+            pci_scan_max: 128,
         }
     }
 }

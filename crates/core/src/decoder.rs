@@ -20,7 +20,7 @@ use nr_phy::pdcch::{
     extract_candidate, search_space_cinit, AggregationLevel, Coreset,
 };
 use nr_phy::polar::PolarCode;
-use nr_phy::sequence::{gold_bits, gold_bits_cached};
+use nr_phy::sequence::gold_bits_cached;
 use nr_phy::types::{Rnti, RntiType};
 
 /// One successfully decoded DCI.

@@ -29,9 +29,10 @@ pub mod tracker;
 pub mod worker;
 
 pub use config::{Fidelity, ScopeConfig};
-pub use observe::{ObservedDci, ObservedSlot, Observer};
-pub use scope::NrScope;
+pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
+pub use scope::{NrScope, ScopeStats, SyncState};
 pub use telemetry::TelemetryRecord;
+pub use worker::{BackpressurePolicy, InjectedFault, PoolConfig, PoolStats, WorkerPool};
 
 /// Rate-matched PBCH bit budget. Must equal the renderer's
 /// (`gnb_sim::iq::PBCH_E_BITS`); asserted in integration tests.

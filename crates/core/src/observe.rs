@@ -23,6 +23,7 @@ use nr_phy::pdcch::AggregationLevel;
 use nr_phy::sequence::{pdcch_scrambling_cinit, scramble_in_place};
 use nr_phy::types::{Rnti, RntiType};
 use nr_radio::VirtualUsrp;
+pub use nr_radio::ImpairmentSchedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,31 +77,104 @@ pub enum PdschPayload {
     RrcSetup(Vec<u8>),
 }
 
+/// Why the observer produced no slot (what a real capture loop logs when
+/// the ring buffer or the host falls behind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// USRP overflow: the slot buffer was lost in hardware.
+    Overflow,
+    /// Host stall: the receive thread missed its deadline.
+    Stall,
+}
+
+/// One observer tick under fault injection: either a captured slot or an
+/// accounted-for loss. [`Observer::capture`] produces these; the plain
+/// [`Observer::observe`] path never drops.
+#[derive(Debug, Clone)]
+pub enum Capture {
+    /// The slot was captured (possibly degraded or truncated).
+    Slot(ObservedSlot),
+    /// The slot was lost.
+    Dropped(DropReason),
+}
+
 /// The observer: owns the sniffer-side channel model.
 pub struct Observer {
-    cfg: CellConfig,
     /// Sniffer receive SNR (dB) — placement-dependent (paper Fig 13).
     snr_db: f64,
     usrp: VirtualUsrp,
     renderer: Option<IqRenderer>,
     rng: StdRng,
+    /// Scripted impairments (chaos testing); `None` = clean capture.
+    schedule: Option<ImpairmentSchedule>,
+    /// Observer-local slot counter driving the schedule.
+    capture_slot: u64,
+    /// Remaining slots of an in-progress host stall.
+    stall_remaining: u32,
 }
 
 impl Observer {
     /// Observer at a position with the given receive SNR.
     pub fn new(cfg: &CellConfig, snr_db: f64, iq: bool, seed: u64) -> Observer {
         Observer {
-            cfg: cfg.clone(),
             snr_db,
             usrp: VirtualUsrp::new(snr_db, 0.0, seed),
             renderer: iq.then(|| IqRenderer::new(cfg)),
             rng: StdRng::seed_from_u64(seed ^ 0x0B5E),
+            schedule: None,
+            capture_slot: 0,
+            stall_remaining: 0,
         }
     }
 
     /// Sniffer SNR.
     pub fn snr_db(&self) -> f64 {
         self.snr_db
+    }
+
+    /// Script impairments into subsequent [`Observer::capture`] calls.
+    pub fn set_impairments(&mut self, schedule: ImpairmentSchedule) {
+        self.schedule = Some(schedule);
+    }
+
+    /// Observe one slot under the impairment schedule. Equivalent to
+    /// [`Observer::observe`] when no schedule is set (every slot clean).
+    pub fn capture(&mut self, out: &SlotOutput, t: f64) -> Capture {
+        let slot = self.capture_slot;
+        self.capture_slot += 1;
+        let imp = self
+            .schedule
+            .as_ref()
+            .map(|s| s.verdict(slot))
+            .unwrap_or_default();
+        if self.stall_remaining > 0 {
+            self.stall_remaining -= 1;
+            return Capture::Dropped(DropReason::Stall);
+        }
+        if imp.stall_slots > 0 {
+            // The stall swallows this slot and the next `stall_slots - 1`.
+            self.stall_remaining = imp.stall_slots - 1;
+            return Capture::Dropped(DropReason::Stall);
+        }
+        if imp.drop {
+            return Capture::Dropped(DropReason::Overflow);
+        }
+        if imp.agc_kick_db != 0.0 {
+            self.usrp.kick_agc_db(imp.agc_kick_db as f32);
+        }
+        if imp.snr_penalty_db != 0.0 {
+            // IQ path: extra noise at the front end. Message path: the
+            // corruption model runs at the degraded SNR for this slot.
+            self.usrp.inject_snr_penalty_db(imp.snr_penalty_db);
+        }
+        let clean_snr = self.snr_db;
+        self.snr_db -= imp.snr_penalty_db;
+        let mut observed = self.observe(out, t);
+        self.snr_db = clean_snr;
+        if let Some(frac) = imp.truncate {
+            truncate_slot(&mut observed, frac);
+        }
+        Capture::Slot(observed)
     }
 
     /// Residual per-candidate miss probability at arbitrarily good SNR:
@@ -155,7 +229,7 @@ impl Observer {
             // Build the on-air codeword: CRC attach + RNTI scramble, then
             // Gold scramble with the search-space-appropriate identity.
             let mut cw = dci_attach_crc(&dci.payload_bits, dci.rnti.0);
-            let c_init = scrambling_for(dci.rnti, dci.rnti_type, self.cfg.pci.0);
+            let c_init = scrambling_for(dci.rnti, dci.rnti_type, out.pci.0);
             scramble_in_place(&mut cw, c_init);
             // Corruption: with candidate BLER probability, flip a burst of
             // bits (an undecodable block, not a single flip the CRC would
@@ -179,6 +253,24 @@ impl Observer {
             mib_bits,
             dcis,
             pdsch,
+        }
+    }
+}
+
+/// Cut a captured slot short (USRP overflow mid-slot): IQ keeps only the
+/// leading fraction of samples; at message fidelity the tail candidates
+/// and the slot's PDSCH payloads (always late in the slot) are lost.
+fn truncate_slot(observed: &mut ObservedSlot, frac: f64) {
+    match observed {
+        ObservedSlot::Iq { samples, pdsch } => {
+            let keep = (samples.len() as f64 * frac) as usize;
+            samples.truncate(keep);
+            pdsch.clear();
+        }
+        ObservedSlot::Message { dcis, pdsch, .. } => {
+            let keep = (dcis.len() as f64 * frac) as usize;
+            dcis.truncate(keep);
+            pdsch.clear();
         }
     }
 }
@@ -292,6 +384,77 @@ mod tests {
             (rate - model).abs() < 0.08,
             "observed {rate:.3} vs model {model:.3}"
         );
+    }
+
+    #[test]
+    fn capture_without_schedule_matches_observe() {
+        let mut g1 = loaded_gnb(4);
+        let mut g2 = loaded_gnb(4);
+        let cfg = g1.cfg.clone();
+        let mut plain = Observer::new(&cfg, 20.0, false, 7);
+        let mut chaos = Observer::new(&cfg, 20.0, false, 7);
+        for s in 0..200 {
+            let t = s as f64 * 0.0005;
+            let a = plain.observe(&g1.step(), t);
+            let b = chaos.capture(&g2.step(), t);
+            let Capture::Slot(b) = b else {
+                panic!("clean capture dropped a slot")
+            };
+            match (a, b) {
+                (
+                    ObservedSlot::Message { dcis: da, .. },
+                    ObservedSlot::Message { dcis: db, .. },
+                ) => {
+                    assert_eq!(da.len(), db.len());
+                    for (x, y) in da.iter().zip(&db) {
+                        assert_eq!(x.scrambled_bits, y.scrambled_bits);
+                    }
+                }
+                _ => panic!("expected message slots"),
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_outage_and_stall_drop_the_right_slots() {
+        let mut g = loaded_gnb(5);
+        let cfg = g.cfg.clone();
+        let mut obs = Observer::new(&cfg, 30.0, false, 7);
+        obs.set_impairments(
+            nr_radio::ImpairmentSchedule::new(9)
+                .with_outage(10..14)
+                .with_stall(20, 3),
+        );
+        let mut log = Vec::new();
+        for s in 0..30 {
+            log.push(match obs.capture(&g.step(), s as f64 * 0.0005) {
+                Capture::Slot(_) => 'S',
+                Capture::Dropped(DropReason::Overflow) => 'O',
+                Capture::Dropped(DropReason::Stall) => 'H',
+            });
+        }
+        let s: String = log.iter().collect();
+        assert_eq!(&s[10..14], "OOOO", "outage window dropped: {s}");
+        assert_eq!(&s[20..23], "HHH", "stall swallowed 3 slots: {s}");
+        assert_eq!(s.matches(|c| c != 'S').count(), 7, "nothing else lost: {s}");
+    }
+
+    #[test]
+    fn truncated_slots_lose_tail_candidates_and_pdsch() {
+        let mut g = loaded_gnb(6);
+        let cfg = g.cfg.clone();
+        let mut obs = Observer::new(&cfg, 30.0, false, 7);
+        obs.set_impairments(nr_radio::ImpairmentSchedule::new(3).with_truncate_prob(1.0));
+        for s in 0..100 {
+            let out = g.step();
+            let n_dcis = out.dcis.len();
+            if let Capture::Slot(ObservedSlot::Message { dcis, pdsch, .. }) =
+                obs.capture(&out, s as f64 * 0.0005)
+            {
+                assert!(dcis.len() <= n_dcis);
+                assert!(pdsch.is_empty(), "PDSCH tail lost on truncation");
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use crate::config::ScopeConfig;
 use crate::decoder::{decode_grid, decode_message_slot, DecodedDci, DecoderContext, Hypotheses};
-use crate::observe::{ObservedSlot, PdschPayload};
+use crate::observe::{Capture, ObservedSlot, PdschPayload};
+use crate::worker::PoolStats;
 use crate::spare::{slot_data_res, spare_capacity, SpareShare, UeUsage};
 use crate::telemetry::TelemetryRecord;
 use crate::throughput::ThroughputEstimator;
@@ -33,6 +34,27 @@ pub struct CellKnowledge {
     pub anchor_sfn: u32,
 }
 
+/// Synchronisation health of the session (self-healing state machine).
+///
+/// `Synced` is the normal state. Consecutive unhealthy slots (nothing
+/// decoded while UEs are expected, or slots dropped by the front end)
+/// degrade it to `Degraded`, then `Lost` — at which point the cell
+/// identity is discarded — and `Reacquiring`, where cell search re-runs
+/// (PSS/SSS at IQ fidelity, an SI-RNTI PCI scan at message fidelity).
+/// Any successful DCI decode snaps the session back to `Synced`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncState {
+    /// Decoding normally.
+    #[default]
+    Synced,
+    /// Suspiciously quiet: decode failures or drops are accumulating.
+    Degraded,
+    /// Sync declared lost; the PCI is no longer trusted.
+    Lost,
+    /// Re-running cell search to find the (possibly new) cell.
+    Reacquiring,
+}
+
 /// Counters the micro-benchmarks read.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScopeStats {
@@ -54,6 +76,22 @@ pub struct ScopeStats {
     pub rrc_decoded: u64,
     /// RRC Setup decodes skipped thanks to the cache (§3.1.2).
     pub rrc_skipped: u64,
+    /// Slots the front end dropped (overflow or processing stall).
+    pub dropped_slots: u64,
+    /// Jobs shed by the worker pool under backpressure (absorbed from
+    /// [`PoolStats`]).
+    pub shed_jobs: u64,
+    /// Worker panics survived by the pool supervisor (absorbed from
+    /// [`PoolStats`]).
+    pub worker_panics: u64,
+    /// Slots whose sample layout matched no known carrier configuration.
+    pub layout_mismatch_slots: u64,
+    /// Transitions back to [`SyncState::Synced`] after degradation.
+    pub resyncs: u64,
+    /// SIB1 re-reads that carried changed content (cell reconfiguration).
+    pub sib1_reloads: u64,
+    /// UEs re-tracked after expiry or sync loss (not new discoveries).
+    pub recovered_ues: u64,
 }
 
 /// The passive telemetry engine.
@@ -75,6 +113,13 @@ pub struct NrScope {
     ofdm: Option<Ofdm>,
     /// PCI provided out-of-band for message fidelity (cell-search product).
     assumed_pci: Option<Pci>,
+    /// Sync-health state machine.
+    sync: SyncState,
+    /// Consecutive unhealthy slots feeding the state machine.
+    unhealthy_streak: u64,
+    /// The PCI believed in before sync was lost — tried first when
+    /// re-acquiring, since most losses are outages, not cell restarts.
+    last_pci: Option<Pci>,
 }
 
 impl NrScope {
@@ -92,7 +137,22 @@ impl NrScope {
             stats: ScopeStats::default(),
             ofdm: None,
             assumed_pci,
+            sync: SyncState::default(),
+            unhealthy_streak: 0,
+            last_pci: None,
         }
+    }
+
+    /// Current synchronisation health.
+    pub fn sync_state(&self) -> SyncState {
+        self.sync
+    }
+
+    /// Fold the worker pool's lifetime counters into the session stats.
+    /// Call once, at teardown, with the pool's final numbers.
+    pub fn absorb_pool_stats(&mut self, pool: &PoolStats) {
+        self.stats.shed_jobs += pool.shed_jobs;
+        self.stats.worker_panics += pool.worker_panics;
     }
 
     /// The telemetry log so far.
@@ -163,12 +223,29 @@ impl NrScope {
         out
     }
 
+    /// Process a front-end capture: a real slot, or a drop marker from the
+    /// impairment path (USRP overflow, processing stall). Dropped slots
+    /// still advance the slot clock and feed the sync-health machine.
+    pub fn process_capture(&mut self, cap: &Capture) -> Vec<TelemetryRecord> {
+        match cap {
+            Capture::Slot(observed) => self.process(observed),
+            Capture::Dropped(_) => {
+                self.stats.dropped_slots += 1;
+                self.note_unhealthy_slot();
+                self.housekeeping(self.slot);
+                self.slot += 1;
+                Vec::new()
+            }
+        }
+    }
+
     /// Process one observed slot, appending decoded telemetry. Returns the
     /// records produced in this slot.
     pub fn process(&mut self, observed: &ObservedSlot) -> Vec<TelemetryRecord> {
         let slot = self.slot;
         self.stats.slots += 1;
         let produced_from = self.records.len();
+        let dcis_before = self.dci_total();
         match observed {
             ObservedSlot::Message { mib_bits, dcis, pdsch } => {
                 if let Some(bits) = mib_bits {
@@ -177,17 +254,48 @@ impl NrScope {
                     }
                 }
                 if self.cell.mib.is_some() {
-                    let ctx = self.decoder_context();
-                    let hyp = self.hypotheses();
-                    let decoded = decode_message_slot(&ctx, dcis, &hyp);
-                    self.consume(decoded, pdsch, slot);
+                    if matches!(self.sync, SyncState::Lost | SyncState::Reacquiring) {
+                        self.reacquire_message(dcis, pdsch, slot);
+                    } else {
+                        let ctx = self.decoder_context();
+                        let hyp = self.hypotheses();
+                        let decoded = decode_message_slot(&ctx, dcis, &hyp);
+                        self.consume(decoded, pdsch, slot);
+                    }
                 }
             }
             ObservedSlot::Iq { samples, pdsch } => {
                 self.process_iq(samples, pdsch, slot);
             }
         }
-        // Housekeeping: expire idle UEs and stale RACH state.
+        // Sync health: a slot that decoded at least one DCI is healthy.
+        // The MIB deliberately does not count — its payload carries no
+        // cell identity, so it keeps decoding right through a PCI change.
+        if self.dci_total() > dcis_before {
+            self.unhealthy_streak = 0;
+            if self.sync != SyncState::Synced {
+                self.sync = SyncState::Synced;
+                self.stats.resyncs += 1;
+            }
+        } else {
+            self.note_unhealthy_slot();
+        }
+        self.housekeeping(slot);
+        self.slot += 1;
+        self.records[produced_from..].to_vec()
+    }
+
+    /// Total DCIs decoded so far, all classes.
+    fn dci_total(&self) -> u64 {
+        self.stats.si_dcis
+            + self.stats.ra_dcis
+            + self.stats.tc_dcis
+            + self.stats.dl_dcis
+            + self.stats.ul_dcis
+    }
+
+    /// Housekeeping: expire idle UEs and stale RACH state.
+    fn housekeeping(&mut self, slot: u64) {
         let ra_window = self
             .cell
             .sib1
@@ -200,15 +308,83 @@ impl NrScope {
         {
             self.throughput.forget(dead);
         }
-        self.slot += 1;
-        self.records[produced_from..].to_vec()
+    }
+
+    /// Feed one unhealthy slot (nothing decoded, or dropped outright) into
+    /// the state machine. Silence is only unhealthy when traffic is
+    /// expected: UEs tracked, a RACH in flight, or already degraded.
+    fn note_unhealthy_slot(&mut self) {
+        let expecting = !self.tracker.is_empty()
+            || !self.tracker.pending_tc_rntis().is_empty()
+            || self.sync != SyncState::Synced
+            || !self
+                .tracker
+                .recently_expired(self.slot, self.cfg.ue_expiry_slots)
+                .is_empty();
+        if !expecting {
+            return;
+        }
+        self.unhealthy_streak += 1;
+        match self.sync {
+            SyncState::Synced if self.unhealthy_streak >= self.cfg.degraded_after_slots => {
+                self.sync = SyncState::Degraded;
+            }
+            SyncState::Degraded if self.unhealthy_streak >= self.cfg.lost_after_slots => {
+                // The cell may have restarted under a new identity: stop
+                // trusting the PCI and go back to cell search. The MIB and
+                // SIB1 are kept — the SIB1 re-read on resync will replace
+                // them if the cell actually changed.
+                self.sync = SyncState::Lost;
+                self.last_pci = self.cell.pci.or(self.assumed_pci);
+                self.cell.pci = None;
+            }
+            SyncState::Lost => {
+                self.sync = SyncState::Reacquiring;
+            }
+            _ => {}
+        }
+    }
+
+    /// Message-fidelity cell re-acquisition: scan candidate PCIs with an
+    /// SI-RNTI-only hypothesis set (the system information is the only
+    /// transmission decodable without UE state). The previously known PCI
+    /// is tried first. CRC-XOR recovery stays off — under a wrong PCI it
+    /// would manufacture false C-RNTIs from scrambling residue.
+    fn reacquire_message(
+        &mut self,
+        dcis: &[crate::observe::ObservedDci],
+        pdsch: &[(Rnti, PdschPayload)],
+        slot: u64,
+    ) {
+        let mut candidates: Vec<u16> = Vec::new();
+        if let Some(p) = self.last_pci {
+            candidates.push(p.0);
+        }
+        candidates.extend((0..self.cfg.pci_scan_max).filter(|c| Some(*c) != self.last_pci.map(|p| p.0)));
+        let hyp = Hypotheses {
+            allow_recovery: false,
+            ..Hypotheses::default()
+        };
+        for pci in candidates {
+            let ctx = self.decoder_context_with(pci);
+            let decoded = decode_message_slot(&ctx, dcis, &hyp);
+            if decoded.iter().any(|d| d.rnti_type == RntiType::Si) {
+                self.cell.pci = Some(Pci(pci));
+                self.consume(decoded, pdsch, slot);
+                return;
+            }
+        }
     }
 
     fn decoder_context(&self) -> DecoderContext {
+        self.decoder_context_with(self.pci().0)
+    }
+
+    fn decoder_context_with(&self, pci: u16) -> DecoderContext {
         let mib = self.cell.mib.as_ref().expect("MIB required");
         DecoderContext {
             coreset: mib.coreset0(),
-            pci: self.pci().0,
+            pci,
             common_sizing: DciSizing {
                 bwp_prbs: mib.coreset0_n_prb as usize,
             },
@@ -226,11 +402,27 @@ impl NrScope {
     }
 
     fn hypotheses(&self) -> Hypotheses {
+        let mut c_rntis = self.tracker.rntis();
+        if self.sync != SyncState::Synced {
+            // While unhealthy, also retry RNTIs that expired recently: UEs
+            // that stayed connected through a sniffer-side outage re-track
+            // from their first DCI instead of waiting for fresh RACH.
+            for r in self
+                .tracker
+                .recently_expired(self.slot, self.cfg.ue_expiry_slots)
+            {
+                if !c_rntis.contains(&r) {
+                    c_rntis.push(r);
+                }
+            }
+        }
         Hypotheses {
             ra_rntis: self.expected_ra_rntis(),
             tc_rntis: self.tracker.pending_tc_rntis(),
-            c_rntis: self.tracker.rntis(),
-            allow_recovery: true,
+            c_rntis,
+            // CRC-XOR recovery needs a trusted PCI; with sync lost it would
+            // invent C-RNTIs from mis-descrambled residue.
+            allow_recovery: !matches!(self.sync, SyncState::Lost | SyncState::Reacquiring),
             skip_common: false,
         }
     }
@@ -267,11 +459,18 @@ impl NrScope {
                 }
             }
             if self.ofdm.is_none() {
+                self.stats.layout_mismatch_slots += 1;
                 return;
             }
             self.process_iq(samples, pdsch, slot);
             return;
         };
+        if samples.len() != ofdm.samples_per_slot(slot_in_frame) {
+            // Truncated capture (overflow recovered mid-slot): the symbol
+            // layout no longer lines up — skip rather than misparse.
+            self.stats.layout_mismatch_slots += 1;
+            return;
+        }
         let grid = ofdm.demodulate(samples, slot_in_frame);
         // Cell search: PSS/SSS on the SSB region whenever not yet locked.
         if self.cell.pci.is_none() {
@@ -313,6 +512,14 @@ impl NrScope {
                         payload_for(pdsch, d.rnti)
                     {
                         if let Ok(sib1) = Sib1::decode(bits) {
+                            if self
+                                .cell
+                                .sib1
+                                .as_ref()
+                                .is_some_and(|old| *old != sib1)
+                            {
+                                self.stats.sib1_reloads += 1;
+                            }
                             self.cell.sib1 = Some(sib1);
                         }
                     }
@@ -338,12 +545,21 @@ impl NrScope {
                         self.decode_rrc_payload(pdsch, d.rnti)
                     };
                     if let Some(rrc) = rrc {
-                        if !self.tracker.contains(d.rnti) {
-                            self.tracker.promote(d.rnti, slot, rrc);
+                        if !self.tracker.contains(d.rnti)
+                            && !self.tracker.promote(d.rnti, slot, rrc)
+                        {
+                            // Same RNTI re-RACHed after we expired it: a
+                            // recovery, not a new UE.
+                            self.stats.recovered_ues += 1;
                         }
                     }
                 }
                 RntiType::C => {
+                    if !self.tracker.contains(d.rnti) && self.tracker.restore(d.rnti, slot) {
+                        // A recently-expired hypothesis decoded: the UE
+                        // was connected all along — re-track it in place.
+                        self.stats.recovered_ues += 1;
+                    }
                     let record = self.telemetry_for(&d, slot, sfn);
                     if let Some(r) = record {
                         match r.format {
@@ -687,6 +903,106 @@ mod tests {
         assert!(scope.cell.sib1.is_some(), "SIB1 decoded");
         assert_eq!(scope.tracked_rntis(), gnb.connected_rntis());
         assert!(scope.stats.dl_dcis > 10, "DCIs decoded from IQ");
+    }
+
+    #[test]
+    fn outage_degrades_sync_then_recovers_expired_ues() {
+        // 2 UEs attach, then the front end drops 160 consecutive slots
+        // (USRP overflow). With a short idle-release timer both UEs expire
+        // mid-outage; afterwards the degraded-mode hypothesis retry must
+        // re-track them from their first DCI, with no double-counting.
+        let cell = CellConfig::srsran_n41();
+        let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 11);
+        for i in 0..2u64 {
+            gnb.ue_arrives(SimUe::new(
+                i + 1,
+                ChannelProfile::Awgn,
+                MobilityScenario::Static,
+                TrafficSource::new(
+                    TrafficKind::Cbr { rate_bps: 2e6, packet_bytes: 1200 },
+                    i + 1,
+                ),
+                0.0,
+                60.0,
+                i + 1,
+            ));
+        }
+        let mut obs = Observer::new(&cell, 35.0, false, 5);
+        obs.set_impairments(
+            crate::observe::ImpairmentSchedule::new(42).with_outage(2000..2160),
+        );
+        let mut scope = NrScope::new(
+            ScopeConfig {
+                ue_expiry_slots: 100,
+                ..ScopeConfig::default()
+            },
+            Some(cell.pci),
+        );
+        let slot_s = cell.slot_s();
+        let mut saw_degraded = false;
+        for s in 0..5000u64 {
+            let out = gnb.step();
+            let cap = obs.capture(&out, s as f64 * slot_s);
+            scope.process_capture(&cap);
+            if s == 2150 {
+                saw_degraded = scope.sync_state() != SyncState::Synced;
+            }
+        }
+        assert!(saw_degraded, "outage degraded the sync state");
+        assert_eq!(scope.sync_state(), SyncState::Synced, "recovered");
+        assert_eq!(scope.stats.dropped_slots, 160);
+        assert!(scope.stats.resyncs >= 1, "resync counted");
+        assert!(scope.stats.recovered_ues >= 2, "expired UEs re-tracked");
+        assert_eq!(scope.total_discovered(), 2, "no double-counted discovery");
+        assert_eq!(scope.tracked_rntis(), gnb.connected_rntis());
+    }
+
+    #[test]
+    fn cell_restart_under_new_pci_is_reacquired() {
+        // Mid-run the cell restarts with a different PCI: every scrambled
+        // transmission goes dark for the sniffer. The health machine must
+        // walk Synced → Degraded → Lost, re-run cell search (SI-RNTI PCI
+        // scan at message fidelity), re-read the changed SIB1, and end up
+        // tracking the re-attached UEs again.
+        let cell = CellConfig::srsran_n41();
+        let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 11);
+        for i in 0..2u64 {
+            gnb.ue_arrives(SimUe::new(
+                i + 1,
+                ChannelProfile::Awgn,
+                MobilityScenario::Static,
+                TrafficSource::new(
+                    TrafficKind::Cbr { rate_bps: 2e6, packet_bytes: 1200 },
+                    i + 1,
+                ),
+                0.0,
+                60.0,
+                i + 1,
+            ));
+        }
+        let mut obs = Observer::new(&cell, 35.0, false, 5);
+        let mut scope = NrScope::new(ScopeConfig::default(), Some(cell.pci));
+        let slot_s = cell.slot_s();
+        for s in 0..2000u64 {
+            let out = gnb.step();
+            scope.process(&obs.observe(&out, s as f64 * slot_s));
+        }
+        assert_eq!(scope.tracked_rntis(), gnb.connected_rntis());
+        gnb.restart(Pci(7));
+        for s in 2000..6500u64 {
+            let out = gnb.step();
+            scope.process(&obs.observe(&out, s as f64 * slot_s));
+        }
+        assert_eq!(scope.sync_state(), SyncState::Synced, "re-synced");
+        assert_eq!(scope.cell.pci, Some(Pci(7)), "new PCI found by the scan");
+        assert!(scope.stats.resyncs >= 1);
+        assert!(scope.stats.sib1_reloads >= 1, "changed SIB1 re-read");
+        assert_eq!(
+            scope.tracked_rntis(),
+            gnb.connected_rntis(),
+            "re-attached UEs tracked under the new cell identity"
+        );
+        assert_eq!(scope.total_discovered(), 2, "same UEs, not new ones");
     }
 
     #[test]

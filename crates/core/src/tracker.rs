@@ -4,7 +4,7 @@
 use nr_mac::HarqTracker;
 use nr_phy::types::Rnti;
 use nr_rrc::RrcSetup;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Telemetry-side state for one tracked UE.
 #[derive(Debug, Clone)]
@@ -33,7 +33,13 @@ pub struct UeTracker {
     /// Cached RRC Setup (identical across UEs, §3.1.2) enabling the
     /// skip-PDSCH optimisation.
     cached_rrc: Option<RrcSetup>,
-    /// Total UEs ever discovered (Fig 10-style accounting).
+    /// Every RNTI ever promoted — so expiry followed by rediscovery
+    /// (e.g. after an outage) does not double-count `total_discovered`.
+    ever_seen: HashSet<Rnti>,
+    /// RNTIs expired recently, with the expiry slot: extra hypotheses the
+    /// recovery path retries while the session is degraded.
+    recently_expired: HashMap<Rnti, u64>,
+    /// Total distinct UEs ever discovered (Fig 10-style accounting).
     pub total_discovered: u64,
 }
 
@@ -55,11 +61,17 @@ impl UeTracker {
     }
 
     /// MSG 4 for `tc_rnti` decoded: promote it to a tracked C-RNTI.
-    /// `rrc` is the decoded (or cached) RRC Setup.
-    pub fn promote(&mut self, tc_rnti: Rnti, slot: u64, rrc: RrcSetup) {
+    /// `rrc` is the decoded (or cached) RRC Setup. Returns `true` when
+    /// this is a first discovery, `false` for a rediscovery (the RNTI was
+    /// tracked before and expired — recovery, not a new UE).
+    pub fn promote(&mut self, tc_rnti: Rnti, slot: u64, rrc: RrcSetup) -> bool {
         self.pending_tc.remove(&tc_rnti);
+        self.recently_expired.remove(&tc_rnti);
         self.cached_rrc = Some(rrc);
-        self.total_discovered += 1;
+        let newly_discovered = self.ever_seen.insert(tc_rnti);
+        if newly_discovered {
+            self.total_discovered += 1;
+        }
         self.ues.insert(
             tc_rnti,
             TrackedUe {
@@ -71,6 +83,48 @@ impl UeTracker {
                 rrc,
             },
         );
+        newly_discovered
+    }
+
+    /// RNTIs that expired within the last `window` slots before `now` —
+    /// retried as decode hypotheses while re-synchronising, so UEs that
+    /// stayed connected through a sniffer outage are re-tracked without
+    /// waiting for fresh RACH traffic.
+    pub fn recently_expired(&self, now: u64, window: u64) -> Vec<Rnti> {
+        let mut v: Vec<Rnti> = self
+            .recently_expired
+            .iter()
+            .filter(|(_, at)| now.saturating_sub(**at) <= window)
+            .map(|(r, _)| *r)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Re-track an RNTI directly (recovery path: a UE-specific DCI just
+    /// decoded for a recently-expired RNTI proves the UE never left).
+    /// Does not touch `total_discovered` — the UE was already counted.
+    /// No-op without a cached RRC Setup to rebuild the UE state from.
+    pub fn restore(&mut self, rnti: Rnti, slot: u64) -> bool {
+        if !self.ever_seen.contains(&rnti) {
+            return false;
+        }
+        let Some(rrc) = self.cached_rrc else {
+            return false;
+        };
+        self.recently_expired.remove(&rnti);
+        self.ues.insert(
+            rnti,
+            TrackedUe {
+                rnti,
+                discovered_slot: slot,
+                last_active_slot: slot,
+                harq_dl: HarqTracker::new(),
+                harq_ul: HarqTracker::new(),
+                rrc,
+            },
+        );
+        true
     }
 
     /// The cached RRC Setup, if any UE has been decoded yet.
@@ -122,6 +176,7 @@ impl UeTracker {
             .collect();
         for r in &dead {
             self.ues.remove(r);
+            self.recently_expired.insert(*r, now);
         }
         self.pending_tc
             .retain(|_, seen| now.saturating_sub(*seen) <= ra_window_slots);
@@ -169,6 +224,48 @@ mod tests {
         t.rar_seen(Rnti(6), 95);
         t.expire(100, 1000, 20);
         assert_eq!(t.pending_tc_rntis(), vec![Rnti(6)]);
+    }
+
+    #[test]
+    fn rediscovery_after_expiry_is_not_double_counted() {
+        let mut t = UeTracker::new();
+        assert!(t.promote(Rnti(0x4601), 100, rrc()), "first discovery");
+        assert_eq!(t.total_discovered, 1);
+        let dead = t.expire(30_000, 20_000, 100);
+        assert_eq!(dead, vec![Rnti(0x4601)]);
+        assert!(!t.contains(Rnti(0x4601)));
+        // The UE RACHes again after the outage: same RNTI, same UE.
+        assert!(!t.promote(Rnti(0x4601), 30_500, rrc()), "rediscovery");
+        assert!(t.contains(Rnti(0x4601)));
+        assert_eq!(t.total_discovered, 1, "no double count");
+        // A genuinely new UE still counts.
+        assert!(t.promote(Rnti(0x4602), 30_600, rrc()));
+        assert_eq!(t.total_discovered, 2);
+    }
+
+    #[test]
+    fn recently_expired_window_and_restore() {
+        let mut t = UeTracker::new();
+        t.promote(Rnti(10), 0, rrc());
+        t.promote(Rnti(11), 0, rrc());
+        t.get_mut(Rnti(11)).unwrap().last_active_slot = 7_000;
+        t.expire(10_000, 4_000, 100); // expires Rnti(10) only
+        assert_eq!(t.recently_expired(10_000, 2_000), vec![Rnti(10)]);
+        // Outside the retry window the hypothesis is dropped.
+        assert!(t.recently_expired(13_000, 2_000).is_empty());
+        // Restore re-tracks from the cached RRC without re-counting.
+        assert!(t.restore(Rnti(10), 10_050));
+        assert!(t.contains(Rnti(10)));
+        assert_eq!(t.total_discovered, 2);
+        assert!(t.recently_expired(10_100, 2_000).is_empty());
+    }
+
+    #[test]
+    fn restore_without_cached_rrc_is_a_noop() {
+        let mut t = UeTracker::new();
+        assert!(!t.restore(Rnti(3), 10));
+        assert!(!t.contains(Rnti(3)));
+        assert_eq!(t.total_discovered, 0);
     }
 
     #[test]

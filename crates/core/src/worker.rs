@@ -14,9 +14,21 @@
 
 use crate::decoder::{decode_candidates, decode_message_slot, extract_all_candidates, DecodedDci, DecoderContext, ExtractedCandidate, Hypotheses};
 use crate::observe::ObservedSlot;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// A scripted fault a test can plant inside one job (chaos testing of the
+/// pool's supervision and backpressure paths).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// `process_slot` panics on this job.
+    Panic,
+    /// `process_slot` sleeps this long first (a pathologically slow slot,
+    /// used to force queue backpressure deterministically).
+    Delay(Duration),
+}
 
 /// One slot of work, self-contained (the "copy of data and state").
 #[derive(Debug, Clone)]
@@ -33,6 +45,8 @@ pub struct SlotJob {
     pub hyp: Hypotheses,
     /// How many DCI threads to shard across.
     pub dci_threads: usize,
+    /// Scripted fault (tests only; `None` in production paths).
+    pub fault: Option<InjectedFault>,
 }
 
 /// A processed slot.
@@ -44,12 +58,20 @@ pub struct SlotResult {
     pub decoded: Vec<DecodedDci>,
     /// Wall-clock processing time (the Fig 12 metric).
     pub processing: Duration,
+    /// The IQ buffer matched no known carrier layout (truncated capture
+    /// or a reconfigured cell) — nothing could be demodulated.
+    pub layout_mismatch: bool,
 }
 
 /// Process one slot, sharding the known-UE list across `dci_threads`
 /// OS threads (scoped). Returns the decoded DCIs and the processing time.
 pub fn process_slot(job: &SlotJob) -> SlotResult {
     let start = Instant::now();
+    match job.fault {
+        Some(InjectedFault::Panic) => panic!("injected fault in slot {}", job.slot),
+        Some(InjectedFault::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
     let threads = job.dci_threads.max(1);
     // Shard the C-RNTI list; the common hypotheses ride with shard 0
     // (the SIBs/RACH thread role).
@@ -98,6 +120,7 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
                         slot: job.slot,
                         decoded: Vec::new(),
                         processing: start.elapsed(),
+                        layout_mismatch: true,
                     }
                 }
             }
@@ -116,7 +139,12 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
                 .map(|hyp| scope.spawn(move || run_shard(job, candidates, hyp)))
                 .collect();
             for h in handles {
-                decoded.extend(h.join().expect("decoder shard panicked"));
+                // Re-raise shard panics so the pool's per-job supervision
+                // (catch_unwind in the worker loop) owns the failure.
+                match h.join() {
+                    Ok(part) => decoded.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
     }
@@ -124,6 +152,7 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
         slot: job.slot,
         decoded,
         processing: start.elapsed(),
+        layout_mismatch: false,
     }
 }
 
@@ -141,21 +170,29 @@ fn run_shard(
 }
 
 /// Pick the OFDM layout matching a sample count (workers bootstrap the
-/// same way the live scope does).
+/// same way the live scope does). Candidate carrier widths come from the
+/// decoder context — the SIB1-derived carrier BWP first, then the
+/// CORESET 0 width the MIB guarantees — before falling back to the
+/// paper's preset carrier widths for a cold bootstrap. Returns `None`
+/// when no layout fits (a truncated buffer or an unknown carrier), which
+/// the result reports as a layout mismatch.
 fn ofdm_for(
     ctx: &DecoderContext,
     n_samples: usize,
     slot_in_frame: usize,
 ) -> Option<nr_phy::ofdm::Ofdm> {
-    let widths = [
-        ctx.ue_sizing.map(|s| s.bwp_prbs).unwrap_or(51),
-        51,
-        52,
-        79,
-        24,
-    ];
+    let mut widths = Vec::with_capacity(6);
+    if let Some(s) = ctx.ue_sizing {
+        widths.push(s.bwp_prbs);
+    }
+    widths.push(ctx.common_sizing.bwp_prbs);
+    for fallback in [51usize, 52, 79, 24] {
+        if !widths.contains(&fallback) {
+            widths.push(fallback);
+        }
+    }
     for numer in [nr_phy::Numerology::Mu1, nr_phy::Numerology::Mu0] {
-        for prbs in widths {
+        for &prbs in &widths {
             let o = nr_phy::ofdm::Ofdm::new(numer, prbs);
             if o.samples_per_slot(slot_in_frame) == n_samples {
                 return Some(o);
@@ -165,63 +202,257 @@ fn ofdm_for(
     None
 }
 
+/// What `submit` does when the bounded job queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Wait for a worker to free a slot (lossless, adds latency) —
+    /// offline re-processing of a recording.
+    #[default]
+    Block,
+    /// Drop the oldest queued job to make room (bounded latency, sheds
+    /// load) — live capture, where a late slot is a useless slot.
+    ShedOldest,
+}
+
+/// Worker-pool sizing and backpressure configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded job-queue depth (slots waiting for a worker).
+    pub job_queue_depth: usize,
+    /// What to do when the job queue is full.
+    pub policy: BackpressurePolicy,
+}
+
+impl PoolConfig {
+    /// Defaults: `workers` threads, 256-deep queue, blocking backpressure.
+    pub fn new(workers: usize) -> PoolConfig {
+        PoolConfig {
+            workers: workers.max(1),
+            job_queue_depth: 256,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+}
+
+/// Pool health counters (fed into `ScopeStats` by the session driver).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs shed under `BackpressurePolicy::ShedOldest`.
+    pub shed_jobs: u64,
+    /// Worker panics caught and supervised.
+    pub worker_panics: u64,
+    /// Replacement workers spawned after panics.
+    pub respawns: u64,
+}
+
+/// `submit` failed and hands the job back (the queue disconnected — only
+/// possible once the pool is torn down).
+#[derive(Debug)]
+pub struct SubmitError(pub Box<SlotJob>);
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue disconnected (slot {})", self.0.slot)
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A worker died; the supervisor learns which job killed it.
+struct WorkerEvent {
+    job: Box<SlotJob>,
+    panic_msg: String,
+}
+
 /// The asynchronous worker pool of Fig 4: jobs in, results out, processed
 /// by `n_workers` OS threads. "The worker pool design enables
 /// asynchronous, on-demand slot data processing" (§4).
+///
+/// Supervised: each job runs under `catch_unwind`; a panicking worker
+/// reports the offending job (quarantined, not retried — a poison slot
+/// would kill every worker in turn) and dies, and the supervisor spawns a
+/// replacement on the next `submit`/`poll`/`finish` call. The job queue
+/// is bounded with an explicit [`BackpressurePolicy`].
 pub struct WorkerPool {
     job_tx: Option<Sender<SlotJob>>,
+    /// Kept for shed-oldest (popping the queue head) and so respawned
+    /// workers can be handed the shared queue.
+    job_rx: Receiver<SlotJob>,
+    result_tx: Sender<SlotResult>,
     result_rx: Receiver<SlotResult>,
+    event_tx: Sender<WorkerEvent>,
+    event_rx: Receiver<WorkerEvent>,
     handles: Vec<JoinHandle<()>>,
+    cfg: PoolConfig,
+    stats: PoolStats,
+    quarantined: Vec<SlotJob>,
+}
+
+fn worker_loop(rx: Receiver<SlotJob>, tx: Sender<SlotResult>, events: Sender<WorkerEvent>) {
+    while let Ok(job) = rx.recv() {
+        match catch_unwind(AssertUnwindSafe(|| process_slot(&job))) {
+            Ok(result) => {
+                if tx.send(result).is_err() {
+                    return;
+                }
+            }
+            Err(payload) => {
+                let panic_msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".to_string());
+                let _ = events.send(WorkerEvent {
+                    job: Box::new(job),
+                    panic_msg,
+                });
+                // Die; the supervisor respawns a clean replacement.
+                return;
+            }
+        }
+    }
 }
 
 impl WorkerPool {
-    /// Spawn a pool with `n_workers` workers.
+    /// Spawn a pool with `n_workers` workers and default queueing.
     pub fn new(n_workers: usize) -> WorkerPool {
-        let (job_tx, job_rx) = unbounded::<SlotJob>();
+        WorkerPool::with_config(PoolConfig::new(n_workers))
+    }
+
+    /// Spawn a pool with explicit queue depth and backpressure policy.
+    pub fn with_config(cfg: PoolConfig) -> WorkerPool {
+        let (job_tx, job_rx) = bounded::<SlotJob>(cfg.job_queue_depth);
         let (result_tx, result_rx) = unbounded::<SlotResult>();
-        let handles = (0..n_workers.max(1))
-            .map(|_| {
-                let rx = job_rx.clone();
-                let tx = result_tx.clone();
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        let result = process_slot(&job);
-                        if tx.send(result).is_err() {
-                            break;
-                        }
-                    }
-                })
-            })
-            .collect();
-        WorkerPool {
+        let (event_tx, event_rx) = unbounded::<WorkerEvent>();
+        let mut pool = WorkerPool {
             job_tx: Some(job_tx),
+            job_rx,
+            result_tx,
             result_rx,
-            handles,
+            event_tx,
+            event_rx,
+            handles: Vec::with_capacity(cfg.workers),
+            cfg,
+            stats: PoolStats::default(),
+            quarantined: Vec::new(),
+        };
+        for _ in 0..cfg.workers {
+            pool.spawn_worker();
+        }
+        pool
+    }
+
+    fn spawn_worker(&mut self) {
+        let rx = self.job_rx.clone();
+        let tx = self.result_tx.clone();
+        let events = self.event_tx.clone();
+        self.handles
+            .push(std::thread::spawn(move || worker_loop(rx, tx, events)));
+    }
+
+    /// Reap death reports: count and quarantine the poison jobs, then
+    /// spawn replacements so the pool stays at strength.
+    fn supervise(&mut self) {
+        let events: Vec<WorkerEvent> = self.event_rx.try_iter().collect();
+        for ev in events {
+            self.stats.worker_panics += 1;
+            self.quarantined.push(*ev.job);
+            let _ = ev.panic_msg; // kept for debugging via quarantined jobs
+            self.stats.respawns += 1;
+            self.spawn_worker();
         }
     }
 
-    /// Submit a slot job (non-blocking).
-    pub fn submit(&self, job: SlotJob) {
-        self.job_tx
-            .as_ref()
-            .expect("pool open")
-            .send(job)
-            .expect("workers alive");
+    /// Submit a slot job. Applies the configured backpressure policy when
+    /// the queue is full; returns the job on a disconnected queue instead
+    /// of panicking.
+    pub fn submit(&mut self, job: SlotJob) -> Result<(), SubmitError> {
+        self.supervise();
+        let Some(tx) = self.job_tx.clone() else {
+            return Err(SubmitError(Box::new(job)));
+        };
+        let mut job = job;
+        loop {
+            match tx.try_send(job) {
+                Ok(()) => {
+                    self.stats.submitted += 1;
+                    return Ok(());
+                }
+                Err(TrySendError::Full(j)) => match self.cfg.policy {
+                    BackpressurePolicy::ShedOldest => {
+                        if self.job_rx.try_recv().is_ok() {
+                            self.stats.shed_jobs += 1;
+                        }
+                        job = j;
+                    }
+                    BackpressurePolicy::Block => {
+                        // Block, but keep supervising so a worker death
+                        // while we wait cannot deadlock the queue.
+                        job = j;
+                        self.supervise();
+                        std::thread::yield_now();
+                    }
+                },
+                Err(TrySendError::Disconnected(j)) => return Err(SubmitError(Box::new(j))),
+            }
+        }
     }
 
     /// Drain any results already finished (non-blocking).
-    pub fn poll(&self) -> Vec<SlotResult> {
+    pub fn poll(&mut self) -> Vec<SlotResult> {
+        self.supervise();
         self.result_rx.try_iter().collect()
     }
 
+    /// Pool health counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Jobs that killed a worker (quarantined, never retried).
+    pub fn quarantined(&self) -> &[SlotJob] {
+        &self.quarantined
+    }
+
     /// Close the job queue and wait for all in-flight work; returns the
-    /// remaining results.
+    /// remaining results. Worker panics during the drain are supervised
+    /// like any other: counted, quarantined, and the queue is drained by
+    /// replacements.
     pub fn finish(mut self) -> Vec<SlotResult> {
+        self.run_down()
+    }
+
+    /// Like [`WorkerPool::finish`], but also returns the final health
+    /// counters and the quarantined jobs — the numbers `finish` consumes.
+    pub fn finish_with_stats(mut self) -> (Vec<SlotResult>, PoolStats, Vec<SlotJob>) {
+        let out = self.run_down();
+        (out, self.stats, std::mem::take(&mut self.quarantined))
+    }
+
+    fn run_down(&mut self) -> Vec<SlotResult> {
         drop(self.job_tx.take());
-        for h in self.handles.drain(..) {
-            h.join().expect("worker panicked");
+        let mut out = Vec::new();
+        loop {
+            self.supervise();
+            out.extend(self.result_rx.try_iter());
+            if self.handles.iter().all(|h| h.is_finished()) {
+                // Final reap: a worker may have died at the very end.
+                self.supervise();
+                if self.handles.iter().all(|h| h.is_finished()) {
+                    break;
+                }
+            }
+            std::thread::yield_now();
         }
-        self.result_rx.try_iter().collect()
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        out.extend(self.result_rx.try_iter());
+        out
     }
 }
 
@@ -299,6 +530,7 @@ mod tests {
                         ctx,
                         hyp,
                         dci_threads,
+                        fault: None,
                     },
                     n_c,
                 );
@@ -323,17 +555,126 @@ mod tests {
     #[test]
     fn pool_processes_jobs_asynchronously() {
         let (job, _) = make_job(2);
-        let pool = WorkerPool::new(3);
+        let mut pool = WorkerPool::new(3);
         for i in 0..12 {
             let mut j = job.clone();
             j.slot = i;
-            pool.submit(j);
+            pool.submit(j).expect("queue open");
         }
         let results = pool.finish();
         assert_eq!(results.len(), 12);
         let mut slots: Vec<u64> = results.iter().map(|r| r.slot).collect();
         slots.sort_unstable();
         assert_eq!(slots, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_worker_panic_and_quarantines_the_job() {
+        let (job, _) = make_job(1);
+        let mut pool = WorkerPool::new(2);
+        for i in 0..9 {
+            let mut j = job.clone();
+            j.slot = i;
+            if i == 4 {
+                j.fault = Some(InjectedFault::Panic);
+            }
+            pool.submit(j).expect("queue open");
+        }
+        let results = pool.finish();
+        // Every healthy job produced a result; the poison one did not.
+        let mut slots: Vec<u64> = results.iter().map(|r| r.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn supervisor_respawns_after_panic_and_reports_the_poison_slot() {
+        let (job, _) = make_job(1);
+        // One worker: the poison job kills it; only a respawned
+        // replacement can process the healthy job queued behind it.
+        let mut pool = WorkerPool::new(1);
+        let mut poison = job.clone();
+        poison.slot = 99;
+        poison.fault = Some(InjectedFault::Panic);
+        pool.submit(poison).expect("queue open");
+        pool.submit(job.clone()).expect("queue open");
+        let mut results = Vec::new();
+        for _ in 0..2000 {
+            results.extend(pool.poll());
+            if !results.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(results.len(), 1, "respawned worker drained the queue");
+        assert_eq!(results[0].slot, job.slot);
+        let stats = pool.stats();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(pool.quarantined().len(), 1);
+        assert_eq!(pool.quarantined()[0].slot, 99);
+    }
+
+    #[test]
+    fn shed_oldest_policy_drops_queue_head_and_counts() {
+        let (job, _) = make_job(1);
+        let mut pool = WorkerPool::with_config(PoolConfig {
+            workers: 1,
+            job_queue_depth: 2,
+            policy: BackpressurePolicy::ShedOldest,
+        });
+        // Jam the single worker so the queue actually fills.
+        let mut slow = job.clone();
+        slow.slot = 1000;
+        slow.fault = Some(InjectedFault::Delay(Duration::from_millis(300)));
+        pool.submit(slow).expect("queue open");
+        std::thread::sleep(Duration::from_millis(50)); // worker picks it up
+        for i in 0..6 {
+            let mut j = job.clone();
+            j.slot = i;
+            pool.submit(j).expect("queue open");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 7);
+        assert_eq!(stats.shed_jobs, 4, "queue of 2 kept the newest 2 of 6");
+        let results = pool.finish();
+        let mut slots: Vec<u64> = results.iter().map(|r| r.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![4, 5, 1000], "newest jobs survive the shed");
+    }
+
+    #[test]
+    fn block_policy_is_lossless_under_backpressure() {
+        let (job, _) = make_job(1);
+        let mut pool = WorkerPool::with_config(PoolConfig {
+            workers: 1,
+            job_queue_depth: 2,
+            policy: BackpressurePolicy::Block,
+        });
+        for i in 0..6 {
+            let mut j = job.clone();
+            j.slot = i;
+            j.fault = Some(InjectedFault::Delay(Duration::from_millis(10)));
+            pool.submit(j).expect("queue open");
+        }
+        let stats = pool.stats();
+        let results = pool.finish();
+        assert_eq!(results.len(), 6, "blocking backpressure loses nothing");
+        assert_eq!(stats.shed_jobs, 0);
+    }
+
+    #[test]
+    fn truncated_iq_buffer_reports_layout_mismatch() {
+        let (job, _) = make_job(1);
+        // Synthesize an IQ job with a buffer no layout matches.
+        let mut j = job.clone();
+        j.observed = crate::observe::ObservedSlot::Iq {
+            samples: vec![nr_phy::complex::Cf32::ZERO; 1234],
+            pdsch: Vec::new(),
+        };
+        let r = process_slot(&j);
+        assert!(r.layout_mismatch);
+        assert!(r.decoded.is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use nr_phy::modulation::{modulate, Modulation};
 use nr_phy::ofdm::Ofdm;
 use nr_phy::pdcch::{encode_pdcch, PdcchAllocation};
 use nr_phy::polar::PolarCode;
+use nr_phy::types::Pci;
 use nr_phy::sequence::gold_bits;
 use nr_phy::sync::{pss_sequence, sss_sequence, SYNC_SEQ_LEN};
 use nr_phy::types::Rnti;
@@ -49,10 +50,10 @@ impl IqRenderer {
     pub fn render_grid(&self, out: &SlotOutput) -> ResourceGrid {
         let mut grid = ResourceGrid::new(self.cfg.carrier_prbs);
         if let Some(mib) = &out.mib {
-            self.map_ssb(&mut grid, &mib.encode());
+            self.map_ssb(&mut grid, &mib.encode(), out.pci);
         }
         for dci in &out.dcis {
-            self.map_dci(&mut grid, dci, out.slot_in_frame);
+            self.map_dci(&mut grid, dci, out.slot_in_frame, out.pci);
         }
         for dci in &out.dcis {
             // Only downlink data regions occupy the DL grid.
@@ -72,12 +73,11 @@ impl IqRenderer {
     /// Map the SS/PBCH block: PSS on symbol 0, SSS on symbol 2, polar-coded
     /// MIB (PBCH) filling symbols 1–3 around them. The paper's tool uses
     /// this block for cell search and MIB acquisition (§3.1.1).
-    fn map_ssb(&self, grid: &mut ResourceGrid, mib_bits: &[u8]) {
+    fn map_ssb(&self, grid: &mut ResourceGrid, mib_bits: &[u8], pci: Pci) {
         let n_sc = grid.n_subcarriers();
         // SSB occupies 240 subcarriers (20 PRBs) centred in the carrier.
         let ssb_width = 240.min(n_sc);
         let base = (n_sc - ssb_width) / 2;
-        let pci = self.cfg.pci;
         // PSS at symbol 0, centred 127 subcarriers.
         let pss = pss_sequence(pci.nid2());
         let sync_base = base + (ssb_width - SYNC_SEQ_LEN) / 2;
@@ -115,7 +115,7 @@ impl IqRenderer {
     }
 
     /// Map one DCI through the full PDCCH encode chain.
-    fn map_dci(&self, grid: &mut ResourceGrid, dci: &TxDci, slot_in_frame: usize) {
+    fn map_dci(&self, grid: &mut ResourceGrid, dci: &TxDci, slot_in_frame: usize, pci: Pci) {
         let alloc = PdcchAllocation {
             cce_start: dci.cce_start,
             level: dci.level,
@@ -123,13 +123,13 @@ impl IqRenderer {
         };
         let ue_specific = dci.rnti_type == nr_phy::types::RntiType::C;
         let c_init =
-            nr_phy::pdcch::search_space_cinit(dci.rnti, ue_specific, self.cfg.pci.0);
+            nr_phy::pdcch::search_space_cinit(dci.rnti, ue_specific, pci.0);
         encode_pdcch(
             grid,
             &self.cfg.coreset,
             &alloc,
             &dci.payload_bits,
-            self.cfg.pci.0,
+            pci.0,
             c_init,
             slot_in_frame,
         );

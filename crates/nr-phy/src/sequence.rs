@@ -172,13 +172,16 @@ mod tests {
     }
 }
 
+/// Key: (c_init, length). Value: the generated sequence, shared.
+type GoldCacheMap = std::collections::HashMap<(u32, usize), std::rc::Rc<Vec<u8>>>;
+
 thread_local! {
     /// Per-thread memo of generated sequences. Blind decoding re-derives
     /// the same descrambling sequences for every candidate × RNTI
     /// hypothesis; without this cache the 1600-step Gold warm-up dominates
     /// the per-slot cost at high UE counts.
-    static GOLD_CACHE: std::cell::RefCell<std::collections::HashMap<(u32, usize), std::rc::Rc<Vec<u8>>>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+    static GOLD_CACHE: std::cell::RefCell<GoldCacheMap> =
+        std::cell::RefCell::new(GoldCacheMap::new());
 }
 
 /// Upper bound on cached sequences per thread (entries are ~100 B; this

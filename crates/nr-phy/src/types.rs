@@ -77,7 +77,7 @@ impl fmt::Display for RntiType {
 }
 
 /// Physical cell identity, 0..=1007 (= 3·NID1 + NID2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Pci(pub u16);
 
 impl Pci {

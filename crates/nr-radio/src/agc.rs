@@ -30,6 +30,14 @@ impl Agc {
         self.gain
     }
 
+    /// Transient gain mis-step of `db` (fault injection): the loop's slew
+    /// limit then walks the gain back at `max_step_db` per slot, so a big
+    /// kick costs several slots of saturated or buried samples — the same
+    /// settling behaviour a hardware AGC shows after a power transient.
+    pub fn kick_db(&mut self, db: f32) {
+        self.gain *= 10f32.powf(db / 20.0);
+    }
+
     /// Process one slot in place: measure, adjust gain (slew-limited),
     /// apply.
     pub fn process(&mut self, samples: &mut [Cf32]) {
@@ -83,6 +91,24 @@ mod tests {
         agc.process(&mut s);
         assert_eq!(agc.gain(), 1.0);
         assert!(s.iter().all(|v| *v == Cf32::ZERO));
+    }
+
+    #[test]
+    fn kick_recovers_within_slew_limited_slots() {
+        let mut agc = Agc::new(1.0);
+        // Converge first.
+        for _ in 0..5 {
+            let mut s = tone(256, 1.0);
+            agc.process(&mut s);
+        }
+        agc.kick_db(18.0);
+        // 18 dB at 6 dB/slot: back near unity gain within ~3 slots.
+        for _ in 0..4 {
+            let mut s = tone(256, 1.0);
+            agc.process(&mut s);
+        }
+        let g_db = 20.0 * agc.gain().log10();
+        assert!(g_db.abs() < 1.0, "gain settled to {g_db} dB");
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! daughterboards (§4 footnote 5).
 
 pub mod agc;
+pub mod impairment;
 pub mod resampler;
 pub mod usrp;
 
 pub use agc::Agc;
+pub use impairment::{Burst, ImpairmentSchedule, SlotImpairment};
 pub use resampler::Resampler;
 pub use usrp::{RxSlot, VirtualUsrp};

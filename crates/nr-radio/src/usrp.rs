@@ -25,6 +25,9 @@ pub struct VirtualUsrp {
     fader: Option<JakesFader>,
     agc: Agc,
     rng: StdRng,
+    /// One-shot SNR penalty (dB) consumed by the next `receive` — how
+    /// scheduled interference bursts reach the front end.
+    pending_penalty_db: f64,
 }
 
 impl VirtualUsrp {
@@ -36,12 +39,25 @@ impl VirtualUsrp {
             fader: (doppler_hz > 0.0).then(|| JakesFader::new(1.0, doppler_hz, seed)),
             agc: Agc::new(1.0),
             rng: StdRng::seed_from_u64(seed ^ 0xB5),
+            pending_penalty_db: 0.0,
         }
     }
 
     /// Mean configured SNR.
     pub fn snr_db(&self) -> f64 {
         self.snr_db
+    }
+
+    /// Degrade only the next received slot by `db` (interference burst
+    /// injection; see [`crate::ImpairmentSchedule`]).
+    pub fn inject_snr_penalty_db(&mut self, db: f64) {
+        self.pending_penalty_db += db;
+    }
+
+    /// Kick the AGC gain by `db` (transient injection); it recovers under
+    /// the loop's slew limit over the following slots.
+    pub fn kick_agc_db(&mut self, db: f32) {
+        self.agc.kick_db(db);
     }
 
     /// Receive one slot transmitted as `tx` at absolute time `t` seconds.
@@ -51,7 +67,7 @@ impl VirtualUsrp {
             Some(f) => 10.0 * (f.gain_at(t).norm_sqr().max(1e-6) as f64).log10(),
             None => 0.0,
         };
-        let inst_snr_db = self.snr_db + fade_db;
+        let inst_snr_db = self.snr_db + fade_db - std::mem::take(&mut self.pending_penalty_db);
         let sig_power = mean_power(tx) as f64;
         // Noise power that yields the instantaneous SNR against the actual
         // transmitted signal power.
@@ -142,6 +158,17 @@ mod tests {
         let min = snrs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = snrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(max - min > 3.0, "fading varies SNR ({} dB)", max - min);
+    }
+
+    #[test]
+    fn injected_penalty_hits_exactly_one_slot() {
+        let mut u = VirtualUsrp::new(20.0, 0.0, 5);
+        let tx = tx_slot(512);
+        u.inject_snr_penalty_db(12.0);
+        let hit = u.receive(&tx, 0.0);
+        let clean = u.receive(&tx, 0.0005);
+        assert_eq!(hit.true_snr_db, 8.0, "penalty applied");
+        assert_eq!(clean.true_snr_db, 20.0, "penalty consumed");
     }
 
     #[test]

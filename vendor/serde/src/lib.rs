@@ -1,0 +1,430 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, values serialize into an
+//! owned [`Content`] tree which data formats (here: `serde_json`)
+//! render or parse. The derive macros in `serde_derive` generate
+//! `Serialize`/`Deserialize` impls against this model using the same
+//! JSON conventions as real serde: named structs are objects, newtype
+//! structs are their inner value, unit enum variants are strings, data
+//! variants are single-entry `{"Variant": payload}` objects.
+
+// Offline stand-in crate: keep it lint-silent so workspace-wide clippy
+// gates only the real code.
+#![allow(clippy::all)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Standard "invalid type" message.
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the content model.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from the content model.
+    fn deserialize_content(c: &Content) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let v = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(DeError::expected("unsigned integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError(format!(
+                    "integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let v = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError(format!("integer {v} out of range for i64")))?,
+                    _ => return Err(DeError::expected("integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError(format!(
+                    "integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            _ => Err(DeError::expected("number", c)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", c)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// `&'static str` deserializes by leaking — acceptable for the
+/// config-label fields this workspace stores as static strings.
+impl Deserialize for &'static str {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", c)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            _ => Err(DeError::expected("sequence", c)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::deserialize_content(c)?;
+        <[T; N]>::try_from(v)
+            .map_err(|v: Vec<T>| DeError(format!("expected array of {N}, found {}", v.len())))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        Ok(($($t::deserialize_content(
+                            items.get($n).ok_or_else(|| DeError(
+                                format!("tuple too short at index {}", $n)))?)?,)+))
+                    }
+                    _ => Err(DeError::expected("sequence", c)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Helpers called by derive-generated code. Not a public API.
+pub mod __private {
+    use super::{Content, DeError, Deserialize};
+
+    /// Unwrap a map (named-struct payload).
+    pub fn expect_map<'a>(
+        c: &'a Content,
+        ty: &str,
+    ) -> Result<&'a [(String, Content)], DeError> {
+        match c {
+            Content::Map(m) => Ok(m),
+            _ => Err(DeError(format!("expected map for {ty}, found {}", kind(c)))),
+        }
+    }
+
+    /// Unwrap a sequence of exactly `n` (tuple payload).
+    pub fn expect_seq<'a>(c: &'a Content, n: usize, ty: &str) -> Result<&'a [Content], DeError> {
+        match c {
+            Content::Seq(s) if s.len() == n => Ok(s),
+            Content::Seq(s) => Err(DeError(format!(
+                "expected {n} elements for {ty}, found {}",
+                s.len()
+            ))),
+            _ => Err(DeError(format!(
+                "expected sequence for {ty}, found {}",
+                kind(c)
+            ))),
+        }
+    }
+
+    /// Look up and deserialize a named field.
+    pub fn de_field<T: Deserialize>(
+        map: &[(String, Content)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        let c = map
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError(format!("missing field `{name}` in {ty}")))?;
+        T::deserialize_content(c)
+            .map_err(|e| DeError(format!("field `{name}` of {ty}: {}", e.0)))
+    }
+
+    /// Deserialize a positional element.
+    pub fn de_elem<T: Deserialize>(seq: &[Content], idx: usize, ty: &str) -> Result<T, DeError> {
+        T::deserialize_content(&seq[idx])
+            .map_err(|e| DeError(format!("element {idx} of {ty}: {}", e.0)))
+    }
+
+    /// Split an enum encoding into (variant name, optional payload).
+    pub fn variant_of<'a>(
+        c: &'a Content,
+        ty: &str,
+    ) -> Result<(&'a str, Option<&'a Content>), DeError> {
+        match c {
+            Content::Str(s) => Ok((s.as_str(), None)),
+            Content::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), Some(&m[0].1))),
+            _ => Err(DeError(format!(
+                "expected enum variant for {ty}, found {}",
+                kind(c)
+            ))),
+        }
+    }
+
+    /// Payload required by a data-carrying variant.
+    pub fn payload<'a>(
+        p: Option<&'a Content>,
+        variant: &str,
+    ) -> Result<&'a Content, DeError> {
+        p.ok_or_else(|| DeError(format!("variant `{variant}` expects a payload")))
+    }
+
+    fn kind(c: &Content) -> &'static str {
+        match c {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(
+            u16::deserialize_content(&42u16.serialize_content()),
+            Ok(42)
+        );
+        assert_eq!(
+            i32::deserialize_content(&(-7i32).serialize_content()),
+            Ok(-7)
+        );
+        assert_eq!(
+            f64::deserialize_content(&1.5f64.serialize_content()),
+            Ok(1.5)
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_content(&Content::Null),
+            Ok(None)
+        );
+        let arr: [Option<u8>; 3] = [None, Some(2), None];
+        assert_eq!(
+            <[Option<u8>; 3]>::deserialize_content(&arr.serialize_content()),
+            Ok(arr)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::deserialize_content(&Content::U64(300)).is_err());
+        assert!(u64::deserialize_content(&Content::I64(-1)).is_err());
+    }
+}

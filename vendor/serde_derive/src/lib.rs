@@ -1,0 +1,420 @@
+//! Offline `serde_derive` stand-in: real proc macros, no syn/quote.
+//!
+//! Hand-parses the deriving item's token stream (struct or enum, no
+//! generics, `#[serde(...)]` attributes unsupported and ignored) and
+//! emits `Serialize`/`Deserialize` impls against the vendored serde's
+//! `Content` model, following real serde's JSON conventions:
+//!
+//! - named struct      -> map of fields
+//! - newtype struct    -> the inner value, transparent
+//! - tuple struct      -> sequence
+//! - unit variant      -> the variant name as a string
+//! - newtype variant   -> `{"Variant": inner}`
+//! - tuple variant     -> `{"Variant": [..]}`
+//! - struct variant    -> `{"Variant": {..}}`
+
+// Offline stand-in crate: keep it lint-silent so workspace-wide clippy
+// gates only the real code.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+/// The shapes we can derive for.
+enum Item {
+    /// `struct S;`
+    UnitStruct(String),
+    /// `struct S { a: A, b: B }`
+    NamedStruct(String, Vec<String>),
+    /// `struct S(A, B);` — arity 1 is the transparent newtype case.
+    TupleStruct(String, usize),
+    /// `enum E { .. }` with per-variant shapes.
+    Enum(String, Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&item),
+                Which::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive: expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive stub: generic type `{name}` not supported — write the impl by hand"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Ok(Item::UnitStruct(name)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct(name)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct(name, parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct(name, count_tuple_fields(g.stream())))
+            }
+            _ => Err(format!("derive: unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, parse_variants(g.stream())?))
+            }
+            _ => Err(format!("derive: expected enum body for `{name}`")),
+        },
+        other => Err(format!("derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip any number of `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ .. }` body. Skips types by consuming to the next
+/// comma at angle-bracket depth zero (parens/brackets are opaque groups
+/// already, so only `<`/`>` need explicit tracking).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("derive: expected field name, found `{t}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("derive: expected `:` after field `{name}`")),
+        }
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Arity of a `( .. )` tuple body: top-level commas + 1 (ignoring a
+/// trailing comma), 0 for an empty body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 < tokens.len() {
+                    fields += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("derive: expected variant name, found `{t}`")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and advance past the comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct(name) => (name, "::serde::Content::Null".to_string()),
+        Item::NamedStruct(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({f:?}.to_string(), ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Content::Map(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct(name, 1) => (
+            name,
+            "::serde::Serialize::serialize_content(&self.0)".to_string(),
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_content(&self.{k})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Content::Seq(vec![{}])", elems.join(", ")),
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_arm(name, v)).collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{ty}::{vn} => ::serde::Content::Str({vn:?}.to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{ty}::{vn}(__f0) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+             ::serde::Serialize::serialize_content(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_content(__f{k})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                 ::serde::Content::Seq(vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))")
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                 ::serde::Content::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct(name) => (
+            name,
+            format!(
+                "match __c {{ ::serde::Content::Null => Ok({name}), \
+                 ::serde::Content::Str(s) if s == {name:?} => Ok({name}), \
+                 _ => Err(::serde::DeError::expected(\"unit struct\", __c)) }}"
+            ),
+        ),
+        Item::NamedStruct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::de_field(__m, {f:?}, {name:?})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __m = ::serde::__private::expect_map(__c, {name:?})?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct(name, 1) => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::deserialize_content(__c)?))"),
+        ),
+        Item::TupleStruct(name, n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::__private::de_elem(__s, {k}, {name:?})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __s = ::serde::__private::expect_seq(__c, {n}, {name:?})?;\n\
+                     Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| de_arm(name, v)).collect();
+            (
+                name,
+                format!(
+                    "let (__tag, __payload) = ::serde::__private::variant_of(__c, {name:?})?;\n\
+                     match __tag {{ {} __other => Err(::serde::DeError(format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))) }}",
+                    arms.join(" ")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!("{vn:?} => Ok({ty}::{vn}),"),
+        VariantShape::Tuple(1) => format!(
+            "{vn:?} => {{ let __p = ::serde::__private::payload(__payload, {vn:?})?; \
+             Ok({ty}::{vn}(::serde::Deserialize::deserialize_content(__p)?)) }}"
+        ),
+        VariantShape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::__private::de_elem(__s, {k}, {vn:?})?"))
+                .collect();
+            format!(
+                "{vn:?} => {{ let __p = ::serde::__private::payload(__payload, {vn:?})?; \
+                 let __s = ::serde::__private::expect_seq(__p, {n}, {vn:?})?; \
+                 Ok({ty}::{vn}({})) }}",
+                inits.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::de_field(__m, {f:?}, {vn:?})?"))
+                .collect();
+            format!(
+                "{vn:?} => {{ let __p = ::serde::__private::payload(__payload, {vn:?})?; \
+                 let __m = ::serde::__private::expect_map(__p, {vn:?})?; \
+                 Ok({ty}::{vn} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
