@@ -48,8 +48,7 @@ impl MatchReport {
         if self.reg_errors.is_empty() {
             return 1.0;
         }
-        self.reg_errors.iter().filter(|&&e| e == 0.0).count() as f64
-            / self.reg_errors.len() as f64
+        self.reg_errors.iter().filter(|&&e| e == 0.0).count() as f64 / self.reg_errors.len() as f64
     }
 }
 

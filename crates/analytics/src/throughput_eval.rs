@@ -111,7 +111,11 @@ mod tests {
         let rnti = gnb.connected_rntis()[0];
         let ue = gnb.ue(rnti).unwrap();
         let e = throughput_errors(&scope, ue, rnti, 2000..slots, 2000, cell.slot_s());
-        assert!(e.truth_mbps > 5.0, "flow runs fast: {} Mbit/s", e.truth_mbps);
+        assert!(
+            e.truth_mbps > 5.0,
+            "flow runs fast: {} Mbit/s",
+            e.truth_mbps
+        );
         assert!(
             e.median_relative_pct() < 1.0,
             "median rel err {}%",

@@ -36,7 +36,10 @@ fn bench_polar(c: &mut Criterion) {
     for e in [108usize, 216, 432] {
         let code = PolarCode::new(69, e);
         let tx = code.encode(&payload);
-        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 4.0 } else { -4.0 })
+            .collect();
         group.bench_with_input(BenchmarkId::new("sc_decode", e), &e, |b, _| {
             b.iter(|| code.decode_sc(&llrs))
         });
@@ -44,7 +47,10 @@ fn bench_polar(c: &mut Criterion) {
     // Ablation: SC vs list decoding at the common L2 size.
     let code = PolarCode::new(69, 216);
     let tx = code.encode(&payload);
-    let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+    let llrs: Vec<f32> = tx
+        .iter()
+        .map(|&b| if b == 0 { 4.0 } else { -4.0 })
+        .collect();
     for list in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("scl_decode", list), &list, |b, &l| {
             b.iter(|| code.decode_scl(&llrs, l, |_| true))
@@ -57,9 +63,7 @@ fn bench_crc_rnti_check(c: &mut Criterion) {
     // The per-(candidate × UE) cost of blind decoding at message level.
     let payload: Vec<u8> = (0..45).map(|i| (i % 2) as u8).collect();
     let cw = dci_attach_crc(&payload, 0x4601);
-    c.bench_function("dci_crc_check", |b| {
-        b.iter(|| dci_check_crc(&cw, 0x4601))
-    });
+    c.bench_function("dci_crc_check", |b| b.iter(|| dci_check_crc(&cw, 0x4601)));
 }
 
 fn bench_tbs(c: &mut Criterion) {

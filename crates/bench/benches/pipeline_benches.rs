@@ -44,7 +44,13 @@ fn capture_slot(iq: bool) -> (ObservedSlot, usize, DecoderContext) {
     }
 }
 
-fn job(observed: &ObservedSlot, sif: usize, ctx: &DecoderContext, ues: usize, threads: usize) -> SlotJob {
+fn job(
+    observed: &ObservedSlot,
+    sif: usize,
+    ctx: &DecoderContext,
+    ues: usize,
+    threads: usize,
+) -> SlotJob {
     SlotJob {
         slot: 0,
         slot_in_frame: sif,
@@ -106,5 +112,10 @@ fn bench_rate_window(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_message_slot, bench_iq_slot, bench_rate_window);
+criterion_group!(
+    benches,
+    bench_message_slot,
+    bench_iq_slot,
+    bench_rate_window
+);
 criterion_main!(benches);

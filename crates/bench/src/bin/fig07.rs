@@ -10,13 +10,16 @@
 //! 0.93%/0.31% in the Amarisoft network — "two 9's of reliability".
 
 use gnb_sim::CellConfig;
+use nrscope::Fidelity;
 use nrscope_analytics::{match_dcis, report};
 use nrscope_bench::{capture_seconds, SessionSpec};
-use nrscope::Fidelity;
 use ue_sim::traffic::TrafficKind;
 
 fn main() {
-    println!("{}", report::figure_header("fig07a", "DCI miss rate, srsRAN cell (IQ fidelity)"));
+    println!(
+        "{}",
+        report::figure_header("fig07a", "DCI miss rate, srsRAN cell (IQ fidelity)")
+    );
     let iq_seconds = capture_seconds(4.0);
     for n_ues in [1usize, 2, 3, 4] {
         let mut spec = SessionSpec::new(CellConfig::srsran_n41());
@@ -30,7 +33,12 @@ fn main() {
         };
         spec.seed = n_ues as u64;
         let session = spec.run();
-        let m = match_dcis(session.gnb.truth(), session.scope.records(), 0..session.slots, 0);
+        let m = match_dcis(
+            session.gnb.truth(),
+            session.scope.records(),
+            0..session.slots,
+            0,
+        );
         println!(
             "{}",
             report::bars(
@@ -46,7 +54,10 @@ fn main() {
     }
 
     println!();
-    println!("{}", report::figure_header("fig07b", "DCI miss rate, Amarisoft cell (message fidelity)"));
+    println!(
+        "{}",
+        report::figure_header("fig07b", "DCI miss rate, Amarisoft cell (message fidelity)")
+    );
     let msg_seconds = capture_seconds(30.0);
     for n_ues in [8usize, 16, 32, 64] {
         let mut spec = SessionSpec::new(CellConfig::amarisoft_n78());
@@ -59,7 +70,12 @@ fn main() {
         };
         spec.seed = 100 + n_ues as u64;
         let session = spec.run();
-        let m = match_dcis(session.gnb.truth(), session.scope.records(), 0..session.slots, 0);
+        let m = match_dcis(
+            session.gnb.truth(),
+            session.scope.records(),
+            0..session.slots,
+            0,
+        );
         println!(
             "{}",
             report::bars(

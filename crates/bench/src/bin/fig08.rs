@@ -11,7 +11,10 @@ use nrscope_bench::{capture_seconds, SessionSpec};
 use ue_sim::traffic::TrafficKind;
 
 fn main() {
-    println!("{}", report::figure_header("fig08a", "REG error CCDF, srsRAN cell (IQ fidelity)"));
+    println!(
+        "{}",
+        report::figure_header("fig08a", "REG error CCDF, srsRAN cell (IQ fidelity)")
+    );
     let iq_seconds = capture_seconds(4.0);
     for n_ues in [1usize, 2, 3, 4] {
         let mut spec = SessionSpec::new(CellConfig::srsran_n41());
@@ -19,29 +22,69 @@ fn main() {
         spec.fidelity = Fidelity::Iq;
         spec.seconds = iq_seconds;
         spec.sniffer_snr_db = 22.0;
-        spec.traffic = TrafficKind::Cbr { rate_bps: 3e6, packet_bytes: 1200 };
+        spec.traffic = TrafficKind::Cbr {
+            rate_bps: 3e6,
+            packet_bytes: 1200,
+        };
         spec.seed = n_ues as u64;
         let session = spec.run();
-        let m = match_dcis(session.gnb.truth(), session.scope.records(), 0..session.slots, 0);
-        println!("{}", report::scalar(&format!("{n_ues}ue_mean_reg_error"), m.mean_reg_error()));
-        println!("{}", report::scalar(&format!("{n_ues}ue_zero_fraction"), m.zero_reg_fraction()));
-        println!("{}", report::series(&format!("{n_ues} UEs"), &ccdf_points(&m.reg_errors), 12));
+        let m = match_dcis(
+            session.gnb.truth(),
+            session.scope.records(),
+            0..session.slots,
+            0,
+        );
+        println!(
+            "{}",
+            report::scalar(&format!("{n_ues}ue_mean_reg_error"), m.mean_reg_error())
+        );
+        println!(
+            "{}",
+            report::scalar(&format!("{n_ues}ue_zero_fraction"), m.zero_reg_fraction())
+        );
+        println!(
+            "{}",
+            report::series(&format!("{n_ues} UEs"), &ccdf_points(&m.reg_errors), 12)
+        );
     }
     println!();
-    println!("{}", report::figure_header("fig08b", "REG error CCDF, Amarisoft cell (message fidelity)"));
+    println!(
+        "{}",
+        report::figure_header(
+            "fig08b",
+            "REG error CCDF, Amarisoft cell (message fidelity)"
+        )
+    );
     let msg_seconds = capture_seconds(30.0);
     for n_ues in [8usize, 16, 32, 64] {
         let mut spec = SessionSpec::new(CellConfig::amarisoft_n78());
         spec.n_ues = n_ues;
         spec.seconds = msg_seconds;
         spec.sniffer_snr_db = 24.0;
-        spec.traffic = TrafficKind::Poisson { pkts_per_s: 60.0, mean_bytes: 900 };
+        spec.traffic = TrafficKind::Poisson {
+            pkts_per_s: 60.0,
+            mean_bytes: 900,
+        };
         spec.seed = 100 + n_ues as u64;
         let session = spec.run();
-        let m = match_dcis(session.gnb.truth(), session.scope.records(), 0..session.slots, 0);
-        println!("{}", report::scalar(&format!("{n_ues}ue_mean_reg_error"), m.mean_reg_error()));
-        println!("{}", report::scalar(&format!("{n_ues}ue_zero_fraction"), m.zero_reg_fraction()));
-        println!("{}", report::series(&format!("{n_ues} UEs"), &ccdf_points(&m.reg_errors), 12));
+        let m = match_dcis(
+            session.gnb.truth(),
+            session.scope.records(),
+            0..session.slots,
+            0,
+        );
+        println!(
+            "{}",
+            report::scalar(&format!("{n_ues}ue_mean_reg_error"), m.mean_reg_error())
+        );
+        println!(
+            "{}",
+            report::scalar(&format!("{n_ues}ue_zero_fraction"), m.zero_reg_fraction())
+        );
+        println!(
+            "{}",
+            report::series(&format!("{n_ues} UEs"), &ccdf_points(&m.reg_errors), 12)
+        );
     }
     println!();
     println!("paper: average 0.77 REG error per TTI; >99% of TTIs exactly zero");

@@ -21,7 +21,14 @@ fn window_errors(session: &nrscope_bench::Session, window: u64, slot_s: f64) -> 
     let mut rates = Vec::new();
     for rnti in session.gnb.connected_rntis() {
         let ue = session.gnb.ue(rnti).expect("connected");
-        let e = throughput_errors(&session.scope, ue, rnti, window..session.slots, window, slot_s);
+        let e = throughput_errors(
+            &session.scope,
+            ue,
+            rnti,
+            window..session.slots,
+            window,
+            slot_s,
+        );
         rates.push(e.truth_mbps);
         all.extend(e.errors_kbps);
     }
@@ -30,55 +37,113 @@ fn window_errors(session: &nrscope_bench::Session, window: u64, slot_s: f64) -> 
 
 fn main() {
     let seconds = capture_seconds(40.0);
-    println!("{}", report::figure_header("fig09a", "throughput error CCDF, Mosolab cell"));
+    println!(
+        "{}",
+        report::figure_header("fig09a", "throughput error CCDF, Mosolab cell")
+    );
     for n_ues in [1usize, 2, 3, 4] {
         let mut spec = SessionSpec::new(CellConfig::mosolab_n48());
         spec.n_ues = n_ues;
         spec.seconds = seconds;
-        spec.traffic = TrafficKind::Video { bitrate_bps: 4.0e6, chunk_s: 1.0 };
+        spec.traffic = TrafficKind::Video {
+            bitrate_bps: 4.0e6,
+            chunk_s: 1.0,
+        };
         spec.seed = n_ues as u64;
         let session = spec.run();
         let slot_s = session.gnb.cfg.slot_s();
         let (errors, rate) = window_errors(&session, 2000, slot_s);
-        println!("{}", report::scalar(&format!("{n_ues}ue_p75_kbps"), nrscope_analytics::percentile(&errors, 75.0)));
-        println!("{}", report::scalar(&format!("{n_ues}ue_mean_rate_mbps"), rate));
-        println!("{}", report::series(&format!("{n_ues} UEs"), &ccdf_points(&errors), 10));
+        println!(
+            "{}",
+            report::scalar(
+                &format!("{n_ues}ue_p75_kbps"),
+                nrscope_analytics::percentile(&errors, 75.0)
+            )
+        );
+        println!(
+            "{}",
+            report::scalar(&format!("{n_ues}ue_mean_rate_mbps"), rate)
+        );
+        println!(
+            "{}",
+            report::series(&format!("{n_ues} UEs"), &ccdf_points(&errors), 10)
+        );
     }
     println!();
-    println!("{}", report::figure_header("fig09b", "throughput error CCDF, Amarisoft cell"));
+    println!(
+        "{}",
+        report::figure_header("fig09b", "throughput error CCDF, Amarisoft cell")
+    );
     for n_ues in [8usize, 16, 32, 64] {
         let mut spec = SessionSpec::new(CellConfig::amarisoft_n78());
         spec.n_ues = n_ues;
         spec.seconds = seconds;
-        spec.traffic = TrafficKind::Poisson { pkts_per_s: 80.0, mean_bytes: 1000 };
+        spec.traffic = TrafficKind::Poisson {
+            pkts_per_s: 80.0,
+            mean_bytes: 1000,
+        };
         spec.seed = 50 + n_ues as u64;
         let session = spec.run();
         let slot_s = session.gnb.cfg.slot_s();
         let (errors, rate) = window_errors(&session, 2000, slot_s);
-        println!("{}", report::scalar(&format!("{n_ues}ue_p95_kbps"), nrscope_analytics::percentile(&errors, 95.0)));
-        println!("{}", report::scalar(&format!("{n_ues}ue_mean_rate_mbps"), rate));
-        println!("{}", report::series(&format!("{n_ues} UEs"), &ccdf_points(&errors), 10));
+        println!(
+            "{}",
+            report::scalar(
+                &format!("{n_ues}ue_p95_kbps"),
+                nrscope_analytics::percentile(&errors, 95.0)
+            )
+        );
+        println!(
+            "{}",
+            report::scalar(&format!("{n_ues}ue_mean_rate_mbps"), rate)
+        );
+        println!(
+            "{}",
+            report::series(&format!("{n_ues} UEs"), &ccdf_points(&errors), 10)
+        );
     }
     println!();
-    println!("{}", report::figure_header("fig09c", "throughput error CCDF, T-Mobile cells by UE status"));
-    for (cell_name, cell) in [("cell1", CellConfig::tmobile_n25()), ("cell2", CellConfig::tmobile_n71())] {
+    println!(
+        "{}",
+        report::figure_header(
+            "fig09c",
+            "throughput error CCDF, T-Mobile cells by UE status"
+        )
+    );
+    for (cell_name, cell) in [
+        ("cell1", CellConfig::tmobile_n25()),
+        ("cell2", CellConfig::tmobile_n71()),
+    ] {
         for scenario in MobilityScenario::all() {
             let mut spec = SessionSpec::new(cell.clone());
             spec.n_ues = 1;
             spec.scenario = scenario;
             spec.seconds = seconds;
             spec.sniffer_snr_db = 18.0; // commercial-cell placement
-            spec.traffic = TrafficKind::Video { bitrate_bps: 5.0e6, chunk_s: 1.0 };
+            spec.traffic = TrafficKind::Video {
+                bitrate_bps: 5.0e6,
+                chunk_s: 1.0,
+            };
             spec.seed = 7;
             let session = spec.run();
             let slot_s = session.gnb.cfg.slot_s();
             // µ=0: 1 ms slots → 1000-slot (1 s) windows.
             let (errors, _) = window_errors(&session, 1000, slot_s);
-            println!("{}", report::scalar(
-                &format!("{scenario}_{cell_name}_median_kbps"),
-                nrscope_analytics::percentile(&errors, 50.0),
-            ));
-            println!("{}", report::series(&format!("{scenario} ({cell_name})"), &ccdf_points(&errors), 8));
+            println!(
+                "{}",
+                report::scalar(
+                    &format!("{scenario}_{cell_name}_median_kbps"),
+                    nrscope_analytics::percentile(&errors, 50.0),
+                )
+            );
+            println!(
+                "{}",
+                report::series(
+                    &format!("{scenario} ({cell_name})"),
+                    &ccdf_points(&errors),
+                    8
+                )
+            );
         }
     }
     println!();

@@ -9,14 +9,25 @@ use nrscope_bench::{capture_seconds, run_population};
 use ue_sim::arrival::ArrivalConfig;
 
 fn main() {
-    println!("{}", report::figure_header("fig10", "UE active time CCDF, T-Mobile cells"));
+    println!(
+        "{}",
+        report::figure_header("fig10", "UE active time CCDF, T-Mobile cells")
+    );
     let seconds = capture_seconds(120.0);
     let scale = seconds / 600.0;
     // Time-of-day load factors relative to the fitted base rate.
     for (label, load) in [("Morning", 0.8), ("Afternoon", 1.2), ("Night", 0.6)] {
         for (cell_name, cell, base) in [
-            ("1", CellConfig::tmobile_n25(), ArrivalConfig::tmobile_cell1()),
-            ("2", CellConfig::tmobile_n71(), ArrivalConfig::tmobile_cell2()),
+            (
+                "1",
+                CellConfig::tmobile_n25(),
+                ArrivalConfig::tmobile_cell1(),
+            ),
+            (
+                "2",
+                CellConfig::tmobile_n71(),
+                ArrivalConfig::tmobile_cell2(),
+            ),
         ] {
             let arrivals = ArrivalConfig {
                 arrivals_per_s: base.arrivals_per_s * load,
@@ -25,23 +36,35 @@ fn main() {
             let seed = (load * 10.0) as u64 * 100 + cell_name.len() as u64;
             let p = run_population(cell, arrivals, seconds, seed);
             let durations = p.population.durations_s();
-            println!("{}", report::scalar(
-                &format!("{label}_{cell_name}_distinct_ues_per_10min"),
-                p.population.total_sessions() as f64 / scale,
-            ));
-            println!("{}", report::scalar(
-                &format!("{label}_{cell_name}_p90_active_s"),
-                percentile(&durations, 90.0),
-            ));
-            println!("{}", report::scalar(
-                &format!("{label}_{cell_name}_scope_discovered"),
-                p.scope.total_discovered() as f64,
-            ));
-            println!("{}", report::series(
-                &format!("{label} ({cell_name})"),
-                &ccdf_points(&durations),
-                10,
-            ));
+            println!(
+                "{}",
+                report::scalar(
+                    &format!("{label}_{cell_name}_distinct_ues_per_10min"),
+                    p.population.total_sessions() as f64 / scale,
+                )
+            );
+            println!(
+                "{}",
+                report::scalar(
+                    &format!("{label}_{cell_name}_p90_active_s"),
+                    percentile(&durations, 90.0),
+                )
+            );
+            println!(
+                "{}",
+                report::scalar(
+                    &format!("{label}_{cell_name}_scope_discovered"),
+                    p.scope.total_discovered() as f64,
+                )
+            );
+            println!(
+                "{}",
+                report::series(
+                    &format!("{label} ({cell_name})"),
+                    &ccdf_points(&durations),
+                    10,
+                )
+            );
         }
     }
     println!();

@@ -8,11 +8,22 @@ use nrscope_bench::{capture_seconds, run_population};
 use ue_sim::arrival::{active_per_window, ArrivalConfig};
 
 fn main() {
-    println!("{}", report::figure_header("fig11", "active UEs per second / minute, T-Mobile cells"));
+    println!(
+        "{}",
+        report::figure_header("fig11", "active UEs per second / minute, T-Mobile cells")
+    );
     let seconds = capture_seconds(120.0);
     for (cell_name, cell, arrivals) in [
-        ("Cell 1", CellConfig::tmobile_n25(), ArrivalConfig::tmobile_cell1()),
-        ("Cell 2", CellConfig::tmobile_n71(), ArrivalConfig::tmobile_cell2()),
+        (
+            "Cell 1",
+            CellConfig::tmobile_n25(),
+            ArrivalConfig::tmobile_cell1(),
+        ),
+        (
+            "Cell 2",
+            CellConfig::tmobile_n71(),
+            ArrivalConfig::tmobile_cell2(),
+        ),
     ] {
         let p = run_population(cell, arrivals, seconds, 3);
         let sessions = p.population.sessions();
@@ -21,15 +32,21 @@ fn main() {
                 .into_iter()
                 .map(|c| c as f64)
                 .collect();
-            println!("{}", report::scalar(
-                &format!("{cell_name}_{window_name}_p95_ues"),
-                percentile(&counts, 95.0),
-            ));
-            println!("{}", report::series(
-                &format!("{cell_name}, {window_name}"),
-                &cdf_points(&counts),
-                10,
-            ));
+            println!(
+                "{}",
+                report::scalar(
+                    &format!("{cell_name}_{window_name}_p95_ues"),
+                    percentile(&counts, 95.0),
+                )
+            );
+            println!(
+                "{}",
+                report::series(
+                    &format!("{cell_name}, {window_name}"),
+                    &cdf_points(&counts),
+                    10,
+                )
+            );
         }
     }
     println!();

@@ -8,14 +8,14 @@
 //! every discovered UE instead of using the cache.
 
 use gnb_sim::CellConfig;
+use nr_phy::dci::DciSizing;
+use nr_phy::types::Rnti;
 use nrscope::decoder::{DecoderContext, Hypotheses};
 use nrscope::observe::{ObservedSlot, Observer};
 use nrscope::worker::{process_slot, SlotJob};
 use nrscope::Fidelity;
 use nrscope_analytics::report;
 use nrscope_bench::SessionSpec;
-use nr_phy::dci::DciSizing;
-use nr_phy::types::Rnti;
 use ue_sim::traffic::TrafficKind;
 
 /// Capture a handful of IQ slots (with live DCIs) from a loaded cell.
@@ -25,7 +25,10 @@ fn capture(cell: &CellConfig, n_slots: usize, seed: u64) -> Vec<(ObservedSlot, u
     spec.fidelity = Fidelity::Message; // drive the gNB cheaply first
     spec.seconds = 0.5;
     spec.seed = seed;
-    spec.traffic = TrafficKind::Cbr { rate_bps: 4e6, packet_bytes: 1200 };
+    spec.traffic = TrafficKind::Cbr {
+        rate_bps: 4e6,
+        packet_bytes: 1200,
+    };
     let mut gnb = spec.run().gnb;
     let mut observer = Observer::new(cell, 28.0, true, seed);
     let mut out = Vec::new();
@@ -75,8 +78,13 @@ fn mean_processing_us(
 }
 
 fn main() {
-    println!("{}", report::figure_header("fig12", "slot processing time vs UE hypotheses"));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "{}",
+        report::figure_header("fig12", "slot processing time vs UE hypotheses")
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host_cores {cores}  (the paper's 4-thread speedup needs >= 4 cores; on fewer, sharding only adds overhead)");
     let cases = [
         ("Amarisoft 20MHz", CellConfig::amarisoft_n78(), 1u64),
@@ -87,15 +95,22 @@ fn main() {
         let ctx = DecoderContext {
             coreset: cell.coreset,
             pci: cell.pci.0,
-            common_sizing: DciSizing { bwp_prbs: cell.coreset.n_prb },
-            ue_sizing: Some(DciSizing { bwp_prbs: cell.carrier_prbs }),
+            common_sizing: DciSizing {
+                bwp_prbs: cell.coreset.n_prb,
+            },
+            ue_sizing: Some(DciSizing {
+                bwp_prbs: cell.carrier_prbs,
+            }),
         };
         for threads in [1usize, 4] {
             let series: Vec<(f64, f64)> = [1usize, 2, 4, 8, 16, 32, 64, 128]
                 .iter()
                 .map(|&m| (m as f64, mean_processing_us(&slots, &ctx, m, threads)))
                 .collect();
-            println!("{}", report::series(&format!("{name}, {threads} thread(s) (us)"), &series, 8));
+            println!(
+                "{}",
+                report::series(&format!("{name}, {threads} thread(s) (us)"), &series, 8)
+            );
         }
     }
     println!();

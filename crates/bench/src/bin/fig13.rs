@@ -12,37 +12,99 @@ use ue_sim::mobility::FloorPosition;
 use ue_sim::traffic::TrafficKind;
 
 fn main() {
-    println!("{}", report::figure_header("fig13", "DCI miss rate across the floor (64 UEs)"));
+    println!(
+        "{}",
+        report::figure_header("fig13", "DCI miss rate across the floor (64 UEs)")
+    );
     let seconds = capture_seconds(15.0);
     // A 10 m × 7 m floor grid like the paper's: positions by distance to
     // the gNB and intervening walls.
     let positions = [
-        ("1m_open", FloorPosition { distance_m: 1.0, walls: 0 }),
-        ("3m_open", FloorPosition { distance_m: 3.0, walls: 0 }),
-        ("5m_1wall", FloorPosition { distance_m: 5.0, walls: 1 }),
-        ("7m_1wall", FloorPosition { distance_m: 7.0, walls: 1 }),
-        ("10m_2walls", FloorPosition { distance_m: 10.0, walls: 2 }),
-        ("12m_3walls", FloorPosition { distance_m: 12.0, walls: 3 }),
-        ("14m_4walls", FloorPosition { distance_m: 14.0, walls: 4 }),
-        ("16m_5walls", FloorPosition { distance_m: 16.0, walls: 5 }),
+        (
+            "1m_open",
+            FloorPosition {
+                distance_m: 1.0,
+                walls: 0,
+            },
+        ),
+        (
+            "3m_open",
+            FloorPosition {
+                distance_m: 3.0,
+                walls: 0,
+            },
+        ),
+        (
+            "5m_1wall",
+            FloorPosition {
+                distance_m: 5.0,
+                walls: 1,
+            },
+        ),
+        (
+            "7m_1wall",
+            FloorPosition {
+                distance_m: 7.0,
+                walls: 1,
+            },
+        ),
+        (
+            "10m_2walls",
+            FloorPosition {
+                distance_m: 10.0,
+                walls: 2,
+            },
+        ),
+        (
+            "12m_3walls",
+            FloorPosition {
+                distance_m: 12.0,
+                walls: 3,
+            },
+        ),
+        (
+            "14m_4walls",
+            FloorPosition {
+                distance_m: 14.0,
+                walls: 4,
+            },
+        ),
+        (
+            "16m_5walls",
+            FloorPosition {
+                distance_m: 16.0,
+                walls: 5,
+            },
+        ),
     ];
     for (i, (label, pos)) in positions.into_iter().enumerate() {
         let mut spec = SessionSpec::new(CellConfig::amarisoft_n78());
         spec.n_ues = 64;
         spec.seconds = seconds;
         spec.sniffer_snr_db = pos.snr_db();
-        spec.traffic = TrafficKind::Poisson { pkts_per_s: 40.0, mean_bytes: 800 };
+        spec.traffic = TrafficKind::Poisson {
+            pkts_per_s: 40.0,
+            mean_bytes: 800,
+        };
         spec.seed = 9 + i as u64;
         let session = spec.run();
-        let m = match_dcis(session.gnb.truth(), session.scope.records(), 0..session.slots, 0);
-        println!("{}", report::bars(
-            label,
-            &[
-                ("snr_db", pos.snr_db()),
-                ("dl_miss_pct", m.dl_miss_rate_pct()),
-                ("ul_miss_pct", m.ul_miss_rate_pct()),
-            ],
-        ));
+        let m = match_dcis(
+            session.gnb.truth(),
+            session.scope.records(),
+            0..session.slots,
+            0,
+        );
+        println!(
+            "{}",
+            report::bars(
+                label,
+                &[
+                    ("snr_db", pos.snr_db()),
+                    ("dl_miss_pct", m.dl_miss_rate_pct()),
+                    ("ul_miss_pct", m.ul_miss_rate_pct()),
+                ],
+            )
+        );
     }
     println!();
     println!("paper: mostly near zero; up to ~7% where signal quality is bad");

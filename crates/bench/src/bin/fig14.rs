@@ -8,20 +8,26 @@
 //! same spare REs but different spare bit rates because their MCS differ.
 
 use gnb_sim::CellConfig;
+use nr_phy::channel::ChannelProfile;
 use nrscope_analytics::report;
 use nrscope_bench::{capture_seconds, SessionSpec};
-use nr_phy::channel::ChannelProfile;
 use ue_sim::traffic::TrafficKind;
 
 fn main() {
-    println!("{}", report::figure_header("fig14", "spare capacity estimation, 2 UEs, Mosolab cell"));
+    println!(
+        "{}",
+        report::figure_header("fig14", "spare capacity estimation, 2 UEs, Mosolab cell")
+    );
     let seconds = capture_seconds(40.0);
     let mut spec = SessionSpec::new(CellConfig::mosolab_n48());
     spec.n_ues = 2;
     spec.seconds = seconds;
     // Different channel quality → different MCS for the two UEs.
     spec.profile = ChannelProfile::Pedestrian;
-    spec.traffic = TrafficKind::Video { bitrate_bps: 8.0e6, chunk_s: 1.0 };
+    spec.traffic = TrafficKind::Video {
+        bitrate_bps: 8.0e6,
+        chunk_s: 1.0,
+    };
     spec.seed = 5;
     let session = spec.run();
     let slot_s = session.gnb.cfg.slot_s();
@@ -35,14 +41,31 @@ fn main() {
         let mut w = window;
         while w + window <= session.slots {
             let t = (w as f64) * slot_s;
-            let est = session.scope.estimated_bits(*rnti, w..w + window) as f64 / (window as f64 * slot_s) / 1e6;
-            let tru = ue.delivered_bytes_in(w..w + window) as f64 * 8.0 / (window as f64 * slot_s) / 1e6;
+            let est = session.scope.estimated_bits(*rnti, w..w + window) as f64
+                / (window as f64 * slot_s)
+                / 1e6;
+            let tru =
+                ue.delivered_bytes_in(w..w + window) as f64 * 8.0 / (window as f64 * slot_s) / 1e6;
             est_series.push((t, est));
             truth_series.push((t, tru));
             w += window;
         }
-        println!("{}", report::series(&format!("UE{} NR-Scope est (Mbit/s)", i + 1), &est_series, 10));
-        println!("{}", report::series(&format!("UE{} tcpdump truth (Mbit/s)", i + 1), &truth_series, 10));
+        println!(
+            "{}",
+            report::series(
+                &format!("UE{} NR-Scope est (Mbit/s)", i + 1),
+                &est_series,
+                10
+            )
+        );
+        println!(
+            "{}",
+            report::series(
+                &format!("UE{} tcpdump truth (Mbit/s)", i + 1),
+                &truth_series,
+                10
+            )
+        );
     }
     // Spare shares per TTI: used REs + fair-share spare per UE.
     let spare = session.scope.spare_log();
@@ -51,24 +74,51 @@ fn main() {
         let used: Vec<(f64, f64)> = mid
             .iter()
             .filter_map(|(slot, shares)| {
-                shares.iter().find(|s| s.rnti == *rnti).map(|s| (*slot as f64, s.used_res as f64 / 12.0))
+                shares
+                    .iter()
+                    .find(|s| s.rnti == *rnti)
+                    .map(|s| (*slot as f64, s.used_res as f64 / 12.0))
             })
             .collect();
         let spare_prbs: Vec<(f64, f64)> = mid
             .iter()
             .filter_map(|(slot, shares)| {
-                shares.iter().find(|s| s.rnti == *rnti).map(|s| (*slot as f64, s.spare_res as f64 / 12.0 / 12.0))
+                shares
+                    .iter()
+                    .find(|s| s.rnti == *rnti)
+                    .map(|s| (*slot as f64, s.spare_res as f64 / 12.0 / 12.0))
             })
             .collect();
-        println!("{}", report::series(&format!("UE{} used PRBs", i + 1), &used, 10));
-        println!("{}", report::series(&format!("UE{} fair-share spare PRBs", i + 1), &spare_prbs, 10));
+        println!(
+            "{}",
+            report::series(&format!("UE{} used PRBs", i + 1), &used, 10)
+        );
+        println!(
+            "{}",
+            report::series(
+                &format!("UE{} fair-share spare PRBs", i + 1),
+                &spare_prbs,
+                10
+            )
+        );
         // Spare bit rates differ across UEs at equal spare REs (paper's point).
         let mean_spare_bits: f64 = mid
             .iter()
-            .filter_map(|(_, shares)| shares.iter().find(|s| s.rnti == *rnti).map(|s| s.spare_bits))
+            .filter_map(|(_, shares)| {
+                shares
+                    .iter()
+                    .find(|s| s.rnti == *rnti)
+                    .map(|s| s.spare_bits)
+            })
             .sum::<f64>()
             / mid.len().max(1) as f64;
-        println!("{}", report::scalar(&format!("ue{}_mean_spare_bits_per_tti", i + 1), mean_spare_bits));
+        println!(
+            "{}",
+            report::scalar(
+                &format!("ue{}_mean_spare_bits_per_tti", i + 1),
+                mean_spare_bits
+            )
+        );
     }
     println!();
     println!("paper: estimate tracks just under truth; equal spare REs, different spare bit rates per UE");

@@ -15,7 +15,10 @@ use nrscope_bench::{capture_seconds, SessionSpec};
 use ue_sim::traffic::TrafficKind;
 
 fn main() {
-    println!("{}", report::figure_header("fig15", "MCS and retransmission ratio by channel condition"));
+    println!(
+        "{}",
+        report::figure_header("fig15", "MCS and retransmission ratio by channel condition")
+    );
     let seconds = capture_seconds(20.0);
     let mut all_truth_mcs: Vec<f64> = Vec::new();
     let mut all_scope_mcs: Vec<f64> = Vec::new();
@@ -26,7 +29,10 @@ fn main() {
         spec.n_ues = 64;
         spec.profile = profile;
         spec.seconds = seconds;
-        spec.traffic = TrafficKind::Poisson { pkts_per_s: 40.0, mean_bytes: 900 };
+        spec.traffic = TrafficKind::Poisson {
+            pkts_per_s: 40.0,
+            mean_bytes: 900,
+        };
         spec.seed = profile.name().len() as u64;
         let session = spec.run();
         // NR-Scope's view.
@@ -61,23 +67,39 @@ fn main() {
             let n = recs.len().max(1) as f64;
             100.0 * recs.iter().filter(|r| r.alloc.is_retx).count() as f64 / n
         };
-        println!("{}", report::bars(
-            profile.name(),
-            &[
-                ("scope_mean_mcs", mean(&scope_mcs)),
-                ("truth_mean_mcs", mean(&truth_mcs)),
-                ("scope_retx_pct", scope_retx_ratio),
-                ("truth_retx_pct", truth_retx_ratio),
-            ],
-        ));
-        println!("{}", report::series(&format!("{} MCS CDF", profile.name()), &cdf_points(&scope_mcs), 8));
+        println!(
+            "{}",
+            report::bars(
+                profile.name(),
+                &[
+                    ("scope_mean_mcs", mean(&scope_mcs)),
+                    ("truth_mean_mcs", mean(&truth_mcs)),
+                    ("scope_retx_pct", scope_retx_ratio),
+                    ("truth_retx_pct", truth_retx_ratio),
+                ],
+            )
+        );
+        println!(
+            "{}",
+            report::series(
+                &format!("{} MCS CDF", profile.name()),
+                &cdf_points(&scope_mcs),
+                8
+            )
+        );
         all_truth_mcs.push(mean(&truth_mcs));
         all_scope_mcs.push(mean(&scope_mcs));
         all_truth_retx.push(truth_retx_ratio);
         all_scope_retx.push(scope_retx_ratio);
     }
     println!();
-    println!("{}", report::scalar("r2_mcs", r_squared(&all_truth_mcs, &all_scope_mcs)));
-    println!("{}", report::scalar("r2_retx", r_squared(&all_truth_retx, &all_scope_retx)));
+    println!(
+        "{}",
+        report::scalar("r2_mcs", r_squared(&all_truth_mcs, &all_scope_mcs))
+    );
+    println!(
+        "{}",
+        report::scalar("r2_retx", r_squared(&all_truth_retx, &all_scope_retx))
+    );
     println!("paper: R2 0.9970 (MCS) and 0.9862 (retransmission) vs ground truth");
 }

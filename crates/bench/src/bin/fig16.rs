@@ -17,29 +17,48 @@ fn main() {
         ("fig16b", MobilityScenario::Blocked),
         ("fig16c", MobilityScenario::Moving),
     ] {
-        println!("{}", report::figure_header(fig, &format!("throughput error CCDF, {scenario} UEs, Mosolab cell")));
+        println!(
+            "{}",
+            report::figure_header(
+                fig,
+                &format!("throughput error CCDF, {scenario} UEs, Mosolab cell")
+            )
+        );
         for n_ues in [1usize, 2, 3, 4] {
             let mut spec = SessionSpec::new(CellConfig::mosolab_n48());
             spec.n_ues = n_ues;
             spec.scenario = scenario;
             spec.seconds = seconds;
-            spec.traffic = TrafficKind::Video { bitrate_bps: 4.0e6, chunk_s: 1.0 };
+            spec.traffic = TrafficKind::Video {
+                bitrate_bps: 4.0e6,
+                chunk_s: 1.0,
+            };
             spec.seed = n_ues as u64 * 3 + 1;
             let session = spec.run();
             let slot_s = session.gnb.cfg.slot_s();
             let mut errors = Vec::new();
             for rnti in session.gnb.connected_rntis() {
                 let ue = session.gnb.ue(rnti).unwrap();
-                let e = throughput_errors(&session.scope, ue, rnti, 2000..session.slots, 2000, slot_s);
+                let e =
+                    throughput_errors(&session.scope, ue, rnti, 2000..session.slots, 2000, slot_s);
                 errors.extend(e.errors_kbps);
             }
-            println!("{}", report::scalar(&format!("{n_ues}ue_median_kbps"), percentile(&errors, 50.0)));
-            println!("{}", report::series(&format!("{n_ues} UEs"), &ccdf_points(&errors), 8));
+            println!(
+                "{}",
+                report::scalar(&format!("{n_ues}ue_median_kbps"), percentile(&errors, 50.0))
+            );
+            println!(
+                "{}",
+                report::series(&format!("{n_ues} UEs"), &ccdf_points(&errors), 8)
+            );
         }
         println!();
     }
 
-    println!("{}", report::figure_header("fig16d", "packets per TTI (aggregation)"));
+    println!(
+        "{}",
+        report::figure_header("fig16d", "packets per TTI (aggregation)")
+    );
     // Spare capacity: a lone UE gets whole-carrier blocks (aggregation
     // high); with competition blocks shrink.
     // Heavy Poisson load: with the cell to itself a UE's queued packets
@@ -49,7 +68,10 @@ fn main() {
         let mut spec = SessionSpec::new(CellConfig::mosolab_n48());
         spec.n_ues = n_ues;
         spec.seconds = seconds.min(20.0);
-        spec.traffic = TrafficKind::Poisson { pkts_per_s: 2500.0, mean_bytes: 1200 };
+        spec.traffic = TrafficKind::Poisson {
+            pkts_per_s: 2500.0,
+            mean_bytes: 1200,
+        };
         spec.seed = 11 + n_ues as u64;
         let session = spec.run();
         let mut all = Vec::new();
@@ -57,11 +79,27 @@ fn main() {
             let ue = session.gnb.ue(rnti).unwrap();
             all.extend(AggregationStats::from_deliveries(&ue.deliveries).packets_per_tti);
         }
-        let stats = AggregationStats { packets_per_tti: all };
-        println!("{}", report::scalar(&format!("{label}_mean_pkts_per_tti"), stats.mean()));
-        println!("{}", report::scalar(&format!("{label}_multi_pkt_fraction"), stats.multi_packet_fraction()));
-        println!("{}", report::series(label, &cdf_points(&stats.packets_per_tti), 10));
+        let stats = AggregationStats {
+            packets_per_tti: all,
+        };
+        println!(
+            "{}",
+            report::scalar(&format!("{label}_mean_pkts_per_tti"), stats.mean())
+        );
+        println!(
+            "{}",
+            report::scalar(
+                &format!("{label}_multi_pkt_fraction"),
+                stats.multi_packet_fraction()
+            )
+        );
+        println!(
+            "{}",
+            report::series(label, &cdf_points(&stats.packets_per_tti), 10)
+        );
     }
     println!();
-    println!("paper: blocks aggregate multiple packets per TTI, defeating inter-arrival-time estimators");
+    println!(
+        "paper: blocks aggregate multiple packets per TTI, defeating inter-arrival-time estimators"
+    );
 }

@@ -1,0 +1,199 @@
+//! pipeline — end-to-end gnb-sim → scope throughput and per-stage latency.
+//!
+//! Drives the full sniffer pipeline and freezes the shared metrics
+//! registry into `BENCH_pipeline.json`: slots/sec, metrics-disabled
+//! baseline (overhead check), DCIs decoded, and per-stage
+//! count/mean/p50/p99 for every instrumented stage.
+//!
+//! Three phases share one registry so a single snapshot covers the whole
+//! pipeline:
+//!   1. message-fidelity lock-step run (capture, PDCCH search, DCI decode,
+//!      classify, tracking, slot envelope) — timed twice, metrics off then
+//!      on, for the overhead figure;
+//!   2. worker-pool run over the same cell (queue wait, queue depth);
+//!   3. short IQ run (radio capture, OFDM demod).
+//!
+//! `--short` (or `NRSCOPE_SECONDS`) shrinks the run for CI smoke tests.
+
+use gnb_sim::{CellConfig, Gnb};
+use nr_mac::RoundRobin;
+use nr_phy::channel::ChannelProfile;
+use nrscope::observe::Observer;
+use nrscope::worker::{PoolConfig, WorkerPool};
+use nrscope::{Fidelity, Metrics, NrScope, ScopeConfig};
+use nrscope_bench::capture_seconds;
+use std::sync::Arc;
+use std::time::Instant;
+use ue_sim::traffic::{TrafficKind, TrafficSource};
+use ue_sim::{MobilityScenario, SimUe};
+
+fn build_gnb(cell: &CellConfig, n_ues: usize, active_s: f64, seed: u64) -> Gnb {
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), seed);
+    for i in 0..n_ues {
+        gnb.ue_arrives(SimUe::new(
+            i as u64 + 1,
+            ChannelProfile::Awgn,
+            MobilityScenario::Static,
+            TrafficSource::new(
+                TrafficKind::Cbr {
+                    rate_bps: 3e6,
+                    packet_bytes: 1200,
+                },
+                seed * 1000 + i as u64,
+            ),
+            0.0,
+            active_s,
+            seed * 7777 + i as u64,
+        ));
+    }
+    gnb
+}
+
+/// Message-fidelity lock-step run; returns (slots, wall seconds) plus the
+/// live session for the pool phase.
+fn message_phase(
+    cell: &CellConfig,
+    seconds: f64,
+    seed: u64,
+    metrics: Arc<Metrics>,
+) -> (u64, f64, Gnb, Observer, NrScope) {
+    let slot_s = cell.slot_s();
+    let slots = (seconds / slot_s).round() as u64;
+    let mut gnb = build_gnb(cell, 4, seconds + 10.0, seed);
+    let mut observer = Observer::new(cell, 30.0, false, seed ^ 0xC0FFEE);
+    observer.set_metrics(Arc::clone(&metrics));
+    let cfg = ScopeConfig {
+        fidelity: Fidelity::Message,
+        metrics_enabled: metrics.is_enabled(),
+        ..ScopeConfig::default()
+    };
+    let mut scope = NrScope::with_metrics(cfg, Some(cell.pci), metrics);
+    let t0 = Instant::now();
+    for s in 0..slots {
+        let out = gnb.step();
+        let observed = observer.observe(&out, s as f64 * slot_s);
+        scope.process(&observed);
+    }
+    (slots, t0.elapsed().as_secs_f64(), gnb, observer, scope)
+}
+
+/// Feed further slots from the live session through a metered worker pool
+/// (populates the queue-wait stage and queue-depth gauge).
+fn pool_phase(
+    gnb: &mut Gnb,
+    observer: &mut Observer,
+    scope: &NrScope,
+    slot_s: f64,
+    start_slot: u64,
+    n_jobs: u64,
+    metrics: Arc<Metrics>,
+) -> usize {
+    let mut pool = WorkerPool::with_metrics(PoolConfig::new(2), metrics);
+    for s in 0..n_jobs {
+        let out = gnb.step();
+        let observed = observer.observe(&out, (start_slot + s) as f64 * slot_s);
+        if let Some(job) = scope.slot_job(observed) {
+            let _ = pool.submit(job);
+        }
+    }
+    pool.finish().len()
+}
+
+/// Short IQ-fidelity run (populates radio capture and OFDM demod stages).
+fn iq_phase(cell: &CellConfig, slots: u64, seed: u64, metrics: Arc<Metrics>) {
+    let slot_s = cell.slot_s();
+    let mut gnb = build_gnb(cell, 2, slots as f64 * slot_s + 10.0, seed);
+    let mut observer = Observer::new(cell, 30.0, true, seed ^ 0xFACE);
+    observer.set_metrics(Arc::clone(&metrics));
+    let cfg = ScopeConfig {
+        fidelity: Fidelity::Iq,
+        ..ScopeConfig::default()
+    };
+    let mut scope = NrScope::with_metrics(cfg, None, metrics);
+    for s in 0..slots {
+        let out = gnb.step();
+        let observed = observer.observe(&out, s as f64 * slot_s);
+        scope.process(&observed);
+    }
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let seconds = capture_seconds(if short { 2.0 } else { 10.0 });
+    let iq_slots: u64 = if short { 100 } else { 400 };
+    let pool_jobs: u64 = if short { 500 } else { 2000 };
+    let cell = CellConfig::srsran_n41();
+    let slot_s = cell.slot_s();
+
+    // Warmup (page-in, allocator, branch predictors) so the off/on
+    // comparison below measures the registry, not cold-start effects.
+    message_phase(&cell, (seconds * 0.25).min(1.0), 7, Metrics::shared(false));
+
+    // Baseline: identical run against a disabled registry (no clock reads,
+    // no atomics beyond one relaxed load per call site).
+    let off = Metrics::shared(false);
+    let (_, wall_off, _, _, _) = message_phase(&cell, seconds, 1, Arc::clone(&off));
+
+    // Instrumented run; the same registry is shared by all three phases.
+    let metrics = Metrics::shared(true);
+    let (slots, wall_on, mut gnb, mut observer, scope) =
+        message_phase(&cell, seconds, 1, Arc::clone(&metrics));
+    let pool_results = pool_phase(
+        &mut gnb,
+        &mut observer,
+        &scope,
+        slot_s,
+        slots,
+        pool_jobs,
+        Arc::clone(&metrics),
+    );
+    iq_phase(&cell, iq_slots, 3, Arc::clone(&metrics));
+
+    let snap = metrics.snapshot();
+    let slots_per_sec = slots as f64 / wall_on;
+    let slots_per_sec_off = slots as f64 / wall_off;
+    let overhead_pct = (wall_on / wall_off - 1.0) * 100.0;
+    let dcis = snap.counter("dcis_decoded").unwrap_or(0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeline\",\n",
+            "  \"short\": {short},\n",
+            "  \"seconds_simulated\": {seconds},\n",
+            "  \"slots\": {slots},\n",
+            "  \"wall_s\": {wall_on:.6},\n",
+            "  \"slots_per_sec\": {sps:.1},\n",
+            "  \"slots_per_sec_metrics_off\": {sps_off:.1},\n",
+            "  \"metrics_overhead_pct\": {ovh:.2},\n",
+            "  \"dcis_decoded\": {dcis},\n",
+            "  \"pool_jobs\": {pool_jobs},\n",
+            "  \"pool_results\": {pool_results},\n",
+            "  \"metrics\": {snap}\n",
+            "}}\n"
+        ),
+        short = short,
+        seconds = seconds,
+        slots = slots,
+        wall_on = wall_on,
+        sps = slots_per_sec,
+        sps_off = slots_per_sec_off,
+        ovh = overhead_pct,
+        dcis = dcis,
+        pool_jobs = pool_jobs,
+        pool_results = pool_results,
+        snap = snap.to_json(),
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+
+    println!("pipeline bench ({} s simulated, short={short})", seconds);
+    println!(
+        "  slots/sec          {slots_per_sec:>12.1}  (metrics off {slots_per_sec_off:.1}, overhead {overhead_pct:+.2}%)"
+    );
+    println!("  dcis decoded       {dcis:>12}");
+    println!("  pool jobs/results  {pool_jobs:>6}/{pool_results}");
+    println!();
+    print!("{}", snap.summary());
+    println!();
+    println!("wrote BENCH_pipeline.json");
+}

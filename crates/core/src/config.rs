@@ -38,6 +38,13 @@ pub struct ScopeConfig {
     /// Upper bound (exclusive) of the PCI range scanned while re-acquiring
     /// at message fidelity (IQ fidelity re-detects from PSS/SSS instead).
     pub pci_scan_max: u16,
+    /// Whether the pipeline metrics registry records (counters, gauges,
+    /// per-stage latency histograms). Near-zero cost either way; disabling
+    /// also skips the per-stage clock reads.
+    pub metrics_enabled: bool,
+    /// Per-UE throughput history retention, in slots (bounds the
+    /// estimator's memory; see `throughput::DEFAULT_HISTORY_RETENTION_SLOTS`).
+    pub history_retention_slots: u64,
 }
 
 impl Default for ScopeConfig {
@@ -51,6 +58,8 @@ impl Default for ScopeConfig {
             degraded_after_slots: 120,
             lost_after_slots: 400,
             pci_scan_max: 128,
+            metrics_enabled: true,
+            history_retention_slots: crate::throughput::DEFAULT_HISTORY_RETENTION_SLOTS,
         }
     }
 }

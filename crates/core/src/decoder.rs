@@ -12,16 +12,16 @@
 //! 2. **known-UE hypotheses** — each tracked C-RNTI with its UE-specific
 //!    descrambling.
 
+use crate::metrics::{Counter, Metrics, Stage};
 use crate::observe::ObservedDci;
 use nr_phy::crc::{dci_check_crc, dci_recover_rnti};
 use nr_phy::dci::{Dci, DciFormat, DciSizing};
 use nr_phy::grid::ResourceGrid;
-use nr_phy::pdcch::{
-    extract_candidate, search_space_cinit, AggregationLevel, Coreset,
-};
+use nr_phy::pdcch::{extract_candidate, search_space_cinit, AggregationLevel, Coreset};
 use nr_phy::polar::PolarCode;
 use nr_phy::sequence::gold_bits_cached;
 use nr_phy::types::{Rnti, RntiType};
+use std::sync::Arc;
 
 /// One successfully decoded DCI.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,11 +92,29 @@ pub fn decode_message_slot(
     observed: &[ObservedDci],
     hyp: &Hypotheses,
 ) -> Vec<DecodedDci> {
+    decode_message_slot_metered(ctx, observed, hyp, None)
+}
+
+/// [`decode_message_slot`] with pipeline instrumentation: the whole-slot
+/// codeword scan is the PDCCH search stage; each codeword's hypothesis
+/// testing is a DCI-decode observation.
+pub fn decode_message_slot_metered(
+    ctx: &DecoderContext,
+    observed: &[ObservedDci],
+    hyp: &Hypotheses,
+    metrics: Option<&Arc<Metrics>>,
+) -> Vec<DecodedDci> {
+    let _scan = Metrics::maybe_start(metrics, Stage::PdcchSearch);
     let mut out = Vec::new();
     for obs in observed {
+        let _t = Metrics::maybe_start(metrics, Stage::DciDecode);
         if let Some(d) = decode_codeword(ctx, obs, hyp) {
             out.push(d);
         }
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::CandidatesScanned, observed.len() as u64);
+        m.add(Counter::DcisDecoded, out.len() as u64);
     }
     out
 }
@@ -142,10 +160,7 @@ fn decode_codeword(
     if let Some(sizes) = ctx.sizes_for_ue() {
         if sizes.contains(&payload_bits) {
             for &rnti in &hyp.c_rntis {
-                let cw = descramble(
-                    &obs.scrambled_bits,
-                    search_space_cinit(rnti, true, ctx.pci),
-                );
+                let cw = descramble(&obs.scrambled_bits, search_space_cinit(rnti, true, ctx.pci));
                 if let Some(payload) = dci_check_crc(&cw, rnti.0) {
                     if let Some(d) = unpack(ctx, &payload, true, rnti, RntiType::C, obs) {
                         return Some(d);
@@ -217,9 +232,20 @@ pub fn decode_candidates(
     candidates: &[ExtractedCandidate],
     hyp: &Hypotheses,
 ) -> Vec<DecodedDci> {
+    decode_candidates_metered(ctx, candidates, hyp, None)
+}
+
+/// [`decode_candidates`] with per-candidate DCI-decode instrumentation.
+pub fn decode_candidates_metered(
+    ctx: &DecoderContext,
+    candidates: &[ExtractedCandidate],
+    hyp: &Hypotheses,
+    metrics: Option<&Arc<Metrics>>,
+) -> Vec<DecodedDci> {
     let common_cinit = search_space_cinit(Rnti(0), false, ctx.pci);
     let mut out: Vec<DecodedDci> = Vec::new();
     for cand in candidates {
+        let _t = Metrics::maybe_start(metrics, Stage::DciDecode);
         // Skip candidates overlapping an already-decoded DCI (a smaller
         // aggregation level aliasing into a larger one's CCEs).
         if out.iter().any(|d| {
@@ -243,6 +269,10 @@ pub fn decode_candidates(
             out.push(d);
         }
     }
+    if let Some(m) = metrics {
+        m.add(Counter::CandidatesScanned, candidates.len() as u64);
+        m.add(Counter::DcisDecoded, out.len() as u64);
+    }
     out
 }
 
@@ -255,8 +285,24 @@ pub fn decode_grid(
     slot_in_frame: usize,
     hyp: &Hypotheses,
 ) -> Vec<DecodedDci> {
-    let candidates = extract_all_candidates(ctx, grid, slot_in_frame);
-    decode_candidates(ctx, &candidates, hyp)
+    decode_grid_metered(ctx, grid, slot_in_frame, hyp, None)
+}
+
+/// [`decode_grid`] with pipeline instrumentation: candidate extraction and
+/// equalisation is the PDCCH search stage; the hypothesis testing records
+/// per-candidate DCI-decode observations.
+pub fn decode_grid_metered(
+    ctx: &DecoderContext,
+    grid: &ResourceGrid,
+    slot_in_frame: usize,
+    hyp: &Hypotheses,
+    metrics: Option<&Arc<Metrics>>,
+) -> Vec<DecodedDci> {
+    let candidates = {
+        let _t = Metrics::maybe_start(metrics, Stage::PdcchSearch);
+        extract_all_candidates(ctx, grid, slot_in_frame)
+    };
+    decode_candidates_metered(ctx, &candidates, hyp, metrics)
 }
 
 /// Try hypotheses against one equalised soft candidate (IQ path).
@@ -354,7 +400,15 @@ fn unpack(
     rnti_type: RntiType,
     obs: &ObservedDci,
 ) -> Option<DecodedDci> {
-    unpack_at(ctx, payload, ue_specific, rnti, rnti_type, obs.level, obs.cce_start)
+    unpack_at(
+        ctx,
+        payload,
+        ue_specific,
+        rnti,
+        rnti_type,
+        obs.level,
+        obs.cce_start,
+    )
 }
 
 fn unpack_at(
@@ -411,7 +465,10 @@ mod tests {
             ChannelProfile::Awgn,
             MobilityScenario::Static,
             TrafficSource::new(
-                TrafficKind::Cbr { rate_bps: 4e6, packet_bytes: 1200 },
+                TrafficKind::Cbr {
+                    rate_bps: 4e6,
+                    packet_bytes: 1200,
+                },
                 1,
             ),
             0.0,

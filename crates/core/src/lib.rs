@@ -20,6 +20,7 @@
 pub mod config;
 pub mod decoder;
 pub mod log;
+pub mod metrics;
 pub mod observe;
 pub mod scope;
 pub mod spare;
@@ -29,6 +30,7 @@ pub mod tracker;
 pub mod worker;
 
 pub use config::{Fidelity, ScopeConfig};
+pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
 pub use scope::{NrScope, ScopeStats, SyncState};
 pub use telemetry::TelemetryRecord;

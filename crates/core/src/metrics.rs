@@ -1,0 +1,610 @@
+//! Pipeline observability: counters, gauges, and fixed-bucket latency
+//! histograms for every stage of the decode pipeline (PR 2 tentpole).
+//!
+//! The ROADMAP's "as fast as the hardware allows" goal needs the pipeline
+//! to be *measurable* before it is optimisable — the way platform studies
+//! instrument srsRAN/OAI. This registry is designed for the hot path:
+//!
+//! * every instrument is a plain `AtomicU64` updated with `Relaxed`
+//!   ordering — no locks, no allocation, shardable across the worker pool
+//!   by construction (atomic adds commute);
+//! * when disabled (the `enabled` flag), timers skip even the
+//!   `Instant::now()` call, so the cost is one relaxed atomic load per
+//!   stage entry — the bench (`BENCH_pipeline.json`) verifies the enabled
+//!   overhead stays under 5%;
+//! * histograms use 26 fixed power-of-two buckets starting at 64 ns, so
+//!   recording is a bit-length computation plus one atomic increment, and
+//!   p50/p99 are reconstructed from the cumulative bucket counts.
+//!
+//! [`MetricsSnapshot`] freezes the registry into plain serde-serialisable
+//! structs with JSON export ([`MetricsSnapshot::to_json`]) and a
+//! human-readable table ([`MetricsSnapshot::summary`]).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pipeline stages with latency histograms. The order is the pipeline
+/// order (Fig 4): radio capture → OFDM demod → PDCCH search → DCI decode →
+/// RNTI classification → UE tracking, plus the worker-queue wait and the
+/// whole-slot envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Radio front end: rendering/receiving one slot (nr-radio + observer).
+    Capture,
+    /// OFDM demodulation (FFT + CP removal) of an IQ slot.
+    Demod,
+    /// PDCCH blind search: candidate extraction/equalisation, or the
+    /// whole-slot codeword scan at message fidelity.
+    PdcchSearch,
+    /// One candidate's DCI hypothesis testing (descramble + polar + CRC).
+    DciDecode,
+    /// RNTI classification and telemetry production for a decoded slot.
+    Classify,
+    /// UE tracking housekeeping: expiry, RACH state, throughput pruning.
+    Tracking,
+    /// Time a job spent queued before a worker picked it up.
+    WorkerQueue,
+    /// Whole-slot processing envelope (everything except capture).
+    SlotTotal,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Capture,
+        Stage::Demod,
+        Stage::PdcchSearch,
+        Stage::DciDecode,
+        Stage::Classify,
+        Stage::Tracking,
+        Stage::WorkerQueue,
+        Stage::SlotTotal,
+    ];
+
+    /// Stable snake_case name used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Capture => "capture",
+            Stage::Demod => "demod",
+            Stage::PdcchSearch => "pdcch_search",
+            Stage::DciDecode => "dci_decode",
+            Stage::Classify => "classify",
+            Stage::Tracking => "tracking",
+            Stage::WorkerQueue => "worker_queue",
+            Stage::SlotTotal => "slot_total",
+        }
+    }
+}
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Slots processed by the scope.
+    SlotsProcessed,
+    /// Slots the front end dropped (overflow/stall markers).
+    SlotsDropped,
+    /// Slots whose sample layout matched no known carrier configuration.
+    LayoutMismatches,
+    /// PDCCH candidates scanned (codewords or grid candidates).
+    CandidatesScanned,
+    /// DCIs decoded, all RNTI classes.
+    DcisDecoded,
+    /// Transitions back to `Synced` after degradation.
+    Resyncs,
+    /// Slots received by the radio front end.
+    RadioSlots,
+    /// IQ samples through the virtual USRP.
+    RadioSamples,
+    /// AGC transients injected/observed at the front end.
+    AgcKicks,
+    /// Interference bursts (SNR penalties) at the front end.
+    InterferenceBursts,
+    /// Jobs shed by the worker pool under backpressure.
+    JobsShed,
+    /// Jobs quarantined after killing a worker.
+    JobsQuarantined,
+    /// Worker panics supervised by the pool.
+    WorkerPanics,
+}
+
+impl Counter {
+    /// All counters.
+    pub const ALL: [Counter; 13] = [
+        Counter::SlotsProcessed,
+        Counter::SlotsDropped,
+        Counter::LayoutMismatches,
+        Counter::CandidatesScanned,
+        Counter::DcisDecoded,
+        Counter::Resyncs,
+        Counter::RadioSlots,
+        Counter::RadioSamples,
+        Counter::AgcKicks,
+        Counter::InterferenceBursts,
+        Counter::JobsShed,
+        Counter::JobsQuarantined,
+        Counter::WorkerPanics,
+    ];
+
+    /// Stable snake_case name used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SlotsProcessed => "slots_processed",
+            Counter::SlotsDropped => "slots_dropped",
+            Counter::LayoutMismatches => "layout_mismatches",
+            Counter::CandidatesScanned => "candidates_scanned",
+            Counter::DcisDecoded => "dcis_decoded",
+            Counter::Resyncs => "resyncs",
+            Counter::RadioSlots => "radio_slots",
+            Counter::RadioSamples => "radio_samples",
+            Counter::AgcKicks => "agc_kicks",
+            Counter::InterferenceBursts => "interference_bursts",
+            Counter::JobsShed => "jobs_shed",
+            Counter::JobsQuarantined => "jobs_quarantined",
+            Counter::WorkerPanics => "worker_panics",
+        }
+    }
+}
+
+/// Last-value gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Jobs waiting in the worker pool's bounded queue.
+    QueueDepth,
+    /// C-RNTIs currently tracked.
+    TrackedUes,
+    /// Live worker threads.
+    WorkersAlive,
+}
+
+impl Gauge {
+    /// All gauges.
+    pub const ALL: [Gauge; 3] = [Gauge::QueueDepth, Gauge::TrackedUes, Gauge::WorkersAlive];
+
+    /// Stable snake_case name used in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::TrackedUes => "tracked_ues",
+            Gauge::WorkersAlive => "workers_alive",
+        }
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` covers durations in
+/// `[64·2^i, 64·2^(i+1))` ns (the last bucket is open-ended): 64 ns up to
+/// ~2 s, which brackets everything from a single atomic to a stalled slot.
+pub const HISTO_BUCKETS: usize = 26;
+
+/// Smallest histogram bucket lower bound, ns (`64·2^0`).
+pub const HISTO_BASE_NS: u64 = 64;
+
+fn bucket_for(ns: u64) -> usize {
+    // ⌊log2⌋ via bit length; everything below 64 ns lands in bucket 0.
+    (ns.max(1).ilog2() as usize)
+        .saturating_sub(6)
+        .min(HISTO_BUCKETS - 1)
+}
+
+/// Geometric midpoint of bucket `i`, in microseconds (for percentile
+/// reconstruction; exact to within the bucket's ×2 width).
+fn bucket_mid_us(i: usize) -> f64 {
+    let lo = (HISTO_BASE_NS << i) as f64;
+    (lo * std::f64::consts::SQRT_2) / 1_000.0
+}
+
+/// One stage's latency accumulator: lock-free fixed-bucket histogram.
+#[derive(Debug, Default)]
+struct StageHisto {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+impl StageHisto {
+    fn observe_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+        self.max_ns.fetch_max(ns, Relaxed);
+        self.buckets[bucket_for(ns)].fetch_add(1, Relaxed);
+    }
+
+    /// Reconstruct the q-quantile (0..=1) from the bucket counts, in µs.
+    fn quantile_us(&self, counts: &[u64; HISTO_BUCKETS], q: f64) -> f64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid_us(i);
+            }
+        }
+        bucket_mid_us(HISTO_BUCKETS - 1)
+    }
+}
+
+/// The metrics registry: one per telemetry session, shared by `Arc` across
+/// the scope, the observer, the radio front end, and the worker pool.
+#[derive(Debug)]
+pub struct Metrics {
+    enabled: AtomicBool,
+    stages: [StageHisto; Stage::ALL.len()],
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauges: [AtomicU64; Gauge::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new(true)
+    }
+}
+
+impl Metrics {
+    /// New registry; `enabled` controls whether instruments record.
+    pub fn new(enabled: bool) -> Metrics {
+        Metrics {
+            enabled: AtomicBool::new(enabled),
+            stages: Default::default(),
+            counters: Default::default(),
+            gauges: Default::default(),
+        }
+    }
+
+    /// New shared registry (the usual way to construct one).
+    pub fn shared(enabled: bool) -> Arc<Metrics> {
+        Arc::new(Metrics::new(enabled))
+    }
+
+    /// Whether instruments currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Enable or disable recording at runtime (existing values are kept).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Relaxed);
+    }
+
+    /// Increment a counter by 1.
+    pub fn inc(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&self, c: Counter, n: u64) {
+        if self.is_enabled() {
+            self.counters[c as usize].fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Relaxed)
+    }
+
+    /// Set a gauge to `v`.
+    pub fn gauge_set(&self, g: Gauge, v: u64) {
+        if self.is_enabled() {
+            self.gauges[g as usize].store(v, Relaxed);
+        }
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize].load(Relaxed)
+    }
+
+    /// Record a duration observation for a stage.
+    pub fn observe(&self, stage: Stage, d: std::time::Duration) {
+        if self.is_enabled() {
+            self.observe_ns(stage, d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    fn observe_ns(&self, stage: Stage, ns: u64) {
+        self.stages[stage as usize].observe_ns(ns);
+    }
+
+    /// Start timing a stage. Recording happens when the returned guard
+    /// drops; when the registry is disabled, no clock is read at all.
+    pub fn start(self: &Arc<Metrics>, stage: Stage) -> StageTimer {
+        StageTimer {
+            inner: self
+                .is_enabled()
+                .then(|| (Arc::clone(self), stage, Instant::now())),
+        }
+    }
+
+    /// Like [`Metrics::start`] but usable through an `Option<&Arc<_>>`
+    /// (the idiom for plumbed-through optional registries).
+    pub fn maybe_start(metrics: Option<&Arc<Metrics>>, stage: Stage) -> StageTimer {
+        match metrics {
+            Some(m) => m.start(stage),
+            None => StageTimer { inner: None },
+        }
+    }
+
+    /// Freeze every instrument into a serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let h = &self.stages[s as usize];
+                let counts: [u64; HISTO_BUCKETS] =
+                    std::array::from_fn(|i| h.buckets[i].load(Relaxed));
+                let count = h.count.load(Relaxed);
+                let sum_ns = h.sum_ns.load(Relaxed);
+                StageSnapshot {
+                    stage: s.name().to_string(),
+                    count,
+                    total_ms: sum_ns as f64 / 1e6,
+                    mean_us: if count == 0 {
+                        0.0
+                    } else {
+                        sum_ns as f64 / count as f64 / 1e3
+                    },
+                    p50_us: h.quantile_us(&counts, 0.50),
+                    p99_us: h.quantile_us(&counts, 0.99),
+                    max_us: h.max_ns.load(Relaxed) as f64 / 1e3,
+                }
+            })
+            .collect();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| CounterSnapshot {
+                name: c.name().to_string(),
+                value: self.counter(c),
+            })
+            .collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|&g| GaugeSnapshot {
+                name: g.name().to_string(),
+                value: self.gauge(g),
+            })
+            .collect();
+        MetricsSnapshot {
+            enabled: self.is_enabled(),
+            counters,
+            gauges,
+            stages,
+        }
+    }
+}
+
+/// RAII stage timer from [`Metrics::start`]; records on drop.
+#[derive(Debug)]
+pub struct StageTimer {
+    inner: Option<(Arc<Metrics>, Stage, Instant)>,
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if let Some((m, stage, start)) = self.inner.take() {
+            m.observe(stage, start.elapsed());
+        }
+    }
+}
+
+/// One stage's frozen latency statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name ([`Stage::name`]).
+    pub stage: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Total time in the stage, ms.
+    pub total_ms: f64,
+    /// Mean observation, µs.
+    pub mean_us: f64,
+    /// Median (p50) from the histogram buckets, µs.
+    pub p50_us: f64,
+    /// 99th percentile from the histogram buckets, µs.
+    pub p99_us: f64,
+    /// Largest single observation, µs.
+    pub max_us: f64,
+}
+
+/// One counter's frozen value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Counter name ([`Counter::name`]).
+    pub name: String,
+    /// Value.
+    pub value: u64,
+}
+
+/// One gauge's frozen value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Gauge name ([`Gauge::name`]).
+    pub name: String,
+    /// Value.
+    pub value: u64,
+}
+
+/// A frozen view of the whole registry (JSON schema of
+/// `BENCH_pipeline.json`'s `stages`/`counters` arrays).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Whether the registry was recording when frozen.
+    pub enabled: bool,
+    /// All counters, in [`Counter::ALL`] order.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, in [`Gauge::ALL`] order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All stages, in [`Stage::ALL`] (pipeline) order.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialises")
+    }
+
+    /// Parse a snapshot back from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(s: &str) -> Result<MetricsSnapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Look up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Human-readable summary table (the examples print this).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pipeline metrics ({})\n",
+            if self.enabled { "enabled" } else { "disabled" }
+        ));
+        out.push_str(&format!(
+            "  {:<14} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "count", "mean_us", "p50_us", "p99_us", "max_us"
+        ));
+        for s in &self.stages {
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<14} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                s.stage, s.count, s.mean_us, s.p50_us, s.p99_us, s.max_us
+            ));
+        }
+        for c in &self.counters {
+            if c.value != 0 {
+                out.push_str(&format!("  {:<30} {}\n", c.name, c.value));
+            }
+        }
+        for g in &self.gauges {
+            if g.value != 0 {
+                out.push_str(&format!("  {:<30} {}\n", g.name, g.value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buckets_are_log2_from_64ns() {
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(63), 0);
+        assert_eq!(bucket_for(64), 0);
+        assert_eq!(bucket_for(127), 0);
+        assert_eq!(bucket_for(128), 1);
+        assert_eq!(bucket_for(64 << 10), 10);
+        assert_eq!(bucket_for(u64::MAX), HISTO_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_and_gauges_record_when_enabled() {
+        let m = Metrics::shared(true);
+        m.inc(Counter::DcisDecoded);
+        m.add(Counter::DcisDecoded, 4);
+        m.gauge_set(Gauge::QueueDepth, 17);
+        assert_eq!(m.counter(Counter::DcisDecoded), 5);
+        assert_eq!(m.gauge(Gauge::QueueDepth), 17);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = Metrics::shared(false);
+        m.inc(Counter::DcisDecoded);
+        m.gauge_set(Gauge::QueueDepth, 9);
+        m.observe(Stage::DciDecode, Duration::from_micros(10));
+        {
+            let _t = m.start(Stage::Capture);
+        }
+        let snap = m.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.iter().all(|c| c.value == 0));
+        assert!(snap.gauges.iter().all(|g| g.value == 0));
+        assert!(snap.stages.iter().all(|s| s.count == 0));
+    }
+
+    #[test]
+    fn timer_guard_populates_stage_histogram() {
+        let m = Metrics::shared(true);
+        for _ in 0..50 {
+            let _t = m.start(Stage::PdcchSearch);
+            std::hint::black_box(0u64);
+        }
+        let snap = m.snapshot();
+        let s = snap.stage("pdcch_search").unwrap();
+        assert_eq!(s.count, 50);
+        assert!(s.p99_us >= s.p50_us);
+        assert!(s.max_us > 0.0);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_right_buckets() {
+        let m = Metrics::new(true);
+        // 99 fast observations (~1 µs), 1 slow (~1 ms).
+        for _ in 0..99 {
+            m.observe(Stage::Demod, Duration::from_micros(1));
+        }
+        m.observe(Stage::Demod, Duration::from_millis(1));
+        let snap = m.snapshot();
+        let s = snap.stage("demod").unwrap();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_us < 3.0, "p50 {}", s.p50_us);
+        assert!(s.p99_us < 3.0, "p99 is still in the fast bucket");
+        assert!(s.max_us > 900.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new(true);
+        m.add(Counter::SlotsProcessed, 123);
+        m.observe(Stage::SlotTotal, Duration::from_micros(250));
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parses");
+        assert_eq!(snap, back);
+        assert_eq!(back.counter("slots_processed"), Some(123));
+    }
+
+    #[test]
+    fn summary_lists_active_stages_only() {
+        let m = Metrics::new(true);
+        m.observe(Stage::Capture, Duration::from_micros(5));
+        let text = m.snapshot().summary();
+        assert!(text.contains("capture"));
+        assert!(
+            !text.contains("worker_queue"),
+            "idle stages omitted:\n{text}"
+        );
+    }
+
+    #[test]
+    fn maybe_start_is_inert_without_a_registry() {
+        let _t = Metrics::maybe_start(None, Stage::DciDecode);
+        // Dropping must not panic or record anywhere.
+    }
+}

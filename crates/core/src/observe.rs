@@ -22,10 +22,13 @@ use nr_phy::modulation::Modulation;
 use nr_phy::pdcch::AggregationLevel;
 use nr_phy::sequence::{pdcch_scrambling_cinit, scramble_in_place};
 use nr_phy::types::{Rnti, RntiType};
-use nr_radio::VirtualUsrp;
 pub use nr_radio::ImpairmentSchedule;
+use nr_radio::VirtualUsrp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::metrics::{Counter, Metrics, Stage};
+use std::sync::Arc;
 
 /// One candidate-shaped PDCCH capture at message fidelity: the scrambled
 /// codeword bits as they sit on the candidate's REs (hard decisions).
@@ -111,6 +114,8 @@ pub struct Observer {
     capture_slot: u64,
     /// Remaining slots of an in-progress host stall.
     stall_remaining: u32,
+    /// Pipeline metrics (capture-stage latency, radio counters).
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Observer {
@@ -124,12 +129,24 @@ impl Observer {
             schedule: None,
             capture_slot: 0,
             stall_remaining: 0,
+            metrics: None,
         }
     }
 
     /// Sniffer SNR.
     pub fn snr_db(&self) -> f64 {
         self.snr_db
+    }
+
+    /// Record capture-stage latency and radio counters into a shared
+    /// pipeline metrics registry.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Cumulative front-end counters from the virtual USRP.
+    pub fn radio_stats(&self) -> nr_radio::RadioStats {
+        self.usrp.stats()
     }
 
     /// Script impairments into subsequent [`Observer::capture`] calls.
@@ -161,8 +178,14 @@ impl Observer {
         }
         if imp.agc_kick_db != 0.0 {
             self.usrp.kick_agc_db(imp.agc_kick_db as f32);
+            if let Some(m) = &self.metrics {
+                m.inc(Counter::AgcKicks);
+            }
         }
         if imp.snr_penalty_db != 0.0 {
+            if let Some(m) = &self.metrics {
+                m.inc(Counter::InterferenceBursts);
+            }
             // IQ path: extra noise at the front end. Message path: the
             // corruption model runs at the degraded SNR for this slot.
             self.usrp.inject_snr_penalty_db(imp.snr_penalty_db);
@@ -203,6 +226,10 @@ impl Observer {
 
     /// Observe one slot.
     pub fn observe(&mut self, out: &SlotOutput, t: f64) -> ObservedSlot {
+        let _t = Metrics::maybe_start(self.metrics.as_ref(), Stage::Capture);
+        if let Some(m) = &self.metrics {
+            m.inc(Counter::RadioSlots);
+        }
         let pdsch = out
             .pdsch
             .iter()
@@ -219,6 +246,9 @@ impl Observer {
         if let Some(renderer) = &self.renderer {
             let tx = renderer.render_iq(out);
             let rx = self.usrp.receive(&tx, t);
+            if let Some(m) = &self.metrics {
+                m.add(Counter::RadioSamples, rx.samples.len() as u64);
+            }
             return ObservedSlot::Iq {
                 samples: rx.samples,
                 pdsch,
@@ -281,9 +311,7 @@ fn truncate_slot(observed: &mut ObservedSlot, frac: f64) {
 /// but not from UE-specific DCIs it has no RNTI for.
 pub fn scrambling_for(rnti: Rnti, rnti_type: RntiType, pci: u16) -> u32 {
     match rnti_type {
-        RntiType::Si | RntiType::Ra | RntiType::Tc | RntiType::P => {
-            pdcch_scrambling_cinit(0, pci)
-        }
+        RntiType::Si | RntiType::Ra | RntiType::Tc | RntiType::P => pdcch_scrambling_cinit(0, pci),
         RntiType::C => pdcch_scrambling_cinit(rnti.0, pci),
     }
 }
@@ -304,7 +332,10 @@ mod tests {
             ChannelProfile::Awgn,
             MobilityScenario::Static,
             TrafficSource::new(
-                TrafficKind::Cbr { rate_bps: 4e6, packet_bytes: 1200 },
+                TrafficKind::Cbr {
+                    rate_bps: 4e6,
+                    packet_bytes: 1200,
+                },
                 1,
             ),
             0.0,
@@ -330,8 +361,8 @@ mod tests {
                     let mut cw = rx.scrambled_bits.clone();
                     let c_init = scrambling_for(tx.rnti, tx.rnti_type, g.cfg.pci.0);
                     scramble_in_place(&mut cw, c_init);
-                    let payload = nr_phy::crc::dci_check_crc(&cw, tx.rnti.0)
-                        .expect("clean codeword checks");
+                    let payload =
+                        nr_phy::crc::dci_check_crc(&cw, tx.rnti.0).expect("clean codeword checks");
                     assert_eq!(payload, tx.payload_bits);
                 }
             }
@@ -361,16 +392,11 @@ mod tests {
         for s in 0..4000 {
             let out = g.step();
             let truth = out.dcis.clone();
-            if let ObservedSlot::Message { dcis, .. } =
-                obs.observe(&out, s as f64 * 0.0005)
-            {
+            if let ObservedSlot::Message { dcis, .. } = obs.observe(&out, s as f64 * 0.0005) {
                 for (tx, rx) in truth.iter().zip(&dcis) {
                     total += 1;
                     let mut cw = rx.scrambled_bits.clone();
-                    scramble_in_place(
-                        &mut cw,
-                        scrambling_for(tx.rnti, tx.rnti_type, cfg.pci.0),
-                    );
+                    scramble_in_place(&mut cw, scrambling_for(tx.rnti, tx.rnti_type, cfg.pci.0));
                     if nr_phy::crc::dci_check_crc(&cw, tx.rnti.0).is_none() {
                         bad += 1;
                     }

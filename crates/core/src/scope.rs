@@ -2,13 +2,17 @@
 //! per-TTI telemetry (paper Fig 2 and Fig 3).
 
 use crate::config::ScopeConfig;
-use crate::decoder::{decode_grid, decode_message_slot, DecodedDci, DecoderContext, Hypotheses};
+use crate::decoder::{
+    decode_grid_metered, decode_message_slot, decode_message_slot_metered, DecodedDci,
+    DecoderContext, Hypotheses,
+};
+use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage};
 use crate::observe::{Capture, ObservedSlot, PdschPayload};
-use crate::worker::PoolStats;
 use crate::spare::{slot_data_res, spare_capacity, SpareShare, UeUsage};
 use crate::telemetry::TelemetryRecord;
 use crate::throughput::ThroughputEstimator;
 use crate::tracker::UeTracker;
+use crate::worker::{PoolStats, SlotJob};
 use nr_phy::dci::{riv_decode, time_alloc, DciFormat, DciSizing};
 use nr_phy::grid::ResourceGrid;
 use nr_phy::mcs::McsTable;
@@ -17,6 +21,7 @@ use nr_phy::sync::{detect_pss, detect_sss, SYNC_SEQ_LEN};
 use nr_phy::tbs::{transport_block_size, TbsParams};
 use nr_phy::types::{Pci, Rnti, RntiType};
 use nr_rrc::{Mib, RrcSetup, Sib1};
+use std::sync::Arc;
 
 /// What the sniffer has learned about the cell so far.
 #[derive(Debug, Clone, Default)]
@@ -120,17 +125,30 @@ pub struct NrScope {
     /// The PCI believed in before sync was lost — tried first when
     /// re-acquiring, since most losses are outages, not cell restarts.
     last_pci: Option<Pci>,
+    /// Pipeline metrics registry, shared with the observer / worker pool.
+    metrics: Arc<Metrics>,
 }
 
 impl NrScope {
     /// New session. `assumed_pci` seeds message-fidelity runs (at IQ
     /// fidelity the PCI is detected from the SSB and this can be `None`).
     pub fn new(cfg: ScopeConfig, assumed_pci: Option<Pci>) -> NrScope {
+        let metrics = Metrics::shared(cfg.metrics_enabled);
+        NrScope::with_metrics(cfg, assumed_pci, metrics)
+    }
+
+    /// New session recording into an externally owned metrics registry
+    /// (so the observer, radio, and worker pool can share it).
+    pub fn with_metrics(
+        cfg: ScopeConfig,
+        assumed_pci: Option<Pci>,
+        metrics: Arc<Metrics>,
+    ) -> NrScope {
         NrScope {
             cfg,
             cell: CellKnowledge::default(),
             tracker: UeTracker::new(),
-            throughput: ThroughputEstimator::new(),
+            throughput: ThroughputEstimator::with_retention(cfg.history_retention_slots),
             slot: 0,
             records: Vec::new(),
             spare_log: Vec::new(),
@@ -140,7 +158,18 @@ impl NrScope {
             sync: SyncState::default(),
             unhealthy_streak: 0,
             last_pci: None,
+            metrics,
         }
+    }
+
+    /// The session's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Freeze the current pipeline metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Current synchronisation health.
@@ -153,6 +182,23 @@ impl NrScope {
     pub fn absorb_pool_stats(&mut self, pool: &PoolStats) {
         self.stats.shed_jobs += pool.shed_jobs;
         self.stats.worker_panics += pool.worker_panics;
+    }
+
+    /// Package an observed slot as a self-contained [`SlotJob`] snapshot
+    /// of the session's current decoder state, ready for a
+    /// [`crate::WorkerPool`] (the Fig 4 scheduler's "copy of data and
+    /// state"). `None` until the MIB is known.
+    pub fn slot_job(&self, observed: ObservedSlot) -> Option<SlotJob> {
+        self.cell.mib.as_ref()?;
+        Some(SlotJob {
+            slot: self.slot,
+            slot_in_frame: self.slot_in_frame(),
+            observed,
+            ctx: self.decoder_context(),
+            hyp: self.hypotheses(),
+            dci_threads: self.cfg.dci_threads,
+            fault: None,
+        })
     }
 
     /// The telemetry log so far.
@@ -231,6 +277,7 @@ impl NrScope {
             Capture::Slot(observed) => self.process(observed),
             Capture::Dropped(_) => {
                 self.stats.dropped_slots += 1;
+                self.metrics.inc(Counter::SlotsDropped);
                 self.note_unhealthy_slot();
                 self.housekeeping(self.slot);
                 self.slot += 1;
@@ -242,12 +289,18 @@ impl NrScope {
     /// Process one observed slot, appending decoded telemetry. Returns the
     /// records produced in this slot.
     pub fn process(&mut self, observed: &ObservedSlot) -> Vec<TelemetryRecord> {
+        let _slot_timer = self.metrics.start(Stage::SlotTotal);
         let slot = self.slot;
         self.stats.slots += 1;
+        self.metrics.inc(Counter::SlotsProcessed);
         let produced_from = self.records.len();
         let dcis_before = self.dci_total();
         match observed {
-            ObservedSlot::Message { mib_bits, dcis, pdsch } => {
+            ObservedSlot::Message {
+                mib_bits,
+                dcis,
+                pdsch,
+            } => {
                 if let Some(bits) = mib_bits {
                     if let Ok(mib) = Mib::decode(bits) {
                         self.on_mib(mib, slot);
@@ -259,7 +312,8 @@ impl NrScope {
                     } else {
                         let ctx = self.decoder_context();
                         let hyp = self.hypotheses();
-                        let decoded = decode_message_slot(&ctx, dcis, &hyp);
+                        let decoded =
+                            decode_message_slot_metered(&ctx, dcis, &hyp, Some(&self.metrics));
                         self.consume(decoded, pdsch, slot);
                     }
                 }
@@ -276,6 +330,7 @@ impl NrScope {
             if self.sync != SyncState::Synced {
                 self.sync = SyncState::Synced;
                 self.stats.resyncs += 1;
+                self.metrics.inc(Counter::Resyncs);
             }
         } else {
             self.note_unhealthy_slot();
@@ -294,8 +349,10 @@ impl NrScope {
             + self.stats.ul_dcis
     }
 
-    /// Housekeeping: expire idle UEs and stale RACH state.
+    /// Housekeeping: expire idle UEs, stale RACH state, and (periodically)
+    /// aged-out throughput history of departed UEs.
     fn housekeeping(&mut self, slot: u64) {
+        let _t = self.metrics.start(Stage::Tracking);
         let ra_window = self
             .cell
             .sib1
@@ -308,6 +365,13 @@ impl NrScope {
         {
             self.throughput.forget(dead);
         }
+        // Amortised release of departed-UE history (see ThroughputEstimator
+        // docs: `record` prunes live UEs; only departures need this).
+        if slot.is_multiple_of(512) {
+            self.throughput.prune(slot);
+        }
+        self.metrics
+            .gauge_set(Gauge::TrackedUes, self.tracker.rntis().len() as u64);
     }
 
     /// Feed one unhealthy slot (nothing decoded, or dropped outright) into
@@ -360,7 +424,8 @@ impl NrScope {
         if let Some(p) = self.last_pci {
             candidates.push(p.0);
         }
-        candidates.extend((0..self.cfg.pci_scan_max).filter(|c| Some(*c) != self.last_pci.map(|p| p.0)));
+        candidates
+            .extend((0..self.cfg.pci_scan_max).filter(|c| Some(*c) != self.last_pci.map(|p| p.0)));
         let hyp = Hypotheses {
             allow_recovery: false,
             ..Hypotheses::default()
@@ -434,7 +499,12 @@ impl NrScope {
     }
 
     /// IQ path: synchronise (PSS/SSS), then demodulate and blind-decode.
-    fn process_iq(&mut self, samples: &[nr_phy::complex::Cf32], pdsch: &[(Rnti, PdschPayload)], slot: u64) {
+    fn process_iq(
+        &mut self,
+        samples: &[nr_phy::complex::Cf32],
+        pdsch: &[(Rnti, PdschPayload)],
+        slot: u64,
+    ) {
         // Need SIB1-less bootstrapping: at IQ fidelity we still receive the
         // MIB bits through the PBCH path once the grid is demodulated; the
         // demodulator needs the carrier layout, which the sniffer gets by
@@ -460,6 +530,7 @@ impl NrScope {
             }
             if self.ofdm.is_none() {
                 self.stats.layout_mismatch_slots += 1;
+                self.metrics.inc(Counter::LayoutMismatches);
                 return;
             }
             self.process_iq(samples, pdsch, slot);
@@ -469,9 +540,13 @@ impl NrScope {
             // Truncated capture (overflow recovered mid-slot): the symbol
             // layout no longer lines up — skip rather than misparse.
             self.stats.layout_mismatch_slots += 1;
+            self.metrics.inc(Counter::LayoutMismatches);
             return;
         }
-        let grid = ofdm.demodulate(samples, slot_in_frame);
+        let grid = {
+            let _t = self.metrics.start(Stage::Demod);
+            ofdm.demodulate(samples, slot_in_frame)
+        };
         // Cell search: PSS/SSS on the SSB region whenever not yet locked.
         if self.cell.pci.is_none() {
             if let Some(pci) = detect_cell(&grid) {
@@ -490,34 +565,24 @@ impl NrScope {
         }
         let ctx = self.decoder_context();
         let hyp = self.hypotheses();
-        let decoded = decode_grid(&ctx, &grid, self.slot_in_frame(), &hyp);
+        let metrics = Arc::clone(&self.metrics);
+        let decoded = decode_grid_metered(&ctx, &grid, self.slot_in_frame(), &hyp, Some(&metrics));
         self.consume(decoded, pdsch, slot);
     }
 
     /// Shared post-decode path: PDSCH association, RRC handling, HARQ
     /// tracking, TBS computation, logging.
-    fn consume(
-        &mut self,
-        decoded: Vec<DecodedDci>,
-        pdsch: &[(Rnti, PdschPayload)],
-        slot: u64,
-    ) {
+    fn consume(&mut self, decoded: Vec<DecodedDci>, pdsch: &[(Rnti, PdschPayload)], slot: u64) {
+        let _t = self.metrics.start(Stage::Classify);
         let sfn = self.sfn();
         let mut usages: Vec<UeUsage> = Vec::new();
         for d in decoded {
             match d.rnti_type {
                 RntiType::Si => {
                     self.stats.si_dcis += 1;
-                    if let Some(PdschPayload::Sib1(bits)) =
-                        payload_for(pdsch, d.rnti)
-                    {
+                    if let Some(PdschPayload::Sib1(bits)) = payload_for(pdsch, d.rnti) {
                         if let Ok(sib1) = Sib1::decode(bits) {
-                            if self
-                                .cell
-                                .sib1
-                                .as_ref()
-                                .is_some_and(|old| *old != sib1)
-                            {
+                            if self.cell.sib1.as_ref().is_some_and(|old| *old != sib1) {
                                 self.stats.sib1_reloads += 1;
                             }
                             self.cell.sib1 = Some(sib1);
@@ -713,7 +778,8 @@ fn try_decode_pbch(grid: &ResourceGrid, pci: Pci) -> Option<Mib> {
     if power < 0.1 {
         return None;
     }
-    let mut llrs = nr_phy::modulation::demodulate_llr(&rx, nr_phy::modulation::Modulation::Qpsk, 0.1);
+    let mut llrs =
+        nr_phy::modulation::demodulate_llr(&rx, nr_phy::modulation::Modulation::Qpsk, 0.1);
     let scr = nr_phy::sequence::gold_bits(pci.0 as u32, llrs.len());
     for (l, s) in llrs.iter_mut().zip(scr) {
         if s == 1 {
@@ -738,12 +804,7 @@ mod tests {
     use ue_sim::traffic::{TrafficKind, TrafficSource};
     use ue_sim::{MobilityScenario, SimUe};
 
-    fn run_session(
-        n_ues: usize,
-        slots: u64,
-        snr_db: f64,
-        fidelity: Fidelity,
-    ) -> (Gnb, NrScope) {
+    fn run_session(n_ues: usize, slots: u64, snr_db: f64, fidelity: Fidelity) -> (Gnb, NrScope) {
         let cell = CellConfig::srsran_n41();
         let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 11);
         for i in 0..n_ues {
@@ -828,7 +889,11 @@ mod tests {
         let truth = gnb.ue(rnti).unwrap().delivered_bytes_in(1000..6000) as f64 * 8.0;
         assert!(truth > 0.0);
         let err = (est - truth).abs() / truth;
-        assert!(err < 0.01, "estimate {est} vs truth {truth}: {:.3}%", err * 100.0);
+        assert!(
+            err < 0.01,
+            "estimate {est} vs truth {truth}: {:.3}%",
+            err * 100.0
+        );
     }
 
     #[test]
@@ -842,7 +907,11 @@ mod tests {
         let truth = gnb.ue(rnti).unwrap().delivered_bytes_in(1000..6000) as f64 * 8.0;
         assert!(truth > 0.0);
         let err = (est - truth).abs() / truth;
-        assert!(err < 0.05, "estimate {est} vs truth {truth}: {:.3}%", err * 100.0);
+        assert!(
+            err < 0.05,
+            "estimate {est} vs truth {truth}: {:.3}%",
+            err * 100.0
+        );
     }
 
     #[test]
@@ -919,7 +988,10 @@ mod tests {
                 ChannelProfile::Awgn,
                 MobilityScenario::Static,
                 TrafficSource::new(
-                    TrafficKind::Cbr { rate_bps: 2e6, packet_bytes: 1200 },
+                    TrafficKind::Cbr {
+                        rate_bps: 2e6,
+                        packet_bytes: 1200,
+                    },
                     i + 1,
                 ),
                 0.0,
@@ -928,9 +1000,7 @@ mod tests {
             ));
         }
         let mut obs = Observer::new(&cell, 35.0, false, 5);
-        obs.set_impairments(
-            crate::observe::ImpairmentSchedule::new(42).with_outage(2000..2160),
-        );
+        obs.set_impairments(crate::observe::ImpairmentSchedule::new(42).with_outage(2000..2160));
         let mut scope = NrScope::new(
             ScopeConfig {
                 ue_expiry_slots: 100,
@@ -972,7 +1042,10 @@ mod tests {
                 ChannelProfile::Awgn,
                 MobilityScenario::Static,
                 TrafficSource::new(
-                    TrafficKind::Cbr { rate_bps: 2e6, packet_bytes: 1200 },
+                    TrafficKind::Cbr {
+                        rate_bps: 2e6,
+                        packet_bytes: 1200,
+                    },
                     i + 1,
                 ),
                 0.0,

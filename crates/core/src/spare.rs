@@ -55,10 +55,7 @@ pub fn spare_capacity(
     usages
         .iter()
         .map(|u| {
-            let eff = table
-                .entry(u.mcs)
-                .map(|e| e.efficiency())
-                .unwrap_or(0.0);
+            let eff = table.entry(u.mcs).map(|e| e.efficiency()).unwrap_or(0.0);
             SpareShare {
                 rnti: u.rnti,
                 used_res: u.used_res,

@@ -1,6 +1,17 @@
 //! Sliding-window per-UE bit-rate estimation (paper §3.2.2: "We record the
 //! TBS for every UE in each TTI, maintaining a sliding window to calculate
 //! the bit rate for each UE").
+//!
+//! Two accuracy properties the paper's headline claims (<0.1% throughput
+//! error, Fig 10–11) depend on, both regression-tested here:
+//!
+//! * the window spans exactly `window_slots` slots — a sample that is
+//!   `window_slots` old has left the window (off-by-one spans bias every
+//!   steady-state rate low by `1/window_slots`);
+//! * during cold start the rate divides by the *observed* span, not the
+//!   full window, so a newly-arrived UE's rate is unbiased from its first
+//!   few slots (the Fig 14a ramp) instead of climbing toward truth over a
+//!   full window length.
 
 use nr_phy::types::Rnti;
 use std::collections::{HashMap, VecDeque};
@@ -15,14 +26,18 @@ pub struct RateWindow {
 }
 
 impl RateWindow {
-    /// Record `bits` delivered in `slot`, evicting samples older than
-    /// `window_slots`.
+    /// Record `bits` delivered in `slot`, evicting samples that have left
+    /// the `window_slots`-wide window. After a push at slot `s` the window
+    /// covers `(s - window_slots, s]` — exactly `window_slots` slots.
     pub fn push(&mut self, slot: u64, bits: u64, window_slots: u64) {
         self.samples.push_back((slot, bits));
         self.sum_bits += bits;
-        let cutoff = slot.saturating_sub(window_slots);
         while let Some(&(s, b)) = self.samples.front() {
-            if s < cutoff {
+            // A sample exactly `window_slots` old sits on the boundary and
+            // is evicted: keeping it makes the retained span
+            // `window_slots + 1` wide while the rate divides by (at most)
+            // `window_slots`, biasing every steady-state rate low.
+            if slot >= window_slots && s <= slot - window_slots {
                 self.samples.pop_front();
                 self.sum_bits -= b;
             } else {
@@ -37,37 +52,102 @@ impl RateWindow {
         self.sum_bits
     }
 
-    /// Rate in bits/s given the window length and slot duration.
+    /// Slots actually covered by the retained samples, clamped to
+    /// `[1, window_slots]`. Before the window has filled (cold start) this
+    /// is the observed span, so the rate is unbiased from the first slots.
+    pub fn effective_span(&self, window_slots: u64) -> u64 {
+        match (self.samples.front(), self.samples.back()) {
+            (Some(&(first, _)), Some(&(last, _))) => {
+                (last - first + 1).clamp(1, window_slots.max(1))
+            }
+            _ => 1,
+        }
+    }
+
+    /// Rate in bits/s over the effective observed span (≤ `window_slots`)
+    /// given the slot duration.
     pub fn rate_bps(&self, window_slots: u64, slot_s: f64) -> f64 {
-        self.sum_bits as f64 / (window_slots as f64 * slot_s)
+        self.sum_bits as f64 / (self.effective_span(window_slots) as f64 * slot_s)
     }
 }
 
+/// Default history retention: 60 s of µ=1 slots. Bounds per-UE memory for
+/// the ROADMAP's long-running/many-UE scenarios while keeping enough of a
+/// tail for offline evaluation windows.
+pub const DEFAULT_HISTORY_RETENTION_SLOTS: u64 = 120_000;
+
 /// Per-UE rate bookkeeping plus cell-total accounting.
-#[derive(Debug, Default)]
+///
+/// The per-UE history ring is bounded by a retention horizon (default
+/// [`DEFAULT_HISTORY_RETENTION_SLOTS`]): samples older than
+/// `newest_slot - retention` are pruned, and a departed UE's history is
+/// released entirely once it ages out — the estimator's memory is
+/// O(active UEs × retention), not O(process lifetime).
+#[derive(Debug)]
 pub struct ThroughputEstimator {
     windows: HashMap<Rnti, RateWindow>,
-    /// Per-(UE, slot-bucket) delivered bits, for time-series export
-    /// (Fig 14a).
-    history: HashMap<Rnti, Vec<(u64, u64)>>,
+    /// Per-(UE, slot) delivered bits, for time-series export (Fig 14a).
+    /// Front-pruned to the retention horizon.
+    history: HashMap<Rnti, VecDeque<(u64, u64)>>,
+    /// History retention horizon in slots.
+    retention_slots: u64,
+    /// Newest slot seen by any `record` (drives pruning of idle UEs).
+    newest_slot: u64,
+}
+
+impl Default for ThroughputEstimator {
+    fn default() -> Self {
+        ThroughputEstimator::new()
+    }
 }
 
 impl ThroughputEstimator {
-    /// Fresh estimator.
+    /// Fresh estimator with the default history retention.
     pub fn new() -> ThroughputEstimator {
-        ThroughputEstimator::default()
+        ThroughputEstimator::with_retention(DEFAULT_HISTORY_RETENTION_SLOTS)
+    }
+
+    /// Fresh estimator retaining `retention_slots` of per-UE history.
+    pub fn with_retention(retention_slots: u64) -> ThroughputEstimator {
+        ThroughputEstimator {
+            windows: HashMap::new(),
+            history: HashMap::new(),
+            retention_slots: retention_slots.max(1),
+            newest_slot: 0,
+        }
     }
 
     /// Record a decoded grant's TBS.
     pub fn record(&mut self, rnti: Rnti, slot: u64, tbs_bits: u32, window_slots: u64) {
+        self.newest_slot = self.newest_slot.max(slot);
         self.windows
             .entry(rnti)
             .or_default()
             .push(slot, tbs_bits as u64, window_slots);
-        self.history
-            .entry(rnti)
-            .or_default()
-            .push((slot, tbs_bits as u64));
+        let h = self.history.entry(rnti).or_default();
+        h.push_back((slot, tbs_bits as u64));
+        let horizon = slot.saturating_sub(self.retention_slots);
+        while h.front().is_some_and(|&(s, _)| s < horizon) {
+            h.pop_front();
+        }
+    }
+
+    /// Prune every UE's history to the retention horizon at `current_slot`
+    /// and release departed UEs whose history has fully aged out. Called
+    /// periodically by the session driver; `record` already prunes the
+    /// recording UE, so this exists to stop *departed* UEs (which never
+    /// record again) from holding history forever.
+    pub fn prune(&mut self, current_slot: u64) {
+        self.newest_slot = self.newest_slot.max(current_slot);
+        let horizon = current_slot.saturating_sub(self.retention_slots);
+        self.history.retain(|rnti, h| {
+            while h.front().is_some_and(|&(s, _)| s < horizon) {
+                h.pop_front();
+            }
+            // Keep live UEs (they may simply be idle); drop departed ones
+            // once nothing of their history remains.
+            !h.is_empty() || self.windows.contains_key(rnti)
+        });
     }
 
     /// Current estimated rate for a UE.
@@ -79,7 +159,9 @@ impl ThroughputEstimator {
     }
 
     /// Total bits recorded for a UE in a slot range (for offline
-    /// comparison against ground truth).
+    /// comparison against ground truth). Correct for the retained range;
+    /// slots older than the retention horizon have been pruned and count
+    /// as zero.
     pub fn bits_in(&self, rnti: Rnti, slots: std::ops::Range<u64>) -> u64 {
         self.history
             .get(&rnti)
@@ -92,14 +174,21 @@ impl ThroughputEstimator {
             .unwrap_or(0)
     }
 
-    /// UEs with any recorded traffic.
+    /// UEs with any retained traffic.
     pub fn rntis(&self) -> Vec<Rnti> {
         let mut v: Vec<Rnti> = self.history.keys().copied().collect();
         v.sort();
         v
     }
 
-    /// Drop a departed UE's live window (history is kept for evaluation).
+    /// Retained history samples for a UE (memory accounting / tests).
+    pub fn history_len(&self, rnti: Rnti) -> usize {
+        self.history.get(&rnti).map(|h| h.len()).unwrap_or(0)
+    }
+
+    /// Drop a departed UE's live window. Recent history is kept for
+    /// evaluation but stops being retained once it ages past the horizon
+    /// (see [`ThroughputEstimator::prune`]).
     pub fn forget(&mut self, rnti: Rnti) {
         self.windows.remove(&rnti);
     }
@@ -116,8 +205,20 @@ mod tests {
         w.push(5, 100, 10);
         assert_eq!(w.bits(), 200);
         w.push(16, 100, 10);
-        // Slot 0 is now outside [6, 16]; slot 5 too.
-        assert_eq!(w.bits(), 200 - 100);
+        // Window now covers (6, 16]: slots 0 and 5 are both out.
+        assert_eq!(w.bits(), 100);
+    }
+
+    #[test]
+    fn boundary_sample_is_evicted_not_kept() {
+        // Regression (PR 2): a sample exactly `window_slots` old must be
+        // out of the window, else the retained span is window+1 slots wide
+        // and every steady-state rate reads low.
+        let mut w = RateWindow::default();
+        w.push(0, 100, 10);
+        w.push(10, 100, 10);
+        assert_eq!(w.bits(), 100, "slot 0 is exactly 10 slots old: evicted");
+        assert_eq!(w.effective_span(10), 1);
     }
 
     #[test]
@@ -128,7 +229,48 @@ mod tests {
             w.push(s, 1000, 2000);
         }
         let rate = w.rate_bps(2000, 0.0005);
-        assert!((rate - 2.0e6).abs() / 2.0e6 < 0.01, "rate {rate}");
+        assert!((rate - 2.0e6).abs() / 2.0e6 < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn steady_state_rate_is_exact_not_biased_low() {
+        // Regression (PR 2): with the off-by-one span the window held 2001
+        // slots of bits divided by 2000 — or, after partial fill, 2000
+        // slots of bits divided by a hardcoded 2000 regardless of span.
+        let mut w = RateWindow::default();
+        for s in 0..5000u64 {
+            w.push(s, 1000, 2000);
+        }
+        let rate = w.rate_bps(2000, 0.0005);
+        assert!(
+            (rate - 2.0e6).abs() < 1.0,
+            "steady-state rate must be exactly 2 Mbit/s, got {rate}"
+        );
+    }
+
+    #[test]
+    fn cold_start_rate_is_unbiased() {
+        // Regression (PR 2): a UE that has only been transmitting for 100
+        // slots of a 2000-slot window used to see its rate divided by the
+        // full window (20× under-read during ramp, Fig 14a).
+        let mut w = RateWindow::default();
+        for s in 0..100u64 {
+            w.push(s, 1000, 2000);
+        }
+        let rate = w.rate_bps(2000, 0.0005);
+        assert!(
+            (rate - 2.0e6).abs() / 2.0e6 < 1e-9,
+            "cold-start rate {rate} should be 2 Mbit/s, not 0.1 Mbit/s"
+        );
+    }
+
+    #[test]
+    fn single_sample_spans_one_slot() {
+        let mut w = RateWindow::default();
+        w.push(7, 500, 100);
+        assert_eq!(w.effective_span(100), 1);
+        let rate = w.rate_bps(100, 0.0005);
+        assert!((rate - 1.0e6).abs() < 1.0, "{rate}");
     }
 
     #[test]
@@ -142,12 +284,59 @@ mod tests {
     }
 
     #[test]
-    fn forget_clears_live_window_but_keeps_history() {
+    fn forget_clears_live_window_but_keeps_recent_history() {
         let mut e = ThroughputEstimator::new();
         e.record(Rnti(1), 10, 5000, 100);
         e.forget(Rnti(1));
         assert_eq!(e.rate_bps(Rnti(1), 100, 0.0005), 0.0);
         assert_eq!(e.bits_in(Rnti(1), 0..20), 5000);
+    }
+
+    #[test]
+    fn history_is_bounded_by_retention() {
+        // Regression (PR 2): history grew one entry per recorded slot for
+        // the life of the process.
+        let mut e = ThroughputEstimator::with_retention(100);
+        for s in 0..10_000u64 {
+            e.record(Rnti(1), s, 1000, 50);
+        }
+        assert!(
+            e.history_len(Rnti(1)) <= 101,
+            "retention 100 must bound history, got {}",
+            e.history_len(Rnti(1))
+        );
+        // bits_in stays correct over the retained range.
+        assert_eq!(e.bits_in(Rnti(1), 9_950..10_000), 50 * 1000);
+        // ... and reads zero for pruned slots.
+        assert_eq!(e.bits_in(Rnti(1), 0..100), 0);
+    }
+
+    #[test]
+    fn departed_ue_history_is_released_after_retention() {
+        // Regression (PR 2): a departed UE's history lived forever — a
+        // per-UE leak under long-running many-UE workloads.
+        let mut e = ThroughputEstimator::with_retention(100);
+        e.record(Rnti(1), 10, 5000, 50);
+        e.forget(Rnti(1));
+        // Still retained right after departure (evaluation window).
+        e.prune(50);
+        assert_eq!(e.bits_in(Rnti(1), 0..20), 5000);
+        // Fully aged out → released.
+        e.prune(500);
+        assert_eq!(e.history_len(Rnti(1)), 0);
+        assert!(e.rntis().is_empty());
+        assert_eq!(e.bits_in(Rnti(1), 0..1000), 0);
+    }
+
+    #[test]
+    fn prune_keeps_live_but_idle_ues_listed() {
+        let mut e = ThroughputEstimator::with_retention(100);
+        e.record(Rnti(1), 10, 5000, 50);
+        e.prune(10_000);
+        // History content aged out, but the UE is still live (not
+        // forgotten) so it stays listed with an empty ring.
+        assert_eq!(e.history_len(Rnti(1)), 0);
+        assert_eq!(e.rntis(), vec![Rnti(1)]);
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //! hypotheses) runs as its own shard, standing in for the SIBs/RACH
 //! threads.
 
-use crate::decoder::{decode_candidates, decode_message_slot, extract_all_candidates, DecodedDci, DecoderContext, ExtractedCandidate, Hypotheses};
+use crate::decoder::{
+    decode_candidates_metered, decode_message_slot_metered, extract_all_candidates, DecodedDci,
+    DecoderContext, ExtractedCandidate, Hypotheses,
+};
+use crate::metrics::{Counter, Gauge, Metrics, Stage};
 use crate::observe::ObservedSlot;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -66,6 +71,14 @@ pub struct SlotResult {
 /// Process one slot, sharding the known-UE list across `dci_threads`
 /// OS threads (scoped). Returns the decoded DCIs and the processing time.
 pub fn process_slot(job: &SlotJob) -> SlotResult {
+    process_slot_metered(job, None)
+}
+
+/// [`process_slot`] with pipeline instrumentation: OFDM demod, PDCCH
+/// candidate extraction, per-candidate DCI decoding, and the whole-slot
+/// envelope all record into `metrics` (atomic adds commute, so shards can
+/// share the registry).
+pub fn process_slot_metered(job: &SlotJob, metrics: Option<&Arc<Metrics>>) -> SlotResult {
     let start = Instant::now();
     match job.fault {
         Some(InjectedFault::Panic) => panic!("injected fault in slot {}", job.slot),
@@ -112,16 +125,23 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
         ObservedSlot::Iq { samples, .. } => {
             match ofdm_for(&job.ctx, samples.len(), job.slot_in_frame) {
                 Some(o) => {
-                    let grid = o.demodulate(samples, job.slot_in_frame);
+                    let grid = {
+                        let _t = Metrics::maybe_start(metrics, Stage::Demod);
+                        o.demodulate(samples, job.slot_in_frame)
+                    };
+                    let _t = Metrics::maybe_start(metrics, Stage::PdcchSearch);
                     Some(extract_all_candidates(&job.ctx, &grid, job.slot_in_frame))
                 }
                 None => {
+                    if let Some(m) = metrics {
+                        m.inc(Counter::LayoutMismatches);
+                    }
                     return SlotResult {
                         slot: job.slot,
                         decoded: Vec::new(),
                         processing: start.elapsed(),
                         layout_mismatch: true,
-                    }
+                    };
                 }
             }
         }
@@ -130,13 +150,13 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
     let mut decoded: Vec<DecodedDci> = Vec::new();
     if threads == 1 {
         // Single-thread path avoids spawn overhead entirely.
-        decoded = run_shard(job, candidates.as_deref(), &shards[0]);
+        decoded = run_shard(job, candidates.as_deref(), &shards[0], metrics);
     } else {
         std::thread::scope(|scope| {
             let candidates = candidates.as_deref();
             let handles: Vec<_> = shards
                 .iter()
-                .map(|hyp| scope.spawn(move || run_shard(job, candidates, hyp)))
+                .map(|hyp| scope.spawn(move || run_shard(job, candidates, hyp, metrics)))
                 .collect();
             for h in handles {
                 // Re-raise shard panics so the pool's per-job supervision
@@ -148,10 +168,15 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
             }
         });
     }
+    let processing = start.elapsed();
+    if let Some(m) = metrics {
+        m.observe(Stage::SlotTotal, processing);
+        m.inc(Counter::SlotsProcessed);
+    }
     SlotResult {
         slot: job.slot,
         decoded,
-        processing: start.elapsed(),
+        processing,
         layout_mismatch: false,
     }
 }
@@ -161,10 +186,13 @@ fn run_shard(
     job: &SlotJob,
     candidates: Option<&[ExtractedCandidate]>,
     hyp: &Hypotheses,
+    metrics: Option<&Arc<Metrics>>,
 ) -> Vec<DecodedDci> {
     match (&job.observed, candidates) {
-        (ObservedSlot::Message { dcis, .. }, _) => decode_message_slot(&job.ctx, dcis, hyp),
-        (ObservedSlot::Iq { .. }, Some(c)) => decode_candidates(&job.ctx, c, hyp),
+        (ObservedSlot::Message { dcis, .. }, _) => {
+            decode_message_slot_metered(&job.ctx, dcis, hyp, metrics)
+        }
+        (ObservedSlot::Iq { .. }, Some(c)) => decode_candidates_metered(&job.ctx, c, hyp, metrics),
         (ObservedSlot::Iq { .. }, None) => Vec::new(),
     }
 }
@@ -268,6 +296,13 @@ struct WorkerEvent {
     panic_msg: String,
 }
 
+/// A job plus its enqueue timestamp (taken only when metrics record, so
+/// the disabled path never reads the clock at submit time).
+struct QueuedJob {
+    job: SlotJob,
+    enqueued: Option<Instant>,
+}
+
 /// The asynchronous worker pool of Fig 4: jobs in, results out, processed
 /// by `n_workers` OS threads. "The worker pool design enables
 /// asynchronous, on-demand slot data processing" (§4).
@@ -278,10 +313,10 @@ struct WorkerEvent {
 /// replacement on the next `submit`/`poll`/`finish` call. The job queue
 /// is bounded with an explicit [`BackpressurePolicy`].
 pub struct WorkerPool {
-    job_tx: Option<Sender<SlotJob>>,
+    job_tx: Option<Sender<QueuedJob>>,
     /// Kept for shed-oldest (popping the queue head) and so respawned
     /// workers can be handed the shared queue.
-    job_rx: Receiver<SlotJob>,
+    job_rx: Receiver<QueuedJob>,
     result_tx: Sender<SlotResult>,
     result_rx: Receiver<SlotResult>,
     event_tx: Sender<WorkerEvent>,
@@ -290,11 +325,24 @@ pub struct WorkerPool {
     cfg: PoolConfig,
     stats: PoolStats,
     quarantined: Vec<SlotJob>,
+    /// Shared pipeline metrics (queue wait, stage latencies, shed counts).
+    metrics: Option<Arc<Metrics>>,
 }
 
-fn worker_loop(rx: Receiver<SlotJob>, tx: Sender<SlotResult>, events: Sender<WorkerEvent>) {
-    while let Ok(job) = rx.recv() {
-        match catch_unwind(AssertUnwindSafe(|| process_slot(&job))) {
+fn worker_loop(
+    rx: Receiver<QueuedJob>,
+    tx: Sender<SlotResult>,
+    events: Sender<WorkerEvent>,
+    metrics: Option<Arc<Metrics>>,
+) {
+    while let Ok(q) = rx.recv() {
+        if let (Some(m), Some(t)) = (metrics.as_ref(), q.enqueued) {
+            m.observe(Stage::WorkerQueue, t.elapsed());
+        }
+        let job = q.job;
+        match catch_unwind(AssertUnwindSafe(|| {
+            process_slot_metered(&job, metrics.as_ref())
+        })) {
             Ok(result) => {
                 if tx.send(result).is_err() {
                     return;
@@ -325,7 +373,18 @@ impl WorkerPool {
 
     /// Spawn a pool with explicit queue depth and backpressure policy.
     pub fn with_config(cfg: PoolConfig) -> WorkerPool {
-        let (job_tx, job_rx) = bounded::<SlotJob>(cfg.job_queue_depth);
+        WorkerPool::build(cfg, None)
+    }
+
+    /// Spawn a pool recording into a shared metrics registry: queue wait
+    /// (`worker_queue` stage), queue depth, shed/quarantine counts, and
+    /// all per-stage decode latencies from inside the workers.
+    pub fn with_metrics(cfg: PoolConfig, metrics: Arc<Metrics>) -> WorkerPool {
+        WorkerPool::build(cfg, Some(metrics))
+    }
+
+    fn build(cfg: PoolConfig, metrics: Option<Arc<Metrics>>) -> WorkerPool {
+        let (job_tx, job_rx) = bounded::<QueuedJob>(cfg.job_queue_depth);
         let (result_tx, result_rx) = unbounded::<SlotResult>();
         let (event_tx, event_rx) = unbounded::<WorkerEvent>();
         let mut pool = WorkerPool {
@@ -339,10 +398,12 @@ impl WorkerPool {
             cfg,
             stats: PoolStats::default(),
             quarantined: Vec::new(),
+            metrics,
         };
         for _ in 0..cfg.workers {
             pool.spawn_worker();
         }
+        pool.gauge_workers_alive();
         pool
     }
 
@@ -350,8 +411,17 @@ impl WorkerPool {
         let rx = self.job_rx.clone();
         let tx = self.result_tx.clone();
         let events = self.event_tx.clone();
-        self.handles
-            .push(std::thread::spawn(move || worker_loop(rx, tx, events)));
+        let metrics = self.metrics.clone();
+        self.handles.push(std::thread::spawn(move || {
+            worker_loop(rx, tx, events, metrics)
+        }));
+    }
+
+    fn gauge_workers_alive(&self) {
+        if let Some(m) = &self.metrics {
+            let alive = self.handles.iter().filter(|h| !h.is_finished()).count();
+            m.gauge_set(Gauge::WorkersAlive, alive as u64);
+        }
     }
 
     /// Reap death reports: count and quarantine the poison jobs, then
@@ -360,11 +430,16 @@ impl WorkerPool {
         let events: Vec<WorkerEvent> = self.event_rx.try_iter().collect();
         for ev in events {
             self.stats.worker_panics += 1;
+            if let Some(m) = &self.metrics {
+                m.inc(Counter::WorkerPanics);
+                m.inc(Counter::JobsQuarantined);
+            }
             self.quarantined.push(*ev.job);
             let _ = ev.panic_msg; // kept for debugging via quarantined jobs
             self.stats.respawns += 1;
             self.spawn_worker();
         }
+        self.gauge_workers_alive();
     }
 
     /// Submit a slot job. Applies the configured backpressure policy when
@@ -375,29 +450,40 @@ impl WorkerPool {
         let Some(tx) = self.job_tx.clone() else {
             return Err(SubmitError(Box::new(job)));
         };
-        let mut job = job;
+        let enqueued = self
+            .metrics
+            .as_ref()
+            .filter(|m| m.is_enabled())
+            .map(|_| Instant::now());
+        let mut queued = QueuedJob { job, enqueued };
         loop {
-            match tx.try_send(job) {
+            match tx.try_send(queued) {
                 Ok(()) => {
                     self.stats.submitted += 1;
+                    if let Some(m) = &self.metrics {
+                        m.gauge_set(Gauge::QueueDepth, self.job_rx.len() as u64);
+                    }
                     return Ok(());
                 }
-                Err(TrySendError::Full(j)) => match self.cfg.policy {
+                Err(TrySendError::Full(q)) => match self.cfg.policy {
                     BackpressurePolicy::ShedOldest => {
                         if self.job_rx.try_recv().is_ok() {
                             self.stats.shed_jobs += 1;
+                            if let Some(m) = &self.metrics {
+                                m.inc(Counter::JobsShed);
+                            }
                         }
-                        job = j;
+                        queued = q;
                     }
                     BackpressurePolicy::Block => {
                         // Block, but keep supervising so a worker death
                         // while we wait cannot deadlock the queue.
-                        job = j;
+                        queued = q;
                         self.supervise();
                         std::thread::yield_now();
                     }
                 },
-                Err(TrySendError::Disconnected(j)) => return Err(SubmitError(Box::new(j))),
+                Err(TrySendError::Disconnected(q)) => return Err(SubmitError(Box::new(q.job))),
             }
         }
     }
@@ -546,8 +632,12 @@ mod tests {
         let mut job4 = job1.clone();
         job4.dci_threads = 4;
         let r4 = process_slot(&job4);
-        let count =
-            |r: &SlotResult| r.decoded.iter().filter(|d| d.rnti_type == nr_phy::types::RntiType::C).count();
+        let count = |r: &SlotResult| {
+            r.decoded
+                .iter()
+                .filter(|d| d.rnti_type == nr_phy::types::RntiType::C)
+                .count()
+        };
         assert_eq!(count(&r1), n_c);
         assert_eq!(count(&r4), n_c, "sharding must not lose DCIs");
     }

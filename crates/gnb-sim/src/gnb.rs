@@ -455,7 +455,10 @@ impl Gnb {
             let Some(tx) = self.place_ue_dci(&alloc, slot_in_frame, &mut cce_used) else {
                 // PDCCH blocking: revert the optimistic HARQ transition so
                 // no NDI toggle or phantom retransmission leaks on air.
-                let harq = self.harqs.get_mut(&alloc.rnti).expect("scheduled UE has HARQ");
+                let harq = self
+                    .harqs
+                    .get_mut(&alloc.rnti)
+                    .expect("scheduled UE has HARQ");
                 if alloc.is_retx {
                     harq.cancel_retx(alloc.harq_id);
                 } else {
@@ -566,7 +569,10 @@ impl Gnb {
         // Decode probability from the UE's instantaneous SNR. Each
         // retransmission adds combining gain (~+3 dB of effective SNR).
         let entry = self.cfg.mcs_table.entry(alloc.mcs).expect("valid MCS");
-        let harq = self.harqs.get_mut(&alloc.rnti).expect("connected UE has HARQ");
+        let harq = self
+            .harqs
+            .get_mut(&alloc.rnti)
+            .expect("connected UE has HARQ");
         let combining_gain = 3.0 * harq.retx_count(alloc.harq_id) as f64;
         let p_err = bler(entry, att.ue.snr_db_at(t) + combining_gain);
         let ack = self.rng.gen::<f64>() >= p_err;
@@ -861,9 +867,7 @@ mod tests {
             data_dcis += out
                 .dcis
                 .iter()
-                .filter(|d| {
-                    d.rnti_type == RntiType::C && d.alloc.format == DciFormat::Dl1_1
-                })
+                .filter(|d| d.rnti_type == RntiType::C && d.alloc.format == DciFormat::Dl1_1)
                 .count();
         }
         assert!(data_dcis > 100, "got {data_dcis} data DCIs in 1 s");
@@ -965,11 +969,7 @@ mod tests {
 
     #[test]
     fn retransmissions_happen_on_bad_channels() {
-        let mut g = Gnb::new(
-            CellConfig::srsran_n41(),
-            Box::new(RoundRobin::new()),
-            7,
-        );
+        let mut g = Gnb::new(CellConfig::srsran_n41(), Box::new(RoundRobin::new()), 7);
         let ue = SimUe::new(
             9,
             ChannelProfile::Urban,
@@ -994,6 +994,9 @@ mod tests {
             .iter()
             .filter(|r| r.alloc.is_retx)
             .count();
-        assert!(retx > 5, "urban channel should cause retransmissions: {retx}");
+        assert!(
+            retx > 5,
+            "urban channel should cause retransmissions: {retx}"
+        );
     }
 }

@@ -18,9 +18,9 @@ use nr_phy::modulation::{modulate, Modulation};
 use nr_phy::ofdm::Ofdm;
 use nr_phy::pdcch::{encode_pdcch, PdcchAllocation};
 use nr_phy::polar::PolarCode;
-use nr_phy::types::Pci;
 use nr_phy::sequence::gold_bits;
 use nr_phy::sync::{pss_sequence, sss_sequence, SYNC_SEQ_LEN};
+use nr_phy::types::Pci;
 use nr_phy::types::Rnti;
 
 /// Number of bits the PBCH carries after polar coding (E for the MIB).
@@ -122,8 +122,7 @@ impl IqRenderer {
             rnti: dci.rnti,
         };
         let ue_specific = dci.rnti_type == nr_phy::types::RntiType::C;
-        let c_init =
-            nr_phy::pdcch::search_space_cinit(dci.rnti, ue_specific, pci.0);
+        let c_init = nr_phy::pdcch::search_space_cinit(dci.rnti, ue_specific, pci.0);
         encode_pdcch(
             grid,
             &self.cfg.coreset,

@@ -65,8 +65,7 @@ impl TruthLog {
         self.records
             .iter()
             .filter(|r| {
-                r.rnti_type == RntiType::C
-                    && r.alloc.format == nr_phy::dci::DciFormat::Dl1_1
+                r.rnti_type == RntiType::C && r.alloc.format == nr_phy::dci::DciFormat::Dl1_1
             })
             .count()
     }
@@ -76,8 +75,7 @@ impl TruthLog {
         self.records
             .iter()
             .filter(|r| {
-                r.rnti_type == RntiType::C
-                    && r.alloc.format == nr_phy::dci::DciFormat::Ul0_1
+                r.rnti_type == RntiType::C && r.alloc.format == nr_phy::dci::DciFormat::Ul0_1
             })
             .count()
     }

@@ -135,7 +135,11 @@ impl GnbHarqEntity {
     /// (ACK or dropped).
     pub fn feedback(&mut self, harq_id: u8, ack: bool) -> bool {
         let p = &mut self.processes[harq_id as usize];
-        debug_assert_eq!(p.state, ProcessState::InFlight, "feedback without transmission");
+        debug_assert_eq!(
+            p.state,
+            ProcessState::InFlight,
+            "feedback without transmission"
+        );
         // ACK and retransmission-budget exhaustion both complete the block
         // (the latter drops it); only an in-budget NACK keeps it alive.
         if ack || p.retx_count >= MAX_RETX {

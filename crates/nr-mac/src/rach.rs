@@ -105,10 +105,7 @@ impl RachProcedure {
                 }
                 Step::Msg4
                     if slot
-                        >= p.msg1_slot
-                            + MSG2_DELAY_SLOTS
-                            + MSG3_DELAY_SLOTS
-                            + MSG4_DELAY_SLOTS =>
+                        >= p.msg1_slot + MSG2_DELAY_SLOTS + MSG3_DELAY_SLOTS + MSG4_DELAY_SLOTS =>
                 {
                     events.push(RachEvent::SendMsg4 { tc_rnti: p.tc_rnti });
                     p.next = Step::Done;

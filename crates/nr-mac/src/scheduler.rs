@@ -270,8 +270,7 @@ impl Scheduler for ProportionalFair {
             .iter()
             .enumerate()
             .filter(|(_, u)| {
-                u.buffer_bytes > 0
-                    || harqs.entry(u.rnti).or_default().pending_retx().is_some()
+                u.buffer_bytes > 0 || harqs.entry(u.rnti).or_default().pending_retx().is_some()
             })
             .map(|(i, u)| {
                 let mcs = select_mcs(cfg.mcs_table, u.snr_db, cfg.target_bler);
@@ -349,8 +348,7 @@ mod tests {
     fn allocations_do_not_overlap_and_fit_carrier() {
         let cfg = SchedulerConfig::typical_20mhz();
         let mut harqs = HashMap::new();
-        let mut ues: Vec<SchedUe> =
-            (1..=6).map(|i| ue(i, 100_000, 25.0)).collect();
+        let mut ues: Vec<SchedUe> = (1..=6).map(|i| ue(i, 100_000, 25.0)).collect();
         for slot in 0..20u64 {
             let allocs = run_sched(&mut RoundRobin::new(), &mut ues, &mut harqs, &cfg, slot);
             let mut used = vec![false; cfg.carrier_prbs];
@@ -398,7 +396,10 @@ mod tests {
             let a = run_sched(&mut rr, &mut ues, &mut harqs, &cfg, slot);
             assert_eq!(a.len(), 1);
             served.insert(a[0].rnti);
-            harqs.get_mut(&a[0].rnti).unwrap().feedback(a[0].harq_id, true);
+            harqs
+                .get_mut(&a[0].rnti)
+                .unwrap()
+                .feedback(a[0].harq_id, true);
         }
         assert_eq!(served.len(), 4, "each UE served once over 4 slots");
     }
@@ -422,7 +423,10 @@ mod tests {
         let a1 = run_sched(&mut RoundRobin::new(), &mut ues, &mut harqs, &cfg, 0);
         let orig = a1[0];
         // NACK it.
-        harqs.get_mut(&orig.rnti).unwrap().feedback(orig.harq_id, false);
+        harqs
+            .get_mut(&orig.rnti)
+            .unwrap()
+            .feedback(orig.harq_id, false);
         let mut rr = RoundRobin::new();
         let a2 = run_sched(&mut rr, &mut ues, &mut harqs, &cfg, 1);
         assert_eq!(a2.len(), 1);

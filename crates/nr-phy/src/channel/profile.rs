@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn profile_ordering_matches_figure_intuition() {
         // Better channels → higher SNR: Normal ≥ AWGN ≥ Ped ≥ Veh ≥ Urban.
-        let snrs: Vec<f64> = ChannelProfile::all().iter().map(|p| p.mean_snr_db()).collect();
+        let snrs: Vec<f64> = ChannelProfile::all()
+            .iter()
+            .map(|p| p.mean_snr_db())
+            .collect();
         assert!(snrs.windows(2).all(|w| w[0] >= w[1]));
     }
 }

@@ -17,15 +17,30 @@ pub struct Crc {
 }
 
 /// CRC24A, `g(D) = D^24+D^23+D^18+D^17+D^14+D^11+D^10+D^7+D^6+D^5+D^4+D^3+D+1`.
-pub const CRC24A: Crc = Crc { poly: 0x864CFB, len: 24 };
+pub const CRC24A: Crc = Crc {
+    poly: 0x864CFB,
+    len: 24,
+};
 /// CRC24B, used on LDPC code-block segments.
-pub const CRC24B: Crc = Crc { poly: 0x800063, len: 24 };
+pub const CRC24B: Crc = Crc {
+    poly: 0x800063,
+    len: 24,
+};
 /// CRC24C, used on the DCI / polar path (38.212 §5.1).
-pub const CRC24C: Crc = Crc { poly: 0xB2B117, len: 24 };
+pub const CRC24C: Crc = Crc {
+    poly: 0xB2B117,
+    len: 24,
+};
 /// CRC16, `g(D) = D^16+D^12+D^5+1` (CCITT).
-pub const CRC16: Crc = Crc { poly: 0x1021, len: 16 };
+pub const CRC16: Crc = Crc {
+    poly: 0x1021,
+    len: 16,
+};
 /// CRC11, used on small uplink control payloads.
-pub const CRC11: Crc = Crc { poly: 0x621, len: 11 };
+pub const CRC11: Crc = Crc {
+    poly: 0x621,
+    len: 11,
+};
 /// CRC6, used on the smallest UCI payloads.
 pub const CRC6: Crc = Crc { poly: 0x21, len: 6 };
 
@@ -34,7 +49,11 @@ impl Crc {
     pub fn compute(&self, bits: &[u8]) -> u32 {
         let mut reg: u32 = 0;
         let top = 1u32 << (self.len - 1);
-        let mask = if self.len == 32 { u32::MAX } else { (1u32 << self.len) - 1 };
+        let mask = if self.len == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.len) - 1
+        };
         for &b in bits {
             debug_assert!(b <= 1);
             let fb = ((reg & top) != 0) as u32 ^ b as u32;

@@ -52,7 +52,9 @@ impl DciSizing {
         match format {
             // id + f_alloc + t_alloc + vrb2prb + mcs + ndi + rv + harq +
             // dai + tpc + pucch_res + harq_feedback + ports + srs + dmrs_id
-            DciFormat::Dl1_1 => 1 + self.f_alloc_bits() + 4 + 1 + 5 + 1 + 2 + 4 + 2 + 2 + 3 + 3 + 3 + 2 + 1,
+            DciFormat::Dl1_1 => {
+                1 + self.f_alloc_bits() + 4 + 1 + 5 + 1 + 2 + 4 + 2 + 2 + 3 + 3 + 3 + 2 + 1
+            }
             // id + f_alloc + t_alloc + hopping + mcs + ndi + rv + harq +
             // tpc + ports + srs
             DciFormat::Ul0_1 => 1 + self.f_alloc_bits() + 4 + 1 + 5 + 1 + 2 + 4 + 2 + 3 + 2,
@@ -137,7 +139,11 @@ impl Dci {
     pub fn unpack(bits: &[u8], sizing: &DciSizing) -> Option<Dci> {
         let mut r = BitReader::new(bits);
         let id = r.get(1)?;
-        let format = if id == 1 { DciFormat::Dl1_1 } else { DciFormat::Ul0_1 };
+        let format = if id == 1 {
+            DciFormat::Dl1_1
+        } else {
+            DciFormat::Ul0_1
+        };
         if bits.len() != sizing.payload_bits(format) {
             return None;
         }

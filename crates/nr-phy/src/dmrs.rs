@@ -20,10 +20,7 @@ pub const DATA_PER_REG: usize = 9;
 /// `(1-2c(2i))/√2 + j(1-2c(2i+1))/√2`.
 fn pilot(b0: u8, b1: u8) -> Cf32 {
     let k = std::f32::consts::FRAC_1_SQRT_2;
-    Cf32::new(
-        k * (1.0 - 2.0 * b0 as f32),
-        k * (1.0 - 2.0 * b1 as f32),
-    )
+    Cf32::new(k * (1.0 - 2.0 * b0 as f32), k * (1.0 - 2.0 * b1 as f32))
 }
 
 /// Generate the PDCCH DMRS pilot for each DMRS RE of a span of PRBs in one

@@ -20,7 +20,10 @@ pub struct Fft {
 impl Fft {
     /// Plan an FFT of `size` points. Panics if `size` is not a power of two.
     pub fn new(size: usize) -> Fft {
-        assert!(size.is_power_of_two() && size >= 2, "FFT size must be a power of two ≥ 2");
+        assert!(
+            size.is_power_of_two() && size >= 2,
+            "FFT size must be a power of two ≥ 2"
+        );
         let twiddles = (0..size / 2)
             .map(|k| Cf32::from_angle(-2.0 * std::f32::consts::PI * k as f32 / size as f32))
             .collect();
@@ -164,8 +167,8 @@ mod tests {
         for (k, f) in fast.iter().enumerate() {
             let mut acc = Cf32::ZERO;
             for (t, v) in orig.iter().enumerate() {
-                acc += *v
-                    * Cf32::from_angle(-2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32);
+                acc +=
+                    *v * Cf32::from_angle(-2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32);
             }
             assert!(close(*f, acc, 1e-3), "bin {k}");
         }

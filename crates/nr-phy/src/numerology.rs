@@ -157,7 +157,9 @@ impl Numerology {
     /// half-subframe and only the first carries the long cyclic prefix.
     pub fn samples_per_slot(self, fft_size: usize, slot_in_frame: usize) -> usize {
         (0..SYMBOLS_PER_SLOT)
-            .map(|l| fft_size + self.cp_len(fft_size, self.symbol_in_half_subframe(slot_in_frame, l)))
+            .map(|l| {
+                fft_size + self.cp_len(fft_size, self.symbol_in_half_subframe(slot_in_frame, l))
+            })
             .sum()
     }
 

@@ -44,7 +44,8 @@ impl Ofdm {
 
     /// Samples per slot at this configuration.
     pub fn samples_per_slot(&self, slot_in_frame: usize) -> usize {
-        self.numerology.samples_per_slot(self.fft_size, slot_in_frame)
+        self.numerology
+            .samples_per_slot(self.fft_size, slot_in_frame)
     }
 
     /// First FFT bin of grid subcarrier 0 (used band centred around DC, then
@@ -77,9 +78,10 @@ impl Ofdm {
             for v in time.iter_mut() {
                 *v = v.scale(scale);
             }
-            let cp = self
-                .numerology
-                .cp_len(self.fft_size, self.numerology.symbol_in_half_subframe(slot_in_frame, sym));
+            let cp = self.numerology.cp_len(
+                self.fft_size,
+                self.numerology.symbol_in_half_subframe(slot_in_frame, sym),
+            );
             out.extend_from_slice(&time[self.fft_size - cp..]);
             out.extend_from_slice(&time);
         }
@@ -100,9 +102,10 @@ impl Ofdm {
         let mut pos = 0;
         let scale = 1.0 / (self.fft_size as f32).sqrt();
         for sym in 0..SYMBOLS_PER_SLOT {
-            let cp = self
-                .numerology
-                .cp_len(self.fft_size, self.numerology.symbol_in_half_subframe(slot_in_frame, sym));
+            let cp = self.numerology.cp_len(
+                self.fft_size,
+                self.numerology.symbol_in_half_subframe(slot_in_frame, sym),
+            );
             pos += cp;
             let mut time: Vec<Cf32> = samples[pos..pos + self.fft_size].to_vec();
             pos += self.fft_size;
@@ -123,7 +126,9 @@ mod tests {
 
     fn test_grid(n_prb: usize) -> ResourceGrid {
         let mut g = ResourceGrid::new(n_prb);
-        let bits: Vec<u8> = (0..n_prb * 12 * 2).map(|i| ((i * 13 + 5) % 2) as u8).collect();
+        let bits: Vec<u8> = (0..n_prb * 12 * 2)
+            .map(|i| ((i * 13 + 5) % 2) as u8)
+            .collect();
         let syms = qam(&bits, Modulation::Qpsk);
         for (k, s) in syms.iter().enumerate() {
             g.set(k % SYMBOLS_PER_SLOT, k / SYMBOLS_PER_SLOT, *s);
@@ -181,7 +186,11 @@ mod tests {
         // bound it loosely: strictly more than the grid, at most ~30% over.
         let time_e: f32 = time.iter().map(|v| v.norm_sqr()).sum();
         assert!(time_e > grid_e, "CP adds energy");
-        assert!(time_e < grid_e * 1.3, "no unexpected gain: ratio {}", time_e / grid_e);
+        assert!(
+            time_e < grid_e * 1.3,
+            "no unexpected gain: ratio {}",
+            time_e / grid_e
+        );
     }
 
     #[test]

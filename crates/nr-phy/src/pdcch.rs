@@ -407,8 +407,24 @@ mod tests {
             level: AggregationLevel::L2,
             rnti,
         };
-        encode_pdcch(&mut grid, &c, &alloc, &pl, 500, search_space_cinit(rnti, false, 500), 3);
-        let soft = extract_candidate(&grid, &c, 2, AggregationLevel::L2, 500, search_space_cinit(rnti, false, 500), 3);
+        encode_pdcch(
+            &mut grid,
+            &c,
+            &alloc,
+            &pl,
+            500,
+            search_space_cinit(rnti, false, 500),
+            3,
+        );
+        let soft = extract_candidate(
+            &grid,
+            &c,
+            2,
+            AggregationLevel::L2,
+            500,
+            search_space_cinit(rnti, false, 500),
+            3,
+        );
         let res =
             decode_candidate_for_rnti(&soft, 40, rnti, AggregationLevel::L2, 2).expect("decode");
         assert_eq!(res.payload, pl);
@@ -425,10 +441,27 @@ mod tests {
             level: AggregationLevel::L4,
             rnti: Rnti(0x4601),
         };
-        encode_pdcch(&mut grid, &c, &alloc, &pl, 500, search_space_cinit(Rnti(0x4601), false, 500), 0);
-        let soft = extract_candidate(&grid, &c, 0, AggregationLevel::L4, 500, search_space_cinit(Rnti(0x4601), false, 500), 0);
-        assert!(decode_candidate_for_rnti(&soft, 40, Rnti(0x4602), AggregationLevel::L4, 0)
-            .is_none());
+        encode_pdcch(
+            &mut grid,
+            &c,
+            &alloc,
+            &pl,
+            500,
+            search_space_cinit(Rnti(0x4601), false, 500),
+            0,
+        );
+        let soft = extract_candidate(
+            &grid,
+            &c,
+            0,
+            AggregationLevel::L4,
+            500,
+            search_space_cinit(Rnti(0x4601), false, 500),
+            0,
+        );
+        assert!(
+            decode_candidate_for_rnti(&soft, 40, Rnti(0x4602), AggregationLevel::L4, 0).is_none()
+        );
     }
 
     #[test]
@@ -442,10 +475,26 @@ mod tests {
             level: AggregationLevel::L4,
             rnti,
         };
-        encode_pdcch(&mut grid, &c, &alloc, &pl, 123, search_space_cinit(rnti, false, 123), 7);
-        let soft = extract_candidate(&grid, &c, 4, AggregationLevel::L4, 123, search_space_cinit(rnti, false, 123), 7);
-        let res = decode_candidate_recover_rnti(&soft, 40, AggregationLevel::L4, 4)
-            .expect("recovery");
+        encode_pdcch(
+            &mut grid,
+            &c,
+            &alloc,
+            &pl,
+            123,
+            search_space_cinit(rnti, false, 123),
+            7,
+        );
+        let soft = extract_candidate(
+            &grid,
+            &c,
+            4,
+            AggregationLevel::L4,
+            123,
+            search_space_cinit(rnti, false, 123),
+            7,
+        );
+        let res =
+            decode_candidate_recover_rnti(&soft, 40, AggregationLevel::L4, 4).expect("recovery");
         assert_eq!(res.rnti, rnti);
         assert_eq!(res.payload, pl);
     }
@@ -464,7 +513,15 @@ mod tests {
             level: AggregationLevel::L2,
             rnti,
         };
-        encode_pdcch(&mut grid, &c, &alloc, &pl, 77, search_space_cinit(rnti, true, 77), 5);
+        encode_pdcch(
+            &mut grid,
+            &c,
+            &alloc,
+            &pl,
+            77,
+            search_space_cinit(rnti, true, 77),
+            5,
+        );
         // Apply a flat channel (gain+rotation) and mild AWGN.
         let h = Cf32::from_polar(0.7, 2.1);
         for sym in 0..1 {
@@ -474,7 +531,15 @@ mod tests {
                 grid.set(sym, k, v);
             }
         }
-        let soft = extract_candidate(&grid, &c, 0, AggregationLevel::L2, 77, search_space_cinit(rnti, true, 77), 5);
+        let soft = extract_candidate(
+            &grid,
+            &c,
+            0,
+            AggregationLevel::L2,
+            77,
+            search_space_cinit(rnti, true, 77),
+            5,
+        );
         assert!(soft.pilot_snr > 10.0, "pilot snr {}", soft.pilot_snr);
         let res =
             decode_candidate_for_rnti(&soft, 44, rnti, AggregationLevel::L2, 0).expect("decode");

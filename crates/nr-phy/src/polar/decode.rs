@@ -151,7 +151,9 @@ mod tests {
     use crate::polar::encode::polar_transform;
 
     fn to_llrs(bits: &[u8], amp: f32) -> Vec<f32> {
-        bits.iter().map(|&b| if b == 0 { amp } else { -amp }).collect()
+        bits.iter()
+            .map(|&b| if b == 0 { amp } else { -amp })
+            .collect()
     }
 
     fn make_mask(n: usize, info: &[usize]) -> Vec<bool> {
@@ -181,7 +183,9 @@ mod tests {
         let n = 32;
         let mask = make_mask(n, &[31]);
         // Garbage LLRs: frozen bits must still come out zero.
-        let llrs: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { -3.0 } else { 2.0 }).collect();
+        let llrs: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { -3.0 } else { 2.0 })
+            .collect();
         let u = sc_decode(&llrs, &mask);
         for (i, &b) in u.iter().enumerate() {
             if i != 31 {

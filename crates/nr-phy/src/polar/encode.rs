@@ -8,7 +8,10 @@
 /// two. Returns the codeword `x`.
 pub fn polar_transform(u: &[u8]) -> Vec<u8> {
     let n = u.len();
-    assert!(n.is_power_of_two(), "polar transform length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "polar transform length must be a power of two"
+    );
     let mut x = u.to_vec();
     let mut half = 1;
     while half < n {

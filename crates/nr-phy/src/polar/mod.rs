@@ -135,7 +135,14 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip_noiseless() {
-        for (k, e) in [(12, 54), (40, 108), (64, 108), (64, 216), (30, 432), (140, 864)] {
+        for (k, e) in [
+            (12, 54),
+            (40, 108),
+            (64, 108),
+            (64, 216),
+            (30, 432),
+            (140, 864),
+        ] {
             let code = PolarCode::new(k, e);
             let payload: Vec<u8> = (0..k).map(|i| ((i * 5 + 1) % 2) as u8).collect();
             let tx = code.encode(&payload);
@@ -193,7 +200,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_scl_win, "expected at least one SCL-over-SC win in 200 trials");
+        assert!(
+            seen_scl_win,
+            "expected at least one SCL-over-SC win in 200 trials"
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ mod tests {
         let x: Vec<u8> = (0..128).map(|i| ((i * 3) % 2) as u8).collect();
         let tx = select(&x, 108, RateMatchKind::Shorten);
         assert_eq!(tx.len(), 108);
-        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mother = deselect(&llrs, 128, RateMatchKind::Shorten);
         assert_eq!(mother.len(), 128);
         // Tail filled with strong (but finite, overflow-safe) bit-0 belief.
@@ -154,9 +157,15 @@ mod tests {
         let x: Vec<u8> = (0..128).map(|i| ((i / 7) % 2) as u8).collect();
         let tx = select(&x, 100, RateMatchKind::Puncture);
         assert_eq!(tx, x[28..].to_vec());
-        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 2.0 } else { -2.0 }).collect();
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 2.0 } else { -2.0 })
+            .collect();
         let mother = deselect(&llrs, 128, RateMatchKind::Puncture);
-        assert!(mother[..28].iter().all(|&l| l == 0.0), "punctured head erased");
+        assert!(
+            mother[..28].iter().all(|&l| l == 0.0),
+            "punctured head erased"
+        );
         assert_eq!(&mother[28..], &llrs[..]);
     }
 

@@ -4,6 +4,16 @@
 //! This is the arithmetic that converts a decoded DCI (PRB count, symbol
 //! count, MCS, layers) into "how many bits did this UE just receive", the
 //! quantity every throughput figure in the paper's evaluation is built on.
+//!
+//! The quantisation (⌊log2⌋, floor/round to a step, ceil in the
+//! code-block-segmentation closed form) is computed **integer-exact**:
+//! `N_info = N_RE · R · Q_m · v` is carried as an integer numerator over a
+//! fixed power-of-two denominator (all 38.214 code rates are multiples of
+//! 1/2048), ⌊log2⌋ is a bit length, and the step rounding is shifts and
+//! integer division. A floating-point evaluation of the same formulas can
+//! misround once the product needs more than f64's 53 mantissa bits or at
+//! exact branch/step boundaries; the integer path cannot (regression-tested
+//! against the retained float reference below).
 
 use crate::mcs::McsEntry;
 use crate::numerology::SUBCARRIERS_PER_PRB;
@@ -13,9 +23,9 @@ pub const TBS_TABLE: [u32; 93] = [
     24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136, 144, 152, 160, 168, 176, 184,
     192, 208, 224, 240, 256, 272, 288, 304, 320, 336, 352, 368, 384, 408, 432, 456, 480, 504, 528,
     552, 576, 608, 640, 672, 704, 736, 768, 808, 848, 888, 928, 984, 1032, 1064, 1128, 1160, 1192,
-    1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736, 1800, 1864, 1928, 2024,
-    2088, 2152, 2216, 2280, 2408, 2472, 2536, 2600, 2664, 2728, 2792, 2856, 2976, 3104, 3240,
-    3368, 3496, 3624, 3752, 3824,
+    1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736, 1800, 1864, 1928, 2024, 2088,
+    2152, 2216, 2280, 2408, 2472, 2536, 2600, 2664, 2728, 2792, 2856, 2976, 3104, 3240, 3368, 3496,
+    3624, 3752, 3824,
 ];
 
 /// Inputs to the TBS computation, all recovered from DCI + RRC by NR-Scope.
@@ -44,8 +54,92 @@ pub fn effective_res(p: &TbsParams) -> usize {
     n_re_prime.min(156) * p.n_prb
 }
 
-/// Full 38.214 §5.1.3.2 TBS computation (paper Appendix A).
+/// Fixed-point scale for `N_info`: every 38.214 code rate is a multiple of
+/// 0.5/1024 = 1/2048, so `N_RE · R · Q_m · v` is an exact integer multiple
+/// of 2^-11.
+const SCALE: u32 = 11;
+
+/// `N_info × 2048` as an exact integer, plus the code rate × 2048.
+fn n_info_x2048(p: &TbsParams) -> (u128, u64) {
+    let rate_x2048 = (p.mcs.rate_x1024 * 2.0).round().max(0.0) as u64;
+    let x = effective_res(p) as u128
+        * rate_x2048 as u128
+        * p.mcs.modulation.bits_per_symbol() as u128
+        * p.layers as u128;
+    (x, rate_x2048)
+}
+
+/// Full 38.214 §5.1.3.2 TBS computation (paper Appendix A), integer-exact.
+///
+/// Note: the paper's Appendix A transposes the quantisation formulas of
+/// the two branches relative to 38.214 §5.1.3.2 (an editorial slip — its
+/// small-N branch quotes the round() form and the C-segmentation rules
+/// that the spec applies to the large-N branch). We implement the
+/// spec-correct version, which is also what srsRAN computes and hence
+/// what the paper's tool actually ran.
 pub fn transport_block_size(p: &TbsParams) -> u32 {
+    transport_block_size_u64(p).min(u32::MAX as u64) as u32
+}
+
+/// [`transport_block_size`] without the u32 clamp, for allocations whose
+/// exact TBS exceeds 32 bits (not reachable on a standards-compliant
+/// carrier, but the arithmetic stays exact for any input).
+pub fn transport_block_size_u64(p: &TbsParams) -> u64 {
+    let (x, rate_x2048) = n_info_x2048(p);
+    if x == 0 {
+        return 0;
+    }
+    quantise_n_info_x2048(x, rate_x2048)
+}
+
+/// The §5.1.3.2 quantisation on an exact `N_info × 2048`.
+#[doc(hidden)]
+pub fn quantise_n_info_x2048(x: u128, rate_x2048: u64) -> u64 {
+    if x <= (3824u128 << SCALE) {
+        // Small blocks: n = max(3, ⌊log2 N_info⌋ − 6), quantise down to a
+        // multiple of 2^n, then look up the table.
+        let int_part = (x >> SCALE) as u64;
+        let n = if int_part == 0 {
+            3
+        } else {
+            (int_part.ilog2() as i32 - 6).max(3) as u32
+        };
+        // ⌊N_info / 2^n⌋ · 2^n, exactly.
+        let n_info_prime = (((x >> (SCALE + n)) as u64) << n).max(24);
+        TBS_TABLE
+            .iter()
+            .copied()
+            .find(|&t| t as u64 >= n_info_prime)
+            .unwrap_or(3824) as u64
+    } else {
+        // Large blocks: n = ⌊log2(N_info − 24)⌋ − 5, round to a multiple
+        // of 2^n (ties up, like C round()), then the closed form with
+        // code-block segmentation.
+        let y = x - (24u128 << SCALE);
+        // N_info > 3824 ⇒ y > 3800 ⇒ ⌊log2 y⌋ ≥ 11 ⇒ n ≥ 6.
+        let n = ((y >> SCALE) as u64).ilog2() - 5;
+        let rounded = ((y + (1u128 << (SCALE + n - 1))) >> (SCALE + n)) as u64;
+        let n_info_prime = (rounded << n).max(3840);
+        let tb_plus_crc = n_info_prime + 24;
+        if rate_x2048 <= 512 {
+            // R ≤ 1/4.
+            let c = tb_plus_crc.div_ceil(3816);
+            8 * c * tb_plus_crc.div_ceil(8 * c) - 24
+        } else if n_info_prime > 8424 {
+            let c = tb_plus_crc.div_ceil(8424);
+            8 * c * tb_plus_crc.div_ceil(8 * c) - 24
+        } else {
+            8 * tb_plus_crc.div_ceil(8) - 24
+        }
+    }
+}
+
+/// The seed implementation's f64 evaluation of the same formulas, retained
+/// as the comparison reference for the property tests: it agrees with the
+/// integer path wherever the product `N_RE · R · Q_m · v` fits f64's
+/// mantissa, and misrounds beyond it.
+#[doc(hidden)]
+pub fn transport_block_size_float_reference(p: &TbsParams) -> u64 {
     let n_re = effective_res(p) as f64;
     let r = p.mcs.code_rate();
     let qm = p.mcs.modulation.bits_per_symbol() as f64;
@@ -54,37 +148,73 @@ pub fn transport_block_size(p: &TbsParams) -> u32 {
     if n_info <= 0.0 {
         return 0;
     }
-    // Note: the paper's Appendix A transposes the quantisation formulas of
-    // the two branches relative to 38.214 §5.1.3.2 (an editorial slip —
-    // its small-N branch quotes the round() form and the C-segmentation
-    // rules that the spec applies to the large-N branch). We implement the
-    // spec-correct version, which is also what srsRAN computes and hence
-    // what the paper's tool actually ran.
     if n_info <= 3824.0 {
-        // Small blocks: quantise down, then look up the table.
         let n = ((n_info.log2().floor() as i32) - 6).max(3) as u32;
         let step = f64::from(1u32 << n);
         let n_info_prime = (step * (n_info / step).floor()).max(24.0) as u32;
-        // Smallest table TBS ≥ N'_info (table is exhaustive up to 3824).
         TBS_TABLE
             .iter()
             .copied()
             .find(|&t| t >= n_info_prime)
-            .unwrap_or(3824)
+            .unwrap_or(3824) as u64
     } else {
-        // Large blocks: closed-form with code-block segmentation.
         let n = ((n_info - 24.0).log2().floor() as i32 - 5) as u32;
-        let step = f64::from(1u32 << n);
+        let step = (1u64 << n) as f64;
         let n_info_prime = (step * ((n_info - 24.0) / step).round()).max(3840.0);
         if r <= 0.25 {
             let c = ((n_info_prime + 24.0) / 3816.0).ceil();
-            (8.0 * c * ((n_info_prime + 24.0) / (8.0 * c)).ceil() - 24.0) as u32
+            (8.0 * c * ((n_info_prime + 24.0) / (8.0 * c)).ceil() - 24.0) as u64
         } else if n_info_prime > 8424.0 {
             let c = ((n_info_prime + 24.0) / 8424.0).ceil();
-            (8.0 * c * ((n_info_prime + 24.0) / (8.0 * c)).ceil() - 24.0) as u32
+            (8.0 * c * ((n_info_prime + 24.0) / (8.0 * c)).ceil() - 24.0) as u64
         } else {
-            (8.0 * ((n_info_prime + 24.0) / 8.0).ceil() - 24.0) as u32
+            (8.0 * ((n_info_prime + 24.0) / 8.0).ceil() - 24.0) as u64
         }
+    }
+}
+
+/// Whether the exact `N_info` for these parameters sits within one unit of
+/// a quantisation decision point (the 3824 branch threshold, a power-of-two
+/// step edge of ⌊log2⌋, or a round-half tie) — the only places a float
+/// evaluation is *allowed* to disagree with the integer path.
+#[doc(hidden)]
+pub fn near_quantisation_boundary(p: &TbsParams) -> bool {
+    let (x, _) = n_info_x2048(p);
+    if x == 0 {
+        return false;
+    }
+    let one = 1u128 << SCALE;
+    // Branch threshold N_info = 3824.
+    let branch = 3824u128 << SCALE;
+    if x.abs_diff(branch) <= one {
+        return true;
+    }
+    // Power-of-two edges of ⌊log2⌋ (either branch's argument).
+    for arg in [x, x.saturating_sub(24u128 << SCALE)] {
+        if arg == 0 {
+            continue;
+        }
+        let k = arg.ilog2();
+        if arg - (1u128 << k) <= one || ((1u128 << (k + 1)) - arg) <= one {
+            return true;
+        }
+    }
+    // Step-edge / half-tie proximity inside the active branch.
+    if x <= branch {
+        let int_part = (x >> SCALE) as u64;
+        let n = if int_part == 0 {
+            3
+        } else {
+            (int_part.ilog2() as i32 - 6).max(3) as u32
+        };
+        let rem = x & ((1u128 << (SCALE + n)) - 1);
+        rem <= one || ((1u128 << (SCALE + n)) - rem) <= one
+    } else {
+        let y = x - (24u128 << SCALE);
+        let n = ((y >> SCALE) as u64).ilog2() - 5;
+        let half = 1u128 << (SCALE + n - 1);
+        let rem = y & ((1u128 << (SCALE + n)) - 1);
+        rem.abs_diff(half) <= one
     }
 }
 
@@ -156,6 +286,115 @@ mod tests {
         assert!(TBS_TABLE.contains(&t), "{t} not a table value");
     }
 
+    // ---- PR 2: boundary-value vectors for the integer-exact quantiser,
+    // ---- pinned on both sides of every branch of §5.1.3.2.
+
+    /// Hand-computed spec values for an exact `N_info` (given as ×2048).
+    #[test]
+    fn quantiser_pins_both_sides_of_the_3824_branch() {
+        // N_info = 3824 exactly → small branch: n = ⌊log2 3824⌋−6 = 5,
+        // N' = 32·⌊3824/32⌋ = 3808 → smallest table TBS ≥ 3808 is 3824.
+        assert_eq!(quantise_n_info_x2048(3824u128 << 11, 1024), 3824);
+        // One 1/2048 above 3824 → large branch: n = ⌊log2 3800.0005⌋−5 = 6,
+        // round(3800.0005/64) = 59 → N' = max(3840, 3776) = 3840,
+        // R > 1/4, N' ≤ 8424 → TBS = 8·⌈3864/8⌉ − 24 = 3840.
+        assert_eq!(quantise_n_info_x2048((3824u128 << 11) + 1, 1024), 3840);
+    }
+
+    #[test]
+    fn quantiser_pins_both_sides_of_the_segmentation_threshold() {
+        // N' = 8424 exactly (single code block): N_info − 24 = 8400 →
+        // n = ⌊log2 8400⌋−5 = 8, round(8424−24... take N_info = 8445:
+        // y = 8421, round(8421/256) = 33 → N' = 8448 > 8424 → C = 2.
+        // TBS = 16·⌈8472/16⌉ − 24 = 16·530 − 24 = 8456.
+        assert_eq!(quantise_n_info_x2048(8445u128 << 11, 1024), 8456);
+        // N_info = 8300: y = 8276, n = 8, round(8276/256) = 32 →
+        // N' = 8192 ≤ 8424 → single block: TBS = 8·⌈8216/8⌉ − 24 = 8192.
+        assert_eq!(quantise_n_info_x2048(8300u128 << 11, 1024), 8192);
+    }
+
+    #[test]
+    fn quantiser_applies_low_rate_segmentation() {
+        // R ≤ 1/4 forces C = ⌈(N'+24)/3816⌉ regardless of N' ≤ 8424.
+        // N_info = 5000: y = 4976, n = ⌊log2 4976⌋−5 = 7,
+        // round(4976/128) = 39 → N' = 4992. C = ⌈5016/3816⌉ = 2.
+        // TBS = 16·⌈5016/16⌉ − 24 = 16·314 − 24 = 5000.
+        assert_eq!(quantise_n_info_x2048(5000u128 << 11, 512), 5000);
+        // Same N_info at R > 1/4: single block → 8·⌈5016/8⌉ − 24 = 4992.
+        assert_eq!(quantise_n_info_x2048(5000u128 << 11, 513), 4992);
+    }
+
+    #[test]
+    fn quantiser_rounds_half_ties_up() {
+        // N_info − 24 exactly on a half step: y = 4000 + 64 = 4064, n = 6,
+        // y/64 = 63.5 → rounds up to 64 → N' = 4096.
+        // TBS = 8·⌈4120/8⌉ − 24 = 4096.
+        assert_eq!(quantise_n_info_x2048(4088u128 << 11, 1024), 4096);
+    }
+
+    #[test]
+    fn integer_path_fixes_float_misrounding_beyond_53_bits() {
+        // Regression (PR 2): once N_RE · R · Q_m · v needs more than f64's
+        // 53 mantissa bits, the float evaluation rounds the product before
+        // quantising and lands on the wrong step. This allocation is
+        // physically oversized but API-valid; the exact integer N_info is
+        // odd (LSB of the ×2048 numerator set), which f64 cannot represent
+        // at this magnitude.
+        // Here the exact N_info sits one resolution unit below a round-half
+        // tie of the large-branch step, and the f64 product rounds across it.
+        let p = TbsParams {
+            n_prb: 609_862_449_539_857,
+            n_symbols: 1,
+            dmrs_per_prb: 11, // per-PRB REs = 1, so N_RE = n_prb exactly
+            overhead_per_prb: 0,
+            mcs: crate::mcs::MCS_TABLE_64QAM[0], // QPSK, R·1024 = 120
+            layers: 1,
+        };
+        let exact = transport_block_size_u64(&p);
+        let float = transport_block_size_float_reference(&p);
+        // The integer path matches an independent recomputation…
+        let x = effective_res(&p) as u128 * 240 * 2;
+        assert_eq!(exact, quantise_n_info_x2048(x, 240));
+        assert_eq!(exact, 140_737_488_355_776);
+        // …and the float path demonstrably misrounds one step high.
+        assert_eq!(
+            float, 145_135_534_867_968,
+            "float reference changed rounding behaviour"
+        );
+        assert_ne!(exact, float);
+    }
+
+    #[test]
+    fn integer_and_float_agree_across_the_physical_grid() {
+        // Within f64's exact range (any standards-compliant carrier) the
+        // two paths must be bit-identical — the rewrite changes no
+        // previously-correct result.
+        for table in [McsTable::Qam64, McsTable::Qam256] {
+            for mcs in 0..28u8 {
+                let Some(entry) = table.entry(mcs) else {
+                    continue;
+                };
+                for n_prb in [1usize, 24, 51, 106, 273] {
+                    for layers in [1usize, 2, 4] {
+                        let p = TbsParams {
+                            n_prb,
+                            n_symbols: 12,
+                            dmrs_per_prb: 12,
+                            overhead_per_prb: 0,
+                            mcs: entry,
+                            layers,
+                        };
+                        assert_eq!(
+                            transport_block_size_u64(&p),
+                            transport_block_size_float_reference(&p),
+                            "table {table:?} mcs {mcs} prb {n_prb} v {layers}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn large_tbs_is_byte_aligned_after_crc_removal() {
         // TBS + 24 CRC bits must be divisible into equal byte-aligned code
@@ -176,7 +415,7 @@ mod tests {
         // within one quantisation step of the logged 3240·2 codeword split.
         let entry = McsTable::Qam256.entry(27).unwrap();
         let p = TbsParams {
-            n_prb: 3,                  // 3 PRB × 12 symbols → 432 REs gross
+            n_prb: 3, // 3 PRB × 12 symbols → 432 REs gross
             n_symbols: 12,
             dmrs_per_prb: 0,
             overhead_per_prb: 0,

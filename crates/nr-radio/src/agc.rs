@@ -59,7 +59,9 @@ mod tests {
     use super::*;
 
     fn tone(n: usize, amp: f32) -> Vec<Cf32> {
-        (0..n).map(|i| Cf32::from_polar(amp, i as f32 * 0.1)).collect()
+        (0..n)
+            .map(|i| Cf32::from_polar(amp, i as f32 * 0.1))
+            .collect()
     }
 
     #[test]

@@ -14,4 +14,4 @@ pub mod usrp;
 pub use agc::Agc;
 pub use impairment::{Burst, ImpairmentSchedule, SlotImpairment};
 pub use resampler::Resampler;
-pub use usrp::{RxSlot, VirtualUsrp};
+pub use usrp::{RadioStats, RxSlot, VirtualUsrp};

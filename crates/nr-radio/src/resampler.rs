@@ -41,8 +41,8 @@ impl Resampler {
                     let arg = std::f32::consts::PI * x * cutoff;
                     arg.sin() / arg
                 };
-                let window = 0.54
-                    - 0.46 * (std::f32::consts::TAU * i as f32 / (total - 1) as f32).cos();
+                let window =
+                    0.54 - 0.46 * (std::f32::consts::TAU * i as f32 / (total - 1) as f32).cos();
                 sinc * window * cutoff * l as f32
             })
             .collect();
@@ -109,10 +109,7 @@ mod tests {
         let y = r.process(&x);
         assert_eq!(y.len(), 256);
         // Interior samples match the input closely (group delay excluded).
-        let err: f32 = (32..224)
-            .map(|i| (y[i] - x[i - 3]).abs())
-            .sum::<f32>()
-            / 192.0;
+        let err: f32 = (32..224).map(|i| (y[i] - x[i - 3]).abs()).sum::<f32>() / 192.0;
         assert!(err < 0.12, "mean interior error {err}");
     }
 
@@ -146,9 +143,11 @@ mod tests {
         let r = Resampler::new(4, 3);
         let x = tone(600, 0.015);
         let y = r.process(&x);
-        let p: f32 =
-            y[100..y.len() - 100].iter().map(|v| v.norm_sqr()).sum::<f32>()
-                / (y.len() - 200) as f32;
+        let p: f32 = y[100..y.len() - 100]
+            .iter()
+            .map(|v| v.norm_sqr())
+            .sum::<f32>()
+            / (y.len() - 200) as f32;
         assert!((p - 1.0).abs() < 0.1, "interior power {p}");
     }
 

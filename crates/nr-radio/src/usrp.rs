@@ -17,6 +17,20 @@ pub struct RxSlot {
     pub true_snr_db: f64,
 }
 
+/// Cumulative front-end counters (what a real driver exports alongside
+/// overflow flags) — feeds the pipeline metrics layer's radio counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RadioStats {
+    /// Slots passed through `receive`.
+    pub slots_received: u64,
+    /// IQ samples produced across all slots.
+    pub samples_processed: u64,
+    /// AGC transients injected via `kick_agc_db`.
+    pub agc_kicks: u64,
+    /// Interference bursts injected via `inject_snr_penalty_db`.
+    pub snr_penalties: u64,
+}
+
 /// The sniffer's radio front end.
 pub struct VirtualUsrp {
     /// Mean receive SNR at the sniffer's position, dB.
@@ -28,6 +42,7 @@ pub struct VirtualUsrp {
     /// One-shot SNR penalty (dB) consumed by the next `receive` — how
     /// scheduled interference bursts reach the front end.
     pending_penalty_db: f64,
+    stats: RadioStats,
 }
 
 impl VirtualUsrp {
@@ -40,6 +55,7 @@ impl VirtualUsrp {
             agc: Agc::new(1.0),
             rng: StdRng::seed_from_u64(seed ^ 0xB5),
             pending_penalty_db: 0.0,
+            stats: RadioStats::default(),
         }
     }
 
@@ -48,16 +64,23 @@ impl VirtualUsrp {
         self.snr_db
     }
 
+    /// Cumulative front-end counters since construction.
+    pub fn stats(&self) -> RadioStats {
+        self.stats
+    }
+
     /// Degrade only the next received slot by `db` (interference burst
     /// injection; see [`crate::ImpairmentSchedule`]).
     pub fn inject_snr_penalty_db(&mut self, db: f64) {
         self.pending_penalty_db += db;
+        self.stats.snr_penalties += 1;
     }
 
     /// Kick the AGC gain by `db` (transient injection); it recovers under
     /// the loop's slew limit over the following slots.
     pub fn kick_agc_db(&mut self, db: f32) {
         self.agc.kick_db(db);
+        self.stats.agc_kicks += 1;
     }
 
     /// Receive one slot transmitted as `tx` at absolute time `t` seconds.
@@ -87,6 +110,8 @@ impl VirtualUsrp {
             })
             .collect();
         self.agc.process(&mut samples);
+        self.stats.slots_received += 1;
+        self.stats.samples_processed += samples.len() as u64;
         RxSlot {
             samples,
             true_snr_db: inst_snr_db,
@@ -169,6 +194,21 @@ mod tests {
         let clean = u.receive(&tx, 0.0005);
         assert_eq!(hit.true_snr_db, 8.0, "penalty applied");
         assert_eq!(clean.true_snr_db, 20.0, "penalty consumed");
+    }
+
+    #[test]
+    fn stats_count_slots_samples_and_injections() {
+        let mut u = VirtualUsrp::new(20.0, 0.0, 6);
+        let tx = tx_slot(256);
+        u.kick_agc_db(3.0);
+        u.inject_snr_penalty_db(5.0);
+        u.receive(&tx, 0.0);
+        u.receive(&tx, 0.0005);
+        let s = u.stats();
+        assert_eq!(s.slots_received, 2);
+        assert_eq!(s.samples_processed, 512);
+        assert_eq!(s.agc_kicks, 1);
+        assert_eq!(s.snr_penalties, 1);
     }
 
     #[test]

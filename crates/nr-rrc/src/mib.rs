@@ -57,8 +57,7 @@ impl Mib {
         let mut r = BitReader::new(bits);
         let sfn = r.get(10).ok_or(DecodeError::Truncated)? as u16;
         let mu = r.get(2).ok_or(DecodeError::Truncated)? as u32;
-        let scs_common =
-            Numerology::from_mu(mu).ok_or(DecodeError::InvalidField("scs_common"))?;
+        let scs_common = Numerology::from_mu(mu).ok_or(DecodeError::InvalidField("scs_common"))?;
         let coreset0_prb_start = r.get(8).ok_or(DecodeError::Truncated)? as u8;
         let coreset0_n_prb = r.get(7).ok_or(DecodeError::Truncated)? as u8;
         if coreset0_n_prb == 0 {

@@ -164,7 +164,10 @@ mod tests {
         for level in AggregationLevel::all() {
             let mut s = sample();
             s.aggregation_level = level;
-            assert_eq!(RrcSetup::decode(&s.encode()).unwrap().aggregation_level, level);
+            assert_eq!(
+                RrcSetup::decode(&s.encode()).unwrap().aggregation_level,
+                level
+            );
         }
     }
 

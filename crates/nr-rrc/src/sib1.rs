@@ -155,7 +155,10 @@ mod tests {
         let mut sib = sample();
         sib.tdd.dl_slots = 20;
         sib.tdd.period_slots = 10;
-        assert_eq!(Sib1::decode(&sib.encode()), Err(DecodeError::InvalidField("tdd")));
+        assert_eq!(
+            Sib1::decode(&sib.encode()),
+            Err(DecodeError::InvalidField("tdd"))
+        );
     }
 
     #[test]

@@ -162,14 +162,19 @@ mod tests {
         let durations: Vec<f64> = (0..50_000).map(|_| g.draw_duration()).collect();
         let long = durations.iter().filter(|&&d| d > 300.0).count();
         assert!(long > 0, "some sessions exceed 300 s");
-        assert!((long as f64) < 0.01 * durations.len() as f64, "but under 1%");
+        assert!(
+            (long as f64) < 0.01 * durations.len() as f64,
+            "but under 1%"
+        );
     }
 
     #[test]
     fn arrivals_are_ordered_and_within_horizon() {
         let mut g = ComeAndGo::new(ArrivalConfig::tmobile_cell2(), 4);
         let sessions = g.generate(600.0);
-        assert!(sessions.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(sessions
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
         assert!(sessions.iter().all(|s| s.arrival_s < 600.0));
         // Cell 2 scale: 100–200 UEs.
         assert!((100..=220).contains(&sessions.len()), "{}", sessions.len());

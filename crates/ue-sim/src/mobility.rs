@@ -191,9 +191,18 @@ mod tests {
 
     #[test]
     fn floor_positions_order_by_distance_and_walls() {
-        let near = FloorPosition { distance_m: 1.0, walls: 0 };
-        let far = FloorPosition { distance_m: 10.0, walls: 0 };
-        let far_walled = FloorPosition { distance_m: 10.0, walls: 2 };
+        let near = FloorPosition {
+            distance_m: 1.0,
+            walls: 0,
+        };
+        let far = FloorPosition {
+            distance_m: 10.0,
+            walls: 0,
+        };
+        let far_walled = FloorPosition {
+            distance_m: 10.0,
+            walls: 2,
+        };
         assert!(near.snr_db() > far.snr_db());
         assert!(far.snr_db() > far_walled.snr_db());
         // 1 m no walls ≈ 34 dB; 10 m + 2 walls ≈ 4 dB.

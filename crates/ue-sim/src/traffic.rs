@@ -97,7 +97,10 @@ impl TrafficSource {
                 self.generated += burst;
                 packetise(burst)
             }
-            TrafficKind::Video { bitrate_bps, chunk_s } => {
+            TrafficKind::Video {
+                bitrate_bps,
+                chunk_s,
+            } => {
                 self.accum_s += dt;
                 if self.accum_s >= chunk_s {
                     self.accum_s -= chunk_s;
@@ -112,18 +115,26 @@ impl TrafficSource {
                     Vec::new()
                 }
             }
-            TrafficKind::Cbr { rate_bps, packet_bytes } => {
+            TrafficKind::Cbr {
+                rate_bps,
+                packet_bytes,
+            } => {
                 self.accum_s += dt;
                 let interval = packet_bytes as f64 * 8.0 / rate_bps;
                 let mut out = Vec::new();
                 while self.accum_s >= interval {
                     self.accum_s -= interval;
-                    out.push(Packet { bytes: packet_bytes });
+                    out.push(Packet {
+                        bytes: packet_bytes,
+                    });
                     self.generated += packet_bytes;
                 }
                 out
             }
-            TrafficKind::Poisson { pkts_per_s, mean_bytes } => {
+            TrafficKind::Poisson {
+                pkts_per_s,
+                mean_bytes,
+            } => {
                 // Number of arrivals in dt ~ Poisson(λ·dt); λ·dt is small
                 // per slot so Bernoulli splitting is adequate and cheap.
                 let mut out = Vec::new();
@@ -131,9 +142,8 @@ impl TrafficSource {
                 while p > 0.0 {
                     let draw: f64 = self.rng.gen();
                     if draw < p.min(1.0) {
-                        let size = ((mean_bytes as f64)
-                            * (-(1.0 - self.rng.gen::<f64>()).ln()))
-                        .clamp(40.0, 9000.0) as usize;
+                        let size = ((mean_bytes as f64) * (-(1.0 - self.rng.gen::<f64>()).ln()))
+                            .clamp(40.0, 9000.0) as usize;
                         self.generated += size;
                         out.push(Packet { bytes: size });
                     }
@@ -164,7 +174,9 @@ mod tests {
     #[test]
     fn file_download_finishes_exactly() {
         let mut s = TrafficSource::new(
-            TrafficKind::FileDownload { total_bytes: 150_000 },
+            TrafficKind::FileDownload {
+                total_bytes: 150_000,
+            },
             1,
         );
         let mut total = 0usize;
@@ -181,7 +193,10 @@ mod tests {
     #[test]
     fn cbr_rate_is_accurate() {
         let mut s = TrafficSource::new(
-            TrafficKind::Cbr { rate_bps: 1_000_000.0, packet_bytes: 1250 },
+            TrafficKind::Cbr {
+                rate_bps: 1_000_000.0,
+                packet_bytes: 1250,
+            },
             2,
         );
         let mut bytes = 0usize;
@@ -195,7 +210,10 @@ mod tests {
     #[test]
     fn video_emits_chunks_at_cadence() {
         let mut s = TrafficSource::new(
-            TrafficKind::Video { bitrate_bps: 4_000_000.0, chunk_s: 1.0 },
+            TrafficKind::Video {
+                bitrate_bps: 4_000_000.0,
+                chunk_s: 1.0,
+            },
             3,
         );
         let mut chunk_ticks = 0;
@@ -211,7 +229,10 @@ mod tests {
     #[test]
     fn poisson_rate_is_approximately_right() {
         let mut s = TrafficSource::new(
-            TrafficKind::Poisson { pkts_per_s: 200.0, mean_bytes: 500 },
+            TrafficKind::Poisson {
+                pkts_per_s: 200.0,
+                mean_bytes: 500,
+            },
             4,
         );
         let mut pkts = 0usize;
@@ -233,7 +254,10 @@ mod tests {
     fn sources_are_deterministic_per_seed() {
         let run = |seed| {
             let mut s = TrafficSource::new(
-                TrafficKind::Poisson { pkts_per_s: 100.0, mean_bytes: 700 },
+                TrafficKind::Poisson {
+                    pkts_per_s: 100.0,
+                    mean_bytes: 700,
+                },
                 seed,
             );
             (0..1000).flat_map(|_| s.tick(0.0005)).collect::<Vec<_>>()

@@ -172,7 +172,13 @@ mod tests {
             1,
             ChannelProfile::Awgn,
             MobilityScenario::Static,
-            TrafficSource::new(TrafficKind::Cbr { rate_bps: 1e6, packet_bytes: 1000 }, 7),
+            TrafficSource::new(
+                TrafficKind::Cbr {
+                    rate_bps: 1e6,
+                    packet_bytes: 1000,
+                },
+                7,
+            ),
             0.0,
             60.0,
             7,

@@ -58,6 +58,9 @@ fn main() {
             .with_outage(2000..2150),
     );
     let mut scope = NrScope::new(ScopeConfig::default(), Some(cell.pci));
+    // Share the pipeline metrics registry with the capture path so the
+    // front-end impairments (AGC kicks, interference bursts) are counted.
+    obs.set_metrics(scope.metrics().clone());
 
     let slot_s = cell.slot_s();
     let total_slots = 10_000u64;
@@ -98,5 +101,7 @@ fn main() {
             scope.rate_bps(rnti, slot_s) / 1e6
         );
     }
+    println!();
+    print!("{}", scope.metrics_snapshot().summary());
     assert_eq!(scope.sync_state(), SyncState::Synced, "demo ends re-synced");
 }

@@ -51,6 +51,8 @@ fn main() {
     // The sniffer: a USRP-equivalent at a good indoor position.
     let mut observer = Observer::new(&cell, 30.0, false, 7);
     let mut scope = NrScope::new(ScopeConfig::default(), Some(cell.pci));
+    // Share the pipeline metrics registry with the capture path.
+    observer.set_metrics(scope.metrics().clone());
 
     let slot_s = cell.slot_s();
     let slots = (10.0 / slot_s) as u64; // 10 seconds of air time
@@ -80,4 +82,6 @@ fn main() {
             scope.rate_bps(rnti, slot_s) / 1e6
         );
     }
+    println!();
+    print!("{}", scope.metrics_snapshot().summary());
 }

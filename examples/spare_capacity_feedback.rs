@@ -60,7 +60,10 @@ fn main() {
                     .iter()
                     .filter(|(slot, _)| window.contains(slot))
                     .filter_map(|(_, shares)| {
-                        shares.iter().find(|sh| sh.rnti == rnti).map(|sh| sh.spare_bits)
+                        shares
+                            .iter()
+                            .find(|sh| sh.rnti == rnti)
+                            .map(|sh| sh.spare_bits)
                     })
                     .collect();
                 let spare_rate = if spare_bits.is_empty() {

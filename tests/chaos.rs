@@ -12,9 +12,7 @@ use nr_scope::phy::types::{Pci, RntiType};
 use nr_scope::scope::decoder::{DecoderContext, Hypotheses};
 use nr_scope::scope::observe::Observer;
 use nr_scope::scope::worker::{InjectedFault, PoolConfig, SlotJob, WorkerPool};
-use nr_scope::scope::{
-    BackpressurePolicy, ImpairmentSchedule, NrScope, ScopeConfig, SyncState,
-};
+use nr_scope::scope::{BackpressurePolicy, ImpairmentSchedule, NrScope, ScopeConfig, SyncState};
 use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
 use nr_scope::ue::{MobilityScenario, SimUe};
 use std::time::Duration;
@@ -91,11 +89,7 @@ fn chaos_run_self_heals_and_keeps_accuracy() {
         ..Hypotheses::default()
     };
     let mut clean_out = gnb.step();
-    while !clean_out
-        .dcis
-        .iter()
-        .any(|d| d.rnti_type == RntiType::C)
-    {
+    while !clean_out.dcis.iter().any(|d| d.rnti_type == RntiType::C) {
         clean_out = gnb.step();
     }
     let observed = obs.observe(&clean_out, 8000.0 * slot_s);
@@ -115,13 +109,17 @@ fn chaos_run_self_heals_and_keeps_accuracy() {
     });
     // Jam the single worker, overflow the depth-2 queue (sheds), then
     // poison the queue tail so the panic job is not itself shed.
-    pool.submit(job(0, Some(InjectedFault::Delay(Duration::from_millis(200)))))
-        .expect("queue open");
+    pool.submit(job(
+        0,
+        Some(InjectedFault::Delay(Duration::from_millis(200))),
+    ))
+    .expect("queue open");
     std::thread::sleep(Duration::from_millis(50));
     for s in 2..8u64 {
         pool.submit(job(s, None)).expect("queue open");
     }
-    pool.submit(job(1, Some(InjectedFault::Panic))).expect("queue open");
+    pool.submit(job(1, Some(InjectedFault::Panic)))
+        .expect("queue open");
     pool.submit(job(9, None)).expect("queue open");
     let (results, pool_stats, quarantined) = pool.finish_with_stats();
     assert_eq!(pool_stats.worker_panics, 1, "one injected panic survived");

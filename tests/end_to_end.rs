@@ -52,7 +52,10 @@ fn run(
 
 #[test]
 fn pbch_budget_agrees_between_renderer_and_decoder() {
-    assert_eq!(nr_scope::scope::pbch_e_bits(), nr_scope::gnb::iq::PBCH_E_BITS);
+    assert_eq!(
+        nr_scope::scope::pbch_e_bits(),
+        nr_scope::gnb::iq::PBCH_E_BITS
+    );
 }
 
 #[test]
@@ -147,7 +150,11 @@ fn proportional_fair_cell_is_also_decodable() {
     }
     let report = match_dcis(gnb.truth(), scope.records(), 0..4000, 0);
     assert!(report.dl_truth > 200);
-    assert!(report.dl_miss_rate_pct() < 1.5, "{}", report.dl_miss_rate_pct());
+    assert!(
+        report.dl_miss_rate_pct() < 1.5,
+        "{}",
+        report.dl_miss_rate_pct()
+    );
 }
 
 #[test]

@@ -6,8 +6,12 @@ use nr_scope::phy::dci::{riv_decode, riv_encode, Dci, DciFormat, DciSizing};
 use nr_scope::phy::mcs::{bler, select_mcs, McsTable};
 use nr_scope::phy::polar::PolarCode;
 use nr_scope::phy::sequence::{gold_bits, scramble_in_place};
-use nr_scope::phy::tbs::{transport_block_size, TbsParams};
+use nr_scope::phy::tbs::{
+    near_quantisation_boundary, transport_block_size, transport_block_size_float_reference,
+    transport_block_size_u64, TbsParams,
+};
 use nr_scope::rrc::{Mib, RrcSetup, Sib1};
+use nr_scope::scope::throughput::RateWindow;
 use proptest::prelude::*;
 
 proptest! {
@@ -172,6 +176,65 @@ proptest! {
             prop_assert_eq!(r.get(*width), Some(masked));
         }
         prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn rate_window_matches_naive_recompute(
+        mut samples in prop::collection::vec((0u64..5_000, 0u64..100_000), 1..150),
+        window in 1u64..3_000,
+    ) {
+        // Random slot/bit sequences with gaps (sparse slots) and
+        // duplicates (several grants in one slot), replayed in slot order.
+        samples.sort_by_key(|&(s, _)| s);
+        let mut w = RateWindow::default();
+        for &(s, b) in &samples {
+            w.push(s, b, window);
+        }
+        let last = samples.last().unwrap().0;
+        // Naive recompute from scratch: a sample survives iff it is
+        // strictly less than `window` slots old.
+        let retained: Vec<(u64, u64)> = samples
+            .iter()
+            .copied()
+            .filter(|&(s, _)| s + window > last)
+            .collect();
+        let naive_sum: u64 = retained.iter().map(|&(_, b)| b).sum();
+        let first = retained.first().unwrap().0;
+        let naive_span = (retained.last().unwrap().0 - first + 1).clamp(1, window);
+        prop_assert_eq!(w.bits(), naive_sum);
+        prop_assert_eq!(w.effective_span(window), naive_span);
+    }
+
+    #[test]
+    fn tbs_integer_matches_float_reference_off_boundary(
+        use_256 in 0u8..2,
+        mcs in 0u8..28,
+        n_prb in 1usize..276,
+        n_symbols in 1usize..15,
+        dmrs_idx in 0usize..4,
+        oh_idx in 0usize..4,
+        layers in 1usize..5,
+    ) {
+        // The f64 seed implementation is exact wherever the product fits
+        // the mantissa, except within one quantisation step of a branch or
+        // rounding boundary — the corrected cases the integer path pins
+        // down in unit tests. Everywhere else the two must agree bit-exactly.
+        let table = if use_256 == 1 { McsTable::Qam256 } else { McsTable::Qam64 };
+        let entry = table.entry(mcs).unwrap();
+        let p = TbsParams {
+            n_prb,
+            n_symbols,
+            dmrs_per_prb: [6usize, 12, 18, 24][dmrs_idx],
+            overhead_per_prb: [0usize, 6, 12, 18][oh_idx],
+            mcs: entry,
+            layers,
+        };
+        if !near_quantisation_boundary(&p) {
+            prop_assert_eq!(
+                transport_block_size_u64(&p),
+                transport_block_size_float_reference(&p)
+            );
+        }
     }
 
     #[test]

@@ -311,10 +311,7 @@ pub mod __private {
     use super::{Content, DeError, Deserialize};
 
     /// Unwrap a map (named-struct payload).
-    pub fn expect_map<'a>(
-        c: &'a Content,
-        ty: &str,
-    ) -> Result<&'a [(String, Content)], DeError> {
+    pub fn expect_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(String, Content)], DeError> {
         match c {
             Content::Map(m) => Ok(m),
             _ => Err(DeError(format!("expected map for {ty}, found {}", kind(c)))),
@@ -347,8 +344,7 @@ pub mod __private {
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
             .ok_or_else(|| DeError(format!("missing field `{name}` in {ty}")))?;
-        T::deserialize_content(c)
-            .map_err(|e| DeError(format!("field `{name}` of {ty}: {}", e.0)))
+        T::deserialize_content(c).map_err(|e| DeError(format!("field `{name}` of {ty}: {}", e.0)))
     }
 
     /// Deserialize a positional element.
@@ -373,10 +369,7 @@ pub mod __private {
     }
 
     /// Payload required by a data-carrying variant.
-    pub fn payload<'a>(
-        p: Option<&'a Content>,
-        variant: &str,
-    ) -> Result<&'a Content, DeError> {
+    pub fn payload<'a>(p: Option<&'a Content>, variant: &str) -> Result<&'a Content, DeError> {
         p.ok_or_else(|| DeError(format!("variant `{variant}` expects a payload")))
     }
 
@@ -399,10 +392,7 @@ mod tests {
 
     #[test]
     fn primitives_round_trip() {
-        assert_eq!(
-            u16::deserialize_content(&42u16.serialize_content()),
-            Ok(42)
-        );
+        assert_eq!(u16::deserialize_content(&42u16.serialize_content()), Ok(42));
         assert_eq!(
             i32::deserialize_content(&(-7i32).serialize_content()),
             Ok(-7)
@@ -411,10 +401,7 @@ mod tests {
             f64::deserialize_content(&1.5f64.serialize_content()),
             Ok(1.5)
         );
-        assert_eq!(
-            Option::<u8>::deserialize_content(&Content::Null),
-            Ok(None)
-        );
+        assert_eq!(Option::<u8>::deserialize_content(&Content::Null), Ok(None));
         let arr: [Option<u8>; 3] = [None, Some(2), None];
         assert_eq!(
             <[Option<u8>; 3]>::deserialize_content(&arr.serialize_content()),

@@ -249,9 +249,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "({f:?}.to_string(), ::serde::Serialize::serialize_content(&self.{f}))"
-                    )
+                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_content(&self.{f}))")
                 })
                 .collect();
             (
@@ -310,9 +308,7 @@ fn ser_arm(ty: &str, v: &Variant) -> String {
             let binds = fields.join(", ");
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))")
-                })
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))"))
                 .collect();
             format!(
                 "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), \

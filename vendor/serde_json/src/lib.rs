@@ -241,7 +241,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Content::Map(entries));
                 }
-                _ => return Err(Error(format!("expected `,` or `}}` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
