@@ -6,11 +6,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gnb_sim::CellConfig;
 use nr_phy::dci::DciSizing;
+use nr_phy::pdcch::SearchBudget;
 use nr_phy::types::Rnti;
 use nrscope::decoder::{DecoderContext, Hypotheses};
 use nrscope::observe::{ObservedSlot, Observer};
 use nrscope::throughput::RateWindow;
-use nrscope::worker::{process_slot, SlotJob};
+use nrscope::worker::{process_slot, JobPriority, SlotJob};
 use nrscope_bench::SessionSpec;
 use ue_sim::traffic::TrafficKind;
 
@@ -63,6 +64,8 @@ fn job(
         },
         dci_threads: threads,
         fault: None,
+        priority: JobPriority::Data,
+        budget: SearchBudget::unlimited(),
     }
 }
 

@@ -9,10 +9,11 @@
 
 use gnb_sim::CellConfig;
 use nr_phy::dci::DciSizing;
+use nr_phy::pdcch::SearchBudget;
 use nr_phy::types::Rnti;
 use nrscope::decoder::{DecoderContext, Hypotheses};
 use nrscope::observe::{ObservedSlot, Observer};
-use nrscope::worker::{process_slot, SlotJob};
+use nrscope::worker::{process_slot, JobPriority, SlotJob};
 use nrscope::Fidelity;
 use nrscope_analytics::report;
 use nrscope_bench::SessionSpec;
@@ -70,6 +71,8 @@ fn mean_processing_us(
             },
             dci_threads: threads,
             fault: None,
+            priority: JobPriority::Data,
+            budget: SearchBudget::unlimited(),
         };
         let r = process_slot(&job);
         total_us += r.processing.as_secs_f64() * 1e6;

@@ -1,0 +1,240 @@
+//! overload — deterministic overload-soak smoke for the governor ladder.
+//!
+//! Replays the seeded oversubscribed scenario from `tests/overload.rs`
+//! (16 backlogged UEs, a cost spike, two arrivals while blind, then a
+//! load drop) with modelled latency, and writes `BENCH_overload.json`.
+//! Exits non-zero when a smoke invariant fails, so CI can gate on it:
+//!
+//!   * bounded latency — even mid-spike the smoothed slot latency stays
+//!     under twice the budget (upward probes cost at most a
+//!     `demote_after_slots` run of overload before the ladder re-demotes;
+//!     unmitigated Full search would sit at ~2.4x budget), and the final
+//!     100 slots are miss-free;
+//!   * monotone recovery — after the load drops, the rung index never
+//!     increases again;
+//!   * never-go-dark — every RACH in the gNB ground-truth log has a
+//!     matching MSG 4 C-RNTI discovery, including the two UEs that
+//!     attached while the sniffer was broadcast-only.
+
+use gnb_sim::{CellConfig, Gnb};
+use nr_mac::RoundRobin;
+use nr_phy::channel::ChannelProfile;
+use nr_phy::pdcch::AggregationLevel;
+use nr_phy::types::{Rnti, RntiType};
+use nrscope::observe::Observer;
+use nrscope::{GovernorConfig, LoadModel, LoadRung, NrScope, ScopeConfig};
+use std::collections::BTreeSet;
+use std::time::Duration;
+use ue_sim::traffic::{TrafficKind, TrafficSource};
+use ue_sim::{MobilityScenario, SimUe};
+
+fn backlogged_ue(id: u64) -> SimUe {
+    SimUe::new(
+        id,
+        ChannelProfile::Awgn,
+        MobilityScenario::Static,
+        TrafficSource::new(
+            TrafficKind::FileDownload {
+                total_bytes: usize::MAX / 2,
+            },
+            id,
+        ),
+        0.0,
+        600.0,
+        id,
+    )
+}
+
+fn governor_cfg() -> GovernorConfig {
+    GovernorConfig {
+        enabled: true,
+        budget_us_override: Some(500.0),
+        demote_after_slots: 8,
+        promote_after_slots: 40,
+        promote_margin: 0.8,
+        flap_window_slots: 300,
+        max_backoff_exp: 3,
+        pruned_min_level: AggregationLevel::L1,
+        pruned_max_ue_candidates: 2,
+        ..GovernorConfig::default()
+    }
+}
+
+fn load(per_ue_hypothesis_us: u64) -> LoadModel {
+    LoadModel {
+        base: Duration::from_micros(60),
+        per_candidate: Duration::from_micros(10),
+        per_ue_hypothesis: Duration::from_micros(per_ue_hypothesis_us),
+    }
+}
+
+fn main() {
+    let cell = CellConfig::srsran_n41();
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 11);
+    for id in 1..=16u64 {
+        gnb.ue_arrives(backlogged_ue(id));
+    }
+    let mut obs = Observer::new(&cell, 35.0, false, 5);
+    let mut scope = NrScope::new(
+        ScopeConfig {
+            ue_expiry_slots: 100_000,
+            governor: governor_cfg(),
+            ..ScopeConfig::default()
+        },
+        Some(cell.pci),
+    );
+    let slot_s = cell.slot_s();
+
+    // Phase boundaries mirror tests/overload.rs: moderate overload,
+    // cost spike (with two arrivals while blind), then a load drop.
+    let mut max_ewma_us = 0.0f64;
+    let mut spike_max_ewma_us = 0.0f64;
+    let mut misses_at_3700 = 0u64;
+    let mut recovery_monotone = true;
+    let mut prev_recovery_rung = LoadRung::Shedding as usize;
+    let mut failures: Vec<String> = Vec::new();
+
+    scope.set_load_model(Some(load(14)));
+    for s in 0..3800u64 {
+        match s {
+            1200 => scope.set_load_model(Some(load(24))),
+            1400 => {
+                gnb.ue_arrives(backlogged_ue(17));
+                gnb.ue_arrives(backlogged_ue(18));
+            }
+            2000 => scope.set_load_model(Some(load(5))),
+            _ => {}
+        }
+        let out = gnb.step();
+        scope.process(&obs.observe(&out, s as f64 * slot_s));
+        let ewma = scope.governor().ewma_us();
+        max_ewma_us = max_ewma_us.max(ewma);
+        if (1200..2000).contains(&s) {
+            spike_max_ewma_us = spike_max_ewma_us.max(ewma);
+        }
+        if s == 3700 {
+            misses_at_3700 = scope.stats.deadline_misses;
+        }
+        if s >= 2000 {
+            let rung = scope.load_rung() as usize;
+            if rung > prev_recovery_rung {
+                recovery_monotone = false;
+            }
+            prev_recovery_rung = rung;
+        }
+    }
+
+    let truth_rach: BTreeSet<Rnti> = gnb
+        .truth()
+        .records()
+        .iter()
+        .filter(|r| r.rnti_type == RntiType::Tc)
+        .map(|r| r.rnti)
+        .collect();
+
+    if spike_max_ewma_us >= 1000.0 {
+        failures.push(format!(
+            "unbounded latency: spike-phase EWMA peaked at {spike_max_ewma_us:.1} us (2x budget)"
+        ));
+    }
+    if scope.stats.deadline_misses != misses_at_3700 {
+        failures.push(format!(
+            "{} deadline misses in the final 100 slots after recovery",
+            scope.stats.deadline_misses - misses_at_3700
+        ));
+    }
+    if !recovery_monotone {
+        failures.push("rung recovery was not monotone after the load dropped".into());
+    }
+    if scope.load_rung() != LoadRung::Full {
+        failures.push(format!(
+            "ladder finished at {:?}, not Full",
+            scope.load_rung()
+        ));
+    }
+    if scope.total_discovered() != truth_rach.len() as u64 {
+        failures.push(format!(
+            "MSG 4 discovery went dark: {} discovered vs {} RACHs in truth log",
+            scope.total_discovered(),
+            truth_rach.len()
+        ));
+    }
+
+    let stats = &scope.stats;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"overload\",\n",
+            "  \"slots\": 3800,\n",
+            "  \"budget_us\": 500.0,\n",
+            "  \"max_ewma_us\": {max_ewma:.1},\n",
+            "  \"spike_max_ewma_us\": {spike:.1},\n",
+            "  \"final_rung\": \"{rung}\",\n",
+            "  \"recovery_monotone\": {mono},\n",
+            "  \"deadline_misses\": {misses},\n",
+            "  \"rung_demotions\": {dem},\n",
+            "  \"rung_promotions\": {pro},\n",
+            "  \"pruned_candidates\": {pruned},\n",
+            "  \"slots_at_rung\": {{\"full\": {r0}, \"pruned_search\": {r1}, ",
+            "\"broadcast_only\": {r2}, \"shedding\": {r3}}},\n",
+            "  \"discovered\": {disc},\n",
+            "  \"truth_rachs\": {truth},\n",
+            "  \"failures\": [{fails}]\n",
+            "}}\n"
+        ),
+        max_ewma = max_ewma_us,
+        spike = spike_max_ewma_us,
+        rung = scope.load_rung().name(),
+        mono = recovery_monotone,
+        misses = stats.deadline_misses,
+        dem = stats.rung_demotions,
+        pro = stats.rung_promotions,
+        pruned = stats.pruned_candidates,
+        r0 = stats.slots_at_rung[0],
+        r1 = stats.slots_at_rung[1],
+        r2 = stats.slots_at_rung[2],
+        r3 = stats.slots_at_rung[3],
+        disc = scope.total_discovered(),
+        truth = truth_rach.len(),
+        fails = failures
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+
+    println!("overload soak (3800 slots, 18 UEs, budget 500 us)");
+    println!("  max EWMA           {max_ewma_us:>10.1} us  (spike phase {spike_max_ewma_us:.1})");
+    println!(
+        "  final rung         {:>10}  (demotions {}, promotions {}, monotone recovery {})",
+        scope.load_rung().name(),
+        stats.rung_demotions,
+        stats.rung_promotions,
+        recovery_monotone
+    );
+    println!(
+        "  deadline misses    {:>10}  (pruned candidates {})",
+        stats.deadline_misses, stats.pruned_candidates
+    );
+    println!(
+        "  slots at rung      full {} / pruned {} / broadcast {} / shedding {}",
+        stats.slots_at_rung[0],
+        stats.slots_at_rung[1],
+        stats.slots_at_rung[2],
+        stats.slots_at_rung[3]
+    );
+    println!(
+        "  discovery          {:>10}  of {} truth RACHs",
+        scope.total_discovered(),
+        truth_rach.len()
+    );
+    println!("wrote BENCH_overload.json");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all smoke invariants held");
+}

@@ -20,7 +20,7 @@ use nr_mac::RoundRobin;
 use nr_phy::channel::ChannelProfile;
 use nrscope::observe::Observer;
 use nrscope::worker::{PoolConfig, WorkerPool};
-use nrscope::{Fidelity, Metrics, NrScope, ScopeConfig};
+use nrscope::{Fidelity, LoadRung, Metrics, NrScope, ScopeConfig};
 use nrscope_bench::capture_seconds;
 use std::sync::Arc;
 use std::time::Instant;
@@ -99,6 +99,45 @@ fn pool_phase(
     pool.finish().len()
 }
 
+/// Sustained slots/sec with the degradation ladder pinned at each rung:
+/// one loaded session (64 backlogged UEs, so UE-specific search is the
+/// dominant term) re-timed per forced rung. The spread between `full` and
+/// `broadcast_only` is the headroom each demotion buys the governor.
+fn rung_phase(cell: &CellConfig, slots: u64, seed: u64) -> Vec<(&'static str, f64)> {
+    let slot_s = cell.slot_s();
+    let horizon = (slots * 6) as f64 * slot_s + 10.0;
+    let mut gnb = build_gnb(cell, 64, horizon, seed);
+    let mut observer = Observer::new(cell, 30.0, false, seed ^ 0xBEEF);
+    let mut scope = NrScope::new(
+        ScopeConfig {
+            fidelity: Fidelity::Message,
+            ..ScopeConfig::default()
+        },
+        Some(cell.pci),
+    );
+    // Attach the population first so every rung is timed against the same
+    // hypothesis load.
+    let mut s = 0u64;
+    for _ in 0..slots {
+        let out = gnb.step();
+        scope.process(&observer.observe(&out, s as f64 * slot_s));
+        s += 1;
+    }
+    let mut rates = Vec::new();
+    for rung in LoadRung::ALL {
+        scope.force_rung(Some(rung));
+        let t0 = Instant::now();
+        for _ in 0..slots {
+            let out = gnb.step();
+            scope.process(&observer.observe(&out, s as f64 * slot_s));
+            s += 1;
+        }
+        rates.push((rung.name(), slots as f64 / t0.elapsed().as_secs_f64()));
+    }
+    scope.force_rung(None);
+    rates
+}
+
 /// Short IQ-fidelity run (populates radio capture and OFDM demod stages).
 fn iq_phase(cell: &CellConfig, slots: u64, seed: u64, metrics: Arc<Metrics>) {
     let slot_s = cell.slot_s();
@@ -148,12 +187,19 @@ fn main() {
         Arc::clone(&metrics),
     );
     iq_phase(&cell, iq_slots, 3, Arc::clone(&metrics));
+    let rung_slots: u64 = if short { 400 } else { 6000 };
+    let rung_rates = rung_phase(&cell, rung_slots, 5);
 
     let snap = metrics.snapshot();
     let slots_per_sec = slots as f64 / wall_on;
     let slots_per_sec_off = slots as f64 / wall_off;
     let overhead_pct = (wall_on / wall_off - 1.0) * 100.0;
     let dcis = snap.counter("dcis_decoded").unwrap_or(0);
+    let rung_json = rung_rates
+        .iter()
+        .map(|(name, rate)| format!("\"{name}\": {rate:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
 
     let json = format!(
         concat!(
@@ -169,6 +215,7 @@ fn main() {
             "  \"dcis_decoded\": {dcis},\n",
             "  \"pool_jobs\": {pool_jobs},\n",
             "  \"pool_results\": {pool_results},\n",
+            "  \"rung_slots_per_sec\": {{{rungs}}},\n",
             "  \"metrics\": {snap}\n",
             "}}\n"
         ),
@@ -182,6 +229,7 @@ fn main() {
         dcis = dcis,
         pool_jobs = pool_jobs,
         pool_results = pool_results,
+        rungs = rung_json,
         snap = snap.to_json(),
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
@@ -192,6 +240,9 @@ fn main() {
     );
     println!("  dcis decoded       {dcis:>12}");
     println!("  pool jobs/results  {pool_jobs:>6}/{pool_results}");
+    for (name, rate) in &rung_rates {
+        println!("  slots/sec @ {name:<15} {rate:>10.1}");
+    }
     println!();
     print!("{}", snap.summary());
     println!();

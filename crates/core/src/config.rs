@@ -1,5 +1,6 @@
 //! NR-Scope runtime configuration.
 
+use crate::governor::GovernorConfig;
 use serde::{Deserialize, Serialize};
 
 /// At what fidelity the sniffer consumes the cell's emissions.
@@ -45,6 +46,9 @@ pub struct ScopeConfig {
     /// Per-UE throughput history retention, in slots (bounds the
     /// estimator's memory; see `throughput::DEFAULT_HISTORY_RETENTION_SLOTS`).
     pub history_retention_slots: u64,
+    /// Overload-governor budget and hysteresis knobs (the degradation
+    /// ladder). Disabled by default: offline replay has no slot deadline.
+    pub governor: GovernorConfig,
 }
 
 impl Default for ScopeConfig {
@@ -60,6 +64,7 @@ impl Default for ScopeConfig {
             pci_scan_max: 128,
             metrics_enabled: true,
             history_retention_slots: crate::throughput::DEFAULT_HISTORY_RETENTION_SLOTS,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -74,5 +79,11 @@ mod tests {
         assert_eq!(c.fidelity, Fidelity::Message);
         assert!(c.skip_rrc_decode, "paper §3.1.2 optimisation on by default");
         assert_eq!(c.dci_threads, 4, "paper evaluates with four DCI threads");
+        assert!(
+            !c.governor.enabled,
+            "governor off by default: offline replay has no slot deadline"
+        );
+        assert!(c.governor.budget_fraction < 1.0, "headroom for capture");
+        assert!(c.governor.promote_margin < 1.0, "promotion hysteresis");
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod decoder;
+pub mod governor;
 pub mod log;
 pub mod metrics;
 pub mod observe;
@@ -30,11 +31,14 @@ pub mod tracker;
 pub mod worker;
 
 pub use config::{Fidelity, ScopeConfig};
+pub use governor::{GovernorConfig, LoadModel, LoadRung, OverloadGovernor};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
 pub use scope::{NrScope, ScopeStats, SyncState};
 pub use telemetry::TelemetryRecord;
-pub use worker::{BackpressurePolicy, InjectedFault, PoolConfig, PoolStats, WorkerPool};
+pub use worker::{
+    BackpressurePolicy, InjectedFault, JobPriority, PoolConfig, PoolStats, WorkerPool,
+};
 
 /// Rate-matched PBCH bit budget. Must equal the renderer's
 /// (`gnb_sim::iq::PBCH_E_BITS`); asserted in integration tests.

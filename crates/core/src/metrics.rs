@@ -48,11 +48,19 @@ pub enum Stage {
     WorkerQueue,
     /// Whole-slot processing envelope (everything except capture).
     SlotTotal,
+    /// Slot latency while the load governor sat at the `Full` rung.
+    RungFull,
+    /// Slot latency at the `PrunedSearch` rung.
+    RungPruned,
+    /// Slot latency at the `BroadcastOnly` rung.
+    RungBroadcast,
+    /// Slot latency at the `Shedding` rung.
+    RungShedding,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Capture,
         Stage::Demod,
         Stage::PdcchSearch,
@@ -61,6 +69,10 @@ impl Stage {
         Stage::Tracking,
         Stage::WorkerQueue,
         Stage::SlotTotal,
+        Stage::RungFull,
+        Stage::RungPruned,
+        Stage::RungBroadcast,
+        Stage::RungShedding,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -74,6 +86,10 @@ impl Stage {
             Stage::Tracking => "tracking",
             Stage::WorkerQueue => "worker_queue",
             Stage::SlotTotal => "slot_total",
+            Stage::RungFull => "rung_full",
+            Stage::RungPruned => "rung_pruned_search",
+            Stage::RungBroadcast => "rung_broadcast_only",
+            Stage::RungShedding => "rung_shedding",
         }
     }
 }
@@ -107,11 +123,22 @@ pub enum Counter {
     JobsQuarantined,
     /// Worker panics supervised by the pool.
     WorkerPanics,
+    /// Slots whose processing latency exceeded the TTI budget.
+    DeadlineMisses,
+    /// UE-specific PDCCH candidates skipped by the search budget.
+    CandidatesPruned,
+    /// Data-priority jobs shed while broadcast jobs were protected.
+    PrioritySheds,
+    /// Workers abandoned by the watchdog after stalling past the deadline.
+    WorkerStalls,
+    /// Decode steps that failed gracefully (malformed fields, missing
+    /// context) instead of crashing the worker.
+    DecodeFailures,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 18] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -125,6 +152,11 @@ impl Counter {
         Counter::JobsShed,
         Counter::JobsQuarantined,
         Counter::WorkerPanics,
+        Counter::DeadlineMisses,
+        Counter::CandidatesPruned,
+        Counter::PrioritySheds,
+        Counter::WorkerStalls,
+        Counter::DecodeFailures,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -143,6 +175,11 @@ impl Counter {
             Counter::JobsShed => "jobs_shed",
             Counter::JobsQuarantined => "jobs_quarantined",
             Counter::WorkerPanics => "worker_panics",
+            Counter::DeadlineMisses => "deadline_misses",
+            Counter::CandidatesPruned => "candidates_pruned",
+            Counter::PrioritySheds => "priority_sheds",
+            Counter::WorkerStalls => "worker_stalls",
+            Counter::DecodeFailures => "decode_failures",
         }
     }
 }
@@ -156,11 +193,18 @@ pub enum Gauge {
     TrackedUes,
     /// Live worker threads.
     WorkersAlive,
+    /// Current load-governor rung (0 = Full … 3 = Shedding).
+    LoadRung,
 }
 
 impl Gauge {
     /// All gauges.
-    pub const ALL: [Gauge; 3] = [Gauge::QueueDepth, Gauge::TrackedUes, Gauge::WorkersAlive];
+    pub const ALL: [Gauge; 4] = [
+        Gauge::QueueDepth,
+        Gauge::TrackedUes,
+        Gauge::WorkersAlive,
+        Gauge::LoadRung,
+    ];
 
     /// Stable snake_case name used in snapshots and JSON.
     pub fn name(self) -> &'static str {
@@ -168,6 +212,7 @@ impl Gauge {
             Gauge::QueueDepth => "queue_depth",
             Gauge::TrackedUes => "tracked_ues",
             Gauge::WorkersAlive => "workers_alive",
+            Gauge::LoadRung => "load_rung",
         }
     }
 }

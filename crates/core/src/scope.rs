@@ -3,25 +3,28 @@
 
 use crate::config::ScopeConfig;
 use crate::decoder::{
-    decode_grid_metered, decode_message_slot, decode_message_slot_metered, DecodedDci,
-    DecoderContext, Hypotheses,
+    decode_grid_budgeted, decode_message_slot, decode_message_slot_budgeted, DecodeWork,
+    DecodedDci, DecoderContext, Hypotheses,
 };
+use crate::governor::{LoadModel, LoadRung, OverloadGovernor, SlotVerdict};
 use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage};
 use crate::observe::{Capture, ObservedSlot, PdschPayload};
 use crate::spare::{slot_data_res, spare_capacity, SpareShare, UeUsage};
 use crate::telemetry::TelemetryRecord;
 use crate::throughput::ThroughputEstimator;
 use crate::tracker::UeTracker;
-use crate::worker::{PoolStats, SlotJob};
+use crate::worker::{JobPriority, PoolStats, SlotJob};
 use nr_phy::dci::{riv_decode, time_alloc, DciFormat, DciSizing};
 use nr_phy::grid::ResourceGrid;
 use nr_phy::mcs::McsTable;
 use nr_phy::ofdm::Ofdm;
+use nr_phy::pdcch::SearchBudget;
 use nr_phy::sync::{detect_pss, detect_sss, SYNC_SEQ_LEN};
 use nr_phy::tbs::{transport_block_size, TbsParams};
 use nr_phy::types::{Pci, Rnti, RntiType};
 use nr_rrc::{Mib, RrcSetup, Sib1};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What the sniffer has learned about the cell so far.
 #[derive(Debug, Clone, Default)]
@@ -97,6 +100,29 @@ pub struct ScopeStats {
     pub sib1_reloads: u64,
     /// UEs re-tracked after expiry or sync loss (not new discoveries).
     pub recovered_ues: u64,
+    /// Slots whose pipeline latency exceeded the TTI deadline budget.
+    pub deadline_misses: u64,
+    /// Overload-ladder demotions (one rung down).
+    pub rung_demotions: u64,
+    /// Overload-ladder promotions (one rung back up).
+    pub rung_promotions: u64,
+    /// PDCCH candidates the search budget refused a UE-specific pass.
+    pub pruned_candidates: u64,
+    /// Slots processed at each rung, indexed by [`LoadRung`] (Full,
+    /// PrunedSearch, BroadcastOnly, Shedding).
+    pub slots_at_rung: [u64; 4],
+    /// Workers abandoned by the pool watchdog (absorbed from
+    /// [`PoolStats`]).
+    pub worker_stalls: u64,
+    /// Workers still running when the shutdown join timed out (absorbed
+    /// from [`PoolStats`]).
+    pub stuck_workers: u64,
+    /// Data-priority jobs shed while broadcast jobs were protected
+    /// (absorbed from [`PoolStats`]).
+    pub priority_sheds: u64,
+    /// Decode attempts abandoned on malformed state or content — counted
+    /// here instead of panicking.
+    pub decode_failures: u64,
 }
 
 /// The passive telemetry engine.
@@ -127,6 +153,13 @@ pub struct NrScope {
     last_pci: Option<Pci>,
     /// Pipeline metrics registry, shared with the observer / worker pool.
     metrics: Arc<Metrics>,
+    /// Overload governor: slot-deadline tracking and the degradation
+    /// ladder (Full → PrunedSearch → BroadcastOnly → Shedding).
+    governor: OverloadGovernor,
+    /// Deterministic per-slot cost model. When set, the governor is fed
+    /// modelled latency derived from offered decode work instead of wall
+    /// clock — seed-reproducible overload dynamics for tests and benches.
+    load_model: Option<LoadModel>,
 }
 
 impl NrScope {
@@ -159,6 +192,8 @@ impl NrScope {
             unhealthy_streak: 0,
             last_pci: None,
             metrics,
+            governor: OverloadGovernor::new(cfg.governor),
+            load_model: None,
         }
     }
 
@@ -177,11 +212,42 @@ impl NrScope {
         self.sync
     }
 
+    /// The degradation-ladder rung currently in force.
+    pub fn load_rung(&self) -> LoadRung {
+        self.governor.rung()
+    }
+
+    /// Read-only view of the overload governor.
+    pub fn governor(&self) -> &OverloadGovernor {
+        &self.governor
+    }
+
+    /// Pin the ladder to a rung (benchmarking per-rung throughput), or
+    /// `None` to resume adaptive behaviour.
+    pub fn force_rung(&mut self, rung: Option<LoadRung>) {
+        self.governor.force(rung);
+        self.metrics
+            .gauge_set(Gauge::LoadRung, self.governor.rung() as u64);
+    }
+
+    /// Install (or clear) a deterministic latency model for the governor.
+    pub fn set_load_model(&mut self, model: Option<LoadModel>) {
+        self.load_model = model;
+    }
+
+    /// The PDCCH search budget the current rung imposes.
+    pub fn search_budget(&self) -> SearchBudget {
+        self.governor.search_budget()
+    }
+
     /// Fold the worker pool's lifetime counters into the session stats.
     /// Call once, at teardown, with the pool's final numbers.
     pub fn absorb_pool_stats(&mut self, pool: &PoolStats) {
         self.stats.shed_jobs += pool.shed_jobs;
         self.stats.worker_panics += pool.worker_panics;
+        self.stats.priority_sheds += pool.priority_sheds;
+        self.stats.worker_stalls += pool.worker_stalls;
+        self.stats.stuck_workers += pool.stuck_workers;
     }
 
     /// Package an observed slot as a self-contained [`SlotJob`] snapshot
@@ -189,15 +255,33 @@ impl NrScope {
     /// [`crate::WorkerPool`] (the Fig 4 scheduler's "copy of data and
     /// state"). `None` until the MIB is known.
     pub fn slot_job(&self, observed: ObservedSlot) -> Option<SlotJob> {
-        self.cell.mib.as_ref()?;
+        let ctx = self.decoder_context()?;
+        // Slots that may carry broadcast-critical content — an SSB/MIB, a
+        // RACH response window, or a pending MSG 4 — are queued at
+        // broadcast priority so the pool never sheds them before plain
+        // C-RNTI telemetry work (the never-go-dark invariant).
+        let broadcast_critical = matches!(
+            &observed,
+            ObservedSlot::Message {
+                mib_bits: Some(_),
+                ..
+            }
+        ) || !self.expected_ra_rntis().is_empty()
+            || !self.tracker.pending_tc_rntis().is_empty();
         Some(SlotJob {
             slot: self.slot,
             slot_in_frame: self.slot_in_frame(),
             observed,
-            ctx: self.decoder_context(),
+            ctx,
             hyp: self.hypotheses(),
             dci_threads: self.cfg.dci_threads,
             fault: None,
+            priority: if broadcast_critical {
+                JobPriority::Broadcast
+            } else {
+                JobPriority::Data
+            },
+            budget: self.governor.search_budget(),
         })
     }
 
@@ -278,6 +362,16 @@ impl NrScope {
             Capture::Dropped(_) => {
                 self.stats.dropped_slots += 1;
                 self.metrics.inc(Counter::SlotsDropped);
+                // A dropped slot is the strongest overload signal the
+                // front end can emit: charge the governor double budget.
+                let rung = self.governor.rung();
+                let tti = self
+                    .governor
+                    .budget(self.cell.mib.as_ref().map(|m| m.scs_common));
+                let verdict = self.governor.on_dropped_slot(self.slot, tti);
+                self.note_governor(rung, tti * 2, verdict);
+                // Drops are front-end reality, not governor-induced
+                // silence, so they always count against sync health.
                 self.note_unhealthy_slot();
                 self.housekeeping(self.slot);
                 self.slot += 1;
@@ -290,11 +384,18 @@ impl NrScope {
     /// records produced in this slot.
     pub fn process(&mut self, observed: &ObservedSlot) -> Vec<TelemetryRecord> {
         let _slot_timer = self.metrics.start(Stage::SlotTotal);
+        let wall_start = Instant::now();
         let slot = self.slot;
+        // The rung in force while this slot is decoded; transitions taken
+        // at the end of the slot apply from the next one.
+        let rung = self.governor.rung();
+        let budget = self.governor.search_budget();
         self.stats.slots += 1;
+        self.stats.slots_at_rung[rung as usize] += 1;
         self.metrics.inc(Counter::SlotsProcessed);
         let produced_from = self.records.len();
         let dcis_before = self.dci_total();
+        let mut work = DecodeWork::default();
         match observed {
             ObservedSlot::Message {
                 mib_bits,
@@ -309,19 +410,42 @@ impl NrScope {
                 if self.cell.mib.is_some() {
                     if matches!(self.sync, SyncState::Lost | SyncState::Reacquiring) {
                         self.reacquire_message(dcis, pdsch, slot);
-                    } else {
-                        let ctx = self.decoder_context();
+                    } else if let Some(ctx) = self.decoder_context() {
                         let hyp = self.hypotheses();
-                        let decoded =
-                            decode_message_slot_metered(&ctx, dcis, &hyp, Some(&self.metrics));
+                        let (decoded, w) = decode_message_slot_budgeted(
+                            &ctx,
+                            dcis,
+                            &hyp,
+                            budget,
+                            Some(&self.metrics),
+                        );
+                        work.absorb(&w);
                         self.consume(decoded, pdsch, slot);
+                    } else {
+                        // MIB known but no PCI from any source: nothing is
+                        // descramblable. Count it instead of panicking.
+                        self.stats.decode_failures += 1;
+                        self.metrics.inc(Counter::DecodeFailures);
                     }
                 }
             }
             ObservedSlot::Iq { samples, pdsch } => {
-                self.process_iq(samples, pdsch, slot);
+                let w = self.process_iq(samples, pdsch, slot, budget);
+                work.absorb(&w);
             }
         }
+        self.stats.pruned_candidates += work.pruned as u64;
+        // Feed the governor: modelled latency when a LoadModel is
+        // installed (deterministic tests), wall clock otherwise.
+        let tti = self
+            .governor
+            .budget(self.cell.mib.as_ref().map(|m| m.scs_common));
+        let latency = match &self.load_model {
+            Some(m) => m.latency(&work),
+            None => wall_start.elapsed(),
+        };
+        let verdict = self.governor.on_slot(slot, latency, tti);
+        self.note_governor(rung, latency, verdict);
         // Sync health: a slot that decoded at least one DCI is healthy.
         // The MIB deliberately does not count — its payload carries no
         // cell identity, so it keeps decoding right through a PCI change.
@@ -332,12 +456,36 @@ impl NrScope {
                 self.stats.resyncs += 1;
                 self.metrics.inc(Counter::Resyncs);
             }
-        } else {
+        } else if !matches!(rung, LoadRung::BroadcastOnly | LoadRung::Shedding) {
+            // At BroadcastOnly and below, UE-pass silence is
+            // self-inflicted by the governor — feeding it to the sync
+            // machine would declare a healthy cell lost and discard the
+            // PCI. Broadcast decodes (SI/RA/TC) still reset the streak
+            // above, so genuine cell loss is detected via SIB silence
+            // once the ladder recovers.
             self.note_unhealthy_slot();
         }
         self.housekeeping(slot);
         self.slot += 1;
         self.records[produced_from..].to_vec()
+    }
+
+    /// Record a slot's governor verdict into stats and metrics.
+    fn note_governor(&mut self, rung: LoadRung, latency: Duration, verdict: SlotVerdict) {
+        if verdict.missed {
+            self.stats.deadline_misses += 1;
+            self.metrics.inc(Counter::DeadlineMisses);
+        }
+        if let Some((from, to)) = verdict.transition {
+            if (to as usize) > (from as usize) {
+                self.stats.rung_demotions += 1;
+            } else {
+                self.stats.rung_promotions += 1;
+            }
+        }
+        self.metrics.observe(rung_stage(rung), latency);
+        self.metrics
+            .gauge_set(Gauge::LoadRung, self.governor.rung() as u64);
     }
 
     /// Total DCIs decoded so far, all classes.
@@ -359,11 +507,21 @@ impl NrScope {
             .as_ref()
             .map(|s| s.rach.ra_response_window as u64 + 8)
             .unwrap_or(32);
-        for dead in self
-            .tracker
-            .expire(slot, self.cfg.ue_expiry_slots, ra_window)
-        {
-            self.throughput.forget(dead);
+        // While the governor blinds the UE-specific pass, per-UE idleness
+        // is unobservable — freezing expiry keeps C-RNTI knowledge intact
+        // through an overload episode instead of discarding it for lack
+        // of DCIs the sniffer chose not to decode.
+        let ue_blind = matches!(
+            self.governor.rung(),
+            LoadRung::BroadcastOnly | LoadRung::Shedding
+        );
+        if !ue_blind {
+            for dead in self
+                .tracker
+                .expire(slot, self.cfg.ue_expiry_slots, ra_window)
+            {
+                self.throughput.forget(dead);
+            }
         }
         // Amortised release of departed-UE history (see ThroughputEstimator
         // docs: `record` prunes live UEs; only departures need this).
@@ -431,7 +589,12 @@ impl NrScope {
             ..Hypotheses::default()
         };
         for pci in candidates {
-            let ctx = self.decoder_context_with(pci);
+            let Some(ctx) = self.decoder_context_with(pci) else {
+                // No MIB: nothing is decodable under any PCI hypothesis.
+                self.stats.decode_failures += 1;
+                self.metrics.inc(Counter::DecodeFailures);
+                return;
+            };
             let decoded = decode_message_slot(&ctx, dcis, &hyp);
             if decoded.iter().any(|d| d.rnti_type == RntiType::Si) {
                 self.cell.pci = Some(Pci(pci));
@@ -441,13 +604,15 @@ impl NrScope {
         }
     }
 
-    fn decoder_context(&self) -> DecoderContext {
-        self.decoder_context_with(self.pci().0)
+    /// Decoder context, or `None` when the MIB or PCI is not yet known —
+    /// callers count a decode failure rather than panicking.
+    fn decoder_context(&self) -> Option<DecoderContext> {
+        self.decoder_context_with(self.pci()?.0)
     }
 
-    fn decoder_context_with(&self, pci: u16) -> DecoderContext {
-        let mib = self.cell.mib.as_ref().expect("MIB required");
-        DecoderContext {
+    fn decoder_context_with(&self, pci: u16) -> Option<DecoderContext> {
+        let mib = self.cell.mib.as_ref()?;
+        Some(DecoderContext {
             coreset: mib.coreset0(),
             pci,
             common_sizing: DciSizing {
@@ -456,14 +621,11 @@ impl NrScope {
             ue_sizing: self.cell.sib1.as_ref().map(|s| DciSizing {
                 bwp_prbs: s.carrier_prbs as usize,
             }),
-        }
+        })
     }
 
-    fn pci(&self) -> Pci {
-        self.cell
-            .pci
-            .or(self.assumed_pci)
-            .expect("PCI known (detected or assumed)")
+    fn pci(&self) -> Option<Pci> {
+        self.cell.pci.or(self.assumed_pci)
     }
 
     fn hypotheses(&self) -> Hypotheses {
@@ -499,12 +661,14 @@ impl NrScope {
     }
 
     /// IQ path: synchronise (PSS/SSS), then demodulate and blind-decode.
+    /// Returns the decode work offered (for the governor's load model).
     fn process_iq(
         &mut self,
         samples: &[nr_phy::complex::Cf32],
         pdsch: &[(Rnti, PdschPayload)],
         slot: u64,
-    ) {
+        budget: SearchBudget,
+    ) -> DecodeWork {
         // Need SIB1-less bootstrapping: at IQ fidelity we still receive the
         // MIB bits through the PBCH path once the grid is demodulated; the
         // demodulator needs the carrier layout, which the sniffer gets by
@@ -531,17 +695,16 @@ impl NrScope {
             if self.ofdm.is_none() {
                 self.stats.layout_mismatch_slots += 1;
                 self.metrics.inc(Counter::LayoutMismatches);
-                return;
+                return DecodeWork::default();
             }
-            self.process_iq(samples, pdsch, slot);
-            return;
+            return self.process_iq(samples, pdsch, slot, budget);
         };
         if samples.len() != ofdm.samples_per_slot(slot_in_frame) {
             // Truncated capture (overflow recovered mid-slot): the symbol
             // layout no longer lines up — skip rather than misparse.
             self.stats.layout_mismatch_slots += 1;
             self.metrics.inc(Counter::LayoutMismatches);
-            return;
+            return DecodeWork::default();
         }
         let grid = {
             let _t = self.metrics.start(Stage::Demod);
@@ -553,21 +716,33 @@ impl NrScope {
                 self.cell.pci = Some(pci);
             }
         }
-        if self.cell.pci.is_none() && self.assumed_pci.is_none() {
-            return;
-        }
+        let Some(pci) = self.pci() else {
+            return DecodeWork::default();
+        };
         // MIB (PBCH) decode when an SSB is present.
-        if let Some(mib) = try_decode_pbch(&grid, self.pci()) {
+        if let Some(mib) = try_decode_pbch(&grid, pci) {
             self.on_mib(mib, slot);
         }
         if self.cell.mib.is_none() {
-            return;
+            return DecodeWork::default();
         }
-        let ctx = self.decoder_context();
+        let Some(ctx) = self.decoder_context() else {
+            self.stats.decode_failures += 1;
+            self.metrics.inc(Counter::DecodeFailures);
+            return DecodeWork::default();
+        };
         let hyp = self.hypotheses();
         let metrics = Arc::clone(&self.metrics);
-        let decoded = decode_grid_metered(&ctx, &grid, self.slot_in_frame(), &hyp, Some(&metrics));
+        let (decoded, work) = decode_grid_budgeted(
+            &ctx,
+            &grid,
+            self.slot_in_frame(),
+            &hyp,
+            budget,
+            Some(&metrics),
+        );
         self.consume(decoded, pdsch, slot);
+        work
     }
 
     /// Shared post-decode path: PDSCH association, RRC handling, HARQ
@@ -693,7 +868,13 @@ impl NrScope {
         let carrier = sib1.carrier_prbs as usize;
         let ue = self.tracker.get_mut(d.rnti)?;
         ue.last_active_slot = slot;
-        let (prb_start, prb_len) = riv_decode(d.dci.f_alloc, carrier)?;
+        let Some((prb_start, prb_len)) = riv_decode(d.dci.f_alloc, carrier) else {
+            // CRC passed but the frequency allocation is out of range for
+            // the carrier: corrupt content — count it, don't crash.
+            self.stats.decode_failures += 1;
+            self.metrics.inc(Counter::DecodeFailures);
+            return None;
+        };
         let (symbol_start, symbol_len) = time_alloc(d.dci.t_alloc);
         let rrc = ue.rrc;
         let is_retx = match d.dci.format {
@@ -704,7 +885,12 @@ impl NrScope {
             DciFormat::Dl1_1 => rrc.max_mimo_layers as usize,
             DciFormat::Ul0_1 => 1,
         };
-        let entry = rrc.mcs_table.entry(d.dci.mcs)?;
+        let Some(entry) = rrc.mcs_table.entry(d.dci.mcs) else {
+            // Reserved MCS index in an otherwise valid DCI.
+            self.stats.decode_failures += 1;
+            self.metrics.inc(Counter::DecodeFailures);
+            return None;
+        };
         let tbs = transport_block_size(&TbsParams {
             n_prb: prb_len,
             n_symbols: symbol_len,
@@ -732,6 +918,16 @@ impl NrScope {
 
 fn payload_for(pdsch: &[(Rnti, PdschPayload)], rnti: Rnti) -> Option<&PdschPayload> {
     pdsch.iter().find(|(r, _)| *r == rnti).map(|(_, p)| p)
+}
+
+/// Per-rung slot-latency histogram stage.
+fn rung_stage(rung: LoadRung) -> Stage {
+    match rung {
+        LoadRung::Full => Stage::RungFull,
+        LoadRung::PrunedSearch => Stage::RungPruned,
+        LoadRung::BroadcastOnly => Stage::RungBroadcast,
+        LoadRung::Shedding => Stage::RungShedding,
+    }
 }
 
 /// PSS/SSS cell detection on a demodulated grid (SSB centred in the

@@ -13,13 +13,15 @@
 //! threads.
 
 use crate::decoder::{
-    decode_candidates_metered, decode_message_slot_metered, extract_all_candidates, DecodedDci,
-    DecoderContext, ExtractedCandidate, Hypotheses,
+    decode_candidates_budgeted, decode_message_slot_budgeted, extract_all_candidates, DecodeWork,
+    DecodedDci, DecoderContext, ExtractedCandidate, Hypotheses,
 };
 use crate::metrics::{Counter, Gauge, Metrics, Stage};
 use crate::observe::ObservedSlot;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
+use nr_phy::pdcch::SearchBudget;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,6 +35,20 @@ pub enum InjectedFault {
     /// `process_slot` sleeps this long first (a pathologically slow slot,
     /// used to force queue backpressure deterministically).
     Delay(Duration),
+}
+
+/// Priority class for queued slot jobs. The pool keeps one bounded queue
+/// per class and workers drain broadcast-first, so SIB/RACH-critical slots
+/// are never shed behind per-UE telemetry — the queue-level half of the
+/// governor's never-go-dark invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobPriority {
+    /// Carries broadcast/RACH-critical decoding (SIB1, RAR, MSG 4):
+    /// never shed under backpressure.
+    Broadcast,
+    /// Ordinary per-UE telemetry slot: sheddable under `ShedOldest`.
+    #[default]
+    Data,
 }
 
 /// One slot of work, self-contained (the "copy of data and state").
@@ -50,6 +66,11 @@ pub struct SlotJob {
     pub hyp: Hypotheses,
     /// How many DCI threads to shard across.
     pub dci_threads: usize,
+    /// Queue-priority class (broadcast jobs are never shed).
+    pub priority: JobPriority,
+    /// PDCCH search budget from the overload governor (gates only the
+    /// UE-specific pass; unlimited by default).
+    pub budget: SearchBudget,
     /// Scripted fault (tests only; `None` in production paths).
     pub fault: Option<InjectedFault>,
 }
@@ -63,6 +84,8 @@ pub struct SlotResult {
     pub decoded: Vec<DecodedDci>,
     /// Wall-clock processing time (the Fig 12 metric).
     pub processing: Duration,
+    /// Offered-work counts (for the governor's load model).
+    pub work: DecodeWork,
     /// The IQ buffer matched no known carrier layout (truncated capture
     /// or a reconfigured cell) — nothing could be demodulated.
     pub layout_mismatch: bool,
@@ -140,6 +163,7 @@ pub fn process_slot_metered(job: &SlotJob, metrics: Option<&Arc<Metrics>>) -> Sl
                         slot: job.slot,
                         decoded: Vec::new(),
                         processing: start.elapsed(),
+                        work: DecodeWork::default(),
                         layout_mismatch: true,
                     };
                 }
@@ -148,9 +172,12 @@ pub fn process_slot_metered(job: &SlotJob, metrics: Option<&Arc<Metrics>>) -> Sl
         ObservedSlot::Message { .. } => None,
     };
     let mut decoded: Vec<DecodedDci> = Vec::new();
+    let mut work = DecodeWork::default();
     if threads == 1 {
         // Single-thread path avoids spawn overhead entirely.
-        decoded = run_shard(job, candidates.as_deref(), &shards[0], metrics);
+        let (d, w) = run_shard(job, candidates.as_deref(), &shards[0], metrics);
+        decoded = d;
+        work = w;
     } else {
         std::thread::scope(|scope| {
             let candidates = candidates.as_deref();
@@ -162,7 +189,10 @@ pub fn process_slot_metered(job: &SlotJob, metrics: Option<&Arc<Metrics>>) -> Sl
                 // Re-raise shard panics so the pool's per-job supervision
                 // (catch_unwind in the worker loop) owns the failure.
                 match h.join() {
-                    Ok(part) => decoded.extend(part),
+                    Ok((part, w)) => {
+                        decoded.extend(part);
+                        work.absorb(&w);
+                    }
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
@@ -177,23 +207,27 @@ pub fn process_slot_metered(job: &SlotJob, metrics: Option<&Arc<Metrics>>) -> Sl
         slot: job.slot,
         decoded,
         processing,
+        work,
         layout_mismatch: false,
     }
 }
 
-/// Run one hypothesis shard against the pre-processed slot.
+/// Run one hypothesis shard against the pre-processed slot under the
+/// job's search budget.
 fn run_shard(
     job: &SlotJob,
     candidates: Option<&[ExtractedCandidate]>,
     hyp: &Hypotheses,
     metrics: Option<&Arc<Metrics>>,
-) -> Vec<DecodedDci> {
+) -> (Vec<DecodedDci>, DecodeWork) {
     match (&job.observed, candidates) {
         (ObservedSlot::Message { dcis, .. }, _) => {
-            decode_message_slot_metered(&job.ctx, dcis, hyp, metrics)
+            decode_message_slot_budgeted(&job.ctx, dcis, hyp, job.budget, metrics)
         }
-        (ObservedSlot::Iq { .. }, Some(c)) => decode_candidates_metered(&job.ctx, c, hyp, metrics),
-        (ObservedSlot::Iq { .. }, None) => Vec::new(),
+        (ObservedSlot::Iq { .. }, Some(c)) => {
+            decode_candidates_budgeted(&job.ctx, c, hyp, job.budget, metrics)
+        }
+        (ObservedSlot::Iq { .. }, None) => (Vec::new(), DecodeWork::default()),
     }
 }
 
@@ -247,19 +281,33 @@ pub enum BackpressurePolicy {
 pub struct PoolConfig {
     /// Number of worker threads.
     pub workers: usize,
-    /// Bounded job-queue depth (slots waiting for a worker).
+    /// Bounded job-queue depth (slots waiting for a worker), per priority
+    /// class.
     pub job_queue_depth: usize,
     /// What to do when the job queue is full.
     pub policy: BackpressurePolicy,
+    /// Watchdog deadline for a single job: a worker busy on one job for
+    /// longer is abandoned (its eventual result is still collected) and a
+    /// replacement spawned. `None` disables the watchdog — offline replay
+    /// has no deadline.
+    pub watchdog: Option<Duration>,
+    /// Upper bound on how long shutdown (`finish`/drop) waits for workers
+    /// to drain. Workers still running at the deadline are abandoned and
+    /// counted in [`PoolStats::stuck_workers`] instead of hanging the
+    /// caller forever.
+    pub join_timeout: Duration,
 }
 
 impl PoolConfig {
-    /// Defaults: `workers` threads, 256-deep queue, blocking backpressure.
+    /// Defaults: `workers` threads, 256-deep queues, blocking
+    /// backpressure, no watchdog, 10 s bounded shutdown.
     pub fn new(workers: usize) -> PoolConfig {
         PoolConfig {
             workers: workers.max(1),
             job_queue_depth: 256,
             policy: BackpressurePolicy::Block,
+            watchdog: None,
+            join_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -271,10 +319,17 @@ pub struct PoolStats {
     pub submitted: u64,
     /// Jobs shed under `BackpressurePolicy::ShedOldest`.
     pub shed_jobs: u64,
+    /// Data jobs shed while broadcast jobs were pending (the priority
+    /// queues visibly protected broadcast work).
+    pub priority_sheds: u64,
     /// Worker panics caught and supervised.
     pub worker_panics: u64,
-    /// Replacement workers spawned after panics.
+    /// Replacement workers spawned after panics or stalls.
     pub respawns: u64,
+    /// Workers abandoned by the per-job watchdog.
+    pub worker_stalls: u64,
+    /// Workers still running when the bounded shutdown gave up on them.
+    pub stuck_workers: u64,
 }
 
 /// `submit` failed and hands the job back (the queue disconnected — only
@@ -303,6 +358,17 @@ struct QueuedJob {
     enqueued: Option<Instant>,
 }
 
+/// Shared per-worker state the supervisor's watchdog reads.
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// Nanoseconds since the pool epoch when the current job started,
+    /// plus 1 (0 = idle).
+    busy_since_ns: AtomicU64,
+    /// Set by the watchdog or bounded shutdown: the worker must exit as
+    /// soon as it regains control instead of taking another job.
+    abandoned: AtomicBool,
+}
+
 /// The asynchronous worker pool of Fig 4: jobs in, results out, processed
 /// by `n_workers` OS threads. "The worker pool design enables
 /// asynchronous, on-demand slot data processing" (§4).
@@ -310,18 +376,30 @@ struct QueuedJob {
 /// Supervised: each job runs under `catch_unwind`; a panicking worker
 /// reports the offending job (quarantined, not retried — a poison slot
 /// would kill every worker in turn) and dies, and the supervisor spawns a
-/// replacement on the next `submit`/`poll`/`finish` call. The job queue
-/// is bounded with an explicit [`BackpressurePolicy`].
+/// replacement on the next `submit`/`poll`/`finish` call.
+///
+/// Priority-aware: jobs queue per [`JobPriority`] class in bounded
+/// channels and workers drain broadcast-first; under `ShedOldest`
+/// backpressure only data jobs are ever shed. A configurable watchdog
+/// abandons workers stuck on one job past a deadline and respawns a
+/// replacement, and shutdown joins with a bounded timeout, quarantining
+/// (counting) workers that never return.
 pub struct WorkerPool {
-    job_tx: Option<Sender<QueuedJob>>,
-    /// Kept for shed-oldest (popping the queue head) and so respawned
-    /// workers can be handed the shared queue.
-    job_rx: Receiver<QueuedJob>,
+    /// `(broadcast, data)` senders; dropped together to close the pool.
+    job_tx: Option<(Sender<QueuedJob>, Sender<QueuedJob>)>,
+    /// Kept for shed-oldest (popping the data-queue head) and so respawned
+    /// workers can be handed the shared queues.
+    bcast_rx: Receiver<QueuedJob>,
+    data_rx: Receiver<QueuedJob>,
     result_tx: Sender<SlotResult>,
     result_rx: Receiver<SlotResult>,
     event_tx: Sender<WorkerEvent>,
     event_rx: Receiver<WorkerEvent>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<(JoinHandle<()>, Arc<WorkerState>)>,
+    /// Workers abandoned by the watchdog, awaiting a (bounded) join.
+    stalled: Vec<(JoinHandle<()>, Arc<WorkerState>)>,
+    /// Reference instant for the `busy_since_ns` encoding.
+    epoch: Instant,
     cfg: PoolConfig,
     stats: PoolStats,
     quarantined: Vec<SlotJob>,
@@ -329,20 +407,61 @@ pub struct WorkerPool {
     metrics: Option<Arc<Metrics>>,
 }
 
+/// Receive the next job, broadcast queue first. Blocks (with a periodic
+/// abandoned-flag check) while both queues are empty; returns `None` when
+/// the worker should exit (abandoned, or both queues drained and closed).
+fn recv_prioritised(
+    bcast: &Receiver<QueuedJob>,
+    data: &Receiver<QueuedJob>,
+    state: &WorkerState,
+) -> Option<QueuedJob> {
+    loop {
+        if state.abandoned.load(Relaxed) {
+            return None;
+        }
+        let b = bcast.try_recv();
+        if let Ok(q) = b {
+            return Some(q);
+        }
+        let d = data.try_recv();
+        if let Ok(q) = d {
+            return Some(q);
+        }
+        if matches!(b, Err(TryRecvError::Disconnected))
+            && matches!(d, Err(TryRecvError::Disconnected))
+        {
+            return None;
+        }
+        // Both queues empty and at least one still open: nap briefly, then
+        // re-poll (also re-checking the abandoned flag). The vendored
+        // channel has no multi-queue select, and a sub-millisecond poll is
+        // far below the 500 µs slot cadence the pool serves.
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
 fn worker_loop(
-    rx: Receiver<QueuedJob>,
+    bcast: Receiver<QueuedJob>,
+    data: Receiver<QueuedJob>,
     tx: Sender<SlotResult>,
     events: Sender<WorkerEvent>,
     metrics: Option<Arc<Metrics>>,
+    state: Arc<WorkerState>,
+    epoch: Instant,
 ) {
-    while let Ok(q) = rx.recv() {
+    while let Some(q) = recv_prioritised(&bcast, &data, &state) {
         if let (Some(m), Some(t)) = (metrics.as_ref(), q.enqueued) {
             m.observe(Stage::WorkerQueue, t.elapsed());
         }
         let job = q.job;
-        match catch_unwind(AssertUnwindSafe(|| {
+        state
+            .busy_since_ns
+            .store(epoch.elapsed().as_nanos() as u64 + 1, Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
             process_slot_metered(&job, metrics.as_ref())
-        })) {
+        }));
+        state.busy_since_ns.store(0, Relaxed);
+        match outcome {
             Ok(result) => {
                 if tx.send(result).is_err() {
                     return;
@@ -384,17 +503,21 @@ impl WorkerPool {
     }
 
     fn build(cfg: PoolConfig, metrics: Option<Arc<Metrics>>) -> WorkerPool {
-        let (job_tx, job_rx) = bounded::<QueuedJob>(cfg.job_queue_depth);
+        let (bcast_tx, bcast_rx) = bounded::<QueuedJob>(cfg.job_queue_depth);
+        let (data_tx, data_rx) = bounded::<QueuedJob>(cfg.job_queue_depth);
         let (result_tx, result_rx) = unbounded::<SlotResult>();
         let (event_tx, event_rx) = unbounded::<WorkerEvent>();
         let mut pool = WorkerPool {
-            job_tx: Some(job_tx),
-            job_rx,
+            job_tx: Some((bcast_tx, data_tx)),
+            bcast_rx,
+            data_rx,
             result_tx,
             result_rx,
             event_tx,
             event_rx,
             handles: Vec::with_capacity(cfg.workers),
+            stalled: Vec::new(),
+            epoch: Instant::now(),
             cfg,
             stats: PoolStats::default(),
             quarantined: Vec::new(),
@@ -408,24 +531,41 @@ impl WorkerPool {
     }
 
     fn spawn_worker(&mut self) {
-        let rx = self.job_rx.clone();
+        let bcast = self.bcast_rx.clone();
+        let data = self.data_rx.clone();
         let tx = self.result_tx.clone();
         let events = self.event_tx.clone();
         let metrics = self.metrics.clone();
-        self.handles.push(std::thread::spawn(move || {
-            worker_loop(rx, tx, events, metrics)
-        }));
+        let state = Arc::new(WorkerState::default());
+        let worker_state = Arc::clone(&state);
+        let epoch = self.epoch;
+        self.handles.push((
+            std::thread::spawn(move || {
+                worker_loop(bcast, data, tx, events, metrics, worker_state, epoch)
+            }),
+            state,
+        ));
     }
 
     fn gauge_workers_alive(&self) {
         if let Some(m) = &self.metrics {
-            let alive = self.handles.iter().filter(|h| !h.is_finished()).count();
+            let alive = self
+                .handles
+                .iter()
+                .filter(|(h, _)| !h.is_finished())
+                .count();
             m.gauge_set(Gauge::WorkersAlive, alive as u64);
         }
     }
 
-    /// Reap death reports: count and quarantine the poison jobs, then
-    /// spawn replacements so the pool stays at strength.
+    fn queue_len(&self) -> usize {
+        self.bcast_rx.len() + self.data_rx.len()
+    }
+
+    /// Reap death reports (count and quarantine the poison jobs, spawn
+    /// replacements) and run the stall watchdog: a worker busy on one job
+    /// past the deadline is abandoned — its eventual result is still
+    /// collected, but a fresh worker takes its queue slot immediately.
     fn supervise(&mut self) {
         let events: Vec<WorkerEvent> = self.event_rx.try_iter().collect();
         for ev in events {
@@ -439,16 +579,47 @@ impl WorkerPool {
             self.stats.respawns += 1;
             self.spawn_worker();
         }
+        if let Some(deadline) = self.cfg.watchdog {
+            let now_ns = self.epoch.elapsed().as_nanos() as u64;
+            let deadline_ns = deadline.as_nanos().min(u64::MAX as u128) as u64;
+            let mut stalled_idx = Vec::new();
+            for (i, (_, state)) in self.handles.iter().enumerate() {
+                let busy = state.busy_since_ns.load(Relaxed);
+                if busy != 0 && now_ns.saturating_sub(busy - 1) > deadline_ns {
+                    stalled_idx.push(i);
+                }
+            }
+            // Back-to-front so indices stay valid while we remove.
+            for &i in stalled_idx.iter().rev() {
+                let (handle, state) = self.handles.swap_remove(i);
+                state.abandoned.store(true, Relaxed);
+                self.stalled.push((handle, state));
+                self.stats.worker_stalls += 1;
+                self.stats.respawns += 1;
+                if let Some(m) = &self.metrics {
+                    m.inc(Counter::WorkerStalls);
+                }
+                self.spawn_worker();
+            }
+        }
+        // Reap stalled workers that eventually came back.
+        self.stalled.retain(|(h, _)| !h.is_finished());
         self.gauge_workers_alive();
     }
 
-    /// Submit a slot job. Applies the configured backpressure policy when
-    /// the queue is full; returns the job on a disconnected queue instead
-    /// of panicking.
+    /// Submit a slot job to its priority queue. Applies the configured
+    /// backpressure policy when that queue is full — broadcast jobs are
+    /// never shed (and never shed other broadcast jobs: they block) —
+    /// and returns the job on a disconnected queue instead of panicking.
     pub fn submit(&mut self, job: SlotJob) -> Result<(), SubmitError> {
         self.supervise();
-        let Some(tx) = self.job_tx.clone() else {
+        let Some((bcast_tx, data_tx)) = self.job_tx.clone() else {
             return Err(SubmitError(Box::new(job)));
+        };
+        let priority = job.priority;
+        let tx = match priority {
+            JobPriority::Broadcast => bcast_tx,
+            JobPriority::Data => data_tx,
         };
         let enqueued = self
             .metrics
@@ -461,21 +632,32 @@ impl WorkerPool {
                 Ok(()) => {
                     self.stats.submitted += 1;
                     if let Some(m) = &self.metrics {
-                        m.gauge_set(Gauge::QueueDepth, self.job_rx.len() as u64);
+                        m.gauge_set(Gauge::QueueDepth, self.queue_len() as u64);
                     }
                     return Ok(());
                 }
-                Err(TrySendError::Full(q)) => match self.cfg.policy {
-                    BackpressurePolicy::ShedOldest => {
-                        if self.job_rx.try_recv().is_ok() {
+                Err(TrySendError::Full(q)) => match (self.cfg.policy, priority) {
+                    (BackpressurePolicy::ShedOldest, JobPriority::Data) => {
+                        if self.data_rx.try_recv().is_ok() {
                             self.stats.shed_jobs += 1;
                             if let Some(m) = &self.metrics {
                                 m.inc(Counter::JobsShed);
                             }
+                            if !self.bcast_rx.is_empty() {
+                                // The shed demonstrably protected pending
+                                // broadcast work.
+                                self.stats.priority_sheds += 1;
+                                if let Some(m) = &self.metrics {
+                                    m.inc(Counter::PrioritySheds);
+                                }
+                            }
                         }
                         queued = q;
                     }
-                    BackpressurePolicy::Block => {
+                    // Broadcast jobs are never shed: a full broadcast
+                    // queue blocks regardless of policy.
+                    (BackpressurePolicy::ShedOldest, JobPriority::Broadcast)
+                    | (BackpressurePolicy::Block, _) => {
                         // Block, but keep supervising so a worker death
                         // while we wait cannot deadlock the queue.
                         queued = q;
@@ -521,33 +703,55 @@ impl WorkerPool {
 
     fn run_down(&mut self) -> Vec<SlotResult> {
         drop(self.job_tx.take());
+        let deadline = Instant::now() + self.cfg.join_timeout;
         let mut out = Vec::new();
         loop {
             self.supervise();
             out.extend(self.result_rx.try_iter());
-            if self.handles.iter().all(|h| h.is_finished()) {
+            // Wait for live workers AND watchdog-abandoned ones: a stalled
+            // worker that wakes inside the join timeout still delivers its
+            // result (supervise drops stalled entries once finished).
+            if self.handles.iter().all(|(h, _)| h.is_finished()) && self.stalled.is_empty() {
                 // Final reap: a worker may have died at the very end.
                 self.supervise();
-                if self.handles.iter().all(|h| h.is_finished()) {
+                if self.handles.iter().all(|(h, _)| h.is_finished()) && self.stalled.is_empty() {
                     break;
                 }
             }
+            if Instant::now() >= deadline {
+                break;
+            }
             std::thread::yield_now();
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.reap_with_deadline();
         out.extend(self.result_rx.try_iter());
         out
+    }
+
+    /// Join every finished worker; abandon (and count) the rest instead of
+    /// hanging shutdown on a stuck thread. Abandoned workers carry the
+    /// flag, so they exit on their own if their job ever completes.
+    fn reap_with_deadline(&mut self) {
+        for (h, state) in self.handles.drain(..).chain(self.stalled.drain(..)) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                state.abandoned.store(true, Relaxed);
+                self.stats.stuck_workers += 1;
+            }
+        }
+        self.gauge_workers_alive();
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         drop(self.job_tx.take());
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        let deadline = Instant::now() + self.cfg.join_timeout;
+        while !self.handles.iter().all(|(h, _)| h.is_finished()) && Instant::now() < deadline {
+            std::thread::yield_now();
         }
+        self.reap_with_deadline();
     }
 }
 
@@ -616,6 +820,8 @@ mod tests {
                         ctx,
                         hyp,
                         dci_threads,
+                        priority: JobPriority::Data,
+                        budget: SearchBudget::unlimited(),
                         fault: None,
                     },
                     n_c,
@@ -709,9 +915,9 @@ mod tests {
     fn shed_oldest_policy_drops_queue_head_and_counts() {
         let (job, _) = make_job(1);
         let mut pool = WorkerPool::with_config(PoolConfig {
-            workers: 1,
             job_queue_depth: 2,
             policy: BackpressurePolicy::ShedOldest,
+            ..PoolConfig::new(1)
         });
         // Jam the single worker so the queue actually fills.
         let mut slow = job.clone();
@@ -737,9 +943,9 @@ mod tests {
     fn block_policy_is_lossless_under_backpressure() {
         let (job, _) = make_job(1);
         let mut pool = WorkerPool::with_config(PoolConfig {
-            workers: 1,
             job_queue_depth: 2,
             policy: BackpressurePolicy::Block,
+            ..PoolConfig::new(1)
         });
         for i in 0..6 {
             let mut j = job.clone();
@@ -751,6 +957,126 @@ mod tests {
         let results = pool.finish();
         assert_eq!(results.len(), 6, "blocking backpressure loses nothing");
         assert_eq!(stats.shed_jobs, 0);
+    }
+
+    #[test]
+    fn broadcast_jobs_survive_shedding_and_drain_first() {
+        let (job, _) = make_job(1);
+        let mut pool = WorkerPool::with_config(PoolConfig {
+            job_queue_depth: 2,
+            policy: BackpressurePolicy::ShedOldest,
+            ..PoolConfig::new(1)
+        });
+        // Jam the single worker so both queues actually fill.
+        let mut slow = job.clone();
+        slow.slot = 1000;
+        slow.fault = Some(InjectedFault::Delay(Duration::from_millis(300)));
+        pool.submit(slow).expect("queue open");
+        std::thread::sleep(Duration::from_millis(50)); // worker picks it up
+        for i in 0..2u64 {
+            let mut b = job.clone();
+            b.slot = 100 + i;
+            b.priority = JobPriority::Broadcast;
+            pool.submit(b).expect("queue open");
+        }
+        // Six data jobs through a depth-2 data queue: four shed, and the
+        // sheds happened while broadcast jobs sat protected in their queue.
+        for i in 0..6u64 {
+            let mut j = job.clone();
+            j.slot = i;
+            pool.submit(j).expect("queue open");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.shed_jobs, 4, "data sheds unchanged by priority");
+        assert_eq!(
+            stats.priority_sheds, 4,
+            "every shed protected pending broadcast work"
+        );
+        let results = pool.finish();
+        let mut slots: Vec<u64> = results.iter().map(|r| r.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(
+            slots,
+            vec![4, 5, 100, 101, 1000],
+            "both broadcast jobs survived; only data was shed"
+        );
+    }
+
+    #[test]
+    fn watchdog_abandons_stalled_worker_and_respawns() {
+        let (job, _) = make_job(1);
+        let mut pool = WorkerPool::with_config(PoolConfig {
+            watchdog: Some(Duration::from_millis(40)),
+            ..PoolConfig::new(1)
+        });
+        // Stall the lone worker far past the watchdog deadline, then queue
+        // a healthy job behind it: only a respawned replacement can run it
+        // before the stalled worker wakes.
+        let mut stuck = job.clone();
+        stuck.slot = 77;
+        stuck.fault = Some(InjectedFault::Delay(Duration::from_millis(400)));
+        pool.submit(stuck).expect("queue open");
+        std::thread::sleep(Duration::from_millis(20)); // worker picks it up
+        pool.submit(job.clone()).expect("queue open");
+        let mut results = Vec::new();
+        let start = Instant::now();
+        while results.is_empty() && start.elapsed() < Duration::from_millis(300) {
+            std::thread::sleep(Duration::from_millis(10));
+            results.extend(pool.poll());
+        }
+        assert_eq!(results.len(), 1, "replacement ran the queued job");
+        assert_eq!(results[0].slot, job.slot);
+        let stats = pool.stats();
+        assert_eq!(stats.worker_stalls, 1, "stall detected");
+        assert!(stats.respawns >= 1, "replacement spawned");
+        // The abandoned worker's slot still completes; nothing is lost.
+        let rest = pool.finish();
+        assert!(rest.iter().any(|r| r.slot == 77), "stalled result arrives");
+    }
+
+    #[test]
+    fn shutdown_join_is_bounded_and_counts_stuck_workers() {
+        let (job, _) = make_job(1);
+        let mut pool = WorkerPool::with_config(PoolConfig {
+            join_timeout: Duration::from_millis(50),
+            ..PoolConfig::new(1)
+        });
+        let mut stuck = job.clone();
+        stuck.fault = Some(InjectedFault::Delay(Duration::from_secs(30)));
+        pool.submit(stuck).expect("queue open");
+        std::thread::sleep(Duration::from_millis(20)); // worker picks it up
+        let start = Instant::now();
+        let (results, stats, _) = pool.finish_with_stats();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "finish returned without waiting the full 30 s stall"
+        );
+        assert!(results.is_empty());
+        assert_eq!(stats.stuck_workers, 1, "the hung worker was abandoned");
+    }
+
+    #[test]
+    fn budgeted_job_prunes_ue_decodes_in_the_pool() {
+        let (job, n_c) = make_job(2);
+        let full = process_slot(&job);
+        assert_eq!(
+            full.decoded
+                .iter()
+                .filter(|d| d.rnti_type == nr_phy::types::RntiType::C)
+                .count(),
+            n_c
+        );
+        assert_eq!(full.work.pruned, 0);
+        let mut capped = job.clone();
+        capped.budget = SearchBudget::broadcast_only();
+        let r = process_slot(&capped);
+        assert!(
+            r.decoded
+                .iter()
+                .all(|d| d.rnti_type != nr_phy::types::RntiType::C),
+            "broadcast-only budget reaches the shards"
+        );
+        assert!(r.work.pruned > 0, "pruned work reported to the governor");
     }
 
     #[test]

@@ -80,6 +80,84 @@ impl AggregationLevel {
     }
 }
 
+/// A blind-search budget: how much of the UE-specific candidate space a
+/// decoder is allowed to spend per slot. The overload governor hands one of
+/// these to the decode path to shed work under deadline pressure while the
+/// *common* search space (SI-/RA-/TC-RNTI plus CRC-XOR RNTI recovery) stays
+/// exhaustive at every rung — the invariant that keeps cell knowledge and
+/// RACH-based C-RNTI discovery alive no matter how overloaded the scope is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Skip UE-specific candidates below this aggregation level. Low levels
+    /// carry the most candidates per CORESET, so pruning them first buys
+    /// the largest latency cut per DCI lost.
+    pub ue_min_level: Option<AggregationLevel>,
+    /// Cap on UE-specific candidate decode attempts per slot.
+    pub max_ue_candidates: Option<usize>,
+    /// Skip the UE-specific pass entirely (BroadcastOnly / Shedding rungs).
+    pub skip_ue: bool,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget::unlimited()
+    }
+}
+
+impl SearchBudget {
+    /// No pruning: the full blind search.
+    pub fn unlimited() -> SearchBudget {
+        SearchBudget {
+            ue_min_level: None,
+            max_ue_candidates: None,
+            skip_ue: false,
+        }
+    }
+
+    /// Pruned search: drop UE candidates below `min_level` and cap the
+    /// UE-specific attempts per slot.
+    pub fn pruned(min_level: AggregationLevel, max_ue_candidates: usize) -> SearchBudget {
+        SearchBudget {
+            ue_min_level: Some(min_level),
+            max_ue_candidates: Some(max_ue_candidates),
+            skip_ue: false,
+        }
+    }
+
+    /// Broadcast-only: common search space only, no UE-specific decodes.
+    pub fn broadcast_only() -> SearchBudget {
+        SearchBudget {
+            ue_min_level: None,
+            max_ue_candidates: None,
+            skip_ue: true,
+        }
+    }
+
+    /// Whether a UE-specific candidate at `level` is admitted, given that
+    /// `spent` UE candidates have already been attempted this slot.
+    pub fn admits_ue(&self, level: AggregationLevel, spent: usize) -> bool {
+        if self.skip_ue {
+            return false;
+        }
+        if let Some(min) = self.ue_min_level {
+            if level.cces() < min.cces() {
+                return false;
+            }
+        }
+        if let Some(cap) = self.max_ue_candidates {
+            if spent >= cap {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether this budget prunes anything at all.
+    pub fn is_unlimited(&self) -> bool {
+        !self.skip_ue && self.ue_min_level.is_none() && self.max_ue_candidates.is_none()
+    }
+}
+
 /// A control resource set: a block of PRBs × (1–3) symbols at the start of
 /// the slot holding PDCCH candidates. CORESET 0 (from the MIB) is the
 /// common instance every UE — and NR-Scope — starts from.
@@ -566,6 +644,27 @@ mod tests {
         let c = ue_search_space_y(Rnti(0x4602), 0, 0);
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn search_budget_admission_rules() {
+        let full = SearchBudget::unlimited();
+        assert!(full.is_unlimited());
+        for level in AggregationLevel::all() {
+            assert!(full.admits_ue(level, 10_000));
+        }
+
+        let pruned = SearchBudget::pruned(AggregationLevel::L2, 3);
+        assert!(!pruned.is_unlimited());
+        assert!(!pruned.admits_ue(AggregationLevel::L1, 0), "L1 pruned");
+        assert!(pruned.admits_ue(AggregationLevel::L2, 0));
+        assert!(pruned.admits_ue(AggregationLevel::L8, 2));
+        assert!(!pruned.admits_ue(AggregationLevel::L8, 3), "cap reached");
+
+        let broadcast = SearchBudget::broadcast_only();
+        for level in AggregationLevel::all() {
+            assert!(!broadcast.admits_ue(level, 0), "no UE decodes at all");
+        }
     }
 
     #[test]

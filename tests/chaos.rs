@@ -8,10 +8,11 @@ use nr_scope::gnb::{CellConfig, Gnb};
 use nr_scope::mac::RoundRobin;
 use nr_scope::phy::channel::ChannelProfile;
 use nr_scope::phy::dci::DciSizing;
+use nr_scope::phy::pdcch::SearchBudget;
 use nr_scope::phy::types::{Pci, RntiType};
 use nr_scope::scope::decoder::{DecoderContext, Hypotheses};
 use nr_scope::scope::observe::Observer;
-use nr_scope::scope::worker::{InjectedFault, PoolConfig, SlotJob, WorkerPool};
+use nr_scope::scope::worker::{InjectedFault, JobPriority, PoolConfig, SlotJob, WorkerPool};
 use nr_scope::scope::{BackpressurePolicy, ImpairmentSchedule, NrScope, ScopeConfig, SyncState};
 use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
 use nr_scope::ue::{MobilityScenario, SimUe};
@@ -101,11 +102,14 @@ fn chaos_run_self_heals_and_keeps_accuracy() {
         hyp: hyp.clone(),
         dci_threads: 1,
         fault,
+        priority: JobPriority::Data,
+        budget: SearchBudget::unlimited(),
     };
     let mut pool = WorkerPool::with_config(PoolConfig {
         workers: 1,
         job_queue_depth: 2,
         policy: BackpressurePolicy::ShedOldest,
+        ..PoolConfig::new(1)
     });
     // Jam the single worker, overflow the depth-2 queue (sheds), then
     // poison the queue tail so the panic job is not itself shed.
