@@ -20,7 +20,9 @@ use nr_mac::RoundRobin;
 use nr_phy::channel::ChannelProfile;
 use nrscope::observe::Observer;
 use nrscope::worker::{PoolConfig, WorkerPool};
-use nrscope::{Fidelity, LoadRung, Metrics, NrScope, ScopeConfig};
+use nrscope::{
+    Fidelity, LoadRung, Metrics, NrScope, PersistConfig, PersistentSession, ScopeConfig,
+};
 use nrscope_bench::capture_seconds;
 use std::sync::Arc;
 use std::time::Instant;
@@ -138,6 +140,64 @@ fn rung_phase(cell: &CellConfig, slots: u64, seed: u64) -> Vec<(&'static str, f6
     rates
 }
 
+/// Durability overhead: the same lock-step run three ways — plain scope,
+/// journal-only session (per-slot append + OS flush, the unavoidable
+/// durability syscall), and the full session with cadence checkpoints
+/// streamed from the background writer. Returns each run's
+/// (slots/sec, p99 slot µs). The journal-vs-checkpoint split matters:
+/// journaling is the per-slot price of losing at most one slot to
+/// `kill -9`; checkpoints are asynchronous and skip-if-busy, so their
+/// p99 delta over journal-only is the figure that must stay small.
+fn persist_phase(cell: &CellConfig, slots: u64, seed: u64) -> [(f64, f64); 3] {
+    fn p99_us(mut ns: Vec<u64>) -> f64 {
+        ns.sort_unstable();
+        ns[(ns.len() - 1) * 99 / 100] as f64 / 1e3
+    }
+    let slot_s = cell.slot_s();
+    let run = |session: &mut dyn FnMut(&nrscope::Capture)| -> (f64, f64) {
+        let mut gnb = build_gnb(cell, 4, slots as f64 * slot_s + 10.0, seed);
+        let mut observer = Observer::new(cell, 30.0, false, seed ^ 0xD15C);
+        let mut lat = Vec::with_capacity(slots as usize);
+        let t0 = Instant::now();
+        for s in 0..slots {
+            let out = gnb.step();
+            let cap = observer.capture(&out, s as f64 * slot_s);
+            let c0 = Instant::now();
+            session(&cap);
+            lat.push(c0.elapsed().as_nanos() as u64);
+        }
+        (slots as f64 / t0.elapsed().as_secs_f64(), p99_us(lat))
+    };
+    let durable_run = |checkpoint_every_slots: u64| -> (f64, f64) {
+        let dir =
+            std::env::temp_dir().join(format!("nrscope-bench-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut session, _) = PersistentSession::open(
+            PersistConfig {
+                checkpoint_every_slots,
+                ..PersistConfig::new(&dir)
+            },
+            ScopeConfig::default(),
+            Some(cell.pci),
+        )
+        .expect("open persistent session");
+        let result = run(&mut |cap| {
+            session.process_capture(cap);
+        });
+        session.finalize().expect("finalize persistent session");
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    };
+
+    let mut scope = NrScope::new(ScopeConfig::default(), Some(cell.pci));
+    let base = run(&mut |cap| {
+        scope.process_capture(cap);
+    });
+    let journal_only = durable_run(u64::MAX);
+    let checkpointed = durable_run(512);
+    [base, journal_only, checkpointed]
+}
+
 /// Short IQ-fidelity run (populates radio capture and OFDM demod stages).
 fn iq_phase(cell: &CellConfig, slots: u64, seed: u64, metrics: Arc<Metrics>) {
     let slot_s = cell.slot_s();
@@ -189,6 +249,13 @@ fn main() {
     iq_phase(&cell, iq_slots, 3, Arc::clone(&metrics));
     let rung_slots: u64 = if short { 400 } else { 6000 };
     let rung_rates = rung_phase(&cell, rung_slots, 5);
+    let persist_slots: u64 = if short { 1200 } else { 6000 };
+    let [(base_sps, base_p99), (journal_sps, journal_p99), (persist_sps, persist_p99)] =
+        persist_phase(&cell, persist_slots, 11);
+    // Checkpoints are asynchronous; their p99 cost over journal-only is
+    // the durability-design figure of merit (the journal syscall itself
+    // is the floor any crash-safe design pays).
+    let checkpoint_p99_overhead_pct = (persist_p99 / journal_p99 - 1.0) * 100.0;
 
     let snap = metrics.snapshot();
     let slots_per_sec = slots as f64 / wall_on;
@@ -216,6 +283,14 @@ fn main() {
             "  \"pool_jobs\": {pool_jobs},\n",
             "  \"pool_results\": {pool_results},\n",
             "  \"rung_slots_per_sec\": {{{rungs}}},\n",
+            "  \"persist_slots\": {persist_slots},\n",
+            "  \"persist_baseline_slots_per_sec\": {base_sps:.1},\n",
+            "  \"persist_journal_only_slots_per_sec\": {journal_sps:.1},\n",
+            "  \"persist_slots_per_sec\": {persist_sps:.1},\n",
+            "  \"persist_baseline_p99_us\": {base_p99:.2},\n",
+            "  \"persist_journal_only_p99_us\": {journal_p99:.2},\n",
+            "  \"persist_p99_us\": {persist_p99:.2},\n",
+            "  \"checkpoint_p99_overhead_pct\": {ckpt_ovh:.2},\n",
             "  \"metrics\": {snap}\n",
             "}}\n"
         ),
@@ -230,6 +305,14 @@ fn main() {
         pool_jobs = pool_jobs,
         pool_results = pool_results,
         rungs = rung_json,
+        persist_slots = persist_slots,
+        base_sps = base_sps,
+        journal_sps = journal_sps,
+        persist_sps = persist_sps,
+        base_p99 = base_p99,
+        journal_p99 = journal_p99,
+        persist_p99 = persist_p99,
+        ckpt_ovh = checkpoint_p99_overhead_pct,
         snap = snap.to_json(),
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
@@ -243,6 +326,12 @@ fn main() {
     for (name, rate) in &rung_rates {
         println!("  slots/sec @ {name:<15} {rate:>10.1}");
     }
+    println!(
+        "  persist p99 slot   {persist_p99:>9.2} µs  (journal-only {journal_p99:.2} µs, baseline {base_p99:.2} µs)"
+    );
+    println!(
+        "  checkpoint cost    {checkpoint_p99_overhead_pct:>+8.2}% p99 over journal-only ({persist_sps:.0} vs {journal_sps:.0} vs {base_sps:.0} slots/s)"
+    );
     println!();
     print!("{}", snap.summary());
     println!();

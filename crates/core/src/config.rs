@@ -17,6 +17,9 @@ pub enum Fidelity {
 /// Sniffer configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ScopeConfig {
+    /// Serialisation schema version ([`crate::SCHEMA_VERSION`]); configs
+    /// from a future schema are rejected by [`ScopeConfig::from_json`].
+    pub schema_version: u32,
     /// Observation fidelity.
     pub fidelity: Fidelity,
     /// Sliding window for bit-rate estimation, in slots (the paper keeps a
@@ -51,9 +54,32 @@ pub struct ScopeConfig {
     pub governor: GovernorConfig,
 }
 
+impl ScopeConfig {
+    /// Serialise to JSON (supervisor runners hand the child its config
+    /// through a file rather than a brittle argv encoding).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ScopeConfig is always serialisable")
+    }
+
+    /// Parse a config written by [`ScopeConfig::to_json`], rejecting
+    /// configs stamped with a future schema version.
+    pub fn from_json(s: &str) -> Result<ScopeConfig, serde_json::Error> {
+        let cfg: ScopeConfig = serde_json::from_str(s)?;
+        if cfg.schema_version > crate::SCHEMA_VERSION {
+            return Err(serde_json::Error::from(serde::DeError(format!(
+                "scope config schema v{} is newer than supported v{}",
+                cfg.schema_version,
+                crate::SCHEMA_VERSION
+            ))));
+        }
+        Ok(cfg)
+    }
+}
+
 impl Default for ScopeConfig {
     fn default() -> Self {
         ScopeConfig {
+            schema_version: crate::SCHEMA_VERSION,
             fidelity: Fidelity::Message,
             rate_window_slots: 2000,
             ue_expiry_slots: 20_000, // 10 s at µ=1

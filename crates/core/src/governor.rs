@@ -157,7 +157,10 @@ pub struct SlotVerdict {
 const EWMA_SHIFT: f64 = 16.0;
 
 /// The per-slot deadline tracker and degradation-ladder state machine.
-#[derive(Debug, Clone)]
+/// Serialisable so a crash-recovered session resumes at the rung and EWMA
+/// it had earned, rather than restarting at `Full` under the same load
+/// that demoted it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OverloadGovernor {
     cfg: GovernorConfig,
     rung: LoadRung,
@@ -194,6 +197,14 @@ impl OverloadGovernor {
     /// The active configuration.
     pub fn config(&self) -> &GovernorConfig {
         &self.cfg
+    }
+
+    /// Replace the configuration, keeping the ladder state. Used on warm
+    /// restart: the checkpoint carries the earned rung/EWMA, but the
+    /// operator's *current* config (budget, hysteresis) must win over the
+    /// one frozen into the snapshot.
+    pub fn set_config(&mut self, cfg: GovernorConfig) {
+        self.cfg = cfg;
     }
 
     /// Current rung (the forced rung when pinned).

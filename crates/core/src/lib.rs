@@ -23,17 +23,27 @@ pub mod governor;
 pub mod log;
 pub mod metrics;
 pub mod observe;
+pub mod persist;
 pub mod scope;
 pub mod spare;
+pub mod supervise;
 pub mod telemetry;
 pub mod throughput;
 pub mod tracker;
 pub mod worker;
 
+/// Version stamped into every serialised artefact (telemetry records,
+/// metrics snapshots, scope configs, checkpoints, journal entries).
+/// Readers reject artefacts stamped with a *newer* version — their field
+/// semantics are unknowable — and accept older ones, relying on serde's
+/// missing-field errors to catch true incompatibilities.
+pub const SCHEMA_VERSION: u32 = 1;
+
 pub use config::{Fidelity, ScopeConfig};
 pub use governor::{GovernorConfig, LoadModel, LoadRung, OverloadGovernor};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
+pub use persist::{PersistConfig, PersistentSession, RecoveryReport, SessionStore};
 pub use scope::{NrScope, ScopeStats, SyncState};
 pub use telemetry::TelemetryRecord;
 pub use worker::{

@@ -3,9 +3,15 @@
 //! One JSON object per decoded DCI, newline-delimited, so downstream
 //! applications (congestion controllers, video servers) can tail the
 //! stream — the integration path the paper's §6 use cases rely on.
+//!
+//! Long-running capture must not die because the log disk filled: the
+//! [`TelemetryLogger`] wrapper swallows write errors, counts them in the
+//! metrics registry (`log_write_failures`), and keeps the pipeline alive.
 
+use crate::metrics::{Counter, Metrics};
 use crate::telemetry::TelemetryRecord;
 use std::io::{self, Write};
+use std::sync::Arc;
 
 /// Write records as JSON lines.
 pub fn write_jsonl<W: Write>(mut sink: W, records: &[TelemetryRecord]) -> io::Result<()> {
@@ -17,7 +23,9 @@ pub fn write_jsonl<W: Write>(mut sink: W, records: &[TelemetryRecord]) -> io::Re
 }
 
 /// Read records back from JSON lines (skips malformed lines, returning the
-/// parse-error count alongside).
+/// parse-error count alongside). Records stamped with a future
+/// `schema_version` are counted as malformed — their field semantics are
+/// unknowable to this build.
 pub fn read_jsonl(data: &str) -> (Vec<TelemetryRecord>, usize) {
     let mut out = Vec::new();
     let mut bad = 0;
@@ -25,12 +33,64 @@ pub fn read_jsonl(data: &str) -> (Vec<TelemetryRecord>, usize) {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str(line) {
-            Ok(r) => out.push(r),
-            Err(_) => bad += 1,
+        match serde_json::from_str::<TelemetryRecord>(line) {
+            Ok(r) if r.schema_version <= crate::SCHEMA_VERSION => out.push(r),
+            Ok(_) | Err(_) => bad += 1,
         }
     }
     (out, bad)
+}
+
+/// A telemetry sink that never aborts capture: write failures are counted
+/// in the metrics registry instead of propagated. Losing a log line is
+/// recoverable (the journal still has the record); losing hours of capture
+/// to a full disk is not.
+pub struct TelemetryLogger<W: Write> {
+    sink: W,
+    metrics: Arc<Metrics>,
+    failures: u64,
+}
+
+impl<W: Write> TelemetryLogger<W> {
+    /// Wrap a sink; `metrics` receives a `log_write_failures` increment per
+    /// failed batch.
+    pub fn new(sink: W, metrics: Arc<Metrics>) -> Self {
+        TelemetryLogger {
+            sink,
+            metrics,
+            failures: 0,
+        }
+    }
+
+    /// Append a batch of records. Returns how many batches have failed so
+    /// far (0 meaning every write has landed).
+    pub fn append(&mut self, records: &[TelemetryRecord]) -> u64 {
+        if let Err(_e) = write_jsonl(&mut self.sink, records) {
+            self.failures += 1;
+            self.metrics.inc(Counter::LogWriteFailures);
+        }
+        self.failures
+    }
+
+    /// Flush the underlying sink; failures count like write failures.
+    pub fn flush(&mut self) -> u64 {
+        if self.sink.flush().is_err() {
+            self.failures += 1;
+            self.metrics.inc(Counter::LogWriteFailures);
+        }
+        self.failures
+    }
+
+    /// Total failed operations since construction.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Unwrap the inner sink (tests; final flush responsibility moves to
+    /// the caller).
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
 }
 
 #[cfg(test)]
@@ -42,6 +102,7 @@ mod tests {
 
     fn rec(slot: u64) -> TelemetryRecord {
         TelemetryRecord {
+            schema_version: crate::SCHEMA_VERSION,
             slot,
             sfn: 0,
             rnti: Rnti(0x4601),
@@ -84,5 +145,50 @@ mod tests {
         let (back, bad) = read_jsonl(&text);
         assert_eq!(back.len(), 1);
         assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn future_schema_records_are_rejected() {
+        let mut future = rec(5);
+        future.schema_version = crate::SCHEMA_VERSION + 1;
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[rec(4), future]).unwrap();
+        let (back, bad) = read_jsonl(&String::from_utf8(buf).unwrap());
+        assert_eq!(back.len(), 1, "only the current-schema record survives");
+        assert_eq!(bad, 1);
+    }
+
+    /// A sink that fails after N bytes — the full-disk scenario.
+    struct FailingSink {
+        remaining: usize,
+    }
+
+    impl Write for FailingSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.remaining == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+            }
+            let n = buf.len().min(self.remaining);
+            self.remaining -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn logger_counts_failures_instead_of_aborting() {
+        let metrics = Metrics::shared(true);
+        let mut logger = TelemetryLogger::new(FailingSink { remaining: 64 }, Arc::clone(&metrics));
+        let mut failures = 0;
+        for slot in 0..10 {
+            failures = logger.append(&[rec(slot)]);
+        }
+        assert!(failures > 0, "sink dies after 64 bytes; later batches fail");
+        assert_eq!(
+            metrics.snapshot().counter("log_write_failures"),
+            Some(failures)
+        );
     }
 }

@@ -134,11 +134,23 @@ pub enum Counter {
     /// Decode steps that failed gracefully (malformed fields, missing
     /// context) instead of crashing the worker.
     DecodeFailures,
+    /// Telemetry log writes that failed (sink error) without aborting
+    /// capture.
+    LogWriteFailures,
+    /// Journal appends that failed (sink error) without aborting capture.
+    JournalWriteFailures,
+    /// Checkpoints written durably by the background writer.
+    CheckpointsWritten,
+    /// Checkpoint writes that failed (I/O error in the background writer).
+    CheckpointFailures,
+    /// Checkpoint requests skipped because the previous write was still in
+    /// flight (the hot path never blocks on the writer).
+    CheckpointsSkipped,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 23] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -157,6 +169,11 @@ impl Counter {
         Counter::PrioritySheds,
         Counter::WorkerStalls,
         Counter::DecodeFailures,
+        Counter::LogWriteFailures,
+        Counter::JournalWriteFailures,
+        Counter::CheckpointsWritten,
+        Counter::CheckpointFailures,
+        Counter::CheckpointsSkipped,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -180,6 +197,11 @@ impl Counter {
             Counter::PrioritySheds => "priority_sheds",
             Counter::WorkerStalls => "worker_stalls",
             Counter::DecodeFailures => "decode_failures",
+            Counter::LogWriteFailures => "log_write_failures",
+            Counter::JournalWriteFailures => "journal_write_failures",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::CheckpointFailures => "checkpoint_failures",
+            Counter::CheckpointsSkipped => "checkpoints_skipped",
         }
     }
 }
@@ -415,10 +437,24 @@ impl Metrics {
             })
             .collect();
         MetricsSnapshot {
+            schema_version: crate::SCHEMA_VERSION,
             enabled: self.is_enabled(),
             counters,
             gauges,
             stages,
+        }
+    }
+
+    /// Restore counter values from a frozen snapshot (crash-safe session
+    /// recovery). Counters whose names the snapshot does not carry are left
+    /// untouched; unknown snapshot names are ignored. Histograms and gauges
+    /// are not restorable — snapshots keep only their aggregates — so the
+    /// restarted registry's latency view starts fresh.
+    pub fn restore_counters(&self, snap: &MetricsSnapshot) {
+        for c in Counter::ALL {
+            if let Some(v) = snap.counter(c.name()) {
+                self.counters[c as usize].store(v, Relaxed);
+            }
         }
     }
 }
@@ -478,6 +514,9 @@ pub struct GaugeSnapshot {
 /// `BENCH_pipeline.json`'s `stages`/`counters` arrays).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
+    /// Serialisation schema version ([`crate::SCHEMA_VERSION`]); snapshots
+    /// from a future schema are rejected by [`MetricsSnapshot::from_json`].
+    pub schema_version: u32,
     /// Whether the registry was recording when frozen.
     pub enabled: bool,
     /// All counters, in [`Counter::ALL`] order.
@@ -495,8 +534,18 @@ impl MetricsSnapshot {
     }
 
     /// Parse a snapshot back from [`MetricsSnapshot::to_json`] output.
+    /// Rejects snapshots written by a future schema version — their field
+    /// semantics are unknowable, so loading them would silently misread.
     pub fn from_json(s: &str) -> Result<MetricsSnapshot, serde_json::Error> {
-        serde_json::from_str(s)
+        let snap: MetricsSnapshot = serde_json::from_str(s)?;
+        if snap.schema_version > crate::SCHEMA_VERSION {
+            return Err(serde_json::Error::from(serde::DeError(format!(
+                "metrics snapshot schema v{} is newer than supported v{}",
+                snap.schema_version,
+                crate::SCHEMA_VERSION
+            ))));
+        }
+        Ok(snap)
     }
 
     /// Look up a stage by name.

@@ -26,13 +26,14 @@ pub use nr_radio::ImpairmentSchedule;
 use nr_radio::VirtualUsrp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::metrics::{Counter, Metrics, Stage};
 use std::sync::Arc;
 
 /// One candidate-shaped PDCCH capture at message fidelity: the scrambled
 /// codeword bits as they sit on the candidate's REs (hard decisions).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ObservedDci {
     /// Scrambled codeword bits (payload ‖ RNTI-scrambled CRC, then Gold
     /// scrambled). Corruption may have flipped bits.
@@ -44,7 +45,7 @@ pub struct ObservedDci {
 }
 
 /// What the sniffer receives for one slot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ObservedSlot {
     /// Message fidelity: MIB bits (if SSB present), candidate codewords,
     /// and broadcast PDSCH payloads (SIB1 / RAR / RRC Setup) keyed by the
@@ -70,7 +71,7 @@ pub enum ObservedSlot {
 }
 
 /// Decodable broadcast payload bits.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PdschPayload {
     /// SIB1 message bits.
     Sib1(Vec<u8>),
@@ -82,7 +83,7 @@ pub enum PdschPayload {
 
 /// Why the observer produced no slot (what a real capture loop logs when
 /// the ring buffer or the host falls behind).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropReason {
     /// USRP overflow: the slot buffer was lost in hardware.
     Overflow,
@@ -93,7 +94,7 @@ pub enum DropReason {
 /// One observer tick under fault injection: either a captured slot or an
 /// accounted-for loss. [`Observer::capture`] produces these; the plain
 /// [`Observer::observe`] path never drops.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Capture {
     /// The slot was captured (possibly degraded or truncated).
     Slot(ObservedSlot),

@@ -1,0 +1,787 @@
+//! Crash-safe session persistence: checkpoint + journal + warm restart.
+//!
+//! NR-Scope runs unattended for days against live cells; a process crash
+//! must not cost the tracked C-RNTI population, throughput windows, or
+//! sync-health state (re-discovering UEs passively takes until each next
+//! RACHes). This module makes scope state durable with two artefacts:
+//!
+//! * **Snapshots** (`ckpt-<slot>.snap`): a versioned JSON image of all
+//!   recoverable state ([`SessionState`]), written atomically
+//!   (tmp + fsync + rename + directory fsync) on a slot-count cadence
+//!   from a background writer thread so the hot path never blocks on
+//!   storage.
+//! * **Journal** (`journal-<start>.jnl`): an append-only record of every
+//!   slot since the journal file's start — length-prefixed, CRC-guarded
+//!   JSONL — flushed to the OS per slot, so `kill -9` loses at most the
+//!   slot in flight.
+//!
+//! Recovery loads the newest *valid* snapshot (torn or corrupt ones are
+//! detected by CRC + length prefix and skipped — never panic, never load
+//! garbage) and replays the journal tail on top. Replay is idempotent via
+//! the slot-sequence watermark: entries below the snapshot's slot are
+//! already folded in and skip, so bytes are never double-counted no
+//! matter how snapshot and journal overlap.
+
+use crate::config::ScopeConfig;
+use crate::governor::OverloadGovernor;
+use crate::metrics::{Counter, Metrics, MetricsSnapshot};
+use crate::scope::{CellKnowledge, NrScope, ScopeStats, SyncState};
+use crate::telemetry::TelemetryRecord;
+use crate::throughput::ThroughputState;
+use crate::tracker::{TrackerAux, TrackerState};
+use nr_phy::types::{Pci, Rnti};
+use nr_rrc::RrcSetup;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the guard on
+/// every snapshot payload and journal record. Bitwise, no table: this runs
+/// once per slot on a few hundred bytes, not in the sample path.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One state-mutating operation of a processed slot, in occurrence order.
+/// Replaying a slot's ops (then overwriting with its [`MicroState`])
+/// reconstructs the scope exactly as the live run left it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SlotOp {
+    /// A UE entered the tracked set (MSG 4 promotion or hypothesis-retry
+    /// restore — the distinction washes out because the entry's aux image
+    /// carries the bookkeeping verbatim).
+    Track {
+        /// The C-RNTI tracked.
+        rnti: Rnti,
+        /// The RRC Setup its state was built from.
+        rrc: RrcSetup,
+    },
+    /// A telemetry record was produced (activity, HARQ memory, and
+    /// throughput-window side effects are re-derived from the record).
+    Record(TelemetryRecord),
+    /// Housekeeping expired an idle UE.
+    Expire {
+        /// The expired C-RNTI.
+        rnti: Rnti,
+    },
+}
+
+/// End-of-slot continuous state, carried verbatim in every journal entry
+/// so replay never re-derives sync/governor/stats decisions (and so
+/// cannot drift from what the live run concluded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroState {
+    /// Cell knowledge (PCI, MIB, SIB1, frame anchor).
+    pub cell: CellKnowledge,
+    /// Sync-health machine state.
+    pub sync: SyncState,
+    /// Consecutive unhealthy slots feeding that machine.
+    pub unhealthy_streak: u64,
+    /// PCI believed before a sync loss (reacquisition hint).
+    pub last_pci: Option<Pci>,
+    /// Session counters.
+    pub stats: ScopeStats,
+    /// Overload-governor ladder state.
+    pub governor: OverloadGovernor,
+    /// Tracker bookkeeping (pending TC-RNTIs, expiry shadow, RRC cache).
+    pub tracker_aux: TrackerAux,
+}
+
+/// One journal record: everything slot `seq` did to the session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// The slot this entry describes.
+    pub seq: u64,
+    /// Whether the front end dropped this slot (diagnostics only; replay
+    /// treats both kinds identically).
+    pub dropped: bool,
+    /// Ordered state mutations.
+    pub ops: Vec<SlotOp>,
+    /// End-of-slot continuous state.
+    pub micro: MicroState,
+}
+
+/// The full recoverable image of a session — what a snapshot holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Serialisation schema version ([`crate::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Next slot to process; doubles as the replay watermark.
+    pub slot: u64,
+    /// Cell knowledge.
+    pub cell: CellKnowledge,
+    /// Sync-health machine state.
+    pub sync: SyncState,
+    /// Consecutive unhealthy slots.
+    pub unhealthy_streak: u64,
+    /// Reacquisition PCI hint.
+    pub last_pci: Option<Pci>,
+    /// Out-of-band PCI the session was started with.
+    pub assumed_pci: Option<Pci>,
+    /// Session counters.
+    pub stats: ScopeStats,
+    /// Overload-governor ladder state.
+    pub governor: OverloadGovernor,
+    /// UE tracker (table + bookkeeping).
+    pub tracker: TrackerState,
+    /// Throughput estimator (windows + history).
+    pub throughput: ThroughputState,
+    /// Metrics counters at snapshot time.
+    pub metrics: MetricsSnapshot,
+}
+
+/// What recovery found and did — written as `RECOVERY_report.json` by the
+/// supervisor soak so CI can assert warm-restart invariants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Serialisation schema version.
+    pub schema_version: u32,
+    /// Whether any prior state was found (false = cold start).
+    pub resumed: bool,
+    /// Slot of the snapshot restored, if one was valid.
+    pub snapshot_slot: Option<u64>,
+    /// Snapshots rejected as torn/corrupt/future-schema before one loaded.
+    pub corrupt_checkpoints_skipped: u64,
+    /// Journal entries applied on top of the snapshot.
+    pub replayed_entries: u64,
+    /// Journal segments discarded as truncated or corrupt.
+    pub journal_entries_discarded: u64,
+    /// The slot the session resumed at (watermark after replay).
+    pub resumed_slot: u64,
+    /// UEs tracked at resume.
+    pub recovered_ues: u64,
+}
+
+const SNAP_MAGIC: &str = "NRSCOPE-SNAP";
+const JOURNAL_MAGIC: &str = "J1";
+const SNAP_PREFIX: &str = "ckpt-";
+const SNAP_SUFFIX: &str = ".snap";
+const JOURNAL_PREFIX: &str = "journal-";
+const JOURNAL_SUFFIX: &str = ".jnl";
+
+/// Append one journal record: `J1 <len:08x> <crc:08x> <json>\n`. The
+/// length prefix detects truncated tails, the CRC detects torn or
+/// bit-flipped content — either way the reader stops at the last good
+/// record instead of loading garbage.
+pub fn append_journal_entry<W: Write>(w: &mut W, e: &JournalEntry) -> io::Result<()> {
+    let json = serde_json::to_string(e).map_err(io::Error::from)?;
+    writeln!(
+        w,
+        "{JOURNAL_MAGIC} {:08x} {:08x} {json}",
+        json.len(),
+        crc32(json.as_bytes())
+    )
+}
+
+/// Parse journal bytes, stopping at the first invalid record (truncated
+/// tail, bad CRC, zero-length or malformed payload, non-monotonic
+/// sequence). Returns the valid prefix and the number of discarded
+/// segments.
+pub fn read_journal_bytes(data: &[u8]) -> (Vec<JournalEntry>, u64) {
+    let mut out: Vec<JournalEntry> = Vec::new();
+    let mut segments = data.split(|&b| b == b'\n').peekable();
+    let mut discarded = 0u64;
+    while let Some(seg) = segments.next() {
+        // The final segment after the last '\n' is empty for a cleanly
+        // terminated file and a partial record for a torn one.
+        let is_tail = segments.peek().is_none();
+        if is_tail && seg.is_empty() {
+            break;
+        }
+        match parse_journal_segment(seg, out.last().map(|e| e.seq)) {
+            Some(entry) => out.push(entry),
+            None => {
+                // Everything from the first bad record on is untrusted:
+                // count it and stop.
+                discarded = 1 + segments.filter(|s| !s.is_empty()).count() as u64;
+                break;
+            }
+        }
+    }
+    (out, discarded)
+}
+
+fn parse_journal_segment(seg: &[u8], prev_seq: Option<u64>) -> Option<JournalEntry> {
+    let text = std::str::from_utf8(seg).ok()?;
+    let rest = text.strip_prefix(JOURNAL_MAGIC)?.strip_prefix(' ')?;
+    let (len_hex, rest) = rest.split_at_checked(8)?;
+    let rest = rest.strip_prefix(' ')?;
+    let (crc_hex, rest) = rest.split_at_checked(8)?;
+    let json = rest.strip_prefix(' ')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if len == 0 || json.len() != len || crc32(json.as_bytes()) != crc {
+        return None;
+    }
+    let entry: JournalEntry = serde_json::from_str(json).ok()?;
+    // Sequences must strictly advance within a file; a repeat or a jump
+    // backwards means the file was stitched or corrupted.
+    if prev_seq.is_some_and(|p| entry.seq <= p) {
+        return None;
+    }
+    Some(entry)
+}
+
+/// Directory of checkpoints + journals for one session, with atomic
+/// snapshot writes and corruption-tolerant loading.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    dir: PathBuf,
+}
+
+impl SessionStore {
+    /// Open (creating if needed) a session directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<SessionStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SessionStore { dir })
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the journal file starting at `start_slot`.
+    pub fn journal_path(&self, start_slot: u64) -> PathBuf {
+        self.dir
+            .join(format!("{JOURNAL_PREFIX}{start_slot:012}{JOURNAL_SUFFIX}"))
+    }
+
+    fn snapshot_path(&self, slot: u64) -> PathBuf {
+        self.dir
+            .join(format!("{SNAP_PREFIX}{slot:012}{SNAP_SUFFIX}"))
+    }
+
+    /// Slots of all snapshot files present, ascending.
+    pub fn snapshot_slots(&self) -> Vec<u64> {
+        self.list_slots(SNAP_PREFIX, SNAP_SUFFIX)
+    }
+
+    /// Start slots of all journal files present, ascending.
+    pub fn journal_starts(&self) -> Vec<u64> {
+        self.list_slots(JOURNAL_PREFIX, JOURNAL_SUFFIX)
+    }
+
+    fn list_slots(&self, prefix: &str, suffix: &str) -> Vec<u64> {
+        let mut slots: Vec<u64> = fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                e.file_name()
+                    .to_str()?
+                    .strip_prefix(prefix)?
+                    .strip_suffix(suffix)?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        slots.sort_unstable();
+        slots
+    }
+
+    /// Write a snapshot atomically: serialise, CRC, write to a temp file,
+    /// fsync it, rename into place, fsync the directory. A crash at any
+    /// point leaves either the old set of snapshots or the old set plus a
+    /// complete new one — never a half-written file under the real name.
+    pub fn write_checkpoint(&self, state: &SessionState) -> io::Result<u64> {
+        let json = serde_json::to_string(state).map_err(io::Error::from)?;
+        let header = format!(
+            "{SNAP_MAGIC} {} {:08x} {:08x}\n",
+            state.schema_version,
+            json.len(),
+            crc32(json.as_bytes())
+        );
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{SNAP_PREFIX}{:012}", state.slot));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.snapshot_path(state.slot))?;
+        // Persist the rename itself (directory metadata).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(state.slot)
+    }
+
+    /// Load the newest valid snapshot, walking backwards past torn,
+    /// corrupt, or future-schema files. Returns the state (if any) and
+    /// how many snapshots were rejected on the way.
+    pub fn load_latest(&self) -> (Option<SessionState>, u64) {
+        let mut rejected = 0u64;
+        for slot in self.snapshot_slots().into_iter().rev() {
+            match self.load_snapshot(slot) {
+                Some(state) => return (Some(state), rejected),
+                None => rejected += 1,
+            }
+        }
+        (None, rejected)
+    }
+
+    fn load_snapshot(&self, slot: u64) -> Option<SessionState> {
+        let data = fs::read(self.snapshot_path(slot)).ok()?;
+        let nl = data.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&data[..nl]).ok()?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some(SNAP_MAGIC) {
+            return None;
+        }
+        let version: u32 = parts.next()?.parse().ok()?;
+        if version > crate::SCHEMA_VERSION {
+            return None;
+        }
+        let len = usize::from_str_radix(parts.next()?, 16).ok()?;
+        let crc = u32::from_str_radix(parts.next()?, 16).ok()?;
+        let payload = &data[nl + 1..];
+        if payload.len() != len || crc32(payload) != crc {
+            return None;
+        }
+        let state: SessionState = serde_json::from_str(std::str::from_utf8(payload).ok()?).ok()?;
+        if state.schema_version > crate::SCHEMA_VERSION {
+            return None;
+        }
+        Some(state)
+    }
+
+    /// Delete all but the newest `keep` snapshots.
+    pub fn prune_checkpoints(&self, keep: usize) {
+        let slots = self.snapshot_slots();
+        for &slot in slots.iter().rev().skip(keep.max(1)) {
+            let _ = fs::remove_file(self.snapshot_path(slot));
+        }
+    }
+
+    /// Delete journal files wholly covered by newer ones, given the oldest
+    /// slot any retained snapshot still needs replay from. A file covers
+    /// `[its start, next file's start)`; it is removable once the next
+    /// file starts at or before `oldest_needed`.
+    pub fn prune_journals(&self, oldest_needed: u64) {
+        let starts = self.journal_starts();
+        for pair in starts.windows(2) {
+            if pair[1] <= oldest_needed {
+                let _ = fs::remove_file(self.journal_path(pair[0]));
+            }
+        }
+    }
+
+    /// Rebuild a session: newest valid snapshot (or a fresh scope when
+    /// none exists), then replay every journal entry at or past the
+    /// watermark, stopping at corruption or a sequence gap. Never panics;
+    /// the worst corruption possible degrades to a cold start.
+    pub fn recover(&self, cfg: ScopeConfig, assumed_pci: Option<Pci>) -> (NrScope, RecoveryReport) {
+        let (snapshot, rejected) = self.load_latest();
+        let snapshot_slot = snapshot.as_ref().map(|s| s.slot);
+        let had_journals = !self.journal_starts().is_empty();
+        let mut scope = match &snapshot {
+            Some(state) => NrScope::from_state(cfg, state),
+            None => NrScope::new(cfg, assumed_pci),
+        };
+        let mut replayed = 0u64;
+        let mut discarded = 0u64;
+        'files: for start in self.journal_starts() {
+            let Ok(data) = fs::read(self.journal_path(start)) else {
+                continue;
+            };
+            let (entries, bad) = read_journal_bytes(&data);
+            discarded += bad;
+            for e in &entries {
+                if e.seq > scope.slot_watermark() {
+                    // A sequence gap (a journal file lost between this one
+                    // and the watermark): applying ops at the wrong slot
+                    // would corrupt state — stop replaying.
+                    break 'files;
+                }
+                if scope.apply_journal_entry(e) {
+                    replayed += 1;
+                }
+            }
+        }
+        let report = RecoveryReport {
+            schema_version: crate::SCHEMA_VERSION,
+            resumed: snapshot.is_some() || replayed > 0 || had_journals,
+            snapshot_slot,
+            corrupt_checkpoints_skipped: rejected,
+            replayed_entries: replayed,
+            journal_entries_discarded: discarded,
+            resumed_slot: scope.slot_watermark(),
+            recovered_ues: scope.tracked_rntis().len() as u64,
+        };
+        (scope, report)
+    }
+}
+
+/// Background checkpoint writer: a single worker thread fed through a
+/// depth-1 channel. The hot path hands over a frozen [`SessionState`] and
+/// returns immediately; if the previous write is still in flight the
+/// request is skipped (and counted) rather than queued — a fresher
+/// snapshot is always coming.
+struct CheckpointWriter {
+    tx: Option<SyncSender<SessionState>>,
+    handle: Option<JoinHandle<()>>,
+    last_written: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
+}
+
+impl CheckpointWriter {
+    fn spawn(store: SessionStore, keep: usize, metrics: Arc<Metrics>) -> CheckpointWriter {
+        let (tx, rx) = sync_channel::<SessionState>(1);
+        let last_written = Arc::new(AtomicU64::new(0));
+        let last = Arc::clone(&last_written);
+        let m = Arc::clone(&metrics);
+        let handle = crate::worker::spawn_background("checkpoint", move || {
+            while let Ok(state) = rx.recv() {
+                match store.write_checkpoint(&state) {
+                    Ok(slot) => {
+                        last.store(slot, Relaxed);
+                        m.inc(Counter::CheckpointsWritten);
+                        store.prune_checkpoints(keep);
+                        if let Some(&oldest) = store.snapshot_slots().first() {
+                            store.prune_journals(oldest);
+                        }
+                    }
+                    Err(_) => m.inc(Counter::CheckpointFailures),
+                }
+            }
+        });
+        CheckpointWriter {
+            tx: Some(tx),
+            handle: Some(handle),
+            last_written,
+            metrics,
+        }
+    }
+
+    /// Offer a snapshot; returns immediately. Skipped (and counted) when
+    /// the writer is still busy with the previous one.
+    fn try_submit(&self, state: SessionState) {
+        if let Some(tx) = &self.tx {
+            match tx.try_send(state) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.inc(Counter::CheckpointsSkipped);
+                }
+            }
+        }
+    }
+
+    /// Newest slot durably checkpointed by the background thread.
+    fn last_written(&self) -> u64 {
+        self.last_written.load(Relaxed)
+    }
+
+    /// Drain and join the writer.
+    fn shutdown(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CheckpointWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Persistence knobs.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Session directory (checkpoints + journals).
+    pub dir: PathBuf,
+    /// Snapshot cadence in slots (512 ≈ every 0.25 s at µ=1).
+    pub checkpoint_every_slots: u64,
+    /// Snapshots retained (≥ 1; the previous one is the fallback when the
+    /// newest turns out torn).
+    pub keep_checkpoints: usize,
+}
+
+impl PersistConfig {
+    /// Defaults: checkpoint every 512 slots, keep 2.
+    pub fn new(dir: impl Into<PathBuf>) -> PersistConfig {
+        PersistConfig {
+            dir: dir.into(),
+            checkpoint_every_slots: 512,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+/// An [`NrScope`] wrapped with durability: every processed capture is
+/// journalled, snapshots stream from a background writer, and
+/// [`PersistentSession::open`] warm-restarts from whatever survived the
+/// last crash.
+pub struct PersistentSession {
+    scope: NrScope,
+    store: SessionStore,
+    cfg: PersistConfig,
+    journal: BufWriter<File>,
+    /// Start slot of the journal file currently being appended.
+    journal_start: u64,
+    writer: CheckpointWriter,
+}
+
+impl PersistentSession {
+    /// Open (or resume) a durable session in `cfg.dir`. Recovery is part
+    /// of opening: the returned report says what was restored.
+    pub fn open(
+        cfg: PersistConfig,
+        scope_cfg: ScopeConfig,
+        assumed_pci: Option<Pci>,
+    ) -> io::Result<(PersistentSession, RecoveryReport)> {
+        let store = SessionStore::new(&cfg.dir)?;
+        let (mut scope, report) = store.recover(scope_cfg, assumed_pci);
+        scope.start_journaling();
+        let journal_start = scope.slot_watermark();
+        let journal = open_journal(&store, journal_start)?;
+        let writer = CheckpointWriter::spawn(
+            store.clone(),
+            cfg.keep_checkpoints,
+            Arc::clone(scope.metrics()),
+        );
+        Ok((
+            PersistentSession {
+                scope,
+                store,
+                cfg,
+                journal,
+                journal_start,
+                writer,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped scope.
+    pub fn scope(&self) -> &NrScope {
+        &self.scope
+    }
+
+    /// Mutable access to the wrapped scope.
+    pub fn scope_mut(&mut self) -> &mut NrScope {
+        &mut self.scope
+    }
+
+    /// The session store (tests inspect the directory through this).
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// Process one capture durably: decode, journal the slot (flushed to
+    /// the OS, so `kill -9` cannot lose it), and kick the checkpoint
+    /// cadence. Journal write failures are counted in metrics, never
+    /// raised — losing durability must not stop capture.
+    pub fn process_capture(&mut self, cap: &crate::observe::Capture) -> Vec<TelemetryRecord> {
+        let records = self.scope.process_capture(cap);
+        if let Some(entry) = self.scope.take_journal_entry() {
+            let ok = append_journal_entry(&mut self.journal, &entry).is_ok()
+                && self.journal.flush().is_ok();
+            if !ok {
+                self.scope.metrics().inc(Counter::JournalWriteFailures);
+            }
+        }
+        let watermark = self.scope.slot_watermark();
+        if watermark.is_multiple_of(self.cfg.checkpoint_every_slots) {
+            self.writer.try_submit(self.scope.session_state());
+        }
+        // Once a checkpoint newer than this journal file's start is
+        // durable, rotate: replay will start from that snapshot, so new
+        // entries belong in a file aligned with it and older files become
+        // prunable.
+        if self.writer.last_written() > self.journal_start {
+            if let Ok(j) = open_journal(&self.store, watermark) {
+                let _ = self.journal.flush();
+                self.journal = j;
+                self.journal_start = watermark;
+            }
+        }
+        records
+    }
+
+    /// Write a checkpoint synchronously (shutdown path — unlike the
+    /// cadence writes, the caller wants it durable before returning).
+    pub fn checkpoint_now(&mut self) -> io::Result<u64> {
+        let slot = self.store.write_checkpoint(&self.scope.session_state())?;
+        self.store.prune_checkpoints(self.cfg.keep_checkpoints);
+        if let Some(&oldest) = self.store.snapshot_slots().first() {
+            self.store.prune_journals(oldest);
+        }
+        Ok(slot)
+    }
+
+    /// Clean shutdown: flush the journal, write a final checkpoint, stop
+    /// the background writer.
+    pub fn finalize(mut self) -> io::Result<u64> {
+        self.journal.flush()?;
+        let slot = self.checkpoint_now()?;
+        self.writer.shutdown();
+        Ok(slot)
+    }
+}
+
+fn open_journal(store: &SessionStore, start_slot: u64) -> io::Result<BufWriter<File>> {
+    // Append: re-opening after a crash-before-rotation continues the same
+    // file (the reader tolerates a torn final record).
+    let f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(store.journal_path(start_slot))?;
+    Ok(BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("nrscope-persist-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn dummy_entry(seq: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            dropped: false,
+            ops: Vec::new(),
+            micro: MicroState {
+                cell: CellKnowledge::default(),
+                sync: SyncState::Synced,
+                unhealthy_streak: 0,
+                last_pci: None,
+                stats: ScopeStats::default(),
+                governor: OverloadGovernor::new(crate::governor::GovernorConfig::default()),
+                tracker_aux: TrackerAux::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn journal_round_trip() {
+        let mut buf = Vec::new();
+        for seq in 0..5 {
+            append_journal_entry(&mut buf, &dummy_entry(seq)).unwrap();
+        }
+        let (entries, discarded) = read_journal_bytes(&buf);
+        assert_eq!(entries.len(), 5);
+        assert_eq!(discarded, 0);
+        assert_eq!(entries[4].seq, 4);
+    }
+
+    #[test]
+    fn truncated_tail_recovers_valid_prefix() {
+        let mut buf = Vec::new();
+        for seq in 0..5 {
+            append_journal_entry(&mut buf, &dummy_entry(seq)).unwrap();
+        }
+        // Tear the file mid-way through the final record.
+        buf.truncate(buf.len() - 10);
+        let (entries, discarded) = read_journal_bytes(&buf);
+        assert_eq!(entries.len(), 4);
+        assert!(discarded >= 1);
+    }
+
+    #[test]
+    fn flipped_crc_byte_stops_replay_at_the_bad_record() {
+        let mut good = Vec::new();
+        append_journal_entry(&mut good, &dummy_entry(0)).unwrap();
+        let record_len = good.len();
+        for seq in 1..4 {
+            append_journal_entry(&mut good, &dummy_entry(seq)).unwrap();
+        }
+        // Flip a payload byte of record 1 (past its header).
+        let mut bad = good.clone();
+        bad[record_len + 30] ^= 0x01;
+        let (entries, discarded) = read_journal_bytes(&bad);
+        assert_eq!(entries.len(), 1, "replay stops before the corrupt record");
+        assert!(discarded >= 1);
+    }
+
+    #[test]
+    fn zero_length_record_is_rejected() {
+        let mut buf = Vec::new();
+        append_journal_entry(&mut buf, &dummy_entry(0)).unwrap();
+        buf.extend_from_slice(format!("J1 {:08x} {:08x} \n", 0, crc32(b"")).as_bytes());
+        append_journal_entry(&mut buf, &dummy_entry(1)).unwrap();
+        let (entries, discarded) = read_journal_bytes(&buf);
+        assert_eq!(entries.len(), 1);
+        assert!(discarded >= 1, "everything after the bad record distrusted");
+    }
+
+    #[test]
+    fn non_monotonic_sequence_is_rejected() {
+        let mut buf = Vec::new();
+        append_journal_entry(&mut buf, &dummy_entry(3)).unwrap();
+        append_journal_entry(&mut buf, &dummy_entry(3)).unwrap();
+        let (entries, _) = read_journal_bytes(&buf);
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_previous_checkpoint() {
+        let dir = tmp_dir("torn-snap");
+        let store = SessionStore::new(&dir).unwrap();
+        let scope = NrScope::new(ScopeConfig::default(), Some(Pci(1)));
+        let mut state = scope.session_state();
+        state.slot = 100;
+        store.write_checkpoint(&state).unwrap();
+        state.slot = 200;
+        store.write_checkpoint(&state).unwrap();
+        // Tear the newest snapshot (as an interrupted write would).
+        let newest = store.snapshot_slots().last().copied().unwrap();
+        assert_eq!(newest, 200);
+        let path = dir.join("ckpt-000000000200.snap");
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() / 2]).unwrap();
+        let (loaded, rejected) = store.load_latest();
+        assert_eq!(loaded.unwrap().slot, 100, "fell back to previous");
+        assert_eq!(rejected, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_schema_snapshot_is_rejected() {
+        let dir = tmp_dir("future-snap");
+        let store = SessionStore::new(&dir).unwrap();
+        let scope = NrScope::new(ScopeConfig::default(), Some(Pci(1)));
+        let mut state = scope.session_state();
+        state.slot = 100;
+        state.schema_version = crate::SCHEMA_VERSION + 1;
+        store.write_checkpoint(&state).unwrap();
+        let (loaded, rejected) = store.load_latest();
+        assert!(loaded.is_none());
+        assert_eq!(rejected, 1);
+        // Recovery degrades to a cold start instead of loading it.
+        let (recovered, report) = store.recover(ScopeConfig::default(), Some(Pci(1)));
+        assert_eq!(recovered.slot_watermark(), 0);
+        assert_eq!(report.corrupt_checkpoints_skipped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -9,6 +9,7 @@ use crate::decoder::{
 use crate::governor::{LoadModel, LoadRung, OverloadGovernor, SlotVerdict};
 use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage};
 use crate::observe::{Capture, ObservedSlot, PdschPayload};
+use crate::persist::{JournalEntry, MicroState, SessionState, SlotOp};
 use crate::spare::{slot_data_res, spare_capacity, SpareShare, UeUsage};
 use crate::telemetry::TelemetryRecord;
 use crate::throughput::ThroughputEstimator;
@@ -23,11 +24,12 @@ use nr_phy::sync::{detect_pss, detect_sss, SYNC_SEQ_LEN};
 use nr_phy::tbs::{transport_block_size, TbsParams};
 use nr_phy::types::{Pci, Rnti, RntiType};
 use nr_rrc::{Mib, RrcSetup, Sib1};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What the sniffer has learned about the cell so far.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CellKnowledge {
     /// Detected physical cell identity (IQ mode: from PSS/SSS).
     pub pci: Option<Pci>,
@@ -50,7 +52,7 @@ pub struct CellKnowledge {
 /// identity is discarded — and `Reacquiring`, where cell search re-runs
 /// (PSS/SSS at IQ fidelity, an SI-RNTI PCI scan at message fidelity).
 /// Any successful DCI decode snaps the session back to `Synced`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SyncState {
     /// Decoding normally.
     #[default]
@@ -64,7 +66,7 @@ pub enum SyncState {
 }
 
 /// Counters the micro-benchmarks read.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct ScopeStats {
     /// Slots processed.
     pub slots: u64,
@@ -160,6 +162,12 @@ pub struct NrScope {
     /// modelled latency derived from offered decode work instead of wall
     /// clock — seed-reproducible overload dynamics for tests and benches.
     load_model: Option<LoadModel>,
+    /// Whether state mutations are being captured for the crash journal.
+    journaling: bool,
+    /// State-mutating operations of the slot in flight, in order.
+    slot_ops: Vec<SlotOp>,
+    /// Whether the most recent capture was a front-end drop marker.
+    last_dropped: bool,
 }
 
 impl NrScope {
@@ -194,7 +202,146 @@ impl NrScope {
             metrics,
             governor: OverloadGovernor::new(cfg.governor),
             load_model: None,
+            journaling: false,
+            slot_ops: Vec::new(),
+            last_dropped: false,
         }
+    }
+
+    /// Rebuild a session from a frozen [`SessionState`] (crash recovery).
+    ///
+    /// The operator's *current* config wins over the one active when the
+    /// snapshot was taken (budgets and thresholds may have been retuned
+    /// across the restart); earned runtime state — rung, EWMA, tracker,
+    /// windows, counters — comes from the snapshot. Tracked UEs'
+    /// `last_active_slot` is rebased to the restored watermark so downtime
+    /// never counts as idle time.
+    pub fn from_state(cfg: ScopeConfig, state: &SessionState) -> NrScope {
+        let metrics = Metrics::shared(cfg.metrics_enabled);
+        metrics.restore_counters(&state.metrics);
+        let mut scope = NrScope::with_metrics(cfg, state.assumed_pci, metrics);
+        scope.cell = state.cell.clone();
+        scope.sync = state.sync;
+        scope.unhealthy_streak = state.unhealthy_streak;
+        scope.last_pci = state.last_pci;
+        scope.stats = state.stats;
+        scope.governor = state.governor.clone();
+        scope.governor.set_config(cfg.governor);
+        scope.tracker = UeTracker::from_state(&state.tracker, state.slot);
+        scope.throughput = ThroughputEstimator::from_state(&state.throughput);
+        scope.slot = state.slot;
+        scope
+    }
+
+    /// Freeze everything a warm restart needs into a serialisable image.
+    /// `slot` doubles as the replay watermark: journal entries with
+    /// `seq < slot` are already folded into this state.
+    pub fn session_state(&self) -> SessionState {
+        SessionState {
+            schema_version: crate::SCHEMA_VERSION,
+            slot: self.slot,
+            cell: self.cell.clone(),
+            sync: self.sync,
+            unhealthy_streak: self.unhealthy_streak,
+            last_pci: self.last_pci,
+            assumed_pci: self.assumed_pci,
+            stats: self.stats,
+            governor: self.governor.clone(),
+            tracker: self.tracker.state(),
+            throughput: self.throughput.state(),
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    /// Begin capturing per-slot mutations for the crash journal. The
+    /// caller must drain [`NrScope::take_journal_entry`] after every
+    /// capture, or consecutive slots' operations merge into one entry.
+    pub fn start_journaling(&mut self) {
+        self.journaling = true;
+    }
+
+    /// The next slot to be processed — journal replay's idempotence
+    /// watermark (every entry with `seq` below this is already applied).
+    pub fn slot_watermark(&self) -> u64 {
+        self.slot
+    }
+
+    /// Drain the just-processed slot's journal entry: its ordered
+    /// mutations plus the end-of-slot continuous state. `None` before the
+    /// first slot or when journaling is off.
+    pub fn take_journal_entry(&mut self) -> Option<JournalEntry> {
+        if !self.journaling || self.slot == 0 {
+            return None;
+        }
+        Some(JournalEntry {
+            seq: self.slot - 1,
+            dropped: self.last_dropped,
+            ops: std::mem::take(&mut self.slot_ops),
+            micro: MicroState {
+                cell: self.cell.clone(),
+                sync: self.sync,
+                unhealthy_streak: self.unhealthy_streak,
+                last_pci: self.last_pci,
+                stats: self.stats,
+                governor: self.governor.clone(),
+                tracker_aux: self.tracker.aux_state(),
+            },
+        })
+    }
+
+    /// Replay one journal entry on top of a restored snapshot. Entries at
+    /// or past the watermark apply exactly once (returns `true`); entries
+    /// below it are already part of the snapshot and are skipped — the
+    /// idempotence that makes `snapshot + journal tail` safe when the two
+    /// overlap.
+    pub fn apply_journal_entry(&mut self, e: &JournalEntry) -> bool {
+        if e.seq < self.slot {
+            return false;
+        }
+        for op in &e.ops {
+            match op {
+                SlotOp::Track { rnti, rrc } => self.tracker.replay_track(*rnti, e.seq, *rrc),
+                SlotOp::Record(r) => {
+                    if let Some(ue) = self.tracker.get_mut(r.rnti) {
+                        ue.last_active_slot = e.seq;
+                        match r.format {
+                            DciFormat::Dl1_1 => {
+                                ue.harq_dl.observe(r.harq_id, r.ndi);
+                            }
+                            DciFormat::Ul0_1 => {
+                                ue.harq_ul.observe(r.harq_id, r.ndi);
+                            }
+                        }
+                    }
+                    if r.counts_for_dl_throughput() {
+                        self.throughput
+                            .record(r.rnti, e.seq, r.tbs, self.cfg.rate_window_slots);
+                    }
+                    self.records.push(*r);
+                }
+                SlotOp::Expire { rnti } => {
+                    self.tracker.replay_expire(*rnti);
+                    self.throughput.forget(*rnti);
+                }
+            }
+        }
+        // End-of-slot continuous state is carried verbatim — replay never
+        // re-derives sync/governor/stats decisions, so it cannot drift
+        // from what the live run concluded.
+        self.cell = e.micro.cell.clone();
+        self.sync = e.micro.sync;
+        self.unhealthy_streak = e.micro.unhealthy_streak;
+        self.last_pci = e.micro.last_pci;
+        self.stats = e.micro.stats;
+        self.governor = e.micro.governor.clone();
+        self.governor.set_config(self.cfg.governor);
+        self.tracker.set_aux(&e.micro.tracker_aux);
+        // Mirror the live housekeeping cadence for departed-UE history.
+        if e.seq.is_multiple_of(512) {
+            self.throughput.prune(e.seq);
+        }
+        self.slot = e.seq + 1;
+        true
     }
 
     /// The session's metrics registry.
@@ -360,6 +507,7 @@ impl NrScope {
         match cap {
             Capture::Slot(observed) => self.process(observed),
             Capture::Dropped(_) => {
+                self.last_dropped = true;
                 self.stats.dropped_slots += 1;
                 self.metrics.inc(Counter::SlotsDropped);
                 // A dropped slot is the strongest overload signal the
@@ -385,6 +533,7 @@ impl NrScope {
     pub fn process(&mut self, observed: &ObservedSlot) -> Vec<TelemetryRecord> {
         let _slot_timer = self.metrics.start(Stage::SlotTotal);
         let wall_start = Instant::now();
+        self.last_dropped = false;
         let slot = self.slot;
         // The rung in force while this slot is decoded; transitions taken
         // at the end of the slot apply from the next one.
@@ -520,6 +669,9 @@ impl NrScope {
                 .tracker
                 .expire(slot, self.cfg.ue_expiry_slots, ra_window)
             {
+                if self.journaling {
+                    self.slot_ops.push(SlotOp::Expire { rnti: dead });
+                }
                 self.throughput.forget(dead);
             }
         }
@@ -785,12 +937,15 @@ impl NrScope {
                         self.decode_rrc_payload(pdsch, d.rnti)
                     };
                     if let Some(rrc) = rrc {
-                        if !self.tracker.contains(d.rnti)
-                            && !self.tracker.promote(d.rnti, slot, rrc)
-                        {
-                            // Same RNTI re-RACHed after we expired it: a
-                            // recovery, not a new UE.
-                            self.stats.recovered_ues += 1;
+                        if !self.tracker.contains(d.rnti) {
+                            if self.journaling {
+                                self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
+                            }
+                            if !self.tracker.promote(d.rnti, slot, rrc) {
+                                // Same RNTI re-RACHed after we expired it:
+                                // a recovery, not a new UE.
+                                self.stats.recovered_ues += 1;
+                            }
                         }
                     }
                 }
@@ -799,6 +954,12 @@ impl NrScope {
                         // A recently-expired hypothesis decoded: the UE
                         // was connected all along — re-track it in place.
                         self.stats.recovered_ues += 1;
+                        if self.journaling {
+                            if let Some(ue) = self.tracker.get(d.rnti) {
+                                let rrc = ue.rrc;
+                                self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
+                            }
+                        }
                     }
                     let record = self.telemetry_for(&d, slot, sfn);
                     if let Some(r) = record {
@@ -826,6 +987,9 @@ impl NrScope {
                             DciFormat::Ul0_1 => {
                                 self.stats.ul_dcis += 1;
                             }
+                        }
+                        if self.journaling {
+                            self.slot_ops.push(SlotOp::Record(r));
                         }
                         self.records.push(r);
                     }
@@ -863,11 +1027,17 @@ impl NrScope {
     }
 
     /// Translate a decoded C-RNTI DCI into a telemetry record.
+    ///
+    /// UE state (activity, HARQ memory) is mutated only after every
+    /// content check has passed: a record is returned exactly when its
+    /// side effects happened. Journal replay re-derives those side effects
+    /// from the record alone, so a half-applied rejected DCI (activity
+    /// bumped, HARQ advanced, no record) would silently diverge the
+    /// restored session from the live one.
     fn telemetry_for(&mut self, d: &DecodedDci, slot: u64, sfn: u32) -> Option<TelemetryRecord> {
         let sib1 = self.cell.sib1.as_ref()?;
         let carrier = sib1.carrier_prbs as usize;
-        let ue = self.tracker.get_mut(d.rnti)?;
-        ue.last_active_slot = slot;
+        let rrc = self.tracker.get(d.rnti)?.rrc;
         let Some((prb_start, prb_len)) = riv_decode(d.dci.f_alloc, carrier) else {
             // CRC passed but the frequency allocation is out of range for
             // the carrier: corrupt content — count it, don't crash.
@@ -875,21 +1045,22 @@ impl NrScope {
             self.metrics.inc(Counter::DecodeFailures);
             return None;
         };
-        let (symbol_start, symbol_len) = time_alloc(d.dci.t_alloc);
-        let rrc = ue.rrc;
-        let is_retx = match d.dci.format {
-            DciFormat::Dl1_1 => ue.harq_dl.observe(d.dci.harq_id, d.dci.ndi),
-            DciFormat::Ul0_1 => ue.harq_ul.observe(d.dci.harq_id, d.dci.ndi),
-        };
-        let layers = match d.dci.format {
-            DciFormat::Dl1_1 => rrc.max_mimo_layers as usize,
-            DciFormat::Ul0_1 => 1,
-        };
         let Some(entry) = rrc.mcs_table.entry(d.dci.mcs) else {
             // Reserved MCS index in an otherwise valid DCI.
             self.stats.decode_failures += 1;
             self.metrics.inc(Counter::DecodeFailures);
             return None;
+        };
+        let (symbol_start, symbol_len) = time_alloc(d.dci.t_alloc);
+        let layers = match d.dci.format {
+            DciFormat::Dl1_1 => rrc.max_mimo_layers as usize,
+            DciFormat::Ul0_1 => 1,
+        };
+        let ue = self.tracker.get_mut(d.rnti)?;
+        ue.last_active_slot = slot;
+        let is_retx = match d.dci.format {
+            DciFormat::Dl1_1 => ue.harq_dl.observe(d.dci.harq_id, d.dci.ndi),
+            DciFormat::Ul0_1 => ue.harq_ul.observe(d.dci.harq_id, d.dci.ndi),
         };
         let tbs = transport_block_size(&TbsParams {
             n_prb: prb_len,

@@ -1,0 +1,261 @@
+//! Supervised warm restart: run the scope pipeline in a child process,
+//! detect death, and resume from the latest valid checkpoint.
+//!
+//! The supervisor (parent) owns the radio front end and feeds captures to
+//! a child over a line-oriented JSONL pipe protocol; the child wraps the
+//! scope in a [`PersistentSession`] so every acknowledged slot is durable.
+//! When the child dies (crash, OOM-kill, `kill -9`), the parent respawns
+//! it; [`run_child`] recovers from the session directory and announces —
+//! via [`Hello`] — what it restored, so the parent can verify that no
+//! known UE was dropped and resume feeding from the watermark. Slots the
+//! child already journalled are acknowledged without reprocessing, so a
+//! replayed feed never double-counts bytes.
+
+use crate::config::ScopeConfig;
+use crate::observe::{Capture, DropReason};
+use crate::persist::{PersistConfig, PersistentSession, RecoveryReport};
+use crate::scope::SyncState;
+use crate::telemetry::TelemetryRecord;
+use nr_phy::types::{Pci, Rnti};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// Name of the scope-config file the parent drops in the session
+/// directory; the child loads it through [`ScopeConfig::from_json`] so a
+/// restart picks up the operator's current (possibly edited) config.
+pub const CONFIG_FILE: &str = "scope_config.json";
+
+/// Parent → child messages, one JSON object per line on the child's stdin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireMsg {
+    /// One capture for slot `seq`. The child gap-fills any slots it never
+    /// saw (dead time while it was being restarted) as dropped slots so
+    /// its watermark tracks the parent's clock.
+    Slot {
+        /// Parent-side slot sequence number.
+        seq: u64,
+        /// The capture for that slot.
+        capture: Capture,
+    },
+    /// Ask for per-UE byte accounting over slot ranges (parity audits).
+    Report {
+        /// Half-open slot ranges `[start, end)`.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Clean shutdown: final checkpoint, then exit.
+    Finish,
+}
+
+/// First line the child prints after recovery — what a warm restart found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hello {
+    /// UEs tracked immediately after recovery.
+    pub tracked: Vec<Rnti>,
+    /// Full recovery report (snapshot slot, replay counts, watermark).
+    pub report: RecoveryReport,
+}
+
+/// Per-slot acknowledgement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ack {
+    /// The sequence number being acknowledged.
+    pub seq: u64,
+    /// Child watermark after processing (next slot it expects).
+    pub watermark: u64,
+    /// Sync-health state after the slot.
+    pub sync: SyncState,
+    /// Telemetry records the slot produced (0 when the slot was already
+    /// journalled before a crash and is merely re-acknowledged).
+    pub produced: u64,
+    /// UEs currently tracked.
+    pub tracked: Vec<Rnti>,
+}
+
+/// Reply to [`WireMsg::Report`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportReply {
+    /// For each tracked UE, estimated delivered bits per requested range.
+    pub per_ue: Vec<(Rnti, Vec<u64>)>,
+    /// Distinct UEs ever discovered by this session (crash-stable).
+    pub total_discovered: u64,
+}
+
+/// Child → parent messages, one JSON object per line on the child's stdout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ChildMsg {
+    /// Recovery announcement (always the first line).
+    Hello(Hello),
+    /// Slot acknowledgement.
+    Ack(Ack),
+    /// Byte-accounting reply.
+    Report(ReportReply),
+    /// Clean shutdown complete; the final durable slot.
+    Done {
+        /// Slot of the final checkpoint.
+        final_slot: u64,
+    },
+}
+
+/// Child main loop: recover the session from `dir`, announce [`Hello`],
+/// then process [`WireMsg`] lines from stdin until `Finish` or EOF.
+///
+/// Replay safety: a `Slot` whose `seq` is below the watermark was already
+/// processed and journalled by a previous incarnation — it is acknowledged
+/// without reprocessing, so its bytes are never counted twice. A `seq`
+/// above the watermark gap-fills the missed slots as dropped captures
+/// (the child was dead while the air interface kept moving).
+pub fn run_child(dir: &Path, assumed_pci: Option<Pci>) -> io::Result<()> {
+    let scope_cfg = match std::fs::read_to_string(dir.join(CONFIG_FILE)) {
+        Ok(s) => ScopeConfig::from_json(&s).map_err(io::Error::from)?,
+        Err(_) => ScopeConfig::default(),
+    };
+    let (mut session, report) =
+        PersistentSession::open(PersistConfig::new(dir), scope_cfg, assumed_pci)?;
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    send_line(
+        &mut out,
+        &ChildMsg::Hello(Hello {
+            tracked: session.scope().tracked_rntis(),
+            report,
+        }),
+    )?;
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let msg: WireMsg = match serde_json::from_str(&line) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        match msg {
+            WireMsg::Slot { seq, capture } => {
+                let mut produced: Vec<TelemetryRecord> = Vec::new();
+                if seq >= session.scope().slot_watermark() {
+                    while session.scope().slot_watermark() < seq {
+                        session.process_capture(&Capture::Dropped(DropReason::Stall));
+                    }
+                    produced = session.process_capture(&capture);
+                }
+                let ack = Ack {
+                    seq,
+                    watermark: session.scope().slot_watermark(),
+                    sync: session.scope().sync_state(),
+                    produced: produced.len() as u64,
+                    tracked: session.scope().tracked_rntis(),
+                };
+                send_line(&mut out, &ChildMsg::Ack(ack))?;
+            }
+            WireMsg::Report { ranges } => {
+                let scope = session.scope();
+                let per_ue = scope
+                    .tracked_rntis()
+                    .into_iter()
+                    .map(|rnti| {
+                        let bits = ranges
+                            .iter()
+                            .map(|&(a, b)| scope.estimated_bits(rnti, a..b))
+                            .collect();
+                        (rnti, bits)
+                    })
+                    .collect();
+                let reply = ReportReply {
+                    per_ue,
+                    total_discovered: scope.total_discovered(),
+                };
+                send_line(&mut out, &ChildMsg::Report(reply))?;
+            }
+            WireMsg::Finish => {
+                let final_slot = session.finalize()?;
+                send_line(&mut out, &ChildMsg::Done { final_slot })?;
+                return Ok(());
+            }
+        }
+    }
+    // EOF without Finish: the parent died or closed the pipe. State up to
+    // the last processed slot is already journalled; checkpoint and leave.
+    let _ = session.finalize();
+    Ok(())
+}
+
+fn send_line<W: Write>(w: &mut W, msg: &ChildMsg) -> io::Result<()> {
+    let json = serde_json::to_string(msg).map_err(io::Error::from)?;
+    writeln!(w, "{json}")?;
+    w.flush()
+}
+
+/// Parent-side handle on a spawned pipeline child: line-framed send/recv
+/// plus hard kill (SIGKILL — the crash being simulated, not a clean stop).
+pub struct ChildHandle {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ChildHandle {
+    /// Spawn `exe args…` with piped stdio and wait for its [`Hello`].
+    pub fn spawn(exe: &Path, args: &[String]) -> io::Result<(ChildHandle, Hello)> {
+        let mut child = Command::new(exe)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped child stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped child stdout"));
+        let mut handle = ChildHandle {
+            child,
+            stdin,
+            stdout,
+        };
+        match handle.recv()? {
+            ChildMsg::Hello(h) => Ok((handle, h)),
+            other => Err(io::Error::other(format!(
+                "child's first message was not Hello: {other:?}"
+            ))),
+        }
+    }
+
+    /// Send one message to the child.
+    pub fn send(&mut self, msg: &WireMsg) -> io::Result<()> {
+        let json = serde_json::to_string(msg).map_err(io::Error::from)?;
+        writeln!(self.stdin, "{json}")?;
+        self.stdin.flush()
+    }
+
+    /// Receive the child's next message (blocking). EOF — the child died —
+    /// surfaces as `UnexpectedEof`.
+    pub fn recv(&mut self) -> io::Result<ChildMsg> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.stdout.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "child closed its stdout (died?)",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return serde_json::from_str(line.trim()).map_err(io::Error::from);
+        }
+    }
+
+    /// SIGKILL the child and reap it. This is the simulated crash: no
+    /// flush, no destructor, no goodbye.
+    pub fn kill(&mut self) -> io::Result<()> {
+        self.child.kill()?;
+        self.child.wait()?;
+        Ok(())
+    }
+
+    /// Wait for the child to exit on its own (after `Finish`/`Done`).
+    pub fn wait(mut self) -> io::Result<std::process::ExitStatus> {
+        drop(self.stdin);
+        self.child.wait()
+    }
+}

@@ -10,6 +10,9 @@ use serde::{Deserialize, Serialize};
 /// One decoded DCI, translated to a grant, with telemetry annotations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryRecord {
+    /// Serialisation schema version ([`crate::SCHEMA_VERSION`]); readers
+    /// reject records stamped with a newer version (`log::read_jsonl`).
+    pub schema_version: u32,
     /// Absolute TTI index at the sniffer (slot counter since start).
     pub slot: u64,
     /// System frame number (once synchronised from the MIB).
@@ -98,6 +101,7 @@ impl TelemetryRecord {
         is_retx: bool,
     ) -> TelemetryRecord {
         TelemetryRecord {
+            schema_version: crate::SCHEMA_VERSION,
             slot,
             sfn,
             rnti,
@@ -126,6 +130,7 @@ mod tests {
 
     fn sample() -> TelemetryRecord {
         TelemetryRecord {
+            schema_version: crate::SCHEMA_VERSION,
             slot: 1234,
             sfn: 61,
             rnti: Rnti(0x4296),
@@ -172,6 +177,7 @@ mod tests {
     fn serialises_to_json() {
         let j = serde_json::to_string(&sample()).unwrap();
         assert!(j.contains("\"tbs\":6400"));
+        assert!(j.contains("\"schema_version\":1"));
         let back: TelemetryRecord = serde_json::from_str(&j).unwrap();
         assert_eq!(back, sample());
     }

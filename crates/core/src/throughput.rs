@@ -14,6 +14,7 @@
 //!   full window length.
 
 use nr_phy::types::Rnti;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Sliding-window rate estimator for one UE.
@@ -192,6 +193,60 @@ impl ThroughputEstimator {
     pub fn forget(&mut self, rnti: Rnti) {
         self.windows.remove(&rnti);
     }
+
+    /// Freeze the estimator into a serialisable, deterministically-ordered
+    /// image (maps become RNTI-sorted vectors).
+    pub fn state(&self) -> ThroughputState {
+        let mut windows: Vec<(Rnti, Vec<(u64, u64)>)> = self
+            .windows
+            .iter()
+            .map(|(r, w)| (*r, w.samples.iter().copied().collect()))
+            .collect();
+        windows.sort_by_key(|(r, _)| *r);
+        let mut history: Vec<(Rnti, Vec<(u64, u64)>)> = self
+            .history
+            .iter()
+            .map(|(r, h)| (*r, h.iter().copied().collect()))
+            .collect();
+        history.sort_by_key(|(r, _)| *r);
+        ThroughputState {
+            windows,
+            history,
+            retention_slots: self.retention_slots,
+            newest_slot: self.newest_slot,
+        }
+    }
+
+    /// Rebuild an estimator from a frozen image. Window sums are recomputed
+    /// from the retained samples (the live eviction already bounded them to
+    /// the window span, so replaying with an unbounded window is exact).
+    pub fn from_state(state: &ThroughputState) -> ThroughputEstimator {
+        let mut e = ThroughputEstimator::with_retention(state.retention_slots);
+        e.newest_slot = state.newest_slot;
+        for (rnti, samples) in &state.windows {
+            let w = e.windows.entry(*rnti).or_default();
+            for &(slot, bits) in samples {
+                w.push(slot, bits, u64::MAX);
+            }
+        }
+        for (rnti, samples) in &state.history {
+            e.history.insert(*rnti, samples.iter().copied().collect());
+        }
+        e
+    }
+}
+
+/// Serialisable image of a [`ThroughputEstimator`] for checkpointing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputState {
+    /// Live rate windows: `(rnti, (slot, bits) samples)`, RNTI-sorted.
+    pub windows: Vec<(Rnti, Vec<(u64, u64)>)>,
+    /// Per-UE delivered-bits history, RNTI-sorted.
+    pub history: Vec<(Rnti, Vec<(u64, u64)>)>,
+    /// History retention horizon, slots.
+    pub retention_slots: u64,
+    /// Newest slot seen by any `record`.
+    pub newest_slot: u64,
 }
 
 #[cfg(test)]
@@ -337,6 +392,36 @@ mod tests {
         // forgotten) so it stays listed with an empty ring.
         assert_eq!(e.history_len(Rnti(1)), 0);
         assert_eq!(e.rntis(), vec![Rnti(1)]);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_rates_and_history() {
+        let mut e = ThroughputEstimator::with_retention(5000);
+        for s in 0..2500u64 {
+            e.record(Rnti(1), s, 1000, 2000);
+            if s % 2 == 0 {
+                e.record(Rnti(2), s, 400, 2000);
+            }
+        }
+        let back = ThroughputEstimator::from_state(&e.state());
+        for r in [Rnti(1), Rnti(2)] {
+            assert_eq!(
+                back.rate_bps(r, 2000, 0.0005),
+                e.rate_bps(r, 2000, 0.0005),
+                "window rate must survive the round trip for {r}"
+            );
+            assert_eq!(back.bits_in(r, 0..3000), e.bits_in(r, 0..3000));
+        }
+        assert_eq!(back.rntis(), e.rntis());
+        // Continued recording behaves identically post-restore.
+        let mut live = e;
+        let mut restored = back;
+        live.record(Rnti(1), 2600, 800, 2000);
+        restored.record(Rnti(1), 2600, 800, 2000);
+        assert_eq!(
+            restored.rate_bps(Rnti(1), 2000, 0.0005),
+            live.rate_bps(Rnti(1), 2000, 0.0005)
+        );
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use nr_mac::HarqTracker;
 use nr_phy::types::Rnti;
 use nr_rrc::RrcSetup;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Telemetry-side state for one tracked UE.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrackedUe {
     /// The UE's C-RNTI.
     pub rnti: Rnti,
@@ -41,6 +42,32 @@ pub struct UeTracker {
     recently_expired: HashMap<Rnti, u64>,
     /// Total distinct UEs ever discovered (Fig 10-style accounting).
     pub total_discovered: u64,
+}
+
+/// Serialisable image of the tracker's bookkeeping (everything except the
+/// UE table itself). Maps become sorted vectors so snapshots are
+/// byte-deterministic across runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrackerAux {
+    /// `pending_tc` as sorted `(rnti, rar_slot)` pairs.
+    pub pending_tc: Vec<(Rnti, u64)>,
+    /// `recently_expired` as sorted `(rnti, expired_at_slot)` pairs.
+    pub recently_expired: Vec<(Rnti, u64)>,
+    /// The cached RRC Setup (§3.1.2 skip-PDSCH optimisation).
+    pub cached_rrc: Option<RrcSetup>,
+    /// Every RNTI ever promoted, sorted.
+    pub ever_seen: Vec<Rnti>,
+    /// Distinct-UE discovery count.
+    pub total_discovered: u64,
+}
+
+/// Full serialisable tracker image: the UE table plus the bookkeeping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrackerState {
+    /// Tracked UEs sorted by RNTI.
+    pub ues: Vec<TrackedUe>,
+    /// RACH-shadowing bookkeeping.
+    pub aux: TrackerAux,
 }
 
 impl UeTracker {
@@ -182,6 +209,90 @@ impl UeTracker {
             .retain(|_, seen| now.saturating_sub(*seen) <= ra_window_slots);
         dead
     }
+
+    /// Freeze the bookkeeping (everything but the UE table) into a
+    /// serialisable, deterministically-ordered image.
+    pub fn aux_state(&self) -> TrackerAux {
+        let mut pending_tc: Vec<(Rnti, u64)> =
+            self.pending_tc.iter().map(|(r, s)| (*r, *s)).collect();
+        pending_tc.sort();
+        let mut recently_expired: Vec<(Rnti, u64)> = self
+            .recently_expired
+            .iter()
+            .map(|(r, s)| (*r, *s))
+            .collect();
+        recently_expired.sort();
+        let mut ever_seen: Vec<Rnti> = self.ever_seen.iter().copied().collect();
+        ever_seen.sort();
+        TrackerAux {
+            pending_tc,
+            recently_expired,
+            cached_rrc: self.cached_rrc,
+            ever_seen,
+            total_discovered: self.total_discovered,
+        }
+    }
+
+    /// Overwrite the bookkeeping from a frozen image (journal replay
+    /// carries the end-of-slot aux verbatim, so promote/restore
+    /// bookkeeping differences never accumulate drift).
+    pub fn set_aux(&mut self, aux: &TrackerAux) {
+        self.pending_tc = aux.pending_tc.iter().copied().collect();
+        self.recently_expired = aux.recently_expired.iter().copied().collect();
+        self.cached_rrc = aux.cached_rrc;
+        self.ever_seen = aux.ever_seen.iter().copied().collect();
+        self.total_discovered = aux.total_discovered;
+    }
+
+    /// Freeze the whole tracker into a serialisable image.
+    pub fn state(&self) -> TrackerState {
+        let mut ues: Vec<TrackedUe> = self.ues.values().cloned().collect();
+        ues.sort_by_key(|u| u.rnti);
+        TrackerState {
+            ues,
+            aux: self.aux_state(),
+        }
+    }
+
+    /// Rebuild a tracker from a frozen image. `watermark` is the restored
+    /// slot counter: each UE's `last_active_slot` is rebased up to it so a
+    /// UE that was healthy at checkpoint time cannot be instantly expired
+    /// by the first post-restart housekeeping pass (the snapshot may be
+    /// old relative to the journal tail, and wall-clock downtime must not
+    /// count as UE idle time).
+    pub fn from_state(state: &TrackerState, watermark: u64) -> UeTracker {
+        let mut t = UeTracker::new();
+        for ue in &state.ues {
+            let mut ue = ue.clone();
+            ue.last_active_slot = ue.last_active_slot.max(watermark);
+            t.ues.insert(ue.rnti, ue);
+        }
+        t.set_aux(&state.aux);
+        t
+    }
+
+    /// Journal replay: re-insert a UE exactly as the live `promote`/
+    /// `restore` paths did — fresh HARQ memory, discovered-and-active at
+    /// `slot`. Bookkeeping (counts, pending sets) is not touched here; the
+    /// journal entry's aux image overwrites it at end of slot.
+    pub fn replay_track(&mut self, rnti: Rnti, slot: u64, rrc: RrcSetup) {
+        self.ues.insert(
+            rnti,
+            TrackedUe {
+                rnti,
+                discovered_slot: slot,
+                last_active_slot: slot,
+                harq_dl: HarqTracker::new(),
+                harq_ul: HarqTracker::new(),
+                rrc,
+            },
+        );
+    }
+
+    /// Journal replay: remove a UE the live housekeeping pass expired.
+    pub fn replay_expire(&mut self, rnti: Rnti) {
+        self.ues.remove(&rnti);
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +377,41 @@ mod tests {
         assert!(!t.restore(Rnti(3), 10));
         assert!(!t.contains(Rnti(3)));
         assert_eq!(t.total_discovered, 0);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_everything() {
+        let mut t = UeTracker::new();
+        t.rar_seen(Rnti(0x5000), 40);
+        t.promote(Rnti(0x4601), 100, rrc());
+        t.promote(Rnti(0x4602), 200, rrc());
+        t.get_mut(Rnti(0x4601)).unwrap().harq_dl.observe(3, 1);
+        t.expire(25_000, 20_000, 100); // both idle UEs expire
+        t.promote(Rnti(0x4603), 25_100, rrc());
+
+        let state = t.state();
+        let back = UeTracker::from_state(&state, 0);
+        assert_eq!(back.rntis(), t.rntis());
+        assert_eq!(back.total_discovered, 3);
+        assert_eq!(back.aux_state(), t.aux_state());
+        assert_eq!(
+            back.get(Rnti(0x4603)).unwrap().discovered_slot,
+            t.get(Rnti(0x4603)).unwrap().discovered_slot
+        );
+    }
+
+    #[test]
+    fn restore_rebases_last_active_against_watermark() {
+        let mut t = UeTracker::new();
+        t.promote(Rnti(0x4601), 100, rrc());
+        let state = t.state();
+        // Checkpoint taken at slot ~100; journal tail replayed to 50_000.
+        // Without rebasing, the first expiry pass (> 20_000 idle) would
+        // silently drop the UE the moment the session resumes.
+        let mut back = UeTracker::from_state(&state, 50_000);
+        assert_eq!(back.get(Rnti(0x4601)).unwrap().last_active_slot, 50_000);
+        assert!(back.expire(50_010, 20_000, 100).is_empty());
+        assert!(back.contains(Rnti(0x4601)));
     }
 
     #[test]

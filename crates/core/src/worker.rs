@@ -97,6 +97,20 @@ pub fn process_slot(job: &SlotJob) -> SlotResult {
     process_slot_metered(job, None)
 }
 
+/// Spawn a named auxiliary thread outside the decode pool. Housekeeping
+/// work (e.g. the persist checkpoint writer) goes through here rather
+/// than [`WorkerPool`]: it must never occupy a decode worker slot, and a
+/// panic in it must not trip the pool's quarantine machinery.
+pub fn spawn_background<F>(name: &str, f: F) -> JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("nrscope-{name}"))
+        .spawn(f)
+        .expect("spawn background thread")
+}
+
 /// [`process_slot`] with pipeline instrumentation: OFDM demod, PDCCH
 /// candidate extraction, per-candidate DCI decoding, and the whole-slot
 /// envelope all record into `metrics` (atomic adds commute, so shards can

@@ -4,10 +4,11 @@
 //! the PHY needs only a handful of operations and keeping the type local
 //! lets us derive exactly the traits the sample pipeline needs.
 
+use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex sample (single-precision), the unit of all IQ processing.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Cf32 {
     /// In-phase (real) component.
     pub re: f32,

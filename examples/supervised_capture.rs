@@ -1,0 +1,387 @@
+//! Supervised warm restart under `kill -9`: the crash-safety soak.
+//!
+//! ```text
+//! cargo run --release --example supervised_capture
+//! ```
+//!
+//! The parent owns the simulated gNB and radio front end and feeds
+//! captures to a child pipeline process over the [`supervise`] pipe
+//! protocol; the child journals every slot through a
+//! [`PersistentSession`]. Twice during the run the parent SIGKILLs the
+//! child mid-soak — no flush, no goodbye — keeps the air interface moving
+//! for 40 slots of dead time, then respawns it and checks the warm
+//! restart: every known UE retained, watermark resumed at the last
+//! acknowledged slot, re-sync within a bounded number of slots, and
+//! per-UE byte estimates that match gNB ground truth over the observed
+//! slots without ever double-counting a replayed byte.
+//!
+//! Results land in `RECOVERY_report.json`; any violated invariant is
+//! listed there and fails the run (exit 1), which is how CI consumes it.
+
+use nr_scope::gnb::{CellConfig, Gnb};
+use nr_scope::mac::RoundRobin;
+use nr_scope::phy::channel::ChannelProfile;
+use nr_scope::phy::types::{Pci, Rnti};
+use nr_scope::scope::observe::{Capture, Observer};
+use nr_scope::scope::supervise::{self, ChildHandle, ChildMsg, Hello, WireMsg};
+use nr_scope::scope::{ImpairmentSchedule, ScopeConfig, SyncState};
+use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
+use nr_scope::ue::{MobilityScenario, SimUe};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+const TOTAL_SLOTS: u64 = 12_000;
+const KILLS: [u64; 2] = [4_700, 9_300];
+/// Dead time between SIGKILL and respawn: the air interface keeps moving.
+const DEAD_SLOTS: u64 = 40;
+/// A warm restart must be back in `Synced` within this many slots.
+const RESYNC_BOUND: u64 = 800;
+
+#[derive(Serialize)]
+struct KillReport {
+    kill_at: u64,
+    respawn_at: u64,
+    resumed_slot: u64,
+    snapshot_slot: Option<u64>,
+    replayed_entries: u64,
+    corrupt_checkpoints_skipped: u64,
+    journal_entries_discarded: u64,
+    tracked_before: Vec<Rnti>,
+    tracked_after: Vec<Rnti>,
+    resynced_after_slots: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct UeParity {
+    rnti: Rnti,
+    truth_bits_total: u64,
+    truth_bits_observed: u64,
+    est_bits_observed: u64,
+    ratio_observed: f64,
+}
+
+#[derive(Serialize)]
+struct SoakReport {
+    schema_version: u32,
+    slots: u64,
+    kills: Vec<KillReport>,
+    total_discovered: u64,
+    final_sync_synced: bool,
+    observed_ranges: Vec<(u64, u64)>,
+    per_ue: Vec<UeParity>,
+    violations: Vec<String>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 4 && args[1] == "--child" {
+        // Child mode: recover from the session directory and serve slots.
+        let pci: u16 = args[3].parse().expect("child PCI argument");
+        supervise::run_child(Path::new(&args[2]), Some(Pci(pci))).expect("child pipeline");
+        return;
+    }
+    run_parent();
+}
+
+fn session_dir() -> PathBuf {
+    std::env::var_os("NRSCOPE_SESSION_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("nrscope-supervised-{}", std::process::id()))
+        })
+}
+
+fn spawn_child(dir: &Path, pci: Pci) -> (ChildHandle, Hello) {
+    let exe = std::env::current_exe().expect("current exe path");
+    let args = vec![
+        "--child".to_string(),
+        dir.display().to_string(),
+        pci.0.to_string(),
+    ];
+    ChildHandle::spawn(&exe, &args).expect("spawn pipeline child")
+}
+
+/// Compress a per-slot flag vector into maximal half-open ranges.
+fn ranges_of(flags: &[bool]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut start: Option<u64> = None;
+    for (i, &on) in flags.iter().enumerate() {
+        match (on, start) {
+            (true, None) => start = Some(i as u64),
+            (false, Some(s)) => {
+                out.push((s, i as u64));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, flags.len() as u64));
+    }
+    out
+}
+
+fn run_parent() {
+    let cell = CellConfig::srsran_n41();
+    let dir = session_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create session dir");
+    // The child loads its config from the session directory, exercising
+    // the versioned ScopeConfig round trip on every (re)start.
+    std::fs::write(
+        dir.join(supervise::CONFIG_FILE),
+        ScopeConfig::default().to_json(),
+    )
+    .expect("write scope config");
+    println!(
+        "cell {} PCI {} — session dir {}",
+        cell.name,
+        cell.pci.0,
+        dir.display()
+    );
+
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 42);
+    for i in 1..=3u64 {
+        gnb.ue_arrives(SimUe::new(
+            i,
+            ChannelProfile::Awgn,
+            MobilityScenario::Static,
+            // Permanent backlog: every slot carries data, so byte parity
+            // between scope estimate and gNB truth is tight.
+            TrafficSource::new(
+                TrafficKind::FileDownload {
+                    total_bytes: 1 << 30,
+                },
+                i,
+            ),
+            0.05 * i as f64,
+            600.0,
+            i,
+        ));
+    }
+
+    let mut obs = Observer::new(&cell, 35.0, false, 5);
+    // Deterministic impairments only — the parent must know exactly which
+    // slots went unobserved to account bytes against ground truth.
+    obs.set_impairments(
+        ImpairmentSchedule::new(7)
+            .with_stall(3_000, 30)
+            .with_outage(7_000..7_100),
+    );
+    let slot_s = cell.slot_s();
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut kill_reports: Vec<KillReport> = Vec::new();
+    // Slots over which byte parity is claimable: fed to a live child,
+    // decodable (not front-end-dropped), and processed while synced.
+    let mut observed = vec![false; TOTAL_SLOTS as usize];
+    let mut synced_at = vec![false; TOTAL_SLOTS as usize];
+
+    let (mut child, hello) = spawn_child(&dir, cell.pci);
+    if hello.report.resumed {
+        violations.push("first start claimed to resume prior state".into());
+    }
+    let mut alive = true;
+    let mut respawn_at = 0u64;
+    let mut pre_kill_tracked: Vec<Rnti> = Vec::new();
+    let mut kill_idx = 0usize;
+
+    for seq in 0..TOTAL_SLOTS {
+        if kill_idx < KILLS.len() && seq == KILLS[kill_idx] {
+            println!(
+                "slot {seq:5}: >>> SIGKILL child (kill #{}) <<<",
+                kill_idx + 1
+            );
+            child.kill().expect("kill child");
+            alive = false;
+            respawn_at = seq + DEAD_SLOTS;
+        }
+        if !alive && seq == respawn_at {
+            let (new_child, hello) = spawn_child(&dir, cell.pci);
+            child = new_child;
+            alive = true;
+            let kill_at = KILLS[kill_idx];
+            println!(
+                "slot {seq:5}: child respawned — resumed at {} (snapshot {:?}, {} replayed), {} UEs",
+                hello.report.resumed_slot,
+                hello.report.snapshot_slot,
+                hello.report.replayed_entries,
+                hello.tracked.len()
+            );
+            check_recovery(&hello, kill_at, &pre_kill_tracked, &mut violations);
+            kill_reports.push(KillReport {
+                kill_at,
+                respawn_at: seq,
+                resumed_slot: hello.report.resumed_slot,
+                snapshot_slot: hello.report.snapshot_slot,
+                replayed_entries: hello.report.replayed_entries,
+                corrupt_checkpoints_skipped: hello.report.corrupt_checkpoints_skipped,
+                journal_entries_discarded: hello.report.journal_entries_discarded,
+                tracked_before: pre_kill_tracked.clone(),
+                tracked_after: hello.tracked.clone(),
+                resynced_after_slots: None,
+            });
+            kill_idx += 1;
+        }
+
+        let out = gnb.step();
+        let cap = obs.capture(&out, seq as f64 * slot_s);
+        if !alive {
+            // Dead time: the cell kept transmitting, nobody was listening.
+            continue;
+        }
+        let front_end_dropped = matches!(cap, Capture::Dropped(_));
+        child
+            .send(&WireMsg::Slot { seq, capture: cap })
+            .expect("send slot");
+        let ack = match child.recv().expect("receive ack") {
+            ChildMsg::Ack(a) => a,
+            other => panic!("expected Ack, got {other:?}"),
+        };
+        assert_eq!(ack.seq, seq, "lockstep ack sequence");
+        let synced = ack.sync == SyncState::Synced;
+        synced_at[seq as usize] = synced;
+        observed[seq as usize] = synced && !front_end_dropped;
+        pre_kill_tracked = ack.tracked;
+    }
+
+    // Fill in how long each warm restart took to get back to Synced.
+    for kr in &mut kill_reports {
+        kr.resynced_after_slots = synced_at[kr.respawn_at as usize..]
+            .iter()
+            .position(|&s| s)
+            .map(|p| p as u64);
+        match kr.resynced_after_slots {
+            Some(d) if d <= RESYNC_BOUND => {}
+            got => violations.push(format!(
+                "kill at {}: re-sync took {:?} slots (bound {RESYNC_BOUND})",
+                kr.kill_at, got
+            )),
+        }
+    }
+    let final_sync_synced = synced_at[TOTAL_SLOTS as usize - 1];
+    if !final_sync_synced {
+        violations.push("run did not end in Synced".into());
+    }
+
+    // Byte parity audit over the observed ranges.
+    let observed_ranges = ranges_of(&observed);
+    child
+        .send(&WireMsg::Report {
+            ranges: observed_ranges.clone(),
+        })
+        .expect("send report request");
+    let reply = match child.recv().expect("receive report") {
+        ChildMsg::Report(r) => r,
+        other => panic!("expected Report, got {other:?}"),
+    };
+    if reply.total_discovered != 3 {
+        violations.push(format!(
+            "total_discovered = {} after 2 kills (want 3: no re-discovery double counts)",
+            reply.total_discovered
+        ));
+    }
+
+    let mut per_ue = Vec::new();
+    for rnti in gnb.connected_rntis() {
+        let ue = gnb.ue(rnti).expect("connected UE");
+        let truth_total = ue.delivered_bytes_in(0..TOTAL_SLOTS) as u64 * 8;
+        let truth_observed: u64 = observed_ranges
+            .iter()
+            .map(|&(a, b)| ue.delivered_bytes_in(a..b) as u64 * 8)
+            .sum();
+        let est_observed: u64 = reply
+            .per_ue
+            .iter()
+            .find(|(r, _)| *r == rnti)
+            .map(|(_, bits)| bits.iter().sum())
+            .unwrap_or(0);
+        let ratio = est_observed as f64 / truth_observed.max(1) as f64;
+        println!(
+            "UE {rnti}: truth {:.1} Mbit ({:.1} observed), estimate {:.1} Mbit — ratio {ratio:.4}",
+            truth_total as f64 / 1e6,
+            truth_observed as f64 / 1e6,
+            est_observed as f64 / 1e6,
+        );
+        if !(0.88..=1.02).contains(&ratio) {
+            violations.push(format!(
+                "UE {rnti}: estimate/truth ratio {ratio:.4} outside [0.88, 1.02] \
+                 (upper bound catches double-counted replay bytes)"
+            ));
+        }
+        if est_observed > truth_total + truth_total / 100 {
+            violations.push(format!(
+                "UE {rnti}: estimate exceeds total ground truth — bytes double-counted"
+            ));
+        }
+        per_ue.push(UeParity {
+            rnti,
+            truth_bits_total: truth_total,
+            truth_bits_observed: truth_observed,
+            est_bits_observed: est_observed,
+            ratio_observed: ratio,
+        });
+    }
+
+    child.send(&WireMsg::Finish).expect("send finish");
+    match child.recv().expect("receive done") {
+        ChildMsg::Done { final_slot } => println!("child finished at slot {final_slot}"),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    child.wait().expect("child exit");
+
+    let report = SoakReport {
+        schema_version: 1,
+        slots: TOTAL_SLOTS,
+        kills: kill_reports,
+        total_discovered: reply.total_discovered,
+        final_sync_synced,
+        observed_ranges,
+        per_ue,
+        violations: violations.clone(),
+    };
+    let json = serde_json::to_string(&report).expect("serialise soak report");
+    std::fs::write("RECOVERY_report.json", &json).expect("write RECOVERY_report.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if violations.is_empty() {
+        println!(
+            "\nall warm-restart invariants held across {} SIGKILLs",
+            KILLS.len()
+        );
+    } else {
+        println!("\nVIOLATIONS:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn check_recovery(hello: &Hello, kill_at: u64, pre_kill: &[Rnti], violations: &mut Vec<String>) {
+    if !hello.report.resumed {
+        violations.push(format!(
+            "kill at {kill_at}: restart did not resume prior state"
+        ));
+    }
+    // The journal is flushed to the OS before each slot is acknowledged,
+    // so SIGKILL cannot lose an acknowledged slot.
+    if hello.report.resumed_slot != kill_at {
+        violations.push(format!(
+            "kill at {kill_at}: resumed at {} (acknowledged slots lost or invented)",
+            hello.report.resumed_slot
+        ));
+    }
+    if hello.report.snapshot_slot.is_none() {
+        violations.push(format!("kill at {kill_at}: no checkpoint was restored"));
+    }
+    let mut before = pre_kill.to_vec();
+    let mut after = hello.tracked.clone();
+    before.sort_unstable();
+    after.sort_unstable();
+    if before != after {
+        violations.push(format!(
+            "kill at {kill_at}: tracked set changed across restart ({before:?} -> {after:?})"
+        ));
+    }
+}

@@ -276,8 +276,13 @@ fn jsonl_log_round_trips_a_real_session() {
         2000,
         31,
     );
-    let mut buf = Vec::new();
-    nr_scope::scope::log::write_jsonl(&mut buf, scope.records()).unwrap();
+    // The production writer is non-panicking: failures are counted in
+    // metrics and reported, never unwrapped in the capture loop.
+    let mut logger =
+        nr_scope::scope::log::TelemetryLogger::new(Vec::new(), scope.metrics().clone());
+    logger.append(scope.records());
+    assert_eq!(logger.flush(), 0, "no write failures against a Vec sink");
+    let buf = logger.into_inner();
     let (back, bad) = nr_scope::scope::log::read_jsonl(std::str::from_utf8(&buf).unwrap());
     assert_eq!(bad, 0);
     assert_eq!(back.len(), scope.records().len());

@@ -1,0 +1,419 @@
+//! Crash-safety integration tests: checkpoint + journal + warm restart.
+//!
+//! The contract under test: `snapshot + journal tail` reconstructs scope
+//! state *exactly* — a crashed-and-recovered session continues just as an
+//! uninterrupted one would — and no corruption of the on-disk artefacts
+//! (truncated tails, flipped bytes, missing files) can panic recovery or
+//! double-count a byte.
+
+use nr_scope::gnb::{CellConfig, Gnb};
+use nr_scope::mac::RoundRobin;
+use nr_scope::phy::channel::ChannelProfile;
+use nr_scope::phy::types::{Pci, Rnti};
+use nr_scope::scope::observe::{Capture, Observer};
+use nr_scope::scope::persist::{
+    read_journal_bytes, PersistConfig, PersistentSession, SessionStore,
+};
+use nr_scope::scope::{NrScope, ScopeConfig, SyncState};
+use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
+use nr_scope::ue::{MobilityScenario, SimUe};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("nrscope-persist-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Deterministic capture tape: 2 backlogged UEs on the srsRAN cell.
+fn capture_tape(slots: u64) -> (Vec<Capture>, Pci) {
+    let cell = CellConfig::srsran_n41();
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 17);
+    for i in 1..=2u64 {
+        gnb.ue_arrives(SimUe::new(
+            i,
+            ChannelProfile::Awgn,
+            MobilityScenario::Static,
+            TrafficSource::new(
+                TrafficKind::FileDownload {
+                    total_bytes: 1 << 30,
+                },
+                i,
+            ),
+            0.05 * i as f64,
+            600.0,
+            i,
+        ));
+    }
+    let mut obs = Observer::new(&cell, 35.0, false, 9);
+    let slot_s = cell.slot_s();
+    let caps = (0..slots)
+        .map(|s| {
+            let out = gnb.step();
+            obs.capture(&out, s as f64 * slot_s)
+        })
+        .collect();
+    (caps, cell.pci)
+}
+
+/// The pieces of session state whose exact reconstruction is the whole
+/// point (metrics intentionally excluded: the recovered run legitimately
+/// has extra persist-layer counter activity).
+fn comparable_state(scope: &NrScope) -> String {
+    comparable_session_state(&scope.session_state())
+}
+
+fn comparable_session_state(state: &nr_scope::scope::persist::SessionState) -> String {
+    let mut s = state.clone();
+    // Wall-clock-derived load stats differ legitimately between any two
+    // live runs (a slow fs or a busy core is not a replay bug); the
+    // contract covers the deterministic decode state.
+    s.stats.deadline_misses = 0;
+    s.stats.rung_demotions = 0;
+    s.stats.rung_promotions = 0;
+    s.stats.slots_at_rung = Default::default();
+    s.stats.worker_stalls = 0;
+    s.stats.stuck_workers = 0;
+    s.stats.shed_jobs = 0;
+    s.stats.priority_sheds = 0;
+    s.stats.pruned_candidates = 0;
+    format!(
+        "slot={} cell={} sync={} streak={} stats={} tracker={} throughput={}",
+        s.slot,
+        serde_json::to_string(&s.cell).unwrap(),
+        serde_json::to_string(&s.sync).unwrap(),
+        s.unhealthy_streak,
+        serde_json::to_string(&s.stats).unwrap(),
+        serde_json::to_string(&s.tracker).unwrap(),
+        serde_json::to_string(&s.throughput).unwrap(),
+    )
+}
+
+#[test]
+fn crash_and_recovery_matches_uninterrupted_run() {
+    const TOTAL: u64 = 2_500;
+    const CRASH_AT: u64 = 1_700; // not checkpoint-aligned
+    let (caps, pci) = capture_tape(TOTAL);
+
+    // Reference: one uninterrupted scope.
+    let mut reference = NrScope::new(ScopeConfig::default(), Some(pci));
+    for cap in &caps {
+        reference.process_capture(cap);
+    }
+
+    // Durable run, crashed at CRASH_AT (dropped without finalize — no
+    // final checkpoint, journal tail only flushed to the OS).
+    let dir = tmp_dir("crash-replay");
+    {
+        let (mut session, report) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        assert!(!report.resumed, "fresh directory starts cold");
+        for cap in &caps[..CRASH_AT as usize] {
+            session.process_capture(cap);
+        }
+    }
+
+    // Warm restart: journal was flushed per slot, so not one processed
+    // slot may be lost.
+    let (mut session, report) =
+        PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+            .unwrap();
+    assert!(report.resumed);
+    assert_eq!(report.resumed_slot, CRASH_AT, "no acknowledged slot lost");
+    assert!(
+        report.snapshot_slot.is_some(),
+        "cadence checkpoints existed"
+    );
+    assert!(report.replayed_entries > 0, "journal tail replayed");
+    assert_eq!(report.journal_entries_discarded, 0, "clean tail");
+    for cap in &caps[CRASH_AT as usize..] {
+        session.process_capture(cap);
+    }
+
+    assert_eq!(
+        comparable_state(session.scope()),
+        comparable_state(&reference),
+        "crash + recovery + continuation must equal the uninterrupted run"
+    );
+    // Byte accounting in particular: exact, not approximate.
+    for rnti in reference.tracked_rntis() {
+        assert_eq!(
+            session.scope().estimated_bits(rnti, 0..TOTAL),
+            reference.estimated_bits(rnti, 0..TOTAL),
+            "UE {rnti}: replay double-counted or dropped bytes"
+        );
+    }
+    session.finalize().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_recovery_is_idempotent() {
+    const TOTAL: u64 = 1_400;
+    let (caps, pci) = capture_tape(TOTAL);
+    let dir = tmp_dir("double-recovery");
+    {
+        let (mut session, _) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        for cap in &caps {
+            session.process_capture(cap);
+        }
+        // Crash: no finalize.
+    }
+    let store = SessionStore::new(&dir).unwrap();
+    let (a, ra) = store.recover(ScopeConfig::default(), Some(pci));
+    let (b, rb) = store.recover(ScopeConfig::default(), Some(pci));
+    assert_eq!(ra.resumed_slot, rb.resumed_slot);
+    assert_eq!(ra.replayed_entries, rb.replayed_entries);
+    assert_eq!(
+        comparable_state(&a),
+        comparable_state(&b),
+        "recovery must be a pure function of the on-disk artefacts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_newer_than_journal_is_a_defined_state() {
+    const TOTAL: u64 = 1_300;
+    let (caps, pci) = capture_tape(TOTAL);
+    let dir = tmp_dir("snap-newer");
+    let mut expected_state;
+    {
+        let (mut session, _) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        for cap in &caps {
+            session.process_capture(cap);
+        }
+        expected_state = session.scope().session_state();
+        session.finalize().unwrap(); // checkpoint at TOTAL
+    }
+    // Snapshot-only recovery rebases each UE's activity clock to the
+    // restored watermark (there are no journal records to restore the
+    // exact value, and a stale clock would expire live UEs) — fold that
+    // into the expectation.
+    for ue in &mut expected_state.tracker.ues {
+        ue.last_active_slot = ue.last_active_slot.max(TOTAL);
+    }
+    // Delete every journal file: the snapshot now post-dates all journal
+    // evidence. Recovery must come up at the snapshot watermark with
+    // nothing replayed — not panic, not rewind.
+    let store = SessionStore::new(&dir).unwrap();
+    for start in store.journal_starts() {
+        std::fs::remove_file(store.journal_path(start)).unwrap();
+    }
+    let (scope, report) = store.recover(ScopeConfig::default(), Some(pci));
+    assert_eq!(report.snapshot_slot, Some(TOTAL));
+    assert_eq!(report.resumed_slot, TOTAL);
+    assert_eq!(report.replayed_entries, 0);
+    assert_eq!(
+        comparable_state(&scope),
+        comparable_session_state(&expected_state)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_ues_survive_a_restart_gap_without_expiring() {
+    const TOTAL: u64 = 1_500;
+    let (caps, pci) = capture_tape(TOTAL);
+    let dir = tmp_dir("expiry-rebase");
+    let tracked_before;
+    {
+        let (mut session, _) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        for cap in &caps {
+            session.process_capture(cap);
+        }
+        tracked_before = session.scope().tracked_rntis();
+        assert!(!tracked_before.is_empty());
+    }
+    let (mut session, _) =
+        PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+            .unwrap();
+    // Dead air while the supervisor was restarting: idle slots must not
+    // expire UEs whose activity clock predates the restored watermark.
+    for _ in 0..200 {
+        session.process_capture(&Capture::Dropped(
+            nr_scope::scope::observe::DropReason::Stall,
+        ));
+    }
+    let mut after = session.scope().tracked_rntis();
+    let mut before = tracked_before.clone();
+    before.sort_unstable();
+    after.sort_unstable();
+    assert_eq!(before, after, "restart gap expired recovered UEs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One real journal file's bytes, built once (proptest runs many cases).
+fn journal_fixture() -> &'static (Vec<u8>, usize) {
+    static FIXTURE: OnceLock<(Vec<u8>, usize)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (caps, pci) = capture_tape(700);
+        let dir = tmp_dir("journal-fixture");
+        let (mut session, _) = PersistentSession::open(
+            PersistConfig {
+                // No rotation: everything lands in one journal file.
+                checkpoint_every_slots: 10_000,
+                ..PersistConfig::new(&dir)
+            },
+            ScopeConfig::default(),
+            Some(pci),
+        )
+        .unwrap();
+        for cap in &caps {
+            session.process_capture(cap);
+        }
+        drop(session);
+        let store = SessionStore::new(&dir).unwrap();
+        let starts = store.journal_starts();
+        assert_eq!(starts.len(), 1);
+        let bytes = std::fs::read(store.journal_path(starts[0])).unwrap();
+        let (entries, bad) = read_journal_bytes(&bytes);
+        assert_eq!(bad, 0);
+        let n = entries.len();
+        assert_eq!(n, 700);
+        let _ = std::fs::remove_dir_all(&dir);
+        (bytes, n)
+    })
+}
+
+/// A checkpoint file's bytes, built once.
+fn checkpoint_fixture() -> &'static (Vec<u8>, u64) {
+    static FIXTURE: OnceLock<(Vec<u8>, u64)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (caps, pci) = capture_tape(600);
+        let mut scope = NrScope::new(ScopeConfig::default(), Some(pci));
+        for cap in &caps {
+            scope.process_capture(cap);
+        }
+        let dir = tmp_dir("ckpt-fixture");
+        let store = SessionStore::new(&dir).unwrap();
+        let slot = store.write_checkpoint(&scope.session_state()).unwrap();
+        let path = dir.join(format!("ckpt-{slot:012}.snap"));
+        let bytes = std::fs::read(path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (bytes, slot)
+    })
+}
+
+proptest! {
+    /// Truncate a real journal at any byte: the reader recovers exactly
+    /// the records wholly before the cut — a strict prefix, in order,
+    /// never a panic, never garbage.
+    #[test]
+    fn journal_survives_truncation_at_any_byte(cut_frac in 0.0f64..1.0) {
+        let (bytes, total) = journal_fixture();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let (entries, _) = read_journal_bytes(&bytes[..cut]);
+        prop_assert!(entries.len() <= *total);
+        for (i, e) in entries.iter().enumerate() {
+            prop_assert_eq!(e.seq, i as u64, "recovered prefix must be gapless");
+        }
+    }
+
+    /// Flip any byte of a checkpoint file: loading must never panic, and
+    /// must never yield a state from a damaged payload (either the flip
+    /// lands in slack the format ignores, or the file is rejected).
+    #[test]
+    fn corrupt_checkpoint_fuzz_never_panics(idx_frac in 0.0f64..1.0, mask in 1i32..256) {
+        let mask = mask as u8;
+        let (bytes, slot) = checkpoint_fixture();
+        let mut corrupted = bytes.clone();
+        let idx = ((corrupted.len() - 1) as f64 * idx_frac) as usize;
+        corrupted[idx] ^= mask;
+        let dir = tmp_dir("ckpt-fuzz");
+        let store = SessionStore::new(&dir).unwrap();
+        std::fs::write(dir.join(format!("ckpt-{slot:012}.snap")), &corrupted).unwrap();
+        let (loaded, _rejected) = store.load_latest();
+        if let Some(state) = loaded {
+            // Only a flip the CRC provably cannot see (it re-creates a
+            // consistent artefact) may load — and then it must still be
+            // internally coherent.
+            prop_assert_eq!(state.slot, *slot);
+        }
+        // Recovery on top must also hold (falls back to cold start).
+        let (scope, _) = store.recover(ScopeConfig::default(), None);
+        prop_assert!(scope.slot_watermark() == *slot || scope.slot_watermark() == 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn truncated_journal_recovers_the_valid_prefix_end_to_end() {
+    const TOTAL: u64 = 900;
+    let (caps, pci) = capture_tape(TOTAL);
+    let dir = tmp_dir("truncate-e2e");
+    {
+        let (mut session, _) = PersistentSession::open(
+            PersistConfig {
+                checkpoint_every_slots: 10_000, // journal only
+                ..PersistConfig::new(&dir)
+            },
+            ScopeConfig::default(),
+            Some(pci),
+        )
+        .unwrap();
+        for cap in &caps {
+            session.process_capture(cap);
+        }
+    }
+    let store = SessionStore::new(&dir).unwrap();
+    let path = store.journal_path(0);
+    let bytes = std::fs::read(&path).unwrap();
+    // Tear the file mid-record, as a crashed write would.
+    std::fs::write(&path, &bytes[..bytes.len() * 2 / 3 + 7]).unwrap();
+    let (scope, report) = store.recover(ScopeConfig::default(), Some(pci));
+    assert!(report.resumed);
+    assert!(report.replayed_entries > 0);
+    assert!(report.journal_entries_discarded >= 1);
+    assert!(report.resumed_slot < TOTAL && report.resumed_slot > 0);
+    // The recovered prefix is a real, coherent session: it can keep going.
+    let mut scope = scope;
+    let resumed = report.resumed_slot;
+    for cap in &caps[resumed as usize..] {
+        scope.process_capture(cap);
+    }
+    assert_eq!(scope.sync_state(), SyncState::Synced);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracked_rntis_and_bits_survive_restart_exactly() {
+    const TOTAL: u64 = 1_100;
+    let (caps, pci) = capture_tape(TOTAL);
+    let dir = tmp_dir("bits-exact");
+    let live_bits: Vec<(Rnti, u64)>;
+    {
+        let (mut session, _) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        for cap in &caps {
+            session.process_capture(cap);
+        }
+        live_bits = session
+            .scope()
+            .tracked_rntis()
+            .into_iter()
+            .map(|r| (r, session.scope().estimated_bits(r, 0..TOTAL)))
+            .collect();
+        // Crash without finalize.
+    }
+    let store = SessionStore::new(&dir).unwrap();
+    let (scope, _) = store.recover(ScopeConfig::default(), Some(pci));
+    for (rnti, bits) in live_bits {
+        assert_eq!(
+            scope.estimated_bits(rnti, 0..TOTAL),
+            bits,
+            "UE {rnti}: byte accounting changed across recovery"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
