@@ -52,6 +52,36 @@ pub struct ScopeConfig {
     /// Overload-governor budget and hysteresis knobs (the degradation
     /// ladder). Disabled by default: offline replay has no slot deadline.
     pub governor: GovernorConfig,
+    /// Stage-2 RNTI admission control (untrusted-air hardening).
+    /// Defaulted so configs written before the hardening still parse.
+    #[serde(default)]
+    pub admission: AdmissionConfig,
+}
+
+/// Stage-2 admission-control knobs: what a recovery-minted (never
+/// RAR-shadowed) C-RNTI must do before it is tracked. RAR + MSG 4
+/// discovery is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Corroborating decodes required before admission.
+    pub k: usize,
+    /// Sliding window (slots) in which the `k` corroborating decodes must
+    /// land; a probation candidate whose window lapses is quarantined as
+    /// a ghost.
+    pub window_slots: u64,
+    /// Quarantine-ledger size bound; the oldest entry is evicted
+    /// (counted) when a newly failed candidate would exceed it.
+    pub quarantine_max: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            k: 3,
+            window_slots: 200,
+            quarantine_max: 256,
+        }
+    }
 }
 
 impl ScopeConfig {
@@ -91,6 +121,7 @@ impl Default for ScopeConfig {
             metrics_enabled: true,
             history_retention_slots: crate::throughput::DEFAULT_HISTORY_RETENTION_SLOTS,
             governor: GovernorConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -111,5 +142,20 @@ mod tests {
         );
         assert!(c.governor.budget_fraction < 1.0, "headroom for capture");
         assert!(c.governor.promote_margin < 1.0, "promotion hysteresis");
+        assert!(c.admission.k >= 2, "one chance CRC pass must not admit");
+        assert!(c.admission.window_slots > 0);
+        assert!(c.admission.quarantine_max > 0);
+    }
+
+    #[test]
+    fn pre_hardening_config_json_gets_default_admission() {
+        let mut json = ScopeConfig::default().to_json();
+        // Strip the admission object as a pre-PR5 writer would have.
+        let cfg = ScopeConfig::default();
+        let adm = serde_json::to_string(&cfg.admission).expect("serialises");
+        json = json.replace(&format!(",\"admission\":{adm}"), "");
+        assert!(!json.contains("admission"), "field really stripped");
+        let back = ScopeConfig::from_json(&json).expect("old config accepted");
+        assert_eq!(back.admission, AdmissionConfig::default());
     }
 }

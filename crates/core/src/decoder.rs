@@ -73,6 +73,9 @@ pub struct DecodeWork {
     pub ue_hypotheses: usize,
     /// Candidates the search budget refused a UE-specific pass.
     pub pruned: usize,
+    /// CRC-passing payloads rejected by stage-1 plausibility validation
+    /// (see [`nr_phy::dci::DciReject`]) before any state was mutated.
+    pub validation_rejects: usize,
 }
 
 impl DecodeWork {
@@ -82,6 +85,7 @@ impl DecodeWork {
         self.ue_candidates += other.ue_candidates;
         self.ue_hypotheses += other.ue_hypotheses;
         self.pruned += other.pruned;
+        self.validation_rejects += other.validation_rejects;
     }
 }
 
@@ -158,7 +162,9 @@ pub fn decode_message_slot_budgeted(
             Some(p) => p,
             None => continue,
         };
-        if let Some(d) = decode_codeword_common(ctx, obs, hyp, payload_bits) {
+        if let Some(d) =
+            decode_codeword_common(ctx, obs, hyp, payload_bits, &mut work.validation_rejects)
+        {
             out.push(d);
             continue;
         }
@@ -174,7 +180,7 @@ pub fn decode_message_slot_budgeted(
             }
             work.ue_candidates += 1;
             work.ue_hypotheses += hyp.c_rntis.len();
-            if let Some(d) = decode_codeword_ue(ctx, obs, hyp) {
+            if let Some(d) = decode_codeword_ue(ctx, obs, hyp, &mut work.validation_rejects) {
                 out.push(d);
             }
         }
@@ -183,6 +189,7 @@ pub fn decode_message_slot_budgeted(
         m.add(Counter::CandidatesScanned, work.candidates as u64);
         m.add(Counter::DcisDecoded, out.len() as u64);
         m.add(Counter::CandidatesPruned, work.pruned as u64);
+        m.add(Counter::ValidationRejects, work.validation_rejects as u64);
     }
     (out, work)
 }
@@ -195,6 +202,7 @@ fn decode_codeword_common(
     obs: &ObservedDci,
     hyp: &Hypotheses,
     payload_bits: usize,
+    rejects: &mut usize,
 ) -> Option<DecodedDci> {
     if hyp.skip_common || !ctx.sizes_for_common().contains(&payload_bits) {
         return None;
@@ -208,7 +216,7 @@ fn decode_codeword_common(
         .chain(hyp.tc_rntis.iter().map(|r| (*r, RntiType::Tc)));
     for (rnti, rnti_type) in common_hyps {
         if let Some(payload) = dci_check_crc(&common, rnti.0) {
-            if let Some(d) = unpack(ctx, &payload, false, rnti, rnti_type, obs) {
+            if let Some(d) = unpack(ctx, &payload, false, rnti, rnti_type, obs, rejects) {
                 return Some(d);
             }
         }
@@ -219,7 +227,7 @@ fn decode_codeword_common(
             let r = Rnti(rnti);
             if r.is_c_rnti_range() && !hyp.c_rntis.contains(&r) {
                 let payload = common[..payload_bits].to_vec();
-                if let Some(d) = unpack(ctx, &payload, false, r, RntiType::Tc, obs) {
+                if let Some(d) = unpack(ctx, &payload, false, r, RntiType::Tc, obs, rejects) {
                     return Some(d);
                 }
             }
@@ -234,11 +242,12 @@ fn decode_codeword_ue(
     ctx: &DecoderContext,
     obs: &ObservedDci,
     hyp: &Hypotheses,
+    rejects: &mut usize,
 ) -> Option<DecodedDci> {
     for &rnti in &hyp.c_rntis {
         let cw = descramble(&obs.scrambled_bits, search_space_cinit(rnti, true, ctx.pci));
         if let Some(payload) = dci_check_crc(&cw, rnti.0) {
-            if let Some(d) = unpack(ctx, &payload, true, rnti, RntiType::C, obs) {
+            if let Some(d) = unpack(ctx, &payload, true, rnti, RntiType::C, obs, rejects) {
                 return Some(d);
             }
         }
@@ -346,9 +355,14 @@ pub fn decode_candidates_budgeted(
         }) {
             continue;
         }
-        if let Some(d) =
-            decode_soft_candidate_common(ctx, &cand.llrs, cand.level, cand.cce_start, hyp)
-        {
+        if let Some(d) = decode_soft_candidate_common(
+            ctx,
+            &cand.llrs,
+            cand.level,
+            cand.cce_start,
+            hyp,
+            &mut work.validation_rejects,
+        ) {
             out.push(d);
             continue;
         }
@@ -366,6 +380,7 @@ pub fn decode_candidates_budgeted(
                 cand.cce_start,
                 hyp,
                 common_cinit,
+                &mut work.validation_rejects,
             ) {
                 out.push(d);
             }
@@ -375,6 +390,7 @@ pub fn decode_candidates_budgeted(
         m.add(Counter::CandidatesScanned, work.candidates as u64);
         m.add(Counter::DcisDecoded, out.len() as u64);
         m.add(Counter::CandidatesPruned, work.pruned as u64);
+        m.add(Counter::ValidationRejects, work.validation_rejects as u64);
     }
     (out, work)
 }
@@ -436,6 +452,7 @@ fn decode_soft_candidate_common(
     level: AggregationLevel,
     cce_start: usize,
     hyp: &Hypotheses,
+    rejects: &mut usize,
 ) -> Option<DecodedDci> {
     if hyp.skip_common {
         return None;
@@ -452,8 +469,9 @@ fn decode_soft_candidate_common(
             .chain(hyp.tc_rntis.iter().map(|r| (*r, RntiType::Tc)));
         for (rnti, rnti_type) in common_hyps {
             if let Some(payload) = dci_check_crc(&cw, rnti.0) {
-                if let Some(d) = unpack_at(ctx, &payload, false, rnti, rnti_type, level, cce_start)
-                {
+                if let Some(d) = unpack_at(
+                    ctx, &payload, false, rnti, rnti_type, level, cce_start, rejects,
+                ) {
                     return Some(d);
                 }
             }
@@ -463,9 +481,16 @@ fn decode_soft_candidate_common(
                 let r = Rnti(rnti);
                 if r.is_c_rnti_range() && !hyp.c_rntis.contains(&r) {
                     let payload = cw[..payload_bits].to_vec();
-                    if let Some(d) =
-                        unpack_at(ctx, &payload, false, r, RntiType::Tc, level, cce_start)
-                    {
+                    if let Some(d) = unpack_at(
+                        ctx,
+                        &payload,
+                        false,
+                        r,
+                        RntiType::Tc,
+                        level,
+                        cce_start,
+                        rejects,
+                    ) {
                         return Some(d);
                     }
                 }
@@ -484,6 +509,7 @@ fn decode_soft_candidate_ue(
     cce_start: usize,
     hyp: &Hypotheses,
     common_cinit: u32,
+    rejects: &mut usize,
 ) -> Option<DecodedDci> {
     let sizes = ctx.sizes_for_ue()?;
     let common_seq = gold_bits_cached(common_cinit, llrs_common.len());
@@ -502,8 +528,16 @@ fn decode_soft_candidate_ue(
             let code = PolarCode::new(k, level.bits());
             let cw = code.decode_sc(&llrs);
             if let Some(payload) = dci_check_crc(&cw, rnti.0) {
-                if let Some(d) = unpack_at(ctx, &payload, true, rnti, RntiType::C, level, cce_start)
-                {
+                if let Some(d) = unpack_at(
+                    ctx,
+                    &payload,
+                    true,
+                    rnti,
+                    RntiType::C,
+                    level,
+                    cce_start,
+                    rejects,
+                ) {
                     return Some(d);
                 }
             }
@@ -528,6 +562,7 @@ fn unpack(
     rnti: Rnti,
     rnti_type: RntiType,
     obs: &ObservedDci,
+    rejects: &mut usize,
 ) -> Option<DecodedDci> {
     unpack_at(
         ctx,
@@ -537,9 +572,15 @@ fn unpack(
         rnti_type,
         obs.level,
         obs.cce_start,
+        rejects,
     )
 }
 
+/// Stage-1 plausibility gate: every CRC-passing payload, whatever its
+/// provenance (hypothesis match or CRC-XOR recovery), is unpacked with
+/// [`Dci::unpack_validated`] and rejected — counted, never propagated —
+/// when any field contradicts the active cell configuration.
+#[allow(clippy::too_many_arguments)]
 fn unpack_at(
     ctx: &DecoderContext,
     payload: &[u8],
@@ -548,20 +589,26 @@ fn unpack_at(
     rnti_type: RntiType,
     level: AggregationLevel,
     cce_start: usize,
+    rejects: &mut usize,
 ) -> Option<DecodedDci> {
     let sizing = if ue_specific {
         ctx.ue_sizing?
     } else {
         ctx.common_sizing
     };
-    let dci = Dci::unpack(payload, &sizing)?;
-    Some(DecodedDci {
-        rnti,
-        rnti_type,
-        dci,
-        level,
-        cce_start,
-    })
+    match Dci::unpack_validated(payload, &sizing) {
+        Ok(dci) => Some(DecodedDci {
+            rnti,
+            rnti_type,
+            dci,
+            level,
+            cce_start,
+        }),
+        Err(_) => {
+            *rejects += 1;
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -566,6 +566,7 @@ mod tests {
             ue_candidates: 2,
             ue_hypotheses: 5,
             pruned: 0,
+            validation_rejects: 0,
         };
         assert_eq!(m.latency(&w), us(60 + 30 + 200));
         assert_eq!(m.latency(&DecodeWork::default()), us(60));

@@ -39,7 +39,7 @@ pub mod worker;
 /// missing-field errors to catch true incompatibilities.
 pub const SCHEMA_VERSION: u32 = 1;
 
-pub use config::{Fidelity, ScopeConfig};
+pub use config::{AdmissionConfig, Fidelity, ScopeConfig};
 pub use governor::{GovernorConfig, LoadModel, LoadRung, OverloadGovernor};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};

@@ -146,11 +146,21 @@ pub enum Counter {
     /// Checkpoint requests skipped because the previous write was still in
     /// flight (the hot path never blocks on the writer).
     CheckpointsSkipped,
+    /// Broadcast payloads (MIB/SIB1/RRC Setup) rejected by the bounded
+    /// parsers (truncated, oversized, or invalid fields).
+    ParseRejects,
+    /// CRC-passing DCIs rejected by stage-1 plausibility validation
+    /// (RIV out of BWP, unknown TDRA row, reserved bits set, illegal
+    /// MCS/RV combination).
+    ValidationRejects,
+    /// Never-corroborated C-RNTIs moved from probation to the quarantine
+    /// ledger by stage-2 admission control.
+    GhostRntisQuarantined,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -174,6 +184,9 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::CheckpointFailures,
         Counter::CheckpointsSkipped,
+        Counter::ParseRejects,
+        Counter::ValidationRejects,
+        Counter::GhostRntisQuarantined,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -202,6 +215,9 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::CheckpointFailures => "checkpoint_failures",
             Counter::CheckpointsSkipped => "checkpoints_skipped",
+            Counter::ParseRejects => "parse_rejects",
+            Counter::ValidationRejects => "validation_rejects",
+            Counter::GhostRntisQuarantined => "ghost_rntis_quarantined",
         }
     }
 }
@@ -217,15 +233,18 @@ pub enum Gauge {
     WorkersAlive,
     /// Current load-governor rung (0 = Full … 3 = Shedding).
     LoadRung,
+    /// Ghost RNTIs currently held in the quarantine ledger.
+    QuarantineSize,
 }
 
 impl Gauge {
     /// All gauges.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::QueueDepth,
         Gauge::TrackedUes,
         Gauge::WorkersAlive,
         Gauge::LoadRung,
+        Gauge::QuarantineSize,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -235,6 +254,7 @@ impl Gauge {
             Gauge::TrackedUes => "tracked_ues",
             Gauge::WorkersAlive => "workers_alive",
             Gauge::LoadRung => "load_rung",
+            Gauge::QuarantineSize => "quarantine_size",
         }
     }
 }

@@ -10,10 +10,10 @@ use crate::governor::{LoadModel, LoadRung, OverloadGovernor, SlotVerdict};
 use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage};
 use crate::observe::{Capture, ObservedSlot, PdschPayload};
 use crate::persist::{JournalEntry, MicroState, SessionState, SlotOp};
-use crate::spare::{slot_data_res, spare_capacity, SpareShare, UeUsage};
+use crate::spare::{slot_data_res, spare_capacity_excluding, SpareShare, UeUsage};
 use crate::telemetry::TelemetryRecord;
 use crate::throughput::ThroughputEstimator;
-use crate::tracker::UeTracker;
+use crate::tracker::{Admission, UeTracker};
 use crate::worker::{JobPriority, PoolStats, SlotJob};
 use nr_phy::dci::{riv_decode, time_alloc, DciFormat, DciSizing};
 use nr_phy::grid::ResourceGrid;
@@ -125,6 +125,16 @@ pub struct ScopeStats {
     /// Decode attempts abandoned on malformed state or content — counted
     /// here instead of panicking.
     pub decode_failures: u64,
+    /// Broadcast payloads (SIB1 / RRC Setup) the bounded parsers rejected.
+    #[serde(default)]
+    pub parse_rejects: u64,
+    /// CRC-passing DCIs rejected by stage-1 field-consistency validation.
+    #[serde(default)]
+    pub validation_rejects: u64,
+    /// Candidate C-RNTIs moved to the quarantine ledger (stage-2
+    /// admission control: never corroborated inside the window).
+    #[serde(default)]
+    pub ghosts_quarantined: u64,
 }
 
 /// The passive telemetry engine.
@@ -168,6 +178,10 @@ pub struct NrScope {
     slot_ops: Vec<SlotOp>,
     /// Whether the most recent capture was a front-end drop marker.
     last_dropped: bool,
+    /// A changed SIB1 awaiting a second identical sighting before it
+    /// replaces cell state (contradictory-reload defense): the candidate
+    /// and how many consecutive times it has been seen.
+    pending_sib1: Option<(Sib1, u32)>,
 }
 
 impl NrScope {
@@ -205,6 +219,7 @@ impl NrScope {
             journaling: false,
             slot_ops: Vec::new(),
             last_dropped: false,
+            pending_sib1: None,
         }
     }
 
@@ -452,6 +467,22 @@ impl NrScope {
         self.tracker.total_discovered
     }
 
+    /// Quarantined ghost RNTIs (stage-2 admission ledger), sorted.
+    pub fn quarantined_rntis(&self) -> Vec<Rnti> {
+        self.tracker.quarantined_rntis()
+    }
+
+    /// Candidate RNTIs still in probation (awaiting corroboration), sorted.
+    pub fn probationary_rntis(&self) -> Vec<Rnti> {
+        self.tracker.probation_rntis()
+    }
+
+    /// How often a quarantined ghost has reappeared on the air (zero if
+    /// the RNTI is not quarantined).
+    pub fn quarantine_reappearances(&self, rnti: Rnti) -> u64 {
+        self.tracker.quarantine_reappearances(rnti).unwrap_or(0)
+    }
+
     /// Estimated downlink rate for a UE over the configured window.
     pub fn rate_bps(&self, rnti: Rnti, slot_s: f64) -> f64 {
         self.throughput
@@ -584,6 +615,7 @@ impl NrScope {
             }
         }
         self.stats.pruned_candidates += work.pruned as u64;
+        self.stats.validation_rejects += work.validation_rejects as u64;
         // Feed the governor: modelled latency when a LoadModel is
         // installed (deterministic tests), wall clock otherwise.
         let tti = self
@@ -646,6 +678,24 @@ impl NrScope {
             + self.stats.ul_dcis
     }
 
+    /// One stage-2 admission step for an unadmitted candidate C-RNTI:
+    /// note the corroborating decode, count any probation candidate the
+    /// size bound displaced into quarantine, and return the verdict.
+    fn admission_check(&mut self, rnti: Rnti, slot: u64) -> Admission {
+        let (admission, displaced) = self.tracker.note_candidate(
+            rnti,
+            slot,
+            self.cfg.admission.k,
+            self.cfg.admission.window_slots,
+            self.cfg.admission.quarantine_max,
+        );
+        if displaced.is_some() {
+            self.stats.ghosts_quarantined += 1;
+            self.metrics.inc(Counter::GhostRntisQuarantined);
+        }
+        admission
+    }
+
     /// Housekeeping: expire idle UEs, stale RACH state, and (periodically)
     /// aged-out throughput history of departed UEs.
     fn housekeeping(&mut self, slot: u64) {
@@ -674,6 +724,18 @@ impl NrScope {
                 }
                 self.throughput.forget(dead);
             }
+            // Probation candidates whose corroboration window lapsed are
+            // ghosts: quarantine them. Frozen while the governor blinds
+            // the UE pass — a real UE cannot corroborate itself through
+            // decodes the sniffer chose not to attempt.
+            for _ghost in self.tracker.expire_probation(
+                slot,
+                self.cfg.admission.window_slots,
+                self.cfg.admission.quarantine_max,
+            ) {
+                self.stats.ghosts_quarantined += 1;
+                self.metrics.inc(Counter::GhostRntisQuarantined);
+            }
         }
         // Amortised release of departed-UE history (see ThroughputEstimator
         // docs: `record` prunes live UEs; only departures need this).
@@ -682,6 +744,8 @@ impl NrScope {
         }
         self.metrics
             .gauge_set(Gauge::TrackedUes, self.tracker.rntis().len() as u64);
+        self.metrics
+            .gauge_set(Gauge::QuarantineSize, self.tracker.quarantine_len() as u64);
     }
 
     /// Feed one unhealthy slot (nothing decoded, or dropped outright) into
@@ -782,6 +846,15 @@ impl NrScope {
 
     fn hypotheses(&self) -> Hypotheses {
         let mut c_rntis = self.tracker.rntis();
+        // Probationary RNTIs ride the UE-specific pass: a real UE on
+        // probation decodes under its own scrambling and corroborates
+        // itself; a ghost never does. Also keeps the recovery path from
+        // re-minting the same candidate for free every slot.
+        for r in self.tracker.probation_rntis() {
+            if !c_rntis.contains(&r) {
+                c_rntis.push(r);
+            }
+        }
         if self.sync != SyncState::Synced {
             // While unhealthy, also retry RNTIs that expired recently: UEs
             // that stayed connected through a sniffer-side outage re-track
@@ -803,6 +876,37 @@ impl NrScope {
             // invent C-RNTIs from mis-descrambled residue.
             allow_recovery: !matches!(self.sync, SyncState::Lost | SyncState::Reacquiring),
             skip_common: false,
+        }
+    }
+
+    /// Accept a decoded SIB1. The first read is taken on faith (nothing
+    /// is decodable without it); after that, *changed* content must be
+    /// seen twice in a row before it replaces cell state, so a one-off
+    /// corrupted or forged broadcast cannot flip the carrier
+    /// configuration back and forth (contradictory-reload defense).
+    fn on_sib1(&mut self, sib1: Sib1) {
+        match self.cell.sib1.as_ref() {
+            None => {
+                self.cell.sib1 = Some(sib1);
+                self.pending_sib1 = None;
+            }
+            Some(old) if *old == sib1 => {
+                // Steady state re-read; drop any half-corroborated change.
+                self.pending_sib1 = None;
+            }
+            Some(_) => match self.pending_sib1.take() {
+                Some((cand, n)) if cand == sib1 => {
+                    if n + 1 >= 2 {
+                        self.stats.sib1_reloads += 1;
+                        self.cell.sib1 = Some(sib1);
+                    } else {
+                        self.pending_sib1 = Some((cand, n + 1));
+                    }
+                }
+                _ => {
+                    self.pending_sib1 = Some((sib1, 1));
+                }
+            },
         }
     }
 
@@ -908,11 +1012,15 @@ impl NrScope {
                 RntiType::Si => {
                     self.stats.si_dcis += 1;
                     if let Some(PdschPayload::Sib1(bits)) = payload_for(pdsch, d.rnti) {
-                        if let Ok(sib1) = Sib1::decode(bits) {
-                            if self.cell.sib1.as_ref().is_some_and(|old| *old != sib1) {
-                                self.stats.sib1_reloads += 1;
+                        match Sib1::decode(bits) {
+                            Ok(sib1) => self.on_sib1(sib1),
+                            Err(_) => {
+                                // Broadcast bits are untrusted input: a
+                                // malformed SIB1 is counted and dropped,
+                                // never allowed to clobber cell state.
+                                self.stats.parse_rejects += 1;
+                                self.metrics.inc(Counter::ParseRejects);
                             }
-                            self.cell.sib1 = Some(sib1);
                         }
                     }
                 }
@@ -938,13 +1046,24 @@ impl NrScope {
                     };
                     if let Some(rrc) = rrc {
                         if !self.tracker.contains(d.rnti) {
-                            if self.journaling {
-                                self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
-                            }
-                            if !self.tracker.promote(d.rnti, slot, rrc) {
-                                // Same RNTI re-RACHed after we expired it:
-                                // a recovery, not a new UE.
-                                self.stats.recovered_ues += 1;
+                            // Stage-2 admission: a TC-RNTI shadowed by a
+                            // decoded RAR (or seen legitimately before)
+                            // is corroborated by the RACH procedure
+                            // itself. A recovery-minted RNTI — possibly a
+                            // chance CRC collision — must earn K
+                            // corroborating decodes first.
+                            let corroborated = self.tracker.is_pending_tc(d.rnti)
+                                || self.tracker.was_ever_seen(d.rnti)
+                                || self.admission_check(d.rnti, slot) == Admission::Admit;
+                            if corroborated {
+                                if self.journaling {
+                                    self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
+                                }
+                                if !self.tracker.promote(d.rnti, slot, rrc) {
+                                    // Same RNTI re-RACHed after we expired
+                                    // it: a recovery, not a new UE.
+                                    self.stats.recovered_ues += 1;
+                                }
                             }
                         }
                     }
@@ -958,6 +1077,23 @@ impl NrScope {
                             if let Some(ue) = self.tracker.get(d.rnti) {
                                 let rrc = ue.rrc;
                                 self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
+                            }
+                        }
+                    } else if !self.tracker.contains(d.rnti) && self.tracker.is_probationary(d.rnti)
+                    {
+                        // A probationary RNTI decoded under its own
+                        // UE-specific scrambling — exactly the
+                        // corroboration stage 2 demands. Ghost RNTIs
+                        // never produce these (their scrambling doesn't
+                        // exist), so K such decodes admit the UE.
+                        if self.admission_check(d.rnti, slot) == Admission::Admit {
+                            if let Some(rrc) = self.tracker.cached_rrc().copied() {
+                                if self.journaling {
+                                    self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
+                                }
+                                if !self.tracker.promote(d.rnti, slot, rrc) {
+                                    self.stats.recovered_ues += 1;
+                                }
                             }
                         }
                     }
@@ -1006,8 +1142,14 @@ impl NrScope {
                     .cached_rrc()
                     .map(|r| r.mcs_table)
                     .unwrap_or(McsTable::Qam256);
-                self.spare_log
-                    .push((slot, spare_capacity(&usages, total, table)));
+                // Defense in depth: quarantined ghosts are never tracked
+                // so they cannot normally reach `usages`, but the spare
+                // estimate must stay clean even if one slips through.
+                let quarantined = self.tracker.quarantined_rntis();
+                self.spare_log.push((
+                    slot,
+                    spare_capacity_excluding(&usages, &quarantined, total, table),
+                ));
             }
         }
     }
@@ -1019,7 +1161,14 @@ impl NrScope {
     ) -> Option<RrcSetup> {
         if let Some(PdschPayload::RrcSetup(bits)) = payload_for(pdsch, rnti) {
             self.stats.rrc_decoded += 1;
-            RrcSetup::decode(bits).ok()
+            match RrcSetup::decode(bits) {
+                Ok(rrc) => Some(rrc),
+                Err(_) => {
+                    self.stats.parse_rejects += 1;
+                    self.metrics.inc(Counter::ParseRejects);
+                    None
+                }
+            }
         } else {
             // PDSCH missed: fall back to the cache if allowed.
             self.tracker.cached_rrc().copied()

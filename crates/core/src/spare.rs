@@ -66,6 +66,28 @@ pub fn spare_capacity(
         .collect()
 }
 
+/// [`spare_capacity`] with an exclusion list: usages attributed to
+/// `excluded` RNTIs (quarantined ghosts — CRC-collision phantoms that
+/// were never admitted) are dropped *before* the fair-share split, so a
+/// ghost neither absorbs a share of the spare REs nor contributes its
+/// bogus grant to the used total.
+pub fn spare_capacity_excluding(
+    usages: &[UeUsage],
+    excluded: &[Rnti],
+    total_data_res: usize,
+    table: McsTable,
+) -> Vec<SpareShare> {
+    if excluded.is_empty() {
+        return spare_capacity(usages, total_data_res, table);
+    }
+    let legit: Vec<UeUsage> = usages
+        .iter()
+        .filter(|u| !excluded.contains(&u.rnti))
+        .copied()
+        .collect();
+    spare_capacity(&legit, total_data_res, table)
+}
+
 /// PDSCH RE capacity of one downlink slot.
 pub fn slot_data_res(carrier_prbs: usize, data_symbols: usize) -> usize {
     carrier_prbs * data_symbols * SUBCARRIERS_PER_PRB
@@ -122,6 +144,41 @@ mod tests {
     fn slot_capacity_formula() {
         // 51 PRB × 12 symbols × 12 subcarriers = 7344 REs.
         assert_eq!(slot_data_res(51, 12), 7344);
+    }
+
+    #[test]
+    fn quarantined_ghost_is_excluded_from_fair_share() {
+        // Regression: a ghost UE admitted from a single chance CRC pass
+        // used to soak up a fair share of the spare REs and inject a
+        // phantom grant into the used total. Excluding it must give the
+        // same result as if the ghost never decoded.
+        let legit = UeUsage {
+            rnti: Rnti(0x4601),
+            used_res: 1000,
+            mcs: 20,
+            layers: 2,
+        };
+        let ghost = UeUsage {
+            rnti: Rnti(0x7F2A),
+            used_res: 3000,
+            mcs: 3,
+            layers: 1,
+        };
+        let total = slot_data_res(51, 12);
+        let polluted = spare_capacity(&[legit, ghost], total, McsTable::Qam256);
+        let cleaned =
+            spare_capacity_excluding(&[legit, ghost], &[ghost.rnti], total, McsTable::Qam256);
+        let truth = spare_capacity(&[legit], total, McsTable::Qam256);
+        assert_eq!(cleaned, truth, "exclusion restores the ghost-free result");
+        assert_eq!(cleaned.len(), 1);
+        // And the pollution was real: the ghost both halved the share and
+        // shrank the spare pool.
+        assert!(polluted[0].spare_res < cleaned[0].spare_res);
+        // An empty exclusion list is the plain computation.
+        assert_eq!(
+            spare_capacity_excluding(&[legit, ghost], &[], total, McsTable::Qam256),
+            polluted
+        );
     }
 
     #[test]

@@ -24,6 +24,35 @@ pub struct TrackedUe {
     pub rrc: RrcSetup,
 }
 
+/// Bound on concurrent probationary RNTIs. A hostile cell can mint a new
+/// candidate every slot; capping the set bounds both memory and the extra
+/// UE-pass hypothesis work a flood can induce. When full, the stalest
+/// candidate is displaced straight into quarantine.
+const PROBATION_MAX: usize = 32;
+
+/// Stage-2 admission verdict for one corroborating decode of an
+/// unadmitted C-RNTI (see [`UeTracker::note_candidate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// K corroborating decodes reached inside the window — promote now.
+    Admit,
+    /// Still gathering corroboration; the RNTI is not tracked yet.
+    Pending,
+    /// The RNTI sits in the quarantine ledger; its reappearance was
+    /// counted and nothing else happened.
+    Quarantined,
+}
+
+/// One quarantine-ledger entry: a candidate C-RNTI that failed probation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Slot the RNTI entered the ledger.
+    pub quarantined_at: u64,
+    /// Decodes observed for this RNTI *after* it was quarantined — a
+    /// persistent forger keeps scoring here instead of minting UEs.
+    pub reappearances: u64,
+}
+
 /// The known-UE list plus RACH-procedure shadowing state.
 #[derive(Debug, Default)]
 pub struct UeTracker {
@@ -40,6 +69,14 @@ pub struct UeTracker {
     /// RNTIs expired recently, with the expiry slot: extra hypotheses the
     /// recovery path retries while the session is degraded.
     recently_expired: HashMap<Rnti, u64>,
+    /// Stage-2 admission control: recovery-minted C-RNTIs on probation,
+    /// each with its corroborating decode slots (sliding window).
+    probation: HashMap<Rnti, Vec<u64>>,
+    /// Quarantine ledger: candidates that failed probation, kept so a
+    /// recurring ghost is rejected in O(1) instead of re-probated.
+    quarantine: HashMap<Rnti, QuarantineEntry>,
+    /// Ledger entries displaced by the size bound (counted eviction).
+    pub quarantine_evictions: u64,
     /// Total distinct UEs ever discovered (Fig 10-style accounting).
     pub total_discovered: u64,
 }
@@ -59,6 +96,16 @@ pub struct TrackerAux {
     pub ever_seen: Vec<Rnti>,
     /// Distinct-UE discovery count.
     pub total_discovered: u64,
+    /// `probation` as sorted `(rnti, sighting_slots)` pairs. Defaulted so
+    /// pre-hardening snapshots still deserialise.
+    #[serde(default)]
+    pub probation: Vec<(Rnti, Vec<u64>)>,
+    /// `quarantine` as sorted `(rnti, entry)` pairs.
+    #[serde(default)]
+    pub quarantine: Vec<(Rnti, QuarantineEntry)>,
+    /// Lifetime count of counted evictions from the bounded ledger.
+    #[serde(default)]
+    pub quarantine_evictions: u64,
 }
 
 /// Full serialisable tracker image: the UE table plus the bookkeeping.
@@ -94,6 +141,8 @@ impl UeTracker {
     pub fn promote(&mut self, tc_rnti: Rnti, slot: u64, rrc: RrcSetup) -> bool {
         self.pending_tc.remove(&tc_rnti);
         self.recently_expired.remove(&tc_rnti);
+        self.probation.remove(&tc_rnti);
+        self.quarantine.remove(&tc_rnti);
         self.cached_rrc = Some(rrc);
         let newly_discovered = self.ever_seen.insert(tc_rnti);
         if newly_discovered {
@@ -140,6 +189,7 @@ impl UeTracker {
             return false;
         };
         self.recently_expired.remove(&rnti);
+        self.probation.remove(&rnti);
         self.ues.insert(
             rnti,
             TrackedUe {
@@ -157,6 +207,156 @@ impl UeTracker {
     /// The cached RRC Setup, if any UE has been decoded yet.
     pub fn cached_rrc(&self) -> Option<&RrcSetup> {
         self.cached_rrc.as_ref()
+    }
+
+    /// Whether `rnti` is a RAR-shadowed TC-RNTI awaiting its MSG 4.
+    /// Such RNTIs are corroborated by the RACH procedure itself and skip
+    /// stage-2 probation.
+    pub fn is_pending_tc(&self, rnti: Rnti) -> bool {
+        self.pending_tc.contains_key(&rnti)
+    }
+
+    /// Whether `rnti` was ever legitimately promoted (rediscovery after an
+    /// outage is not a never-before-seen candidate).
+    pub fn was_ever_seen(&self, rnti: Rnti) -> bool {
+        self.ever_seen.contains(&rnti)
+    }
+
+    /// Stage-2 admission control: record one corroborating decode for an
+    /// unadmitted, recovery-minted C-RNTI. The candidate is admitted once
+    /// `k` decodes land within a sliding `window` of slots; until then it
+    /// sits in a bounded probation set whose RNTIs ride the UE-pass
+    /// hypothesis list — a real UE corroborates itself through its own
+    /// UE-scrambled DCIs, a CRC-collision ghost never does. Returns the
+    /// verdict plus any probation candidate displaced into quarantine by
+    /// the size bound (for metrics).
+    pub fn note_candidate(
+        &mut self,
+        rnti: Rnti,
+        slot: u64,
+        k: usize,
+        window: u64,
+        quarantine_max: usize,
+    ) -> (Admission, Option<Rnti>) {
+        if self.ues.contains_key(&rnti) {
+            return (Admission::Admit, None);
+        }
+        if let Some(q) = self.quarantine.get_mut(&rnti) {
+            q.reappearances += 1;
+            return (Admission::Quarantined, None);
+        }
+        let sightings = self.probation.entry(rnti).or_default();
+        sightings.retain(|&s| slot.saturating_sub(s) <= window);
+        // One sighting per slot: corroboration requires K *distinct*
+        // slots, or a single slot carrying K copies of one ghost codeword
+        // (the hypothesis list is only refreshed between slots) would
+        // self-corroborate.
+        if sightings.last() != Some(&slot) {
+            sightings.push(slot);
+        }
+        if sightings.len() >= k.max(1) {
+            self.probation.remove(&rnti);
+            return (Admission::Admit, None);
+        }
+        // Bound the probation set under a candidate flood: displace the
+        // candidate with the stalest latest sighting into quarantine
+        // (deterministic tie-break on the RNTI value).
+        let mut displaced = None;
+        if self.probation.len() > PROBATION_MAX {
+            let victim = self
+                .probation
+                .iter()
+                .filter(|(r, _)| **r != rnti)
+                .min_by_key(|(r, s)| (s.last().copied().unwrap_or(0), r.0))
+                .map(|(r, _)| *r);
+            if let Some(v) = victim {
+                self.probation.remove(&v);
+                self.quarantine_insert(v, slot, quarantine_max);
+                displaced = Some(v);
+            }
+        }
+        (Admission::Pending, displaced)
+    }
+
+    /// Move probation candidates whose corroboration window lapsed into
+    /// the quarantine ledger. Returns the newly quarantined RNTIs, sorted.
+    pub fn expire_probation(&mut self, now: u64, window: u64, quarantine_max: usize) -> Vec<Rnti> {
+        let mut lapsed: Vec<Rnti> = self
+            .probation
+            .iter()
+            .filter(|(_, s)| {
+                s.last()
+                    .is_none_or(|&last| now.saturating_sub(last) > window)
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        lapsed.sort();
+        for r in &lapsed {
+            self.probation.remove(r);
+            self.quarantine_insert(*r, now, quarantine_max);
+        }
+        lapsed
+    }
+
+    /// Insert into the bounded quarantine ledger, evicting the oldest
+    /// entry (counted) when full.
+    fn quarantine_insert(&mut self, rnti: Rnti, slot: u64, quarantine_max: usize) {
+        while self.quarantine.len() >= quarantine_max.max(1) {
+            let oldest = self
+                .quarantine
+                .iter()
+                .min_by_key(|(r, e)| (e.quarantined_at, r.0))
+                .map(|(r, _)| *r);
+            match oldest {
+                Some(r) => {
+                    self.quarantine.remove(&r);
+                    self.quarantine_evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.quarantine.insert(
+            rnti,
+            QuarantineEntry {
+                quarantined_at: slot,
+                reappearances: 0,
+            },
+        );
+    }
+
+    /// Whether `rnti` sits in the quarantine ledger.
+    pub fn is_quarantined(&self, rnti: Rnti) -> bool {
+        self.quarantine.contains_key(&rnti)
+    }
+
+    /// Whether `rnti` is on stage-2 probation.
+    pub fn is_probationary(&self, rnti: Rnti) -> bool {
+        self.probation.contains_key(&rnti)
+    }
+
+    /// Probationary RNTIs (sorted) — extra UE-pass hypotheses so a real
+    /// UE on probation can corroborate itself.
+    pub fn probation_rntis(&self) -> Vec<Rnti> {
+        let mut v: Vec<Rnti> = self.probation.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Quarantined RNTIs (sorted).
+    pub fn quarantined_rntis(&self) -> Vec<Rnti> {
+        let mut v: Vec<Rnti> = self.quarantine.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Quarantine-ledger size (exported as a gauge).
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Reappearance count for a quarantined RNTI, if present.
+    pub fn quarantine_reappearances(&self, rnti: Rnti) -> Option<u64> {
+        self.quarantine.get(&rnti).map(|e| e.reappearances)
     }
 
     /// Whether an RNTI is currently tracked.
@@ -224,12 +424,24 @@ impl UeTracker {
         recently_expired.sort();
         let mut ever_seen: Vec<Rnti> = self.ever_seen.iter().copied().collect();
         ever_seen.sort();
+        let mut probation: Vec<(Rnti, Vec<u64>)> = self
+            .probation
+            .iter()
+            .map(|(r, s)| (*r, s.clone()))
+            .collect();
+        probation.sort();
+        let mut quarantine: Vec<(Rnti, QuarantineEntry)> =
+            self.quarantine.iter().map(|(r, e)| (*r, *e)).collect();
+        quarantine.sort_by_key(|(r, _)| *r);
         TrackerAux {
             pending_tc,
             recently_expired,
             cached_rrc: self.cached_rrc,
             ever_seen,
             total_discovered: self.total_discovered,
+            probation,
+            quarantine,
+            quarantine_evictions: self.quarantine_evictions,
         }
     }
 
@@ -242,6 +454,9 @@ impl UeTracker {
         self.cached_rrc = aux.cached_rrc;
         self.ever_seen = aux.ever_seen.iter().copied().collect();
         self.total_discovered = aux.total_discovered;
+        self.probation = aux.probation.iter().cloned().collect();
+        self.quarantine = aux.quarantine.iter().copied().collect();
+        self.quarantine_evictions = aux.quarantine_evictions;
     }
 
     /// Freeze the whole tracker into a serialisable image.
@@ -412,6 +627,124 @@ mod tests {
         assert_eq!(back.get(Rnti(0x4601)).unwrap().last_active_slot, 50_000);
         assert!(back.expire(50_010, 20_000, 100).is_empty());
         assert!(back.contains(Rnti(0x4601)));
+    }
+
+    #[test]
+    fn candidate_admitted_after_k_corroborations_in_window() {
+        let mut t = UeTracker::new();
+        let r = Rnti(0x4700);
+        assert_eq!(t.note_candidate(r, 10, 3, 100, 64).0, Admission::Pending);
+        assert!(t.is_probationary(r));
+        assert_eq!(t.note_candidate(r, 20, 3, 100, 64).0, Admission::Pending);
+        assert_eq!(t.note_candidate(r, 30, 3, 100, 64).0, Admission::Admit);
+        assert!(!t.is_probationary(r), "admitted candidates leave probation");
+    }
+
+    #[test]
+    fn same_slot_duplicates_count_as_one_sighting() {
+        // K copies of one ghost codeword in a single slot (duplicated
+        // candidates, stale hypothesis list) must not self-corroborate.
+        let mut t = UeTracker::new();
+        let r = Rnti(0x4700);
+        for _ in 0..10 {
+            assert_eq!(t.note_candidate(r, 10, 3, 100, 64).0, Admission::Pending);
+        }
+        assert!(t.is_probationary(r));
+        assert_eq!(t.note_candidate(r, 11, 3, 100, 64).0, Admission::Pending);
+        assert_eq!(t.note_candidate(r, 12, 3, 100, 64).0, Admission::Admit);
+    }
+
+    #[test]
+    fn stale_sightings_fall_out_of_the_window() {
+        let mut t = UeTracker::new();
+        let r = Rnti(0x4700);
+        t.note_candidate(r, 10, 3, 100, 64);
+        t.note_candidate(r, 20, 3, 100, 64);
+        // Third sighting arrives after the first two lapsed: still pending,
+        // and only three fresh sightings inside one window admit.
+        assert_eq!(t.note_candidate(r, 150, 3, 100, 64).0, Admission::Pending);
+        assert_eq!(t.note_candidate(r, 160, 3, 100, 64).0, Admission::Pending);
+        assert_eq!(t.note_candidate(r, 170, 3, 100, 64).0, Admission::Admit);
+    }
+
+    #[test]
+    fn lapsed_probation_is_quarantined_and_reappearance_counted() {
+        let mut t = UeTracker::new();
+        let ghost = Rnti(0x4800);
+        t.note_candidate(ghost, 10, 3, 100, 64);
+        assert!(
+            t.expire_probation(50, 100, 64).is_empty(),
+            "still in window"
+        );
+        assert_eq!(t.expire_probation(200, 100, 64), vec![ghost]);
+        assert!(t.is_quarantined(ghost));
+        assert_eq!(t.quarantine_len(), 1);
+        assert_eq!(t.quarantine_reappearances(ghost), Some(0));
+        // The ghost keeps reappearing: cheap counter bump, never probation.
+        assert_eq!(
+            t.note_candidate(ghost, 300, 3, 100, 64).0,
+            Admission::Quarantined
+        );
+        assert_eq!(
+            t.note_candidate(ghost, 301, 3, 100, 64).0,
+            Admission::Quarantined
+        );
+        assert_eq!(t.quarantine_reappearances(ghost), Some(2));
+        assert!(!t.is_probationary(ghost));
+    }
+
+    #[test]
+    fn probation_flood_is_bounded_with_counted_displacement() {
+        let mut t = UeTracker::new();
+        let mut displaced = 0usize;
+        for i in 0..200u16 {
+            let (_, d) = t.note_candidate(Rnti(0x4000 + i), u64::from(i), 3, 1_000, 64);
+            displaced += usize::from(d.is_some());
+        }
+        assert!(t.probation_rntis().len() <= PROBATION_MAX + 1);
+        assert_eq!(displaced + t.probation_rntis().len(), 200);
+        assert_eq!(t.quarantine_len(), 64, "ledger bounded");
+        assert!(t.quarantine_evictions > 0, "evictions are counted");
+    }
+
+    #[test]
+    fn promote_clears_probation_and_quarantine() {
+        let mut t = UeTracker::new();
+        let r = Rnti(0x4900);
+        t.note_candidate(r, 10, 5, 100, 64);
+        t.expire_probation(500, 100, 64);
+        assert!(t.is_quarantined(r));
+        // A full RACH procedure (RAR + MSG 4) later proves the UE real.
+        t.promote(r, 600, rrc());
+        assert!(!t.is_quarantined(r));
+        assert!(t.contains(r));
+    }
+
+    #[test]
+    fn admission_state_survives_aux_round_trip() {
+        let mut t = UeTracker::new();
+        t.note_candidate(Rnti(0x4A00), 10, 3, 100, 64);
+        t.note_candidate(Rnti(0x4A01), 12, 3, 100, 64);
+        t.expire_probation(500, 100, 64); // both quarantined
+        t.note_candidate(Rnti(0x4A00), 600, 3, 100, 64); // reappearance
+        t.note_candidate(Rnti(0x4B00), 610, 3, 100, 64); // fresh probation
+        let aux = t.aux_state();
+        let mut back = UeTracker::new();
+        back.set_aux(&aux);
+        assert_eq!(back.aux_state(), aux);
+        assert!(back.is_quarantined(Rnti(0x4A00)));
+        assert_eq!(back.quarantine_reappearances(Rnti(0x4A00)), Some(1));
+        assert!(back.is_probationary(Rnti(0x4B00)));
+    }
+
+    #[test]
+    fn pre_hardening_aux_json_still_deserialises() {
+        // A PR 4 era snapshot has no probation/quarantine fields.
+        let old = r#"{"pending_tc":[],"recently_expired":[],"cached_rrc":null,"ever_seen":[],"total_discovered":0}"#;
+        let aux: TrackerAux = serde_json::from_str(old).expect("defaults fill in");
+        assert!(aux.probation.is_empty());
+        assert!(aux.quarantine.is_empty());
+        assert_eq!(aux.quarantine_evictions, 0);
     }
 
     #[test]

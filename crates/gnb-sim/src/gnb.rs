@@ -14,6 +14,7 @@
 //! sequences are exactly as a real cell would emit them.
 
 use crate::cell::CellConfig;
+use crate::hostile::HostileConfig;
 use crate::truth::{TruthLog, TruthRecord};
 use nr_mac::{Allocation, GnbHarqEntity, RachEvent, RachProcedure, RntiAllocator, Scheduler};
 use nr_phy::dci::{riv_encode, Dci, DciFormat, DciSizing};
@@ -125,6 +126,10 @@ pub struct Gnb {
     /// Sizing for common-search-space DCIs (initial BWP = CORESET 0 width,
     /// so a sniffer can size them from the MIB alone).
     common_sizing: DciSizing,
+    /// Adversarial emission profile; `None` = benign cell. The RNG is
+    /// separate from `rng` so arming hostility never perturbs the
+    /// legitimate emission stream.
+    hostile: Option<(HostileConfig, StdRng)>,
 }
 
 impl Gnb {
@@ -150,8 +155,26 @@ impl Gnb {
             rng: StdRng::seed_from_u64(seed),
             sizing,
             common_sizing,
+            hostile: None,
             cfg,
         }
+    }
+
+    /// Arm the hostile emission profile. Adversarial transmissions start
+    /// with the next downlink slot and are never entered in the
+    /// ground-truth log.
+    pub fn arm_hostile(&mut self, cfg: HostileConfig) {
+        self.hostile = Some((cfg, StdRng::seed_from_u64(cfg.seed)));
+    }
+
+    /// Disarm the hostile profile.
+    pub fn disarm_hostile(&mut self) {
+        self.hostile = None;
+    }
+
+    /// Whether a hostile profile is armed.
+    pub fn hostile_armed(&self) -> bool {
+        self.hostile.is_some()
     }
 
     /// Queue a UE to start random access at the next PRACH occasion.
@@ -544,6 +567,233 @@ impl Gnb {
                 prb_cursor += prb_len;
             }
         }
+
+        // Adversarial emissions last: they contend for leftover CCE space
+        // and never displace legitimate traffic or enter the truth log.
+        self.emit_hostile(out, slot, slot_in_frame, &mut cce_used);
+    }
+
+    /// Inject this slot's due hostile emissions (see [`crate::hostile`]).
+    fn emit_hostile(
+        &mut self,
+        out: &mut SlotOutput,
+        slot: u64,
+        slot_in_frame: usize,
+        cce_used: &mut [bool],
+    ) {
+        let Some((cfg, mut rng)) = self.hostile.take() else {
+            return;
+        };
+        let due = |p: u64| HostileConfig::due(p, slot);
+
+        // Ghost MSG 4: well-formed DCI at a random C-range RNTI plus a
+        // valid RRC Setup payload — the full phantom-UE lure.
+        if due(cfg.ghost_dci_period) {
+            let rnti = self.draw_ghost_rnti(&mut rng);
+            let bits = self
+                .well_formed_hostile_dci(&mut rng)
+                .pack(&self.common_sizing);
+            if let Some(tx) = self.place_hostile(rnti, RntiType::Tc, bits, slot_in_frame, cce_used)
+            {
+                out.pdsch
+                    .push((rnti, PdschContent::RrcSetup(self.cfg.rrc_setup().encode())));
+                out.dcis.push(tx);
+            }
+        }
+
+        // Persistent ghost: same RNTI every time, so the sniffer's
+        // probation window lapses between sightings and the quarantine
+        // ledger sees counted reappearances.
+        if due(cfg.persistent_ghost_period) {
+            let rnti = Rnti(cfg.persistent_ghost_rnti);
+            if !self.connected.contains_key(&rnti) && !self.rach_pending.contains_key(&rnti) {
+                let bits = self
+                    .well_formed_hostile_dci(&mut rng)
+                    .pack(&self.common_sizing);
+                if let Some(tx) =
+                    self.place_hostile(rnti, RntiType::Tc, bits, slot_in_frame, cce_used)
+                {
+                    out.pdsch
+                        .push((rnti, PdschContent::RrcSetup(self.cfg.rrc_setup().encode())));
+                    out.dcis.push(tx);
+                }
+            }
+        }
+
+        // Reserved-bit violation: valid DCI with the vrb-to-prb reserved
+        // bit forced high (stage-1 `ReservedBitsSet`).
+        if due(cfg.reserved_bits_period) {
+            let rnti = self.draw_ghost_rnti(&mut rng);
+            let mut bits = self
+                .well_formed_hostile_dci(&mut rng)
+                .pack(&self.common_sizing);
+            let reserved_idx = 1 + self.common_sizing.f_alloc_bits() + 4;
+            bits[reserved_idx] = 1;
+            if let Some(tx) = self.place_hostile(rnti, RntiType::Tc, bits, slot_in_frame, cce_used)
+            {
+                out.dcis.push(tx);
+            }
+        }
+
+        // Malformed fields, rotating: RIV outside the BWP, an
+        // unconfigured TDRA row, a reserved-MCS initial transmission.
+        if due(cfg.malformed_fields_period) {
+            let rnti = self.draw_ghost_rnti(&mut rng);
+            let mut dci = self.well_formed_hostile_dci(&mut rng);
+            match slot / cfg.malformed_fields_period % 3 {
+                0 => {
+                    let bits = self.common_sizing.f_alloc_bits();
+                    dci.f_alloc = (1u32 << bits) - 1;
+                }
+                1 => dci.t_alloc = 0xF,
+                _ => {
+                    dci.mcs = 31;
+                    dci.rv = 0;
+                }
+            }
+            let bits = dci.pack(&self.common_sizing);
+            if let Some(tx) = self.place_hostile(rnti, RntiType::Tc, bits, slot_in_frame, cce_used)
+            {
+                out.dcis.push(tx);
+            }
+        }
+
+        // Broken RRC encodings behind well-formed DCIs, rotating:
+        // truncated SIB1, oversized SIB1, oversized RRC Setup.
+        if due(cfg.bad_rrc_period) {
+            let bits = self
+                .well_formed_hostile_dci(&mut rng)
+                .pack(&self.common_sizing);
+            match slot / cfg.bad_rrc_period % 3 {
+                0 => {
+                    let mut sib = self.cfg.sib1().encode();
+                    sib.truncate(sib.len() / 2);
+                    if let Some(tx) =
+                        self.place_hostile(Rnti::SI, RntiType::Si, bits, slot_in_frame, cce_used)
+                    {
+                        out.pdsch.push((Rnti::SI, PdschContent::Sib1(sib)));
+                        out.dcis.push(tx);
+                    }
+                }
+                1 => {
+                    let mut sib = self.cfg.sib1().encode();
+                    sib.extend(std::iter::repeat_n(1, 8));
+                    if let Some(tx) =
+                        self.place_hostile(Rnti::SI, RntiType::Si, bits, slot_in_frame, cce_used)
+                    {
+                        out.pdsch.push((Rnti::SI, PdschContent::Sib1(sib)));
+                        out.dcis.push(tx);
+                    }
+                }
+                _ => {
+                    let rnti = self.draw_ghost_rnti(&mut rng);
+                    let mut setup = self.cfg.rrc_setup().encode();
+                    setup.extend(std::iter::repeat_n(0, 16));
+                    if let Some(tx) =
+                        self.place_hostile(rnti, RntiType::Tc, bits, slot_in_frame, cce_used)
+                    {
+                        out.pdsch.push((rnti, PdschContent::RrcSetup(setup)));
+                        out.dcis.push(tx);
+                    }
+                }
+            }
+        }
+
+        // Contradictory SIB1: valid encoding, different content, varying
+        // between emissions — a flapping signal must never displace the
+        // real cell state (the reload rule wants consecutive agreement).
+        if due(cfg.sib1_spoof_period) {
+            let mut spoof = self.cfg.sib1();
+            spoof.cell_id ^= 1 + slot / cfg.sib1_spoof_period % 7;
+            spoof.carrier_prbs = spoof.carrier_prbs.saturating_sub(1).max(1);
+            let bits = self
+                .well_formed_hostile_dci(&mut rng)
+                .pack(&self.common_sizing);
+            if let Some(tx) =
+                self.place_hostile(Rnti::SI, RntiType::Si, bits, slot_in_frame, cce_used)
+            {
+                out.pdsch
+                    .push((Rnti::SI, PdschContent::Sib1(spoof.encode())));
+                out.dcis.push(tx);
+            }
+        }
+
+        self.hostile = Some((cfg, rng));
+    }
+
+    /// A random C-range RNTI not currently attached or mid-RACH — ghosts
+    /// must never alias a real UE, or the adversarial accounting check
+    /// would blame the sniffer for the simulator's own collision.
+    fn draw_ghost_rnti(&self, rng: &mut StdRng) -> Rnti {
+        loop {
+            let r = Rnti(rng.gen_range(0x8000u16..Rnti::C_RNTI_LAST + 1));
+            if !self.connected.contains_key(&r) && !self.rach_pending.contains_key(&r) {
+                return r;
+            }
+        }
+    }
+
+    /// A field-plausible downlink DCI at the common sizing: every stage-1
+    /// check passes, so only stage-2 admission can stop it.
+    fn well_formed_hostile_dci(&self, rng: &mut StdRng) -> Dci {
+        let bwp = self.common_sizing.bwp_prbs;
+        let prb_len = 1 + rng.gen_range(0usize..bwp);
+        let prb_start = rng.gen_range(0usize..bwp - prb_len + 1);
+        Dci {
+            format: DciFormat::Dl1_1,
+            f_alloc: riv_encode(prb_start, prb_len, bwp),
+            t_alloc: rng.gen_range(0u8..12),
+            mcs: rng.gen_range(0u8..28),
+            ndi: rng.gen_range(0u8..2),
+            rv: 0,
+            harq_id: rng.gen_range(0u8..16),
+            dai: 0,
+            tpc: 1,
+            harq_feedback: 2,
+            ports: 2,
+            srs_request: 0,
+            dmrs_id: 0,
+        }
+    }
+
+    /// Place a pre-packed hostile payload on a free common-search-space
+    /// candidate. The carried `alloc` is a nominal one-PRB grant — truth
+    /// accounting never sees it, and the observer only consumes the
+    /// payload bits and CCE placement.
+    fn place_hostile(
+        &mut self,
+        rnti: Rnti,
+        rnti_type: RntiType,
+        payload_bits: Vec<u8>,
+        _slot_in_frame: usize,
+        cce_used: &mut [bool],
+    ) -> Option<TxDci> {
+        let cce_start = self.free_candidate(0, cce_used)?;
+        let level = self.cfg.aggregation_level;
+        cce_used[cce_start..cce_start + level.cces()].fill(true);
+        let alloc = Allocation {
+            rnti,
+            format: DciFormat::Dl1_1,
+            prb_start: 0,
+            prb_len: 1,
+            symbol_start: 2,
+            symbol_len: self.cfg.data_symbols(),
+            mcs: 0,
+            layers: 1,
+            harq_id: 0,
+            ndi: 0,
+            rv: 0,
+            is_retx: false,
+            tbs: 0,
+        };
+        Some(TxDci {
+            rnti,
+            rnti_type,
+            payload_bits,
+            alloc,
+            cce_start,
+            level,
+        })
     }
 
     /// Transmit one downlink data block: dequeue bytes on first TX, draw
@@ -658,17 +908,7 @@ impl Gnb {
         };
         let bwp_prbs = sizing.bwp_prbs;
         let level = self.cfg.aggregation_level;
-        let n_cces = self.cfg.coreset.n_cces();
-        let n_cand = self.cfg.candidates_per_level as usize;
-        let cce_start = (0..n_cand).find_map(|m| {
-            let start = candidate_cce(y, level, m, n_cand, n_cces)?;
-            let span = start..start + level.cces();
-            if span.end <= n_cces && !cce_used[span.clone()].iter().any(|&u| u) {
-                Some(start)
-            } else {
-                None
-            }
-        })?;
+        let cce_start = self.free_candidate(y, cce_used)?;
         cce_used[cce_start..cce_start + level.cces()].fill(true);
         let t_alloc_row = 0u8; // rows 2..14 per TIME_ALLOC_TABLE[0]
         debug_assert!(alloc.prb_start + alloc.prb_len <= bwp_prbs);
@@ -694,6 +934,23 @@ impl Gnb {
             alloc: *alloc,
             cce_start,
             level,
+        })
+    }
+
+    /// First unblocked candidate of search space `y` at the cell's
+    /// aggregation level, or `None` if every candidate is occupied.
+    fn free_candidate(&self, y: u32, cce_used: &[bool]) -> Option<usize> {
+        let level = self.cfg.aggregation_level;
+        let n_cces = self.cfg.coreset.n_cces();
+        let n_cand = self.cfg.candidates_per_level as usize;
+        (0..n_cand).find_map(|m| {
+            let start = candidate_cce(y, level, m, n_cand, n_cces)?;
+            let span = start..start + level.cces();
+            if span.end <= n_cces && !cce_used[span.clone()].iter().any(|&u| u) {
+                Some(start)
+            } else {
+                None
+            }
         })
     }
 
@@ -916,6 +1173,57 @@ mod tests {
             emitted += out.dcis.len();
         }
         assert_eq!(g.truth().records().len(), emitted);
+    }
+
+    #[test]
+    fn hostile_emissions_stay_out_of_the_truth_log() {
+        let mut g = gnb();
+        g.arm_hostile(HostileConfig::default());
+        g.ue_arrives(test_ue(1));
+        let mut legit = 0usize;
+        let mut hostile = 0usize;
+        for _ in 0..2000 {
+            let out = g.step();
+            for tx in &out.dcis {
+                let in_truth = g
+                    .truth()
+                    .records()
+                    .iter()
+                    .any(|r| r.slot == out.slot && r.rnti == tx.rnti && r.alloc == tx.alloc);
+                if in_truth {
+                    legit += 1;
+                } else {
+                    hostile += 1;
+                }
+            }
+        }
+        assert_eq!(
+            g.truth().records().len(),
+            legit,
+            "every truth record matches a legitimate on-air DCI"
+        );
+        assert!(hostile > 100, "hostile profile actually emits");
+    }
+
+    #[test]
+    fn arming_hostility_does_not_perturb_legitimate_emissions() {
+        let run = |hostile: bool| {
+            let mut g = gnb();
+            if hostile {
+                g.arm_hostile(HostileConfig::default());
+            }
+            g.ue_arrives(test_ue(1));
+            g.ue_arrives(test_ue(2));
+            for _ in 0..2000 {
+                g.step();
+            }
+            g.truth().records().to_vec()
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "ground-truth stream is bit-identical with the hostile profile armed"
+        );
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Hostile-cell emission profile — the attack vectors the untrusted-air
+//! hardening must survive.
+//!
+//! When armed ([`crate::Gnb::arm_hostile`]), the simulator injects
+//! adversarial transmissions *alongside* its legitimate traffic, on the
+//! same CORESET, with correct CRC attachment and scrambling — exactly what
+//! a sniffer would capture if a hostile (or badly broken) cell shared the
+//! air. None of these emissions enter the ground-truth log: by
+//! construction, anything the sniffer admits or accounts from them is an
+//! error the adversarial test suite can measure.
+//!
+//! The vectors, each on its own period (primes, so they interleave):
+//!
+//! * **ghost MSG 4s** — well-formed TC-scrambled DCIs at random C-range
+//!   RNTIs with a valid RRC Setup payload. The CRC-XOR recovery trick
+//!   recovers the RNTI deterministically, so a pre-hardening tracker
+//!   admits a phantom UE per emission; stage-2 admission control must
+//!   leave them all in probation (they never corroborate).
+//! * **a persistent ghost** — the same phantom RNTI re-emitted on a long
+//!   period, to drive probation-window lapse, quarantine, and counted
+//!   reappearance.
+//! * **reserved-bit violations** — otherwise-valid DCIs with a reserved
+//!   bit set (stage-1 `ReservedBitsSet`).
+//! * **malformed fields** — RIV outside the BWP, unconfigured TDRA rows,
+//!   reserved-MCS initial transmissions (stage-1 rejects).
+//! * **broken RRC payloads** — truncated and oversized SIB1 / RRC Setup
+//!   encodings behind well-formed DCIs (typed parse rejects, no panic).
+//! * **contradictory SIB1** — a valid but *different* SIB1 encoding, one
+//!   sighting at a time, which the two-consecutive-sightings reload rule
+//!   must refuse to accept.
+
+/// Periods (in slots) of each hostile emission. `0` disables a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostileConfig {
+    /// Fresh-random-RNTI ghost MSG 4 period.
+    pub ghost_dci_period: u64,
+    /// Persistent-ghost re-emission period. Set longer than the sniffer's
+    /// admission window to exercise quarantine + reappearance counting.
+    pub persistent_ghost_period: u64,
+    /// The persistent ghost's C-RNTI.
+    pub persistent_ghost_rnti: u16,
+    /// Reserved-bit-violation DCI period.
+    pub reserved_bits_period: u64,
+    /// Malformed-field DCI period (rotates RIV / TDRA / MCS violations).
+    pub malformed_fields_period: u64,
+    /// Truncated/oversized RRC payload period (rotates SIB1 / RRC Setup).
+    pub bad_rrc_period: u64,
+    /// Contradictory-SIB1 period.
+    pub sib1_spoof_period: u64,
+    /// Seed of the hostile RNG (independent of the cell's own RNG, so
+    /// arming hostility never perturbs the legitimate emission stream).
+    pub seed: u64,
+}
+
+impl Default for HostileConfig {
+    fn default() -> Self {
+        HostileConfig {
+            ghost_dci_period: 7,
+            persistent_ghost_period: 251,
+            persistent_ghost_rnti: 0x7F2A,
+            reserved_bits_period: 11,
+            malformed_fields_period: 13,
+            bad_rrc_period: 17,
+            sib1_spoof_period: 19,
+            seed: 0xADBEEF,
+        }
+    }
+}
+
+impl HostileConfig {
+    /// A profile with every vector disabled (useful as a baseline).
+    pub fn quiet() -> Self {
+        HostileConfig {
+            ghost_dci_period: 0,
+            persistent_ghost_period: 0,
+            reserved_bits_period: 0,
+            malformed_fields_period: 0,
+            bad_rrc_period: 0,
+            sib1_spoof_period: 0,
+            ..HostileConfig::default()
+        }
+    }
+
+    /// Is an emission with period `period` due this slot? Phased to
+    /// `period - 1` so vectors avoid the frame-boundary broadcast slots.
+    pub fn due(period: u64, slot: u64) -> bool {
+        period > 0 && slot % period == period - 1
+    }
+}

@@ -11,11 +11,13 @@
 
 pub mod cell;
 pub mod gnb;
+pub mod hostile;
 pub mod iq;
 pub mod population;
 pub mod truth;
 
 pub use cell::CellConfig;
 pub use gnb::{Gnb, SlotOutput, TxDci};
+pub use hostile::HostileConfig;
 pub use population::Population;
 pub use truth::{TruthLog, TruthRecord};

@@ -94,6 +94,51 @@ pub struct Dci {
     pub dmrs_id: u8,
 }
 
+/// Why a CRC-passing DCI payload failed stage-1 plausibility validation.
+///
+/// A 24-bit CRC passes by chance once per ~16M random candidates; at
+/// production decode volumes that is a steady trickle of garbage payloads
+/// whose fields must be checked against the cell configuration before any
+/// state is mutated. Every variant is a property a conforming cell can
+/// never emit, so rejects are attributable to collisions, corruption, or
+/// hostile transmitters — never to legitimate traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DciReject {
+    /// Payload length matches no format at the active sizing.
+    BadLength,
+    /// The frequency-allocation RIV decodes to no PRB span inside the
+    /// active bandwidth part.
+    RivOutOfBwp,
+    /// Time-domain allocation row not configured in the TDRA table.
+    UnknownTimeAllocRow,
+    /// A bit the cell configuration fixes to zero was set (vrb-to-prb
+    /// interleaving / PUCCH resource on DL, frequency hopping on UL).
+    ReservedBitsSet,
+    /// Reserved MCS index signalled for an initial transmission: reserved
+    /// entries carry no code rate and are only meaningful on a
+    /// retransmission (rv > 0) that reuses the stored one.
+    IllegalMcsRv,
+}
+
+impl DciReject {
+    /// Stable snake_case name for logs and bench artefacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DciReject::BadLength => "bad_length",
+            DciReject::RivOutOfBwp => "riv_out_of_bwp",
+            DciReject::UnknownTimeAllocRow => "unknown_time_alloc_row",
+            DciReject::ReservedBitsSet => "reserved_bits_set",
+            DciReject::IllegalMcsRv => "illegal_mcs_rv",
+        }
+    }
+}
+
+impl std::fmt::Display for DciReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl Dci {
     /// Pack to the over-the-air payload bit string.
     pub fn pack(&self, sizing: &DciSizing) -> Vec<u8> {
@@ -136,7 +181,39 @@ impl Dci {
 
     /// Unpack from a payload bit string. Returns `None` if the length does
     /// not match either format at this sizing or a field is out of range.
+    ///
+    /// Parse-only: reserved bits and field plausibility are *not* checked.
+    /// Code handling over-the-air payloads should use
+    /// [`Dci::unpack_validated`] instead.
     pub fn unpack(bits: &[u8], sizing: &DciSizing) -> Option<Dci> {
+        Dci::parse_raw(bits, sizing).map(|(dci, _)| dci)
+    }
+
+    /// Unpack *and* plausibility-check a payload against the active cell
+    /// configuration — stage 1 of the untrusted-air validator. On top of
+    /// the structural checks of [`Dci::unpack`], rejects payloads whose
+    /// RIV lands outside the BWP, whose TDRA row is unconfigured, whose
+    /// reserved bits are nonzero, or whose MCS/RV combination is illegal.
+    pub fn unpack_validated(bits: &[u8], sizing: &DciSizing) -> Result<Dci, DciReject> {
+        let (dci, reserved) = Dci::parse_raw(bits, sizing).ok_or(DciReject::BadLength)?;
+        if reserved != 0 {
+            return Err(DciReject::ReservedBitsSet);
+        }
+        if riv_decode(dci.f_alloc, sizing.bwp_prbs).is_none() {
+            return Err(DciReject::RivOutOfBwp);
+        }
+        if (dci.t_alloc as usize) >= TIME_ALLOC_CONFIGURED_ROWS {
+            return Err(DciReject::UnknownTimeAllocRow);
+        }
+        if dci.mcs >= RESERVED_MCS_FLOOR && dci.rv == 0 {
+            return Err(DciReject::IllegalMcsRv);
+        }
+        Ok(dci)
+    }
+
+    /// Shared field extraction; returns the DCI plus the OR of every
+    /// reserved bit (zero on a conforming transmission).
+    fn parse_raw(bits: &[u8], sizing: &DciSizing) -> Option<(Dci, u64)> {
         let mut r = BitReader::new(bits);
         let id = r.get(1)?;
         let format = if id == 1 {
@@ -151,37 +228,40 @@ impl Dci {
         match format {
             DciFormat::Dl1_1 => {
                 let t_alloc = r.get(4)? as u8;
-                let _vrb2prb = r.get(1)?;
+                let vrb2prb = r.get(1)?;
                 let mcs = r.get(5)? as u8;
                 let ndi = r.get(1)? as u8;
                 let rv = r.get(2)? as u8;
                 let harq_id = r.get(4)? as u8;
                 let dai = r.get(2)? as u8;
                 let tpc = r.get(2)? as u8;
-                let _pucch = r.get(3)?;
+                let pucch = r.get(3)?;
                 let harq_feedback = r.get(3)? as u8;
                 let ports = r.get(3)? as u8;
                 let srs_request = r.get(2)? as u8;
                 let dmrs_id = r.get(1)? as u8;
-                Some(Dci {
-                    format,
-                    f_alloc,
-                    t_alloc,
-                    mcs,
-                    ndi,
-                    rv,
-                    harq_id,
-                    dai,
-                    tpc,
-                    harq_feedback,
-                    ports,
-                    srs_request,
-                    dmrs_id,
-                })
+                Some((
+                    Dci {
+                        format,
+                        f_alloc,
+                        t_alloc,
+                        mcs,
+                        ndi,
+                        rv,
+                        harq_id,
+                        dai,
+                        tpc,
+                        harq_feedback,
+                        ports,
+                        srs_request,
+                        dmrs_id,
+                    },
+                    vrb2prb | pucch,
+                ))
             }
             DciFormat::Ul0_1 => {
                 let t_alloc = r.get(4)? as u8;
-                let _hopping = r.get(1)?;
+                let hopping = r.get(1)?;
                 let mcs = r.get(5)? as u8;
                 let ndi = r.get(1)? as u8;
                 let rv = r.get(2)? as u8;
@@ -189,21 +269,24 @@ impl Dci {
                 let tpc = r.get(2)? as u8;
                 let ports = r.get(3)? as u8;
                 let srs_request = r.get(2)? as u8;
-                Some(Dci {
-                    format,
-                    f_alloc,
-                    t_alloc,
-                    mcs,
-                    ndi,
-                    rv,
-                    harq_id,
-                    dai: 0,
-                    tpc,
-                    harq_feedback: 0,
-                    ports,
-                    srs_request,
-                    dmrs_id: 0,
-                })
+                Some((
+                    Dci {
+                        format,
+                        f_alloc,
+                        t_alloc,
+                        mcs,
+                        ndi,
+                        rv,
+                        harq_id,
+                        dai: 0,
+                        tpc,
+                        harq_feedback: 0,
+                        ports,
+                        srs_request,
+                        dmrs_id: 0,
+                    },
+                    hopping,
+                ))
             }
         }
     }
@@ -262,9 +345,31 @@ pub const TIME_ALLOC_TABLE: [(usize, usize); 16] = [
     (4, 4),
 ];
 
+/// Rows of [`TIME_ALLOC_TABLE`] the simulated cells actually configure in
+/// `pdsch-ConfigCommon`. Rows at or past this index exist in the default
+/// table but are not signalled by any conforming transmission, so a
+/// CRC-passing payload referencing one is a collision or a forgery —
+/// the "TDRA row exists" leg of stage-1 validation.
+pub const TIME_ALLOC_CONFIGURED_ROWS: usize = 12;
+
+/// Smallest MCS index reserved in *every* supported MCS table (both the
+/// 64-QAM and 256-QAM tables reserve 29–31). Reserved indices carry no
+/// code rate, so signalling one on an initial transmission (rv = 0) is
+/// never legal regardless of which table MSG 4 later configures.
+pub const RESERVED_MCS_FLOOR: u8 = 29;
+
 /// Look up a `t_alloc` row. Returns `(start_symbol, n_symbols)`.
 pub fn time_alloc(row: u8) -> (usize, usize) {
     TIME_ALLOC_TABLE[row as usize & 0xF]
+}
+
+/// Look up a `t_alloc` row, refusing rows the cell never configured.
+pub fn time_alloc_checked(row: u8) -> Option<(usize, usize)> {
+    if (row as usize) < TIME_ALLOC_CONFIGURED_ROWS {
+        Some(TIME_ALLOC_TABLE[row as usize])
+    } else {
+        None
+    }
 }
 
 /// A DCI translated into a scheduling grant (the paper's Appendix B
@@ -409,6 +514,87 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_riv < (1 << s.f_alloc_bits()));
+    }
+
+    #[test]
+    fn validated_unpack_accepts_conforming_payload() {
+        let s = sizing();
+        let dci = sample_dci();
+        assert_eq!(Dci::unpack_validated(&dci.pack(&s), &s), Ok(dci));
+    }
+
+    #[test]
+    fn validated_unpack_rejects_reserved_bits() {
+        let s = sizing();
+        let mut bits = sample_dci().pack(&s);
+        // vrb-to-prb bit directly follows id + f_alloc + t_alloc.
+        let vrb2prb_at = 1 + s.f_alloc_bits() + 4;
+        bits[vrb2prb_at] = 1;
+        assert_eq!(
+            Dci::unpack_validated(&bits, &s),
+            Err(DciReject::ReservedBitsSet)
+        );
+        // Parse-only unpack still accepts it (tx-side round trips).
+        assert!(Dci::unpack(&bits, &s).is_some());
+    }
+
+    #[test]
+    fn validated_unpack_rejects_riv_outside_bwp() {
+        let s = sizing();
+        let dci = Dci {
+            // Max RIV for bwp=51 is < 2^f_alloc_bits; an all-ones field
+            // decodes to no in-range span.
+            f_alloc: (1 << s.f_alloc_bits()) - 1,
+            ..sample_dci()
+        };
+        assert_eq!(
+            Dci::unpack_validated(&dci.pack(&s), &s),
+            Err(DciReject::RivOutOfBwp)
+        );
+    }
+
+    #[test]
+    fn validated_unpack_rejects_unconfigured_tdra_row() {
+        let s = sizing();
+        let dci = Dci {
+            t_alloc: TIME_ALLOC_CONFIGURED_ROWS as u8,
+            ..sample_dci()
+        };
+        assert_eq!(
+            Dci::unpack_validated(&dci.pack(&s), &s),
+            Err(DciReject::UnknownTimeAllocRow)
+        );
+        assert_eq!(time_alloc_checked(dci.t_alloc), None);
+        assert_eq!(time_alloc_checked(0), Some((2, 12)));
+    }
+
+    #[test]
+    fn validated_unpack_rejects_reserved_mcs_on_initial_tx() {
+        let s = sizing();
+        let bad = Dci {
+            mcs: 30,
+            rv: 0,
+            ..sample_dci()
+        };
+        assert_eq!(
+            Dci::unpack_validated(&bad.pack(&s), &s),
+            Err(DciReject::IllegalMcsRv)
+        );
+        // The same reserved index on a retransmission is legal.
+        let retx = Dci {
+            mcs: 30,
+            rv: 2,
+            ..sample_dci()
+        };
+        assert_eq!(Dci::unpack_validated(&retx.pack(&s), &s), Ok(retx));
+    }
+
+    #[test]
+    fn validated_unpack_rejects_wrong_length_as_bad_length() {
+        let s = sizing();
+        let mut bits = sample_dci().pack(&s);
+        bits.push(0);
+        assert_eq!(Dci::unpack_validated(&bits, &s), Err(DciReject::BadLength));
     }
 
     #[test]

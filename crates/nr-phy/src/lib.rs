@@ -20,6 +20,11 @@
 //!
 //! Everything here is deterministic given a seed and runs on a laptop; see
 //! `DESIGN.md` at the workspace root for the substitution rationale.
+//!
+//! This crate sits on the untrusted side of the air interface, so its
+//! production code is panic-audited: `unwrap`/`expect` are denied outside
+//! tests and every decode failure surfaces as a typed result.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bits;
 pub mod channel;

@@ -164,7 +164,9 @@ pub fn bler(entry: McsEntry, snr_db: f64) -> f64 {
 pub fn select_mcs(table: McsTable, snr_db: f64, target_bler: f64) -> u8 {
     let mut best = 0u8;
     for idx in 0..=table.max_index() {
-        let entry = table.entry(idx).expect("index in range");
+        let Some(entry) = table.entry(idx) else {
+            continue;
+        };
         if bler(entry, snr_db) <= target_bler {
             best = idx;
         }

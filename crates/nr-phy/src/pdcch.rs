@@ -298,8 +298,11 @@ pub fn encode_pdcch(
                     grid.set(sym, base + k, pilots[p]);
                     p += 1;
                 } else {
-                    let s = it.next().expect("bit budget matches RE budget");
-                    grid.set(sym, base + k, *s);
+                    // The bit budget equals the RE budget by construction
+                    // (debug-asserted below); a zero symbol on mismatch
+                    // beats a panic in the tx path.
+                    let s = it.next().copied().unwrap_or_default();
+                    grid.set(sym, base + k, s);
                 }
             }
         }

@@ -28,8 +28,7 @@ pub fn reliability_order(n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
         polarization_weight(a)
-            .partial_cmp(&polarization_weight(b))
-            .unwrap()
+            .total_cmp(&polarization_weight(b))
             .then(a.cmp(&b))
     });
     idx

@@ -117,7 +117,7 @@ pub fn scl_decode(llrs: &[f32], info_mask: &[bool], list_size: usize) -> Vec<Vec
                 next.push(q1);
             }
         }
-        next.sort_by(|a, b| a.metric.partial_cmp(&b.metric).unwrap());
+        next.sort_by(|a, b| a.metric.total_cmp(&b.metric));
         next.truncate(list_size);
         paths = next;
     }

@@ -114,7 +114,13 @@ impl PolarCode {
                 best = Some(payload);
             }
         }
-        Err(best.expect("scl_decode returns at least one path"))
+        match best {
+            Some(b) => Err(b),
+            // Unreachable by construction (scl_decode yields >= 1 path);
+            // an empty candidate set degrades to an empty payload rather
+            // than a panic on hostile input.
+            None => Err(Vec::new()),
+        }
     }
 
     fn extract_payload(&self, u: &[u8]) -> Vec<u8> {

@@ -85,8 +85,8 @@ pub fn correlate(rx: &[Cf32], reference: &[Cf32]) -> f32 {
 pub fn detect_pss(rx: &[Cf32]) -> (u16, f32) {
     (0..3u16)
         .map(|nid2| (nid2, correlate(rx, &pss_sequence(nid2))))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("three hypotheses")
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 0.0))
 }
 
 /// Detect NID1 from a received SSS block given NID2. Returns
@@ -98,8 +98,8 @@ pub fn detect_sss(rx: &[Cf32], nid2: u16) -> (u16, f32) {
             let p = Pci::from_parts(nid1, nid2);
             (nid1, correlate(rx, &sss_sequence(p)))
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("336 hypotheses")
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 0.0))
 }
 
 #[cfg(test)]

@@ -11,6 +11,10 @@
 //! MSB-first, optional fields behind presence bits). Both the simulated gNB
 //! and the telemetry decoder use this codec, so the bits on the "air" are
 //! parsed, not assumed — message corruption is detectable end to end.
+//!
+//! Over-the-air payloads are untrusted, so production code here is
+//! panic-audited: `unwrap`/`expect` are denied outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod mib;
 pub mod rach;
@@ -23,12 +27,26 @@ pub use rrc_setup::RrcSetup;
 pub use sib1::Sib1;
 
 /// Errors the codec can produce while decoding.
+///
+/// Over-the-air payloads are untrusted input: every decoder enforces an
+/// explicit length cap (the codec is fixed-width, so the cap is exact)
+/// and per-field range checks, and reports failures through this type —
+/// a hostile or corrupted broadcast can never panic the pipeline or
+/// silently smuggle trailing bytes past the parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// Ran out of bits mid-message.
     Truncated,
     /// A field held a value outside its legal range.
     InvalidField(&'static str),
+    /// The payload exceeds the message's fixed encoded size — trailing
+    /// bits are never silently ignored.
+    Oversized {
+        /// The message's exact encoded size in bits.
+        max_bits: usize,
+        /// Bits actually supplied.
+        got_bits: usize,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -36,6 +54,9 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "message truncated"),
             DecodeError::InvalidField(name) => write!(f, "invalid field: {name}"),
+            DecodeError::Oversized { max_bits, got_bits } => {
+                write!(f, "payload oversized: {got_bits} bits, max {max_bits}")
+            }
         }
     }
 }

@@ -49,10 +49,18 @@ impl Mib {
         w.into_bits()
     }
 
-    /// Decode from a PBCH payload bit string.
+    /// Decode from a PBCH payload bit string, enforcing the exact
+    /// fixed-width length (length cap: oversized payloads are rejected,
+    /// not silently truncated).
     pub fn decode(bits: &[u8]) -> Result<Mib, DecodeError> {
         if bits.len() < Self::BITS {
             return Err(DecodeError::Truncated);
+        }
+        if bits.len() > Self::BITS {
+            return Err(DecodeError::Oversized {
+                max_bits: Self::BITS,
+                got_bits: bits.len(),
+            });
         }
         let mut r = BitReader::new(bits);
         let sfn = r.get(10).ok_or(DecodeError::Truncated)? as u16;
@@ -119,6 +127,16 @@ mod tests {
     fn truncated_fails() {
         let bits = sample().encode();
         assert_eq!(Mib::decode(&bits[..10]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut bits = sample().encode();
+        bits.push(1);
+        assert!(matches!(
+            Mib::decode(&bits),
+            Err(DecodeError::Oversized { .. })
+        ));
     }
 
     #[test]

@@ -69,8 +69,15 @@ impl RrcSetup {
         w.into_bits()
     }
 
-    /// Decode from bits.
+    /// Decode from bits, rejecting oversized payloads outright (length
+    /// cap — trailing bits would otherwise be silently ignored).
     pub fn decode(bits: &[u8]) -> Result<RrcSetup, DecodeError> {
+        if bits.len() > Self::BITS {
+            return Err(DecodeError::Oversized {
+                max_bits: Self::BITS,
+                got_bits: bits.len(),
+            });
+        }
         let mut r = BitReader::new(bits);
         let coreset_prb_start = r.get(8).ok_or(DecodeError::Truncated)? as u8;
         let coreset_n_prb = r.get(8).ok_or(DecodeError::Truncated)? as u8;
@@ -185,6 +192,16 @@ mod tests {
         let mut s = sample();
         s.max_mimo_layers = 5;
         assert!(RrcSetup::decode(&s.encode()).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut bits = sample().encode();
+        bits.extend_from_slice(&[1, 0, 1]);
+        assert!(matches!(
+            RrcSetup::decode(&bits),
+            Err(crate::DecodeError::Oversized { .. })
+        ));
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct Sib1 {
 }
 
 impl Sib1 {
+    /// Encoded size in bits (the codec is fixed-width).
+    pub const BITS: usize = 36 + 2 + 9 + 1 + 5 + 5 + 5 + 4 + 4 + 2 + RachConfigCommon::BITS + 6;
+
     /// Encode to the byte-carrying PDSCH payload bit string.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = BitWriter::new();
@@ -65,8 +68,15 @@ impl Sib1 {
         w.into_bits()
     }
 
-    /// Decode from bits.
+    /// Decode from bits, rejecting oversized payloads outright (length
+    /// cap — trailing bits would otherwise be silently ignored).
     pub fn decode(bits: &[u8]) -> Result<Sib1, DecodeError> {
+        if bits.len() > Self::BITS {
+            return Err(DecodeError::Oversized {
+                max_bits: Self::BITS,
+                got_bits: bits.len(),
+            });
+        }
         let mut r = BitReader::new(bits);
         let cell_id = r.get(36).ok_or(DecodeError::Truncated)?;
         let mu = r.get(2).ok_or(DecodeError::Truncated)? as u32;
@@ -166,6 +176,17 @@ mod tests {
         let mut sib = sample();
         sib.carrier_prbs = 276;
         assert!(Sib1::decode(&sib.encode()).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut bits = sample().encode();
+        assert_eq!(bits.len(), Sib1::BITS, "encode matches the cap");
+        bits.push(0);
+        assert!(matches!(
+            Sib1::decode(&bits),
+            Err(DecodeError::Oversized { .. })
+        ));
     }
 
     #[test]

@@ -417,3 +417,86 @@ fn tracked_rntis_and_bits_survive_restart_exactly() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Persistence × untrusted-air composition: the stage-2 admission state
+/// (probation windows, quarantine ledger, reappearance counts) is part of
+/// the exactly-reconstructed session — a crash must not amnesty a ghost.
+#[test]
+fn quarantine_ledger_survives_crash_recovery() {
+    const TOTAL: u64 = 4_000;
+    const CRASH_AT: u64 = 2_600; // not checkpoint-aligned
+                                 // Hostile tape: one real UE plus the full adversarial profile.
+    let cell = CellConfig::srsran_n41();
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 17);
+    gnb.arm_hostile(nr_scope::gnb::HostileConfig::default());
+    gnb.ue_arrives(SimUe::new(
+        1,
+        ChannelProfile::Awgn,
+        MobilityScenario::Static,
+        TrafficSource::new(
+            TrafficKind::FileDownload {
+                total_bytes: 1 << 30,
+            },
+            1,
+        ),
+        0.05,
+        600.0,
+        1,
+    ));
+    let mut obs = Observer::new(&cell, 35.0, false, 9);
+    let slot_s = cell.slot_s();
+    let caps: Vec<Capture> = (0..TOTAL)
+        .map(|s| {
+            let out = gnb.step();
+            obs.capture(&out, s as f64 * slot_s)
+        })
+        .collect();
+    let pci = cell.pci;
+
+    let mut reference = NrScope::new(ScopeConfig::default(), Some(pci));
+    for cap in &caps {
+        reference.process_capture(cap);
+    }
+    assert!(
+        !reference.quarantined_rntis().is_empty(),
+        "test premise: the hostile tape populated the quarantine ledger"
+    );
+
+    let dir = tmp_dir("quarantine-recovery");
+    {
+        let (mut session, _) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        for cap in &caps[..CRASH_AT as usize] {
+            session.process_capture(cap);
+        }
+        // Crash without finalize.
+    }
+    let (mut session, report) =
+        PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+            .unwrap();
+    assert!(report.resumed);
+    for cap in &caps[CRASH_AT as usize..] {
+        session.process_capture(cap);
+    }
+
+    assert_eq!(
+        comparable_state(session.scope()),
+        comparable_state(&reference),
+        "admission state (probation + quarantine) must replay exactly"
+    );
+    assert_eq!(
+        session.scope().quarantined_rntis(),
+        reference.quarantined_rntis()
+    );
+    for r in reference.quarantined_rntis() {
+        assert_eq!(
+            session.scope().quarantine_reappearances(r),
+            reference.quarantine_reappearances(r),
+            "ghost {r}: reappearance count drifted across recovery"
+        );
+    }
+    assert_eq!(session.scope().tracked_rntis(), gnb.connected_rntis());
+    session.finalize().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -333,6 +333,21 @@ pub mod __private {
         }
     }
 
+    /// Look up and deserialize a named field marked `#[serde(default)]`:
+    /// a missing key yields `T::default()` instead of an error, so newer
+    /// readers accept artefacts written before the field existed.
+    pub fn de_field_or_default<T: Deserialize + Default>(
+        map: &[(String, Content)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        match map.iter().find(|(k, _)| k == name) {
+            None => Ok(T::default()),
+            Some((_, v)) => T::deserialize_content(v)
+                .map_err(|e| DeError(format!("field `{name}` of {ty}: {}", e.0))),
+        }
+    }
+
     /// Look up and deserialize a named field.
     pub fn de_field<T: Deserialize>(
         map: &[(String, Content)],

@@ -1,9 +1,11 @@
 //! Offline `serde_derive` stand-in: real proc macros, no syn/quote.
 //!
 //! Hand-parses the deriving item's token stream (struct or enum, no
-//! generics, `#[serde(...)]` attributes unsupported and ignored) and
-//! emits `Serialize`/`Deserialize` impls against the vendored serde's
-//! `Content` model, following real serde's JSON conventions:
+//! generics) and emits `Serialize`/`Deserialize` impls against the
+//! vendored serde's `Content` model, following real serde's JSON
+//! conventions. Of the `#[serde(...)]` helper attributes only
+//! `#[serde(default)]` on named fields is honoured (missing key ->
+//! `Default::default()`); everything else is ignored:
 //!
 //! - named struct      -> map of fields
 //! - newtype struct    -> the inner value, transparent
@@ -19,12 +21,12 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Which::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Which::Deserialize)
 }
@@ -40,11 +42,18 @@ enum Item {
     /// `struct S;`
     UnitStruct(String),
     /// `struct S { a: A, b: B }`
-    NamedStruct(String, Vec<String>),
+    NamedStruct(String, Vec<Field>),
     /// `struct S(A, B);` — arity 1 is the transparent newtype case.
     TupleStruct(String, usize),
     /// `enum E { .. }` with per-variant shapes.
     Enum(String, Vec<Variant>),
+}
+
+/// A named field plus the one helper attribute we honour.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialising tolerates a missing key.
+    default: bool,
 }
 
 struct Variant {
@@ -55,7 +64,7 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn expand(input: TokenStream, which: Which) -> TokenStream {
@@ -121,11 +130,34 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 
 /// Skip any number of `#[...]` attributes and a `pub` / `pub(...)` prefix.
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    take_attrs_and_vis(tokens, i);
+}
+
+/// Whether an attribute group's tokens spell `serde ( .. default .. )`.
+fn is_serde_default(g: &proc_macro::Group) -> bool {
+    let mut it = g.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes and visibility like [`skip_attrs_and_vis`], reporting
+/// whether a `#[serde(default)]` attribute was among them.
+fn take_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1;
-                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    has_default |= is_serde_default(g);
                     *i += 1;
                 }
             }
@@ -136,20 +168,20 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
     }
 }
 
-/// Field names of a `{ .. }` body. Skips types by consuming to the next
+/// Fields of a `{ .. }` body. Skips types by consuming to the next
 /// comma at angle-bracket depth zero (parens/brackets are opaque groups
 /// already, so only `<`/`>` need explicit tracking).
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = take_attrs_and_vis(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -171,7 +203,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             i += 1;
         }
         i += 1; // past the comma (or the end)
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -249,6 +281,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("({f:?}.to_string(), ::serde::Serialize::serialize_content(&self.{f}))")
                 })
                 .collect();
@@ -305,10 +338,14 @@ fn ser_arm(ty: &str, v: &Variant) -> String {
             )
         }
         VariantShape::Named(fields) => {
-            let binds = fields.join(", ");
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let binds = binds.join(", ");
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))")
+                })
                 .collect();
             format!(
                 "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), \
@@ -330,10 +367,7 @@ fn gen_deserialize(item: &Item) -> String {
             ),
         ),
         Item::NamedStruct(name, fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__private::de_field(__m, {f:?}, {name:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| de_field_init(f, name)).collect();
             (
                 name,
                 format!(
@@ -401,10 +435,7 @@ fn de_arm(ty: &str, v: &Variant) -> String {
             )
         }
         VariantShape::Named(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__private::de_field(__m, {f:?}, {vn:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| de_field_init(f, vn)).collect();
             format!(
                 "{vn:?} => {{ let __p = ::serde::__private::payload(__payload, {vn:?})?; \
                  let __m = ::serde::__private::expect_map(__p, {vn:?})?; \
@@ -413,4 +444,15 @@ fn de_arm(ty: &str, v: &Variant) -> String {
             )
         }
     }
+}
+
+/// One `field: ...?` initialiser for derived named-field deserialisers.
+fn de_field_init(f: &Field, ty: &str) -> String {
+    let name = &f.name;
+    let call = if f.default {
+        "de_field_or_default"
+    } else {
+        "de_field"
+    };
+    format!("{name}: ::serde::__private::{call}(__m, {name:?}, {ty:?})?")
 }
