@@ -84,6 +84,48 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// Fleet-level knobs: how N per-cell shard pipelines share one worker
+/// pool while staying isolated failure domains (bulkheads).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Worker threads shared across all shards. 0 = one per available
+    /// core, capped at the shard count (more workers than shards would
+    /// only contend, since a shard admits one worker at a time).
+    pub workers: usize,
+    /// Per-shard bounded queue depth. When a shard's queue is full its
+    /// *own* oldest slot is shed — backpressure never crosses a bulkhead.
+    pub shard_queue_depth: usize,
+    /// A shard whose slot has been in flight longer than this is declared
+    /// wedged: its engine is fenced off and warm-restarted. 0 disables
+    /// the watchdog.
+    pub watchdog_ms: u64,
+    /// Base delay before restarting a faulted shard; doubles per
+    /// consecutive fault (exponential backoff).
+    pub restart_backoff_ms: u64,
+    /// Cap on the backoff doubling (`base << exp`).
+    pub max_restart_backoff_exp: u32,
+    /// A shard healthy this long has its restart backoff reset.
+    pub backoff_calm_ms: u64,
+    /// Cross-cell continuity window, in slots: a C-RNTI last active on
+    /// cell A within this many slots of a discovery on cell B is matched
+    /// as one user handed over, not two.
+    pub continuity_window_slots: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 0,
+            shard_queue_depth: 64,
+            watchdog_ms: 1_000,
+            restart_backoff_ms: 5,
+            max_restart_backoff_exp: 6,
+            backoff_calm_ms: 10_000,
+            continuity_window_slots: 2_000, // 1 s at µ=1
+        }
+    }
+}
+
 impl ScopeConfig {
     /// Serialise to JSON (supervisor runners hand the child its config
     /// through a file rather than a brittle argv encoding).

@@ -24,6 +24,7 @@ use nr_phy::polar::PolarCode;
 use nr_phy::sequence::gold_bits_cached;
 use nr_phy::types::{Rnti, RntiType};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One successfully decoded DCI.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,11 +153,25 @@ pub fn decode_message_slot_budgeted(
     budget: SearchBudget,
     metrics: Option<&Arc<Metrics>>,
 ) -> (Vec<DecodedDci>, DecodeWork) {
-    let _scan = Metrics::maybe_start(metrics, Stage::PdcchSearch);
+    // Per-candidate RAII timers cost two clock reads plus an Arc
+    // clone/drop each, which dominates the instrumentation overhead at
+    // tens of candidates per slot. Chain the readings instead: one
+    // `Instant::now()` per candidate boundary serves as the end of one
+    // DciDecode observation and the start of the next, and the first/last
+    // readings bracket the whole PdcchSearch scan.
+    let timing = metrics.filter(|m| m.is_enabled());
+    let scan_start = timing.map(|_| Instant::now());
+    let mut t_prev: Option<Instant> = None;
     let mut out = Vec::new();
     let mut work = DecodeWork::default();
     for obs in observed {
-        let _t = Metrics::maybe_start(metrics, Stage::DciDecode);
+        if let Some(m) = timing {
+            let now = Instant::now();
+            if let Some(prev) = t_prev {
+                m.observe(Stage::DciDecode, now - prev);
+            }
+            t_prev = Some(now);
+        }
         work.candidates += 1;
         let payload_bits = match obs.scrambled_bits.len().checked_sub(24) {
             Some(p) => p,
@@ -183,6 +198,15 @@ pub fn decode_message_slot_budgeted(
             if let Some(d) = decode_codeword_ue(ctx, obs, hyp, &mut work.validation_rejects) {
                 out.push(d);
             }
+        }
+    }
+    if let Some(m) = timing {
+        let end = Instant::now();
+        if let Some(prev) = t_prev {
+            m.observe(Stage::DciDecode, end - prev);
+        }
+        if let Some(start) = scan_start {
+            m.observe(Stage::PdcchSearch, end - start);
         }
     }
     if let Some(m) = metrics {
@@ -338,10 +362,20 @@ pub fn decode_candidates_budgeted(
     metrics: Option<&Arc<Metrics>>,
 ) -> (Vec<DecodedDci>, DecodeWork) {
     let common_cinit = search_space_cinit(Rnti(0), false, ctx.pci);
+    // Chained per-candidate timing (see decode_message_slot_budgeted):
+    // one clock read per candidate boundary instead of an RAII timer each.
+    let timing = metrics.filter(|m| m.is_enabled());
+    let mut t_prev: Option<Instant> = None;
     let mut out: Vec<DecodedDci> = Vec::new();
     let mut work = DecodeWork::default();
     for cand in candidates {
-        let _t = Metrics::maybe_start(metrics, Stage::DciDecode);
+        if let Some(m) = timing {
+            let now = Instant::now();
+            if let Some(prev) = t_prev {
+                m.observe(Stage::DciDecode, now - prev);
+            }
+            t_prev = Some(now);
+        }
         work.candidates += 1;
         // Skip candidates overlapping an already-decoded DCI (a smaller
         // aggregation level aliasing into a larger one's CCEs).
@@ -385,6 +419,9 @@ pub fn decode_candidates_budgeted(
                 out.push(d);
             }
         }
+    }
+    if let (Some(m), Some(prev)) = (timing, t_prev) {
+        m.observe(Stage::DciDecode, prev.elapsed());
     }
     if let Some(m) = metrics {
         m.add(Counter::CandidatesScanned, work.candidates as u64);

@@ -522,6 +522,103 @@ mod tests {
     }
 
     #[test]
+    fn repeated_flap_cycles_grow_backoff_to_the_cap() {
+        // A wide flap window so every demotion in the cycle counts as a
+        // flap and no calm decay fires between cycles: the exponent must
+        // climb one step per cycle and saturate at max_backoff_exp.
+        let mut g = OverloadGovernor::new(GovernorConfig {
+            flap_window_slots: 1_000,
+            ..cfg()
+        });
+        let b = us(500);
+        let mut slot = 0u64;
+        let run = |g: &mut OverloadGovernor, slot: &mut u64, lat: Duration, until: &str| {
+            for _ in 0..10_000 {
+                let v = g.on_slot(*slot, lat, b);
+                *slot += 1;
+                if let Some((_, to)) = v.transition {
+                    if to.name() == until {
+                        return;
+                    }
+                }
+            }
+            panic!("never reached {until}");
+        };
+        // Mild overload (600 µs against a 500 µs budget) so the EWMA
+        // hangover after a demotion clears within a few calm slots and
+        // each cycle takes exactly one demotion.
+        // First demotion has no preceding promotion: not a flap.
+        run(&mut g, &mut slot, us(600), "pruned_search");
+        assert_eq!(g.backoff_exp(), 0);
+        run(&mut g, &mut slot, us(100), "full");
+        for cycle in 1..=5u32 {
+            run(&mut g, &mut slot, us(600), "pruned_search");
+            let expected = cycle.min(3);
+            assert_eq!(g.backoff_exp(), expected, "cycle {cycle}");
+            assert_eq!(
+                g.promotion_run(),
+                20u64 << expected,
+                "promotion run doubles per flap, capped (cycle {cycle})"
+            );
+            run(&mut g, &mut slot, us(100), "full");
+        }
+    }
+
+    #[test]
+    fn calm_windows_decay_backoff_stepwise_across_promotions() {
+        // A tighter flap window than the promotion runs it gates, so the
+        // climb out of Shedding (80 + 40 + 20 calm slots at backoff 2)
+        // qualifies every promotion for one decay step.
+        let mut g = OverloadGovernor::new(GovernorConfig {
+            flap_window_slots: 60,
+            ..cfg()
+        });
+        let b = us(500);
+        let mut slot = 0u64;
+        let run = |g: &mut OverloadGovernor, slot: &mut u64, lat: Duration, until: &str| {
+            for _ in 0..10_000 {
+                let v = g.on_slot(*slot, lat, b);
+                *slot += 1;
+                if let Some((_, to)) = v.transition {
+                    if to.name() == until {
+                        return;
+                    }
+                }
+            }
+            panic!("never reached {until}");
+        };
+        // Earn a backoff of 2 by flapping twice at the Broadcast/Shedding
+        // boundary (each demotion lands right after a promotion).
+        run(&mut g, &mut slot, us(600), "shedding");
+        run(&mut g, &mut slot, us(100), "broadcast_only");
+        run(&mut g, &mut slot, us(600), "shedding");
+        assert_eq!(g.backoff_exp(), 1);
+        run(&mut g, &mut slot, us(100), "broadcast_only");
+        run(&mut g, &mut slot, us(600), "shedding");
+        assert_eq!(g.backoff_exp(), 2);
+        // Sustained calm: each promotion that lands more than a flap
+        // window after the last demotion sheds one exponent step, so the
+        // backoff unwinds stepwise (2 → 1 → 0), not all at once.
+        let mut exps = vec![];
+        for _ in 0..10_000 {
+            let v = g.on_slot(slot, us(100), b);
+            slot += 1;
+            if v.transition.is_some() {
+                exps.push(g.backoff_exp());
+            }
+            if g.rung() == LoadRung::Full {
+                break;
+            }
+        }
+        assert_eq!(
+            exps,
+            vec![1, 0, 0],
+            "one decay step per calm promotion on the climb to Full"
+        );
+        assert_eq!(g.promotion_run(), 20, "fully recovered probe cadence");
+    }
+
+    #[test]
     fn search_budget_follows_the_rung_and_protects_broadcast() {
         let mut g = OverloadGovernor::new(cfg());
         assert!(g.search_budget().is_unlimited());

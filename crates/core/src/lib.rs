@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod decoder;
+pub mod fleet;
 pub mod governor;
 pub mod log;
 pub mod metrics;
@@ -39,12 +40,16 @@ pub mod worker;
 /// missing-field errors to catch true incompatibilities.
 pub const SCHEMA_VERSION: u32 = 1;
 
-pub use config::{AdmissionConfig, Fidelity, ScopeConfig};
+pub use config::{AdmissionConfig, Fidelity, FleetConfig, ScopeConfig};
+pub use fleet::{
+    CellRollup, ContinuityMatch, FaultPlan, FeedOutcome, Fleet, FleetSnapshot, ShardHealth,
+    ShardSpec, ShardStatus,
+};
 pub use governor::{GovernorConfig, LoadModel, LoadRung, OverloadGovernor};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
 pub use persist::{PersistConfig, PersistentSession, RecoveryReport, SessionStore};
-pub use scope::{NrScope, ScopeStats, SyncState};
+pub use scope::{NrScope, ScopeStats, SyncState, UeEvent};
 pub use telemetry::TelemetryRecord;
 pub use worker::{
     BackpressurePolicy, InjectedFault, JobPriority, PoolConfig, PoolStats, WorkerPool,

@@ -12,9 +12,11 @@
 //!   `Instant::now()` call, so the cost is one relaxed atomic load per
 //!   stage entry — the bench (`BENCH_pipeline.json`) verifies the enabled
 //!   overhead stays under 5%;
-//! * histograms use 26 fixed power-of-two buckets starting at 64 ns, so
-//!   recording is a bit-length computation plus one atomic increment, and
-//!   p50/p99 are reconstructed from the cumulative bucket counts.
+//! * histograms use fixed log-linear buckets (8 linear sub-buckets per
+//!   power-of-two octave from 64 ns to ~17 s, plus an explicit overflow
+//!   bucket), so recording is a bit-length computation plus one atomic
+//!   increment, and p50/p99 are reconstructed from the cumulative bucket
+//!   counts with linear interpolation inside the landing bucket.
 //!
 //! [`MetricsSnapshot`] freezes the registry into plain serde-serialisable
 //! structs with JSON export ([`MetricsSnapshot::to_json`]) and a
@@ -259,35 +261,73 @@ impl Gauge {
     }
 }
 
-/// Number of histogram buckets. Bucket `i` covers durations in
-/// `[64·2^i, 64·2^(i+1))` ns (the last bucket is open-ended): 64 ns up to
-/// ~2 s, which brackets everything from a single atomic to a stalled slot.
-pub const HISTO_BUCKETS: usize = 26;
+/// Octaves (power-of-two ranges) covered by the histogram: 64 ns up to
+/// `64·2^28` ≈ 17 s, which brackets everything from a single atomic to a
+/// watchdog-length stall without saturating.
+pub const HISTO_OCTAVES: usize = 28;
+
+/// Linear sub-buckets per octave. Eight sub-buckets bound the quantile
+/// quantisation error at 12.5% of the value (vs. the ×2 of pure log2
+/// buckets, which collapsed p50 and p99 whenever a stage's samples
+/// concentrated in one octave).
+pub const HISTO_SUB_BUCKETS: usize = 8;
+
+/// Number of histogram buckets: log-linear buckets plus one explicit
+/// overflow bucket for samples at or beyond the top edge.
+pub const HISTO_BUCKETS: usize = HISTO_OCTAVES * HISTO_SUB_BUCKETS + 1;
 
 /// Smallest histogram bucket lower bound, ns (`64·2^0`).
 pub const HISTO_BASE_NS: u64 = 64;
 
+/// Lower edge of the overflow bucket, ns (`64·2^28`).
+pub const HISTO_OVERFLOW_NS: u64 = HISTO_BASE_NS << HISTO_OCTAVES;
+
 fn bucket_for(ns: u64) -> usize {
-    // ⌊log2⌋ via bit length; everything below 64 ns lands in bucket 0.
-    (ns.max(1).ilog2() as usize)
-        .saturating_sub(6)
-        .min(HISTO_BUCKETS - 1)
+    if ns < HISTO_BASE_NS {
+        return 0;
+    }
+    if ns >= HISTO_OVERFLOW_NS {
+        return HISTO_BUCKETS - 1;
+    }
+    // ⌊log2⌋ via bit length gives the octave; the sub-bucket is the linear
+    // position within it (octave width == octave lower bound, so the
+    // division is by `lo`).
+    let octave = (ns.ilog2() as usize) - 6;
+    let lo = HISTO_BASE_NS << octave;
+    let sub = (((ns - lo) as u128 * HISTO_SUB_BUCKETS as u128) / lo as u128) as usize;
+    octave * HISTO_SUB_BUCKETS + sub.min(HISTO_SUB_BUCKETS - 1)
 }
 
-/// Geometric midpoint of bucket `i`, in microseconds (for percentile
-/// reconstruction; exact to within the bucket's ×2 width).
-fn bucket_mid_us(i: usize) -> f64 {
-    let lo = (HISTO_BASE_NS << i) as f64;
-    (lo * std::f64::consts::SQRT_2) / 1_000.0
+/// `[lo, hi)` bounds of bucket `i` in ns (`hi == u64::MAX` for overflow).
+fn bucket_bounds_ns(i: usize) -> (u64, u64) {
+    if i >= HISTO_OCTAVES * HISTO_SUB_BUCKETS {
+        return (HISTO_OVERFLOW_NS, u64::MAX);
+    }
+    let octave = i / HISTO_SUB_BUCKETS;
+    let sub = (i % HISTO_SUB_BUCKETS) as u64;
+    let lo = HISTO_BASE_NS << octave;
+    let step = lo / HISTO_SUB_BUCKETS as u64;
+    (lo + sub * step, lo + (sub + 1) * step)
 }
 
 /// One stage's latency accumulator: lock-free fixed-bucket histogram.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StageHisto {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
     buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+impl Default for StageHisto {
+    fn default() -> Self {
+        StageHisto {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl StageHisto {
@@ -298,8 +338,12 @@ impl StageHisto {
         self.buckets[bucket_for(ns)].fetch_add(1, Relaxed);
     }
 
-    /// Reconstruct the q-quantile (0..=1) from the bucket counts, in µs.
-    fn quantile_us(&self, counts: &[u64; HISTO_BUCKETS], q: f64) -> f64 {
+    /// Reconstruct the q-quantile (0..=1) from the bucket counts, in µs,
+    /// interpolating linearly inside the landing bucket. Ranks landing in
+    /// the overflow bucket interpolate toward the recorded maximum instead
+    /// of a fabricated midpoint, so an out-of-range tail still reports a
+    /// truthful magnitude.
+    fn quantile_us(&self, counts: &[u64; HISTO_BUCKETS], max_ns: u64, q: f64) -> f64 {
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0.0;
@@ -307,12 +351,18 @@ impl StageHisto {
         let rank = ((total as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_mid_us(i);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_bounds_ns(i);
+                let hi = if hi == u64::MAX { max_ns.max(lo) } else { hi };
+                let frac = (rank - seen) as f64 / c as f64;
+                return (lo as f64 + frac * (hi - lo) as f64) / 1_000.0;
+            }
+            seen += c;
         }
-        bucket_mid_us(HISTO_BUCKETS - 1)
+        max_ns as f64 / 1_000.0
     }
 }
 
@@ -427,6 +477,7 @@ impl Metrics {
                     std::array::from_fn(|i| h.buckets[i].load(Relaxed));
                 let count = h.count.load(Relaxed);
                 let sum_ns = h.sum_ns.load(Relaxed);
+                let max_ns = h.max_ns.load(Relaxed);
                 StageSnapshot {
                     stage: s.name().to_string(),
                     count,
@@ -436,9 +487,9 @@ impl Metrics {
                     } else {
                         sum_ns as f64 / count as f64 / 1e3
                     },
-                    p50_us: h.quantile_us(&counts, 0.50),
-                    p99_us: h.quantile_us(&counts, 0.99),
-                    max_us: h.max_ns.load(Relaxed) as f64 / 1e3,
+                    p50_us: h.quantile_us(&counts, max_ns, 0.50),
+                    p99_us: h.quantile_us(&counts, max_ns, 0.99),
+                    max_us: max_ns as f64 / 1e3,
                 }
             })
             .collect();
@@ -626,14 +677,83 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn buckets_are_log2_from_64ns() {
+    fn buckets_are_log_linear_from_64ns() {
+        // Below base: bucket 0. First octave [64, 128) splits into 8
+        // linear sub-buckets of 8 ns each.
         assert_eq!(bucket_for(0), 0);
         assert_eq!(bucket_for(63), 0);
         assert_eq!(bucket_for(64), 0);
-        assert_eq!(bucket_for(127), 0);
-        assert_eq!(bucket_for(128), 1);
-        assert_eq!(bucket_for(64 << 10), 10);
+        assert_eq!(bucket_for(71), 0);
+        assert_eq!(bucket_for(72), 1);
+        assert_eq!(bucket_for(127), 7);
+        // Octave 1 starts at bucket 8.
+        assert_eq!(bucket_for(128), 8);
+        assert_eq!(bucket_for((64 << 10) as u64), 10 * HISTO_SUB_BUCKETS);
+        // Top edge and beyond land in the explicit overflow bucket.
+        assert_eq!(bucket_for(HISTO_OVERFLOW_NS - 1), HISTO_BUCKETS - 2);
+        assert_eq!(bucket_for(HISTO_OVERFLOW_NS), HISTO_BUCKETS - 1);
         assert_eq!(bucket_for(u64::MAX), HISTO_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_monotonic() {
+        let mut prev_hi = HISTO_BASE_NS;
+        for i in 0..HISTO_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds_ns(i);
+            if i > 0 {
+                assert_eq!(lo, prev_hi, "bucket {i} not contiguous");
+            }
+            assert!(hi > lo, "bucket {i} empty");
+            // Every representative value maps back to its own bucket.
+            assert_eq!(bucket_for(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_for(hi - 1), i, "upper edge of bucket {i}");
+            prev_hi = hi;
+        }
+        assert_eq!(prev_hi, HISTO_OVERFLOW_NS);
+    }
+
+    #[test]
+    fn quantiles_resolve_within_one_octave() {
+        // Regression for the p50 == p99 saturation bug: spread samples
+        // across one octave (all in old-style bucket 19, [33.5 ms, 67 ms))
+        // and the percentiles must still separate.
+        let m = Metrics::new(true);
+        for i in 0..100u64 {
+            m.observe(Stage::WorkerQueue, Duration::from_micros(34_000 + 300 * i));
+        }
+        let snap = m.snapshot();
+        let s = snap.stage("worker_queue").unwrap();
+        assert!(
+            s.p99_us > s.p50_us * 1.2,
+            "p50 {} and p99 {} collapsed",
+            s.p50_us,
+            s.p99_us
+        );
+        // Interpolated quantiles stay within ~13% of the true values.
+        assert!((s.p50_us - 49_000.0).abs() < 6_500.0, "p50 {}", s.p50_us);
+        assert!((s.p99_us - 63_700.0).abs() < 8_300.0, "p99 {}", s.p99_us);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_true_magnitude() {
+        // Samples beyond the top edge must not collapse to a fabricated
+        // bucket midpoint: the overflow bucket interpolates toward the
+        // recorded maximum.
+        let m = Metrics::new(true);
+        for _ in 0..10 {
+            m.observe(Stage::WorkerQueue, Duration::from_secs(30));
+        }
+        let snap = m.snapshot();
+        let s = snap.stage("worker_queue").unwrap();
+        let overflow_lo_us = HISTO_OVERFLOW_NS as f64 / 1e3;
+        assert!(s.p50_us >= overflow_lo_us, "p50 {}", s.p50_us);
+        assert!(
+            s.p99_us <= s.max_us + 1.0,
+            "p99 {} max {}",
+            s.p99_us,
+            s.max_us
+        );
+        assert!(s.max_us >= 29.9e6, "max {}", s.max_us);
     }
 
     #[test]

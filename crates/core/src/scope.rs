@@ -182,6 +182,39 @@ pub struct NrScope {
     /// replaces cell state (contradictory-reload defense): the candidate
     /// and how many consecutive times it has been seen.
     pending_sib1: Option<(Sib1, u32)>,
+    /// UE lifecycle edges since the last [`NrScope::drain_ue_events`],
+    /// bounded (oldest dropped) — the fleet layer's continuity feed.
+    ue_events: std::collections::VecDeque<UeEvent>,
+}
+
+/// Cap on buffered [`UeEvent`]s when nobody drains them (a single-cell
+/// session has no fleet layer): bounded memory beats a silent leak.
+const UE_EVENTS_MAX: usize = 4096;
+
+/// A UE lifecycle edge observed by the tracker, consumed by the fleet
+/// layer's cross-cell continuity matcher. Events fire only on *new*
+/// admissions (stage-2 probation passed or RACH-corroborated MSG 4) and
+/// on genuine idle expiries — recoveries, restores, and journal replay do
+/// not emit, so a crash-restarted shard never refabricates discoveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UeEvent {
+    /// A C-RNTI newly admitted to tracking at `slot`.
+    Discovered {
+        /// The admitted C-RNTI.
+        rnti: Rnti,
+        /// Slot of admission.
+        slot: u64,
+    },
+    /// A tracked C-RNTI aged out of tracking at `slot`.
+    Expired {
+        /// The expired C-RNTI.
+        rnti: Rnti,
+        /// Slot of the expiry sweep.
+        slot: u64,
+        /// Slot the UE was last seen active — the handover anchor: a UE
+        /// leaving for another cell goes quiet here, not at `slot`.
+        last_active_slot: u64,
+    },
 }
 
 impl NrScope {
@@ -220,7 +253,21 @@ impl NrScope {
             slot_ops: Vec::new(),
             last_dropped: false,
             pending_sib1: None,
+            ue_events: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Record a UE lifecycle edge, dropping the oldest when undrained.
+    fn push_ue_event(&mut self, ev: UeEvent) {
+        if self.ue_events.len() >= UE_EVENTS_MAX {
+            self.ue_events.pop_front();
+        }
+        self.ue_events.push_back(ev);
+    }
+
+    /// Drain the UE lifecycle edges accumulated since the last call.
+    pub fn drain_ue_events(&mut self) -> Vec<UeEvent> {
+        self.ue_events.drain(..).collect()
     }
 
     /// Rebuild a session from a frozen [`SessionState`] (crash recovery).
@@ -279,6 +326,15 @@ impl NrScope {
     /// watermark (every entry with `seq` below this is already applied).
     pub fn slot_watermark(&self) -> u64 {
         self.slot
+    }
+
+    /// Jump the slot counter forward to `to` (no-op if already past it).
+    /// Used by the fleet layer when a *volatile* shard cold-restarts into
+    /// a live feed: the fresh session adopts the feed position instead of
+    /// grinding through thousands of synthetic gap-fill drops. Durable
+    /// shards never need this — their watermark comes from recovery.
+    pub fn fast_forward(&mut self, to: u64) {
+        self.slot = self.slot.max(to);
     }
 
     /// Drain the just-processed slot's journal entry: its ordered
@@ -562,8 +618,11 @@ impl NrScope {
     /// Process one observed slot, appending decoded telemetry. Returns the
     /// records produced in this slot.
     pub fn process(&mut self, observed: &ObservedSlot) -> Vec<TelemetryRecord> {
-        let _slot_timer = self.metrics.start(Stage::SlotTotal);
-        let wall_start = Instant::now();
+        // One wall reading serves both the SlotTotal histogram and the
+        // governor's latency feed; with the registry disabled and a
+        // LoadModel supplying latency, the slot path reads no clock at all.
+        let wall_start =
+            (self.metrics.is_enabled() || self.load_model.is_none()).then(Instant::now);
         self.last_dropped = false;
         let slot = self.slot;
         // The rung in force while this slot is decoded; transitions taken
@@ -623,7 +682,7 @@ impl NrScope {
             .budget(self.cell.mib.as_ref().map(|m| m.scs_common));
         let latency = match &self.load_model {
             Some(m) => m.latency(&work),
-            None => wall_start.elapsed(),
+            None => wall_start.map_or(Duration::ZERO, |t| t.elapsed()),
         };
         let verdict = self.governor.on_slot(slot, latency, tti);
         self.note_governor(rung, latency, verdict);
@@ -648,6 +707,9 @@ impl NrScope {
         }
         self.housekeeping(slot);
         self.slot += 1;
+        if let Some(start) = wall_start {
+            self.metrics.observe(Stage::SlotTotal, start.elapsed());
+        }
         self.records[produced_from..].to_vec()
     }
 
@@ -715,14 +777,19 @@ impl NrScope {
             LoadRung::BroadcastOnly | LoadRung::Shedding
         );
         if !ue_blind {
-            for dead in self
-                .tracker
-                .expire(slot, self.cfg.ue_expiry_slots, ra_window)
+            for (dead, last_active) in
+                self.tracker
+                    .expire(slot, self.cfg.ue_expiry_slots, ra_window)
             {
                 if self.journaling {
                     self.slot_ops.push(SlotOp::Expire { rnti: dead });
                 }
                 self.throughput.forget(dead);
+                self.push_ue_event(UeEvent::Expired {
+                    rnti: dead,
+                    slot,
+                    last_active_slot: last_active,
+                });
             }
             // Probation candidates whose corroboration window lapsed are
             // ghosts: quarantine them. Frozen while the governor blinds
@@ -1059,7 +1126,9 @@ impl NrScope {
                                 if self.journaling {
                                     self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
                                 }
-                                if !self.tracker.promote(d.rnti, slot, rrc) {
+                                if self.tracker.promote(d.rnti, slot, rrc) {
+                                    self.push_ue_event(UeEvent::Discovered { rnti: d.rnti, slot });
+                                } else {
                                     // Same RNTI re-RACHed after we expired
                                     // it: a recovery, not a new UE.
                                     self.stats.recovered_ues += 1;
@@ -1091,7 +1160,9 @@ impl NrScope {
                                 if self.journaling {
                                     self.slot_ops.push(SlotOp::Track { rnti: d.rnti, rrc });
                                 }
-                                if !self.tracker.promote(d.rnti, slot, rrc) {
+                                if self.tracker.promote(d.rnti, slot, rrc) {
+                                    self.push_ue_event(UeEvent::Discovered { rnti: d.rnti, slot });
+                                } else {
                                     self.stats.recovered_ues += 1;
                                 }
                             }

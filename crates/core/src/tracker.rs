@@ -393,15 +393,22 @@ impl UeTracker {
 
     /// Expire UEs idle longer than `expiry_slots`, and stale pending
     /// TC-RNTIs whose MSG 4 never appeared within `ra_window_slots`.
-    /// Returns the expired RNTIs.
-    pub fn expire(&mut self, now: u64, expiry_slots: u64, ra_window_slots: u64) -> Vec<Rnti> {
-        let dead: Vec<Rnti> = self
+    /// Returns the expired RNTIs with the slot each was last seen active
+    /// (the cross-cell continuity matcher anchors on the activity edge,
+    /// not the much-later expiry sweep).
+    pub fn expire(
+        &mut self,
+        now: u64,
+        expiry_slots: u64,
+        ra_window_slots: u64,
+    ) -> Vec<(Rnti, u64)> {
+        let dead: Vec<(Rnti, u64)> = self
             .ues
             .iter()
             .filter(|(_, u)| now.saturating_sub(u.last_active_slot) > expiry_slots)
-            .map(|(r, _)| *r)
+            .map(|(r, u)| (*r, u.last_active_slot))
             .collect();
-        for r in &dead {
+        for (r, _) in &dead {
             self.ues.remove(r);
             self.recently_expired.insert(*r, now);
         }
@@ -539,7 +546,7 @@ mod tests {
         t.promote(Rnti(2), 0, rrc());
         t.get_mut(Rnti(2)).unwrap().last_active_slot = 900;
         let dead = t.expire(1000, 500, 100);
-        assert_eq!(dead, vec![Rnti(1)]);
+        assert_eq!(dead, vec![(Rnti(1), 0)]);
         assert!(t.contains(Rnti(2)));
     }
 
@@ -558,7 +565,7 @@ mod tests {
         assert!(t.promote(Rnti(0x4601), 100, rrc()), "first discovery");
         assert_eq!(t.total_discovered, 1);
         let dead = t.expire(30_000, 20_000, 100);
-        assert_eq!(dead, vec![Rnti(0x4601)]);
+        assert_eq!(dead, vec![(Rnti(0x4601), 100)]);
         assert!(!t.contains(Rnti(0x4601)));
         // The UE RACHes again after the outage: same RNTI, same UE.
         assert!(!t.promote(Rnti(0x4601), 30_500, rrc()), "rediscovery");

@@ -13,11 +13,13 @@ pub mod cell;
 pub mod gnb;
 pub mod hostile;
 pub mod iq;
+pub mod multicell;
 pub mod population;
 pub mod truth;
 
 pub use cell::CellConfig;
 pub use gnb::{Gnb, SlotOutput, TxDci};
 pub use hostile::HostileConfig;
+pub use multicell::{Handover, HandoverRecord, MultiCellSim};
 pub use population::Population;
 pub use truth::{TruthLog, TruthRecord};

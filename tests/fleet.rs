@@ -1,0 +1,307 @@
+//! Fleet bulkhead integration: a faulted shard is quarantined and
+//! warm-restarted from its own state while its sibling's decode output
+//! stays byte-for-byte identical to a standalone run, and a C-RNTI
+//! handed over between cells is accounted as one user.
+
+use nr_scope::gnb::{CellConfig, MultiCellSim};
+use nr_scope::phy::channel::ChannelProfile;
+use nr_scope::scope::fleet::{FaultPlan, Fleet, ShardHealth, ShardSpec};
+use nr_scope::scope::worker::InjectedFault;
+use nr_scope::scope::{Capture, FleetConfig, NrScope, PersistConfig, ScopeConfig};
+use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
+use nr_scope::ue::{MobilityScenario, SimUe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn make_ue(id: u64, horizon_s: f64) -> SimUe {
+    SimUe::new(
+        id,
+        ChannelProfile::Awgn,
+        MobilityScenario::Static,
+        TrafficSource::new(
+            TrafficKind::FileDownload {
+                total_bytes: usize::MAX / 2,
+            },
+            id * 3,
+        ),
+        0.0,
+        horizon_s,
+        id * 17,
+    )
+}
+
+/// Two lanes of pre-rendered captures (identical no matter how they are
+/// consumed — the isolation tests feed one copy to the fleet and one to
+/// a reference scope).
+fn two_lane_captures(slots: u64, seed: u64) -> (Vec<CellConfig>, Vec<Vec<Capture>>) {
+    let cells = vec![CellConfig::srsran_n41(), CellConfig::mosolab_n48()];
+    let mut sim = MultiCellSim::new(cells.clone(), seed);
+    let horizon = slots as f64 * cells[0].slot_s() + 10.0;
+    sim.lane_mut(0).ue_arrives(make_ue(1, horizon));
+    sim.lane_mut(1).ue_arrives(make_ue(11, horizon));
+    sim.lane_mut(1).ue_arrives(make_ue(12, horizon));
+    let mut observers: Vec<_> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            nr_scope::scope::observe::Observer::new(c, 30.0, false, seed ^ (0xAB + i as u64))
+        })
+        .collect();
+    let mut lanes: Vec<Vec<Capture>> = vec![Vec::new(), Vec::new()];
+    for s in 0..slots {
+        let outs = sim.step();
+        for (i, out) in outs.iter().enumerate() {
+            lanes[i].push(observers[i].capture(out, s as f64 * cells[i].slot_s()));
+        }
+    }
+    (cells, lanes)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nrscope-fleet-test-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Feed both lanes with pacing, injecting `fault` on shard 0 at
+/// `fault_at`, then drive supervision until both shards are healthy and
+/// drained.
+fn run_fleet_with_fault(fleet: &Fleet, lanes: &[Vec<Capture>], fault_at: u64, fault: FaultPlan) {
+    let slots = lanes[0].len() as u64;
+    for s in 0..slots {
+        if s == fault_at {
+            fleet.inject_fault(0, fault);
+        }
+        for (i, lane) in lanes.iter().enumerate() {
+            fleet.feed(i, s, lane[s as usize].clone());
+        }
+        if s.is_multiple_of(16) {
+            fleet.supervise();
+            while (0..lanes.len()).any(|i| fleet.shard_status(i).queue_len > 256) {
+                fleet.supervise();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    assert!(fleet.quiesce(Duration::from_secs(30)), "fleet drained");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        fleet.supervise();
+        if (0..lanes.len()).all(|i| fleet.shard_status(i).health == ShardHealth::Healthy) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(fleet.quiesce(Duration::from_secs(30)), "post-restart drain");
+}
+
+/// The sibling's decode must be byte-identical to the same captures run
+/// through a standalone scope — the strongest isolation statement.
+fn assert_sibling_untouched(fleet: &Fleet, cells: &[CellConfig], lanes: &[Vec<Capture>]) {
+    let mut reference = NrScope::new(ScopeConfig::default(), Some(cells[1].pci));
+    for cap in &lanes[1] {
+        reference.process_capture(cap);
+    }
+    let status = fleet.shard_status(1);
+    assert_eq!(status.panics, 0, "sibling saw no panic");
+    assert_eq!(status.sheds, 0, "sibling shed nothing");
+    fleet
+        .with_scope(1, |scope| {
+            assert_eq!(scope.stats.slots, reference.stats.slots);
+            assert_eq!(scope.stats.dl_dcis, reference.stats.dl_dcis);
+            assert_eq!(scope.stats.ul_dcis, reference.stats.ul_dcis);
+            assert_eq!(scope.stats.dropped_slots, reference.stats.dropped_slots);
+            assert_eq!(scope.total_discovered(), reference.total_discovered());
+            assert_eq!(scope.tracked_rntis(), reference.tracked_rntis());
+            for rnti in reference.tracked_rntis() {
+                assert_eq!(
+                    scope.estimated_bits(rnti, 0..scope.stats.slots),
+                    reference.estimated_bits(rnti, 0..reference.stats.slots),
+                    "sibling byte estimate diverged for {rnti}"
+                );
+            }
+        })
+        .expect("sibling engine live");
+}
+
+#[test]
+fn killed_shard_warm_restarts_while_sibling_is_bit_identical() {
+    let slots = 4000u64;
+    let (cells, lanes) = two_lane_captures(slots, 5);
+    let dir = temp_dir("kill");
+    let specs = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            ShardSpec::durable(
+                format!("cell{i}"),
+                Some(c.pci),
+                ScopeConfig::default(),
+                PersistConfig {
+                    checkpoint_every_slots: 256,
+                    ..PersistConfig::new(dir.join(format!("shard{i}")))
+                },
+            )
+        })
+        .collect();
+    let fleet = Fleet::new(
+        FleetConfig {
+            workers: 2,
+            shard_queue_depth: 512,
+            restart_backoff_ms: 2,
+            ..FleetConfig::default()
+        },
+        specs,
+    )
+    .expect("fleet");
+    run_fleet_with_fault(
+        &fleet,
+        &lanes,
+        2000,
+        FaultPlan::OneShot(InjectedFault::Panic),
+    );
+
+    let status = fleet.shard_status(0);
+    assert_eq!(status.panics, 1, "panic was caught");
+    assert!(status.restarts >= 1, "shard warm-restarted");
+    assert_eq!(status.health, ShardHealth::Healthy);
+    let recovery = status.last_recovery.expect("durable shard recovered");
+    assert!(recovery.resumed, "restart resumed from its own state");
+    assert!(recovery.resumed_slot <= 2001, "resumed at the fault point");
+    // Exact-slot resume: the watermark reaches the full feed, with only
+    // the panicked slot itself gap-filled as an honest drop.
+    fleet
+        .with_scope(0, |scope| {
+            assert_eq!(scope.slot_watermark(), slots);
+            assert!(scope.stats.dropped_slots <= 2, "at most the lost slot");
+        })
+        .expect("restarted engine live");
+
+    assert_sibling_untouched(&fleet, &cells, &lanes);
+    fleet.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wedged_shard_is_fenced_and_resumes_at_exact_slot() {
+    let slots = 3000u64;
+    let (cells, lanes) = two_lane_captures(slots, 6);
+    let dir = temp_dir("wedge");
+    let specs = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            ShardSpec::durable(
+                format!("cell{i}"),
+                Some(c.pci),
+                ScopeConfig::default(),
+                PersistConfig::new(dir.join(format!("shard{i}"))),
+            )
+        })
+        .collect();
+    let fleet = Fleet::new(
+        FleetConfig {
+            workers: 2,
+            shard_queue_depth: 4096,
+            watchdog_ms: 50,
+            restart_backoff_ms: 2,
+            ..FleetConfig::default()
+        },
+        specs,
+    )
+    .expect("fleet");
+    run_fleet_with_fault(
+        &fleet,
+        &lanes,
+        1500,
+        FaultPlan::OneShot(InjectedFault::Delay(Duration::from_millis(250))),
+    );
+
+    let status = fleet.shard_status(0);
+    assert!(status.wedges >= 1, "watchdog fenced the stall");
+    assert!(status.restarts >= 1, "fenced shard restarted");
+    assert_eq!(status.health, ShardHealth::Healthy);
+    assert!(
+        status.last_recovery.expect("durable recovery").resumed,
+        "resumed from checkpoint + journal"
+    );
+    fleet
+        .with_scope(0, |scope| {
+            assert_eq!(scope.slot_watermark(), slots, "no slot skipped or repeated");
+            assert_eq!(scope.stats.dropped_slots, 0, "stall lost nothing");
+        })
+        .expect("restarted engine live");
+    assert_eq!(fleet.shard_status(1).wedges, 0, "sibling never fenced");
+    fleet.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_cell_handover_is_one_user_in_the_rollup() {
+    let slots = 3200u64;
+    let cells = vec![CellConfig::srsran_n41(), CellConfig::mosolab_n48()];
+    let mut sim = MultiCellSim::new(cells.clone(), 9);
+    let horizon = slots as f64 * cells[0].slot_s() + 10.0;
+    sim.lane_mut(0).ue_arrives(make_ue(1, horizon));
+    sim.lane_mut(0).ue_arrives(make_ue(999, horizon));
+    sim.lane_mut(1).ue_arrives(make_ue(11, horizon));
+    sim.schedule_handover(1200, 999, 0, 1);
+
+    let mut observers: Vec<_> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            nr_scope::scope::observe::Observer::new(c, 30.0, false, 9 ^ (0xF0 + i as u64))
+        })
+        .collect();
+    let scope_cfg = ScopeConfig {
+        ue_expiry_slots: 800,
+        ..ScopeConfig::default()
+    };
+    let specs = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ShardSpec::volatile(format!("cell{i}"), Some(c.pci), scope_cfg))
+        .collect();
+    let fleet = Fleet::new(
+        FleetConfig {
+            workers: 2,
+            shard_queue_depth: 512,
+            continuity_window_slots: 1000,
+            ..FleetConfig::default()
+        },
+        specs,
+    )
+    .expect("fleet");
+    for s in 0..slots {
+        let outs = sim.step();
+        for (i, out) in outs.iter().enumerate() {
+            fleet.feed(
+                i,
+                s,
+                observers[i].capture(out, s as f64 * cells[i].slot_s()),
+            );
+        }
+        if s.is_multiple_of(32) {
+            fleet.supervise();
+            while (0..2).any(|i| fleet.shard_status(i).queue_len > 256) {
+                fleet.supervise();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    assert!(fleet.quiesce(Duration::from_secs(30)), "drained");
+    assert_eq!(sim.executed_handovers().len(), 1, "handover fired");
+
+    let snap = fleet.finish();
+    assert_eq!(snap.continuations, 1, "handover matched cross-cell");
+    // Lane 0 admitted 2 UEs, lane 1 admitted its static UE + the roamer:
+    // 4 admissions, 3 real users.
+    assert_eq!(snap.total_discovered, 4);
+    assert_eq!(snap.distinct_users, 3);
+    let m = snap.matches[0];
+    assert_eq!(m.from_shard, 0);
+    assert_eq!(m.to_shard, 1);
+    assert!(m.discovered_slot >= 1200 && m.discovered_slot < 2200);
+}
