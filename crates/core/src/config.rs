@@ -110,6 +110,14 @@ pub struct FleetConfig {
     /// cell A within this many slots of a discovery on cell B is matched
     /// as one user handed over, not two.
     pub continuity_window_slots: u64,
+    /// Give every durable shard its own group-commit journal-writer
+    /// thread instead of the default single shared writer. The shared
+    /// writer is the right call on ordinary disks (one thread, batched
+    /// syscalls for all shards); per-shard writers only pay off when
+    /// shard journals live on independent devices. Defaulted off so
+    /// configs written before group commit still parse.
+    #[serde(default)]
+    pub per_shard_journal_writers: bool,
 }
 
 impl Default for FleetConfig {
@@ -122,6 +130,7 @@ impl Default for FleetConfig {
             max_restart_backoff_exp: 6,
             backoff_calm_ms: 10_000,
             continuity_window_slots: 2_000, // 1 s at µ=1
+            per_shard_journal_writers: false,
         }
     }
 }

@@ -41,7 +41,8 @@
 use crate::config::{FleetConfig, ScopeConfig};
 use crate::governor::LoadModel;
 use crate::observe::{Capture, DropReason};
-use crate::persist::{PersistConfig, PersistentSession, RecoveryReport};
+use crate::metrics::Gauge;
+use crate::persist::{JournalWriter, PersistConfig, PersistentSession, RecoveryReport};
 use crate::scope::{NrScope, SyncState, UeEvent};
 use crate::worker::{spawn_background, InjectedFault};
 use nr_phy::types::{Pci, Rnti};
@@ -120,11 +121,20 @@ enum ShardEngine {
 }
 
 impl ShardEngine {
-    fn build(spec: &ShardSpec) -> io::Result<(ShardEngine, Option<RecoveryReport>)> {
+    fn build(
+        spec: &ShardSpec,
+        writer: Option<&JournalWriter>,
+    ) -> io::Result<(ShardEngine, Option<RecoveryReport>)> {
         match &spec.persist {
             Some(p) => {
-                let (mut session, report) =
-                    PersistentSession::open(p.clone(), spec.scope, spec.pci)?;
+                let (mut session, report) = match writer {
+                    // Fleet default: every shard's journal batches flow
+                    // through one shared group-commit thread.
+                    Some(w) => {
+                        PersistentSession::open_with_writer(p.clone(), spec.scope, spec.pci, w)?
+                    }
+                    None => PersistentSession::open(p.clone(), spec.scope, spec.pci)?,
+                };
                 session.scope_mut().set_load_model(spec.load_model);
                 Ok((ShardEngine::Durable(Box::new(session)), Some(report)))
             }
@@ -308,6 +318,12 @@ struct FleetShared {
     epoch: Instant,
     live_workers: AtomicUsize,
     target_workers: usize,
+    /// Shared group-commit journal writer for durable shards (absent when
+    /// there are none, or when
+    /// [`FleetConfig::per_shard_journal_writers`] opts out). Restarted
+    /// shards re-register with the same writer so a rebuild never spawns
+    /// a second thread.
+    journal_writer: Option<JournalWriter>,
 }
 
 /// Point-in-time status of one shard ([`Fleet::shard_status`]).
@@ -408,9 +424,16 @@ impl Fleet {
     /// Build every shard's engine (durable shards recover from their own
     /// directories) and start the shared worker pool.
     pub fn new(cfg: FleetConfig, specs: Vec<ShardSpec>) -> io::Result<Fleet> {
+        let journal_writer = if !cfg.per_shard_journal_writers
+            && specs.iter().any(|s| s.persist.is_some())
+        {
+            Some(JournalWriter::spawn())
+        } else {
+            None
+        };
         let mut shards = Vec::with_capacity(specs.len());
         for spec in specs {
-            let (engine, recovery) = ShardEngine::build(&spec)?;
+            let (engine, recovery) = ShardEngine::build(&spec, journal_writer.as_ref())?;
             let mut cache = CachedStats::default();
             refresh_cache_from(&mut cache, engine.scope());
             shards.push(Shard {
@@ -460,6 +483,7 @@ impl Fleet {
             epoch: Instant::now(),
             live_workers: AtomicUsize::new(target_workers),
             target_workers,
+            journal_writer,
         });
         let mut workers = Vec::with_capacity(target_workers);
         for w in 0..target_workers {
@@ -676,6 +700,10 @@ impl Fleet {
             if let Ok(mut cell) = s.engine.try_lock() {
                 if let Some(engine) = cell.engine.take() {
                     refresh_cache_from(&mut lock_clean(&s.cache), engine.scope());
+                    // The shard's queue is done for — zero its depth gauge
+                    // so a post-shutdown snapshot never reports phantom
+                    // backlog (the worker-pool shutdown rule).
+                    engine.scope().metrics().gauge_set(Gauge::QueueDepth, 0);
                     if let ShardEngine::Durable(session) = engine {
                         let _ = session.finalize();
                     }
@@ -727,7 +755,7 @@ fn schedule_restart(shared: &FleetShared, shard: &Shard, health: ShardHealth, no
 
 /// Rebuild a shard's engine in place (the caller holds the engine lock).
 fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
-    match ShardEngine::build(&shard.spec) {
+    match ShardEngine::build(&shard.spec, shared.journal_writer.as_ref()) {
         Ok((mut engine, recovery)) => {
             if shard.spec.persist.is_none() {
                 // Volatile cold restart: adopt the live feed position —
@@ -1139,6 +1167,7 @@ mod tests {
             epoch: Instant::now(),
             live_workers: AtomicUsize::new(0),
             target_workers: 0,
+            journal_writer: None,
         };
         // Cell B admits the UE at slot 5000; cell A expires it later with
         // last activity at slot 4980 — one user.
@@ -1181,6 +1210,7 @@ mod tests {
             epoch: Instant::now(),
             live_workers: AtomicUsize::new(0),
             target_workers: 0,
+            journal_writer: None,
         };
         // Same shard: a re-RACH on the same cell is recovery, not handover.
         absorb_events(
@@ -1237,6 +1267,7 @@ mod tests {
             epoch: Instant::now(),
             live_workers: AtomicUsize::new(0),
             target_workers: 0,
+            journal_writer: None,
         };
         // Expiry report arrives before the discovery (cell A's pipeline
         // ran ahead): the pending expiry is closed by the discovery.

@@ -17,6 +17,7 @@
 //! The [`worker`] module implements the Fig 4 processing pipeline
 //! (scheduler + worker pool + result queue) with real threads.
 
+pub mod binfmt;
 pub mod config;
 pub mod decoder;
 pub mod fleet;
@@ -48,7 +49,7 @@ pub use fleet::{
 pub use governor::{GovernorConfig, LoadModel, LoadRung, OverloadGovernor};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
-pub use persist::{PersistConfig, PersistentSession, RecoveryReport, SessionStore};
+pub use persist::{JournalWriter, PersistConfig, PersistentSession, RecoveryReport, SessionStore};
 pub use scope::{NrScope, ScopeStats, SyncState, UeEvent};
 pub use telemetry::TelemetryRecord;
 pub use worker::{

@@ -141,6 +141,10 @@ pub enum Counter {
     LogWriteFailures,
     /// Journal appends that failed (sink error) without aborting capture.
     JournalWriteFailures,
+    /// Group-commit journal batches handed to the OS by the writer thread.
+    JournalBatches,
+    /// Delta-encoded snapshots written between full checkpoints.
+    SnapshotDeltasWritten,
     /// Checkpoints written durably by the background writer.
     CheckpointsWritten,
     /// Checkpoint writes that failed (I/O error in the background writer).
@@ -162,7 +166,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 28] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -183,6 +187,8 @@ impl Counter {
         Counter::DecodeFailures,
         Counter::LogWriteFailures,
         Counter::JournalWriteFailures,
+        Counter::JournalBatches,
+        Counter::SnapshotDeltasWritten,
         Counter::CheckpointsWritten,
         Counter::CheckpointFailures,
         Counter::CheckpointsSkipped,
@@ -214,6 +220,8 @@ impl Counter {
             Counter::DecodeFailures => "decode_failures",
             Counter::LogWriteFailures => "log_write_failures",
             Counter::JournalWriteFailures => "journal_write_failures",
+            Counter::JournalBatches => "journal_batches",
+            Counter::SnapshotDeltasWritten => "snapshot_deltas_written",
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::CheckpointFailures => "checkpoint_failures",
             Counter::CheckpointsSkipped => "checkpoints_skipped",

@@ -337,26 +337,46 @@ impl NrScope {
         self.slot = self.slot.max(to);
     }
 
+    /// Drain the just-processed slot's ordered mutations without building
+    /// the (comparatively expensive) [`MicroState`] image — the
+    /// group-commit fast path, which attaches one [`NrScope::micro_state`]
+    /// per sealed batch instead of one per slot. `None` before the first
+    /// slot or when journaling is off.
+    pub fn take_slot_ops(&mut self) -> Option<(u64, bool, Vec<SlotOp>)> {
+        if !self.journaling || self.slot == 0 {
+            return None;
+        }
+        Some((
+            self.slot - 1,
+            self.last_dropped,
+            std::mem::take(&mut self.slot_ops),
+        ))
+    }
+
+    /// Snapshot the end-of-slot continuous state (sync, governor, stats,
+    /// tracker bookkeeping) — what a journal batch's final record carries.
+    pub fn micro_state(&self) -> MicroState {
+        MicroState {
+            cell: self.cell.clone(),
+            sync: self.sync,
+            unhealthy_streak: self.unhealthy_streak,
+            last_pci: self.last_pci,
+            stats: self.stats,
+            governor: self.governor.clone(),
+            tracker_aux: self.tracker.aux_state(),
+        }
+    }
+
     /// Drain the just-processed slot's journal entry: its ordered
     /// mutations plus the end-of-slot continuous state. `None` before the
     /// first slot or when journaling is off.
     pub fn take_journal_entry(&mut self) -> Option<JournalEntry> {
-        if !self.journaling || self.slot == 0 {
-            return None;
-        }
+        let (seq, dropped, ops) = self.take_slot_ops()?;
         Some(JournalEntry {
-            seq: self.slot - 1,
-            dropped: self.last_dropped,
-            ops: std::mem::take(&mut self.slot_ops),
-            micro: MicroState {
-                cell: self.cell.clone(),
-                sync: self.sync,
-                unhealthy_streak: self.unhealthy_streak,
-                last_pci: self.last_pci,
-                stats: self.stats,
-                governor: self.governor.clone(),
-                tracker_aux: self.tracker.aux_state(),
-            },
+            seq,
+            dropped,
+            ops,
+            micro: Some(self.micro_state()),
         })
     }
 
@@ -398,15 +418,20 @@ impl NrScope {
         }
         // End-of-slot continuous state is carried verbatim — replay never
         // re-derives sync/governor/stats decisions, so it cannot drift
-        // from what the live run concluded.
-        self.cell = e.micro.cell.clone();
-        self.sync = e.micro.sync;
-        self.unhealthy_streak = e.micro.unhealthy_streak;
-        self.last_pci = e.micro.last_pci;
-        self.stats = e.micro.stats;
-        self.governor = e.micro.governor.clone();
-        self.governor.set_config(self.cfg.governor);
-        self.tracker.set_aux(&e.micro.tracker_aux);
+        // from what the live run concluded. Interior records of a binary
+        // batch are ops-only (`micro: None`); the batch's final record
+        // re-anchors everything, and torn batches are discarded whole, so
+        // replay always ends on a record that carries a MicroState.
+        if let Some(micro) = &e.micro {
+            self.cell = micro.cell.clone();
+            self.sync = micro.sync;
+            self.unhealthy_streak = micro.unhealthy_streak;
+            self.last_pci = micro.last_pci;
+            self.stats = micro.stats;
+            self.governor = micro.governor.clone();
+            self.governor.set_config(self.cfg.governor);
+            self.tracker.set_aux(&micro.tracker_aux);
+        }
         // Mirror the live housekeeping cadence for departed-UE history.
         if e.seq.is_multiple_of(512) {
             self.throughput.prune(e.seq);

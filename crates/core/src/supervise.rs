@@ -3,7 +3,11 @@
 //!
 //! The supervisor (parent) owns the radio front end and feeds captures to
 //! a child over a line-oriented JSONL pipe protocol; the child wraps the
-//! scope in a [`PersistentSession`] so every acknowledged slot is durable.
+//! scope in a [`PersistentSession`], whose group-commit journal makes
+//! slots durable in batches — each [`Ack`] reports both the processing
+//! watermark and the durable watermark, so the parent knows exactly which
+//! tail a `kill -9` can cost (bounded by
+//! [`PersistConfig::loss_window_slots`]).
 //! When the child dies (crash, OOM-kill, `kill -9`), the parent respawns
 //! it; [`run_child`] recovers from the session directory and announces —
 //! via [`Hello`] — what it restored, so the parent can verify that no
@@ -71,6 +75,13 @@ pub struct Ack {
     pub produced: u64,
     /// UEs currently tracked.
     pub tracked: Vec<Rnti>,
+    /// Durable watermark: slots below this are in the OS and survive a
+    /// `kill -9`. Trails `watermark` by at most the group-commit loss
+    /// window ([`PersistConfig::loss_window_slots`]). Defaults to 0 when
+    /// talking to a pre-group-commit child, which acked only after its
+    /// per-slot flush.
+    #[serde(default)]
+    pub durable: u64,
 }
 
 /// Reply to [`WireMsg::Report`].
@@ -147,6 +158,7 @@ pub fn run_child(dir: &Path, assumed_pci: Option<Pci>) -> io::Result<()> {
                     sync: session.scope().sync_state(),
                     produced: produced.len() as u64,
                     tracked: session.scope().tracked_rntis(),
+                    durable: session.durable_watermark(),
                 };
                 send_line(&mut out, &ChildMsg::Ack(ack))?;
             }

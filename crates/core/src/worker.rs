@@ -755,6 +755,12 @@ impl WorkerPool {
             }
         }
         self.gauge_workers_alive();
+        // The queue is drained (or abandoned) once the pool shuts down;
+        // leaving the gauge at its last enqueue value would report phantom
+        // backlog with zero workers alive in post-shutdown snapshots.
+        if let Some(m) = &self.metrics {
+            m.gauge_set(Gauge::QueueDepth, 0);
+        }
     }
 }
 

@@ -120,6 +120,45 @@ fn full_pipeline_populates_at_least_six_stages() {
     assert_eq!(back, snap);
 }
 
+/// Regression: the pool used to leave `queue_depth` at its last
+/// submit-time value after shutdown, so a closing snapshot reported
+/// phantom backlog (`queue_depth: 254`) next to `workers_alive: 0`.
+/// Drain must zero the gauge.
+#[test]
+fn pool_shutdown_zeroes_queue_depth_gauge() {
+    let cell = CellConfig::srsran_n41();
+    let slot_s = cell.slot_s();
+    let metrics = Metrics::shared(true);
+    let (mut gnb, mut observer, scope) = message_run(&cell, 2000, Arc::clone(&metrics));
+    let mut pool = WorkerPool::with_metrics(PoolConfig::new(2), Arc::clone(&metrics));
+    for s in 0..200u64 {
+        let out = gnb.step();
+        let observed = observer.observe(&out, (2000 + s) as f64 * slot_s);
+        let job = scope
+            .slot_job(observed)
+            .expect("MIB known after 2000 slots");
+        pool.submit(job).expect("queue open");
+    }
+    // The submit path set queue_depth to the live backlog.
+    let gauge = |snap: &MetricsSnapshot, name: &str| {
+        snap.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .unwrap_or_else(|| panic!("gauge {name} missing"))
+            .value
+    };
+    let (results, _stats, quarantined) = pool.finish_with_stats();
+    assert_eq!(results.len(), 200);
+    assert!(quarantined.is_empty());
+    let snap = metrics.snapshot();
+    assert_eq!(gauge(&snap, "workers_alive"), 0);
+    assert_eq!(
+        gauge(&snap, "queue_depth"),
+        0,
+        "shutdown left a stale queue-depth gauge"
+    );
+}
+
 #[test]
 fn disabled_registry_records_nothing() {
     let cell = CellConfig::srsran_n41();

@@ -12,7 +12,8 @@ use nr_scope::phy::channel::ChannelProfile;
 use nr_scope::phy::types::{Pci, Rnti};
 use nr_scope::scope::observe::{Capture, Observer};
 use nr_scope::scope::persist::{
-    read_journal_bytes, PersistConfig, PersistentSession, SessionStore,
+    append_journal_entry, encode_batch, read_journal_bytes, JournalEntry, PersistConfig,
+    PersistentSession, SessionStore,
 };
 use nr_scope::scope::{NrScope, ScopeConfig, SyncState};
 use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
@@ -415,6 +416,173 @@ fn tracked_rntis_and_bits_survive_restart_exactly() {
             "UE {rnti}: byte accounting changed across recovery"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Batch size used by the synthetic multi-batch fixtures below (700
+/// fixture entries → 14 equal batches).
+const BATCH: usize = 50;
+
+/// The journal fixture's entries re-grouped into a known multi-batch
+/// binary file: `(bytes, batch boundary offsets, entries)`.
+fn batched_fixture() -> &'static (Vec<u8>, Vec<usize>, Vec<JournalEntry>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<usize>, Vec<JournalEntry>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (bytes, _) = journal_fixture();
+        let (entries, bad) = read_journal_bytes(bytes);
+        assert_eq!(bad, 0);
+        assert_eq!(entries.len() % BATCH, 0, "fixture divides into equal batches");
+        let mut out = Vec::new();
+        let mut bounds = vec![0usize];
+        for chunk in entries.chunks(BATCH) {
+            out.extend_from_slice(&encode_batch(chunk));
+            bounds.push(out.len());
+        }
+        (out, bounds, entries)
+    })
+}
+
+proptest! {
+    /// Tear a multi-batch binary journal at any byte — inside a batch
+    /// header or mid-record — and replay surfaces exactly the batches
+    /// wholly before the cut: a torn batch is discarded whole, so
+    /// recovery always lands on a batch boundary.
+    #[test]
+    fn torn_binary_batch_is_discarded_whole_at_any_cut(frac in 0.0f64..1.0) {
+        let (bytes, bounds, entries) = batched_fixture();
+        let cut = (bytes.len() as f64 * frac) as usize;
+        let complete = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        let (got, bad) = read_journal_bytes(&bytes[..cut]);
+        prop_assert_eq!(got.len(), (complete * BATCH).min(entries.len()));
+        for (g, e) in got.iter().zip(entries) {
+            prop_assert_eq!(g.seq, e.seq, "prefix must be the original records");
+        }
+        if cut < bytes.len() && !bounds.contains(&cut) {
+            prop_assert!(bad >= 1, "a torn batch must be counted as discarded");
+        }
+    }
+
+    /// Flip any byte anywhere in the file (header fields, payload, CRC):
+    /// replay must stop cleanly at the last batch before the damage —
+    /// never panic, never yield a record from the damaged batch.
+    #[test]
+    fn flipped_byte_stops_replay_at_the_prior_batch_boundary(
+        frac in 0.0f64..1.0,
+        mask in 1i32..256,
+    ) {
+        let (bytes, bounds, _) = batched_fixture();
+        let mut corrupted = bytes.clone();
+        let idx = ((bytes.len() - 1) as f64 * frac) as usize;
+        corrupted[idx] ^= mask as u8;
+        let k = bounds.iter().filter(|&&b| b <= idx).count() - 1;
+        let (got, bad) = read_journal_bytes(&corrupted);
+        prop_assert_eq!(got.len(), k * BATCH);
+        prop_assert!(bad >= 1);
+        for (i, e) in got.iter().enumerate() {
+            prop_assert_eq!(e.seq, i as u64, "recovered prefix must be gapless");
+        }
+    }
+}
+
+/// Crash between buffer swap and write: a sealed batch sat in the writer
+/// queue and never reached the file. Modelled by dropping the final batch
+/// wholesale — replay resumes at the previous batch boundary without
+/// counting corruption, and the loss is bounded by one batch.
+#[test]
+fn crash_between_swap_and_write_loses_at_most_one_batch() {
+    let (bytes, bounds, entries) = batched_fixture();
+    let cut = bounds[bounds.len() - 2];
+    let (got, bad) = read_journal_bytes(&bytes[..cut]);
+    assert_eq!(bad, 0, "a clean batch-boundary cut is not corruption");
+    assert_eq!(got.len(), entries.len() - BATCH);
+    assert!(
+        entries.len() - got.len() <= PersistConfig::new("unused").flush_max_slots as usize,
+        "lost tail exceeds one group-commit batch"
+    );
+}
+
+/// Live loss-window bound: while the session runs, the durable watermark
+/// may trail the processing watermark by at most
+/// `PersistConfig::loss_window_slots`, and finalize closes the gap.
+#[test]
+fn durable_watermark_trails_by_at_most_the_loss_window() {
+    const TOTAL: u64 = 1_500;
+    let (caps, pci) = capture_tape(TOTAL);
+    let dir = tmp_dir("loss-window");
+    let cfg = PersistConfig::new(&dir);
+    let window = cfg.loss_window_slots();
+    let (mut session, _) =
+        PersistentSession::open(cfg, ScopeConfig::default(), Some(pci)).unwrap();
+    for cap in &caps {
+        session.process_capture(cap);
+        let durable = session.durable_watermark();
+        let watermark = session.scope().slot_watermark();
+        assert!(durable <= watermark, "durable watermark ran ahead");
+        assert!(
+            watermark - durable <= window,
+            "loss window violated: watermark {watermark}, durable {durable}, window {window}"
+        );
+    }
+    let synced = session.checkpoint_now().unwrap();
+    assert_eq!(synced, TOTAL);
+    assert_eq!(
+        session.durable_watermark(),
+        TOTAL,
+        "a checkpoint barrier must drain the open batch and the writer queue"
+    );
+    assert_eq!(session.finalize().unwrap(), TOTAL);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Upgrade path: a journal written by the old per-slot JSONL writer is
+/// replayed in full by the binary-era session, which then continues with
+/// binary batches — and the combined run matches an uninterrupted one.
+#[test]
+fn legacy_jsonl_journal_upgrades_into_binary_session() {
+    const TOTAL: u64 = 1_600;
+    const UPGRADE_AT: u64 = 900;
+    let (caps, pci) = capture_tape(TOTAL);
+
+    let mut reference = NrScope::new(ScopeConfig::default(), Some(pci));
+    for cap in &caps {
+        reference.process_capture(cap);
+    }
+
+    // Phase 1: the "old release" — one JSONL record per slot, no snapshot.
+    let dir = tmp_dir("upgrade-jsonl");
+    let store = SessionStore::new(&dir).unwrap();
+    {
+        let mut scope = NrScope::new(ScopeConfig::default(), Some(pci));
+        scope.start_journaling();
+        let mut file = std::fs::File::create(store.journal_path(0)).unwrap();
+        for cap in &caps[..UPGRADE_AT as usize] {
+            scope.process_capture(cap);
+            let e = scope.take_journal_entry().expect("journaling enabled");
+            append_journal_entry(&mut file, &e).unwrap();
+        }
+    }
+
+    // Phase 2: the binary-era session opens the same directory.
+    let (mut session, report) =
+        PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+            .unwrap();
+    assert!(report.resumed);
+    assert_eq!(report.resumed_slot, UPGRADE_AT, "every JSONL record replayed");
+    assert_eq!(report.journal_entries_discarded, 0);
+    for cap in &caps[UPGRADE_AT as usize..] {
+        session.process_capture(cap);
+    }
+    assert_eq!(
+        comparable_state(session.scope()),
+        comparable_state(&reference),
+        "JSONL prefix + binary continuation must equal the uninterrupted run"
+    );
+
+    // And the mixed-era directory recovers once more (crash, no finalize).
+    drop(session);
+    let (scope, report2) = store.recover(ScopeConfig::default(), Some(pci));
+    assert_eq!(report2.resumed_slot, TOTAL);
+    assert_eq!(comparable_state(&scope), comparable_state(&reference));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

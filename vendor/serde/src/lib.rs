@@ -12,9 +12,16 @@
 // gates only the real code.
 #![allow(clippy::all)]
 
+use std::borrow::Cow;
 use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Map keys and string payloads. `Cow` so derive-generated code can
+/// borrow field and variant names (`&'static str`) instead of
+/// allocating a `String` per field per node — the dominant cost of
+/// building a `Content` tree on a serialization hot path.
+pub type Text = Cow<'static, str>;
 
 /// A self-describing serialized value.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,11 +37,11 @@ pub enum Content {
     /// Floating point number.
     F64(f64),
     /// String.
-    Str(String),
+    Str(Text),
     /// Ordered sequence.
     Seq(Vec<Content>),
     /// Ordered key/value map (object).
-    Map(Vec<(String, Content)>),
+    Map(Vec<(Text, Content)>),
 }
 
 impl Content {
@@ -174,14 +181,14 @@ impl Deserialize for bool {
 
 impl Serialize for String {
     fn serialize_content(&self) -> Content {
-        Content::Str(self.clone())
+        Content::Str(Cow::Owned(self.clone()))
     }
 }
 
 impl Deserialize for String {
     fn deserialize_content(c: &Content) -> Result<Self, DeError> {
         match c {
-            Content::Str(s) => Ok(s.clone()),
+            Content::Str(s) => Ok(s.as_ref().to_owned()),
             _ => Err(DeError::expected("string", c)),
         }
     }
@@ -189,16 +196,18 @@ impl Deserialize for String {
 
 impl Serialize for str {
     fn serialize_content(&self) -> Content {
-        Content::Str(self.to_string())
+        Content::Str(Cow::Owned(self.to_string()))
     }
 }
 
-/// `&'static str` deserializes by leaking — acceptable for the
+/// `&'static str` deserializes by borrowing when the content already
+/// holds a static string, and by leaking otherwise — acceptable for the
 /// config-label fields this workspace stores as static strings.
 impl Deserialize for &'static str {
     fn deserialize_content(c: &Content) -> Result<Self, DeError> {
         match c {
-            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            Content::Str(Cow::Borrowed(s)) => Ok(s),
+            Content::Str(Cow::Owned(s)) => Ok(Box::leak(s.clone().into_boxed_str())),
             _ => Err(DeError::expected("string", c)),
         }
     }
@@ -206,7 +215,7 @@ impl Deserialize for &'static str {
 
 impl Serialize for char {
     fn serialize_content(&self) -> Content {
-        Content::Str(self.to_string())
+        Content::Str(Cow::Owned(self.to_string()))
     }
 }
 
@@ -308,10 +317,10 @@ ser_de_tuple! {
 
 /// Helpers called by derive-generated code. Not a public API.
 pub mod __private {
-    use super::{Content, DeError, Deserialize};
+    use super::{Content, DeError, Deserialize, Text};
 
     /// Unwrap a map (named-struct payload).
-    pub fn expect_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(String, Content)], DeError> {
+    pub fn expect_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(Text, Content)], DeError> {
         match c {
             Content::Map(m) => Ok(m),
             _ => Err(DeError(format!("expected map for {ty}, found {}", kind(c)))),
@@ -337,11 +346,11 @@ pub mod __private {
     /// a missing key yields `T::default()` instead of an error, so newer
     /// readers accept artefacts written before the field existed.
     pub fn de_field_or_default<T: Deserialize + Default>(
-        map: &[(String, Content)],
+        map: &[(Text, Content)],
         name: &str,
         ty: &str,
     ) -> Result<T, DeError> {
-        match map.iter().find(|(k, _)| k == name) {
+        match map.iter().find(|(k, _)| k.as_ref() == name) {
             None => Ok(T::default()),
             Some((_, v)) => T::deserialize_content(v)
                 .map_err(|e| DeError(format!("field `{name}` of {ty}: {}", e.0))),
@@ -350,13 +359,13 @@ pub mod __private {
 
     /// Look up and deserialize a named field.
     pub fn de_field<T: Deserialize>(
-        map: &[(String, Content)],
+        map: &[(Text, Content)],
         name: &str,
         ty: &str,
     ) -> Result<T, DeError> {
         let c = map
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| k.as_ref() == name)
             .map(|(_, v)| v)
             .ok_or_else(|| DeError(format!("missing field `{name}` in {ty}")))?;
         T::deserialize_content(c).map_err(|e| DeError(format!("field `{name}` of {ty}: {}", e.0)))
@@ -374,8 +383,8 @@ pub mod __private {
         ty: &str,
     ) -> Result<(&'a str, Option<&'a Content>), DeError> {
         match c {
-            Content::Str(s) => Ok((s.as_str(), None)),
-            Content::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), Some(&m[0].1))),
+            Content::Str(s) => Ok((s.as_ref(), None)),
+            Content::Map(m) if m.len() == 1 => Ok((m[0].0.as_ref(), Some(&m[0].1))),
             _ => Err(DeError(format!(
                 "expected enum variant for {ty}, found {}",
                 kind(c)

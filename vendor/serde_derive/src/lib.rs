@@ -282,7 +282,10 @@ fn gen_serialize(item: &Item) -> String {
                 .iter()
                 .map(|f| {
                     let f = &f.name;
-                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_content(&self.{f}))")
+                    format!(
+                        "(::std::borrow::Cow::Borrowed({f:?}), \
+                         ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
                 })
                 .collect();
             (
@@ -319,10 +322,11 @@ fn ser_arm(ty: &str, v: &Variant) -> String {
     let vn = &v.name;
     match &v.shape {
         VariantShape::Unit => {
-            format!("{ty}::{vn} => ::serde::Content::Str({vn:?}.to_string()),")
+            format!("{ty}::{vn} => ::serde::Content::Str(::std::borrow::Cow::Borrowed({vn:?})),")
         }
         VariantShape::Tuple(1) => format!(
-            "{ty}::{vn}(__f0) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+            "{ty}::{vn}(__f0) => ::serde::Content::Map(vec![(\
+             ::std::borrow::Cow::Borrowed({vn:?}), \
              ::serde::Serialize::serialize_content(__f0))]),"
         ),
         VariantShape::Tuple(n) => {
@@ -331,7 +335,8 @@ fn ser_arm(ty: &str, v: &Variant) -> String {
                 .map(|k| format!("::serde::Serialize::serialize_content(__f{k})"))
                 .collect();
             format!(
-                "{ty}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                "{ty}::{vn}({}) => ::serde::Content::Map(vec![(\
+                 ::std::borrow::Cow::Borrowed({vn:?}), \
                  ::serde::Content::Seq(vec![{}]))]),",
                 binds.join(", "),
                 elems.join(", ")
@@ -344,11 +349,15 @@ fn ser_arm(ty: &str, v: &Variant) -> String {
                 .iter()
                 .map(|f| {
                     let f = &f.name;
-                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))")
+                    format!(
+                        "(::std::borrow::Cow::Borrowed({f:?}), \
+                         ::serde::Serialize::serialize_content({f}))"
+                    )
                 })
                 .collect();
             format!(
-                "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                "{ty}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                 ::std::borrow::Cow::Borrowed({vn:?}), \
                  ::serde::Content::Map(vec![{}]))]),",
                 entries.join(", ")
             )
@@ -362,7 +371,7 @@ fn gen_deserialize(item: &Item) -> String {
             name,
             format!(
                 "match __c {{ ::serde::Content::Null => Ok({name}), \
-                 ::serde::Content::Str(s) if s == {name:?} => Ok({name}), \
+                 ::serde::Content::Str(s) if s.as_ref() == {name:?} => Ok({name}), \
                  _ => Err(::serde::DeError::expected(\"unit struct\", __c)) }}"
             ),
         ),

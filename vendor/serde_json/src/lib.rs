@@ -183,7 +183,7 @@ impl<'a> Parser<'a> {
             Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
             Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
             Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
-            Some(b'"') => self.string().map(Content::Str),
+            Some(b'"') => self.string().map(|s| Content::Str(s.into())),
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
@@ -233,7 +233,7 @@ impl<'a> Parser<'a> {
             self.expect(b':')?;
             self.skip_ws();
             let val = self.value()?;
-            entries.push((key, val));
+            entries.push((key.into(), val));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
