@@ -84,6 +84,40 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// Storage-fault policy: how the durability ladder responds when the
+/// disk under a session starts failing. A transient error is retried off
+/// the hot path; a persistent one (or `ENOSPC` that pruning cannot cure)
+/// demotes the session to `NonDurable` — the pipeline keeps decoding, the
+/// loss window becomes unbounded and is reported honestly — and a
+/// background probe re-promotes once the disk recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct StoragePolicy {
+    /// Write retries (with exponential backoff, on the writer thread —
+    /// never the capture hot path) before a failing batch demotes the
+    /// session to `NonDurable`.
+    pub storage_retry_max: u32,
+    /// Slots between disk re-probe attempts while `NonDurable` (a small
+    /// test write + fsync to a probe file). Doubles after each failed
+    /// probe — the governor's flap-backoff shape — and resets once the
+    /// session has climbed back to `Durable`.
+    pub reprobe_interval_slots: u64,
+    /// Checkpoints retained by the emergency prune that `ENOSPC`
+    /// triggers before the write is retried (journals wholly covered by
+    /// the kept checkpoints are pruned too).
+    pub emergency_prune_keep: usize,
+}
+
+impl Default for StoragePolicy {
+    fn default() -> Self {
+        StoragePolicy {
+            storage_retry_max: 4,
+            reprobe_interval_slots: 2048, // ~1 s at µ=1
+            emergency_prune_keep: 1,
+        }
+    }
+}
+
 /// Fleet-level knobs: how N per-cell shard pipelines share one worker
 /// pool while staying isolated failure domains (bulkheads).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

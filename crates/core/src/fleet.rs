@@ -40,9 +40,11 @@
 
 use crate::config::{FleetConfig, ScopeConfig};
 use crate::governor::LoadModel;
+use crate::metrics::{Counter, Gauge};
 use crate::observe::{Capture, DropReason};
-use crate::metrics::Gauge;
-use crate::persist::{JournalWriter, PersistConfig, PersistentSession, RecoveryReport};
+use crate::persist::{
+    DurabilityRung, JournalWriter, PersistConfig, PersistentSession, RecoveryReport,
+};
 use crate::scope::{NrScope, SyncState, UeEvent};
 use crate::worker::{spawn_background, InjectedFault};
 use nr_phy::types::{Pci, Rnti};
@@ -249,6 +251,8 @@ struct CachedStats {
     sync: &'static str,
     load_rung: &'static str,
     watermark: u64,
+    durability: &'static str,
+    loss_window: Option<u64>,
 }
 
 /// One shard's runtime.
@@ -270,6 +274,10 @@ struct Shard {
     panics: AtomicU64,
     wedges: AtomicU64,
     restarts: AtomicU64,
+    /// A durable shard whose disk died and whose engine was replaced by a
+    /// volatile fallback (restart can't fix a disk). Cleared if a later
+    /// rebuild gets the durable engine back.
+    degraded: AtomicBool,
 }
 
 /// An unmatched continuity edge.
@@ -374,6 +382,15 @@ pub struct CellRollup {
     pub wedges: u64,
     /// Completed warm restarts.
     pub restarts: u64,
+    /// Durability rung name: `durable` / `durable_degraded` /
+    /// `non_durable` for durable shards, `volatile` for shards configured
+    /// without persistence. Defaulted so pre-storage-fault rollups parse.
+    #[serde(default)]
+    pub durability: String,
+    /// Honest loss window in slots (`None` = unbounded: the shard is
+    /// `NonDurable` or volatile).
+    #[serde(default)]
+    pub loss_window_slots: Option<u64>,
 }
 
 /// Fleet-wide rollup: per-cell rows plus the aggregate, including the
@@ -392,6 +409,11 @@ pub struct FleetSnapshot {
     pub continuations: u64,
     /// Distinct users: `total_discovered − continuations`.
     pub distinct_users: u64,
+    /// Cells configured durable that are currently *not* fully durable
+    /// (rung below `Durable`, or running on a volatile fallback after
+    /// their disk died). Defaulted so pre-storage-fault rollups parse.
+    #[serde(default)]
+    pub durability_degraded_cells: u64,
     /// The matched handover pairs.
     pub matches: Vec<ContinuityMatch>,
 }
@@ -424,18 +446,17 @@ impl Fleet {
     /// Build every shard's engine (durable shards recover from their own
     /// directories) and start the shared worker pool.
     pub fn new(cfg: FleetConfig, specs: Vec<ShardSpec>) -> io::Result<Fleet> {
-        let journal_writer = if !cfg.per_shard_journal_writers
-            && specs.iter().any(|s| s.persist.is_some())
-        {
-            Some(JournalWriter::spawn())
-        } else {
-            None
-        };
+        let journal_writer =
+            if !cfg.per_shard_journal_writers && specs.iter().any(|s| s.persist.is_some()) {
+                Some(JournalWriter::spawn())
+            } else {
+                None
+            };
         let mut shards = Vec::with_capacity(specs.len());
         for spec in specs {
             let (engine, recovery) = ShardEngine::build(&spec, journal_writer.as_ref())?;
             let mut cache = CachedStats::default();
-            refresh_cache_from(&mut cache, engine.scope());
+            refresh_cache_from(&mut cache, &engine, false);
             shards.push(Shard {
                 spec,
                 queue: Mutex::new(VecDeque::new()),
@@ -460,6 +481,7 @@ impl Fleet {
                 panics: AtomicU64::new(0),
                 wedges: AtomicU64::new(0),
                 restarts: AtomicU64::new(0),
+                degraded: AtomicBool::new(false),
             });
         }
         let cores = std::thread::available_parallelism()
@@ -643,7 +665,7 @@ impl Fleet {
             // Refresh from the live scope when the engine is free.
             if let Ok(cell) = s.engine.try_lock() {
                 if let Some(engine) = cell.engine.as_ref() {
-                    refresh_cache_from(&mut lock_clean(&s.cache), engine.scope());
+                    refresh_cache_from(&mut lock_clean(&s.cache), engine, s.degraded.load(Relaxed));
                 }
             }
             let cache = lock_clean(&s.cache).clone();
@@ -662,6 +684,8 @@ impl Fleet {
                 panics: s.panics.load(Relaxed),
                 wedges: s.wedges.load(Relaxed),
                 restarts: s.restarts.load(Relaxed),
+                durability: cache.durability.to_string(),
+                loss_window_slots: cache.loss_window,
             });
         }
         let (continuations, matches) = {
@@ -669,12 +693,23 @@ impl Fleet {
             (c.continuations, c.matches.clone())
         };
         let total_discovered: u64 = cells.iter().map(|c| c.discovered).sum();
+        let durability_degraded_cells = self
+            .shared
+            .shards
+            .iter()
+            .zip(&cells)
+            .filter(|(s, c)| {
+                s.spec.persist.is_some()
+                    && (c.durability == "durable_degraded" || c.durability == "non_durable")
+            })
+            .count() as u64;
         FleetSnapshot {
             total_slots: cells.iter().map(|c| c.slots).sum(),
             total_dcis: cells.iter().map(|c| c.dcis).sum(),
             total_discovered,
             continuations,
             distinct_users: total_discovered.saturating_sub(continuations),
+            durability_degraded_cells,
             matches,
             cells,
         }
@@ -699,7 +734,11 @@ impl Fleet {
         for s in &self.shared.shards {
             if let Ok(mut cell) = s.engine.try_lock() {
                 if let Some(engine) = cell.engine.take() {
-                    refresh_cache_from(&mut lock_clean(&s.cache), engine.scope());
+                    refresh_cache_from(
+                        &mut lock_clean(&s.cache),
+                        &engine,
+                        s.degraded.load(Relaxed),
+                    );
                     // The shard's queue is done for — zero its depth gauge
                     // so a post-shutdown snapshot never reports phantom
                     // backlog (the worker-pool shutdown rule).
@@ -715,7 +754,8 @@ impl Fleet {
 }
 
 /// Update a shard's cached rollup row from its live scope.
-fn refresh_cache_from(cache: &mut CachedStats, scope: &NrScope) {
+fn refresh_cache_from(cache: &mut CachedStats, engine: &ShardEngine, disk_degraded: bool) {
+    let scope = engine.scope();
     let st = &scope.stats;
     cache.slots = st.slots;
     cache.dcis = st.si_dcis + st.ra_dcis + st.tc_dcis + st.dl_dcis + st.ul_dcis;
@@ -729,6 +769,23 @@ fn refresh_cache_from(cache: &mut CachedStats, scope: &NrScope) {
     };
     cache.load_rung = scope.governor().rung().name();
     cache.watermark = scope.slot_watermark();
+    match engine {
+        ShardEngine::Durable(s) => {
+            cache.durability = s.durability_rung().name();
+            cache.loss_window = s.reported_loss_window();
+        }
+        ShardEngine::Volatile(_) => {
+            // A volatile fallback after a dead disk is `non_durable` —
+            // spec said durable, the disk disagreed; an always-volatile
+            // shard never promised durability in the first place.
+            cache.durability = if disk_degraded {
+                "non_durable"
+            } else {
+                "volatile"
+            };
+            cache.loss_window = None;
+        }
+    }
 }
 
 /// Schedule a warm restart after the current backoff, growing the backoff
@@ -770,6 +827,11 @@ fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
             cell.engine = Some(engine);
             cell.gen = shard.gen.load(SeqCst);
             shard.restarts.fetch_add(1, Relaxed);
+            // The durable engine is back — if this shard had fallen to a
+            // volatile fallback, it has its disk again.
+            if shard.spec.persist.is_some() {
+                shard.degraded.store(false, Relaxed);
+            }
             let mut c = lock_clean(&shard.control);
             c.health = ShardHealth::Healthy;
             c.restart_due = None;
@@ -777,10 +839,39 @@ fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
                 c.last_recovery = recovery;
             }
         }
-        Err(_) => {
-            // Rebuild failed (I/O): treat as another fault — back off and
-            // try again rather than spinning.
-            schedule_restart(shared, shard, ShardHealth::Faulted, Instant::now());
+        Err(e) => {
+            let backoff_exhausted =
+                lock_clean(&shard.control).backoff_exp >= shared.cfg.max_restart_backoff_exp;
+            if backoff_exhausted && shard.spec.persist.is_some() {
+                // The disk under a durable shard is dead and restart
+                // can't fix a disk: stop burning restarts and install a
+                // volatile fallback engine instead. The shard keeps
+                // decoding, reported durability-degraded (`non_durable`,
+                // unbounded loss window) rather than endlessly Faulted.
+                let mut scope = NrScope::new(shard.spec.scope, shard.spec.pci);
+                scope.set_load_model(shard.spec.load_model);
+                let adopt = lock_clean(&shard.queue)
+                    .front()
+                    .map(|e| e.seq)
+                    .unwrap_or_else(|| shard.highest_fed.load(Relaxed).saturating_add(1));
+                scope.fast_forward(adopt);
+                scope
+                    .metrics()
+                    .gauge_set(Gauge::DurabilityRung, DurabilityRung::NonDurable as u64);
+                scope.metrics().inc(Counter::StorageDemotions);
+                scope.metrics().note("storage_demotion", e.to_string());
+                shard.degraded.store(true, Relaxed);
+                cell.engine = Some(ShardEngine::Volatile(Box::new(scope)));
+                cell.gen = shard.gen.load(SeqCst);
+                shard.restarts.fetch_add(1, Relaxed);
+                let mut c = lock_clean(&shard.control);
+                c.health = ShardHealth::Healthy;
+                c.restart_due = None;
+            } else {
+                // Rebuild failed (I/O): treat as another fault — back off
+                // and try again rather than spinning.
+                schedule_restart(shared, shard, ShardHealth::Faulted, Instant::now());
+            }
         }
     }
 }
@@ -984,7 +1075,11 @@ fn service_shard(shared: &FleetShared, i: usize) -> Service {
         }
     }
     if let Some(engine) = cell.engine.as_ref() {
-        refresh_cache_from(&mut lock_clean(&shard.cache), engine.scope());
+        refresh_cache_from(
+            &mut lock_clean(&shard.cache),
+            engine,
+            shard.degraded.load(Relaxed),
+        );
     }
     if worked {
         Service::Worked

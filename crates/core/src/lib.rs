@@ -41,7 +41,7 @@ pub mod worker;
 /// missing-field errors to catch true incompatibilities.
 pub const SCHEMA_VERSION: u32 = 1;
 
-pub use config::{AdmissionConfig, Fidelity, FleetConfig, ScopeConfig};
+pub use config::{AdmissionConfig, Fidelity, FleetConfig, ScopeConfig, StoragePolicy};
 pub use fleet::{
     CellRollup, ContinuityMatch, FaultPlan, FeedOutcome, Fleet, FleetSnapshot, ShardHealth,
     ShardSpec, ShardStatus,
@@ -49,7 +49,10 @@ pub use fleet::{
 pub use governor::{GovernorConfig, LoadModel, LoadRung, OverloadGovernor};
 pub use metrics::{Counter, Gauge, Metrics, MetricsSnapshot, Stage, StageSnapshot};
 pub use observe::{Capture, DropReason, ImpairmentSchedule, ObservedDci, ObservedSlot, Observer};
-pub use persist::{JournalWriter, PersistConfig, PersistentSession, RecoveryReport, SessionStore};
+pub use persist::{
+    DurabilityRung, FaultKind, FaultyBackend, JournalWriter, PersistConfig, PersistentSession,
+    RealBackend, RecoveryReport, SessionStore, StorageBackend, StorageFaultSchedule, StorageFile,
+};
 pub use scope::{NrScope, ScopeStats, SyncState, UeEvent};
 pub use telemetry::TelemetryRecord;
 pub use worker::{

@@ -24,8 +24,12 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Bound on the keyed diagnostic-note ledger ([`Metrics::note`]): one slot
+/// per distinct key, oldest key evicted beyond this.
+const NOTES_MAX: usize = 16;
 
 /// Pipeline stages with latency histograms. The order is the pipeline
 /// order (Fig 4): radio capture → OFDM demod → PDCCH search → DCI decode →
@@ -162,11 +166,20 @@ pub enum Counter {
     /// Never-corroborated C-RNTIs moved from probation to the quarantine
     /// ledger by stage-2 admission control.
     GhostRntisQuarantined,
+    /// Journal writes retried after a transient storage error (the retry
+    /// runs on the writer thread with exponential backoff — never the
+    /// capture hot path).
+    StorageRetries,
+    /// Demotions to `NonDurable` after retries were exhausted, `ENOSPC`
+    /// survived the emergency prune, or the journal writer died.
+    StorageDemotions,
+    /// Emergency checkpoint/journal prunes triggered by `ENOSPC`.
+    EmergencyPrunes,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 31] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -195,6 +208,9 @@ impl Counter {
         Counter::ParseRejects,
         Counter::ValidationRejects,
         Counter::GhostRntisQuarantined,
+        Counter::StorageRetries,
+        Counter::StorageDemotions,
+        Counter::EmergencyPrunes,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -228,6 +244,9 @@ impl Counter {
             Counter::ParseRejects => "parse_rejects",
             Counter::ValidationRejects => "validation_rejects",
             Counter::GhostRntisQuarantined => "ghost_rntis_quarantined",
+            Counter::StorageRetries => "storage_retries",
+            Counter::StorageDemotions => "storage_demotions",
+            Counter::EmergencyPrunes => "emergency_prunes",
         }
     }
 }
@@ -245,16 +264,20 @@ pub enum Gauge {
     LoadRung,
     /// Ghost RNTIs currently held in the quarantine ledger.
     QuarantineSize,
+    /// Current durability-ladder rung (0 = Durable, 1 = DurableDegraded,
+    /// 2 = NonDurable).
+    DurabilityRung,
 }
 
 impl Gauge {
     /// All gauges.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::QueueDepth,
         Gauge::TrackedUes,
         Gauge::WorkersAlive,
         Gauge::LoadRung,
         Gauge::QuarantineSize,
+        Gauge::DurabilityRung,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -265,6 +288,7 @@ impl Gauge {
             Gauge::WorkersAlive => "workers_alive",
             Gauge::LoadRung => "load_rung",
             Gauge::QuarantineSize => "quarantine_size",
+            Gauge::DurabilityRung => "durability_rung",
         }
     }
 }
@@ -382,6 +406,10 @@ pub struct Metrics {
     stages: [StageHisto; Stage::ALL.len()],
     counters: [AtomicU64; Counter::ALL.len()],
     gauges: [AtomicU64; Gauge::ALL.len()],
+    /// Keyed free-text diagnostics (last checkpoint error, last storage
+    /// error, demotion reason): a counter says *how often*, a note says
+    /// *why*. Off the hot path — written only on error/transition edges.
+    notes: Mutex<Vec<(String, String)>>,
 }
 
 impl Default for Metrics {
@@ -398,6 +426,7 @@ impl Metrics {
             stages: Default::default(),
             counters: Default::default(),
             gauges: Default::default(),
+            notes: Mutex::new(Vec::new()),
         }
     }
 
@@ -443,6 +472,33 @@ impl Metrics {
     /// Current value of a gauge.
     pub fn gauge(&self, g: Gauge) -> u64 {
         self.gauges[g as usize].load(Relaxed)
+    }
+
+    /// Record a keyed diagnostic note (latest detail wins per key).
+    /// Recorded even when the registry is disabled: an operator who turned
+    /// instrumentation off still wants to know *why* durability degraded.
+    pub fn note(&self, key: &str, detail: impl Into<String>) {
+        let mut notes = match self.notes.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(slot) = notes.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = detail.into();
+            return;
+        }
+        if notes.len() >= NOTES_MAX {
+            notes.remove(0);
+        }
+        notes.push((key.to_string(), detail.into()));
+    }
+
+    /// Latest detail recorded for a note key, if any.
+    pub fn note_detail(&self, key: &str) -> Option<String> {
+        let notes = match self.notes.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        notes.iter().find(|(k, _)| k == key).map(|(_, d)| d.clone())
     }
 
     /// Record a duration observation for a stage.
@@ -515,12 +571,17 @@ impl Metrics {
                 value: self.gauge(g),
             })
             .collect();
+        let notes = match self.notes.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
         MetricsSnapshot {
             schema_version: crate::SCHEMA_VERSION,
             enabled: self.is_enabled(),
             counters,
             gauges,
             stages,
+            notes,
         }
     }
 
@@ -604,6 +665,10 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// All stages, in [`Stage::ALL`] (pipeline) order.
     pub stages: Vec<StageSnapshot>,
+    /// Keyed diagnostic notes ([`Metrics::note`]), insertion order.
+    /// Defaulted so snapshots written before the storage-fault work parse.
+    #[serde(default)]
+    pub notes: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
@@ -645,6 +710,14 @@ impl MetricsSnapshot {
         self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
     }
 
+    /// Look up a diagnostic note by key.
+    pub fn note(&self, key: &str) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, d)| d.as_str())
+    }
+
     /// Human-readable summary table (the examples print this).
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -674,6 +747,9 @@ impl MetricsSnapshot {
             if g.value != 0 {
                 out.push_str(&format!("  {:<30} {}\n", g.name, g.value));
             }
+        }
+        for (key, detail) in &self.notes {
+            out.push_str(&format!("  note {key}: {detail}\n"));
         }
         out
     }
@@ -842,6 +918,33 @@ mod tests {
             !text.contains("worker_queue"),
             "idle stages omitted:\n{text}"
         );
+    }
+
+    #[test]
+    fn notes_replace_by_key_and_survive_snapshots() {
+        let m = Metrics::new(false); // recorded even while disabled
+        m.note("checkpoint_error", "disk on fire");
+        m.note("checkpoint_error", "disk merely smouldering");
+        m.note("storage_demotion", "retries exhausted");
+        assert_eq!(
+            m.note_detail("checkpoint_error").as_deref(),
+            Some("disk merely smouldering")
+        );
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.note("checkpoint_error"),
+            Some("disk merely smouldering")
+        );
+        assert_eq!(snap.note("storage_demotion"), Some("retries exhausted"));
+        assert!(snap.summary().contains("note checkpoint_error"));
+        // Round-trips (and pre-notes snapshots still parse via default).
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(snap, back);
+        // The ledger is bounded: flooding distinct keys evicts the oldest.
+        for i in 0..(NOTES_MAX * 2) {
+            m.note(&format!("k{i}"), "x");
+        }
+        assert!(m.snapshot().notes.len() <= NOTES_MAX);
     }
 
     #[test]

@@ -36,9 +36,9 @@
 //! format at every record boundary.
 
 use crate::binfmt;
-use crate::config::ScopeConfig;
+use crate::config::{ScopeConfig, StoragePolicy};
 use crate::governor::OverloadGovernor;
-use crate::metrics::{Counter, Metrics, MetricsSnapshot};
+use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot};
 use crate::scope::{CellKnowledge, NrScope, ScopeStats, SyncState};
 use crate::telemetry::TelemetryRecord;
 use crate::throughput::ThroughputState;
@@ -49,12 +49,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// CRC-32 slice-by-8 lookup tables, built at compile time from the
 /// reflected IEEE polynomial. `CRC32_TABLES[0]` is the classic one-byte
@@ -247,6 +248,498 @@ const JOURNAL_PREFIX: &str = "journal-";
 const JOURNAL_SUFFIX: &str = ".jnl";
 
 // ---------------------------------------------------------------------------
+// Storage backend abstraction + deterministic fault injection.
+//
+// Every *mutating* file operation the persistence layer performs — open
+// for append, truncating create, write, fsync, rename, dir-fsync,
+// remove — goes through a `StorageBackend`, so a test or bench can swap
+// the real filesystem for a `FaultyBackend` that injects scheduled
+// faults at chosen operation counts, the way `ImpairmentSchedule`
+// injects radio faults. Read paths stay direct `std::fs`: a read failure
+// is already handled by recovery's corruption tolerance and cannot lose
+// data that was durably written.
+// ---------------------------------------------------------------------------
+
+/// A writable file handle issued by a [`StorageBackend`].
+pub trait StorageFile: Send {
+    /// Write all of `buf` (the durability unit — a whole journal batch or
+    /// snapshot image per call).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file contents and metadata to the device.
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncate (or extend) to exactly `len` bytes — the retry path cuts
+    /// a short write back to the last committed batch boundary with this.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Current file length in bytes.
+    fn file_len(&self) -> io::Result<u64>;
+}
+
+/// The set of mutating filesystem operations the persistence layer needs.
+pub trait StorageBackend: std::fmt::Debug + Send + Sync {
+    /// `fs::create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Open (creating if needed) for append — the journal path.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Create truncating — tmp snapshots and the re-probe file.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Atomic rename (snapshot tmp → final name).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file (pruning).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsync a directory so a rename within it is itself durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealBackend;
+
+impl StorageFile for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(self, buf)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.set_len(len)
+    }
+
+    fn file_len(&self) -> io::Result<u64> {
+        Ok(self.metadata()?.len())
+    }
+}
+
+impl StorageBackend for RealBackend {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        ))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+fn err_eio() -> io::Error {
+    io::Error::from_raw_os_error(5) // EIO
+}
+
+fn err_enospc() -> io::Error {
+    io::Error::from_raw_os_error(28) // ENOSPC
+}
+
+fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28)
+}
+
+/// One kind of injectable storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `write` fails with `EIO` (transient within its window, persistent
+    /// when the window is unbounded).
+    WriteEio,
+    /// `write` lands only the first half of the buffer, then fails with
+    /// `EIO` — the classic torn append.
+    WriteShort,
+    /// `write` fails with `ENOSPC` (disk full).
+    WriteEnospc,
+    /// `write` reports success but the bytes are silently dropped — the
+    /// fsync-gate lie (data lost despite every syscall reporting ok).
+    WriteFsyncGate,
+    /// `fsync` fails with `EIO` (also fails the re-probe).
+    FsyncEio,
+    /// `rename` fails with `EIO` (breaks atomic snapshot installs).
+    RenameFail,
+    /// `open`/`create` fails with `EIO` (dead disk on reopen).
+    OpenFail,
+}
+
+impl FaultKind {
+    fn is_write(self) -> bool {
+        matches!(
+            self,
+            FaultKind::WriteEio
+                | FaultKind::WriteShort
+                | FaultKind::WriteEnospc
+                | FaultKind::WriteFsyncGate
+        )
+    }
+}
+
+/// Deterministic seeded fault schedule, mirroring `ImpairmentSchedule`:
+/// each fault kind fires inside half-open windows of *operation indices*,
+/// counted per operation class (writes, fsyncs, renames, opens — each
+/// class has its own counter, shared across every file the backend ever
+/// issues). An optional seeded per-write `EIO` probability adds random
+/// transients on top.
+#[derive(Debug, Clone, Default)]
+pub struct StorageFaultSchedule {
+    seed: u64,
+    faults: Vec<(FaultKind, Range<u64>)>,
+    write_eio_prob: f64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StorageFaultSchedule {
+    /// An empty schedule (no faults) with the given random seed.
+    pub fn new(seed: u64) -> StorageFaultSchedule {
+        StorageFaultSchedule {
+            seed,
+            ..StorageFaultSchedule::default()
+        }
+    }
+
+    fn with(mut self, kind: FaultKind, window: Range<u64>) -> StorageFaultSchedule {
+        self.faults.push((kind, window));
+        self
+    }
+
+    /// Write ops in `window` fail with `EIO`.
+    pub fn with_write_eio(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::WriteEio, window)
+    }
+
+    /// Write ops in `window` land half the buffer, then fail with `EIO`.
+    pub fn with_short_writes(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::WriteShort, window)
+    }
+
+    /// Write ops in `window` fail with `ENOSPC`.
+    pub fn with_enospc(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::WriteEnospc, window)
+    }
+
+    /// Write ops in `window` report success but drop the bytes.
+    pub fn with_fsync_gate(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::WriteFsyncGate, window)
+    }
+
+    /// Fsync ops in `window` fail with `EIO`.
+    pub fn with_fsync_eio(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::FsyncEio, window)
+    }
+
+    /// Rename ops in `window` fail with `EIO`.
+    pub fn with_rename_failures(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::RenameFail, window)
+    }
+
+    /// Open/create ops in `window` fail with `EIO`.
+    pub fn with_open_failures(self, window: Range<u64>) -> StorageFaultSchedule {
+        self.with(FaultKind::OpenFail, window)
+    }
+
+    /// Every write op additionally fails with `EIO` at probability `p`,
+    /// drawn from the schedule's seed (deterministic per op index).
+    pub fn with_random_write_eio(mut self, p: f64) -> StorageFaultSchedule {
+        self.write_eio_prob = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    schedule: StorageFaultSchedule,
+    rng: u64,
+    writes: u64,
+    fsyncs: u64,
+    renames: u64,
+    opens: u64,
+    removes: u64,
+}
+
+impl FaultState {
+    fn fault_at(&self, class: impl Fn(FaultKind) -> bool, i: u64) -> Option<FaultKind> {
+        self.schedule
+            .faults
+            .iter()
+            .find(|(k, w)| class(*k) && w.contains(&i))
+            .map(|(k, _)| *k)
+    }
+}
+
+/// A [`StorageBackend`] wrapping the real filesystem that injects the
+/// faults its [`StorageFaultSchedule`] dictates. Clones share one fault
+/// state, so operation counts are global across every file and clone —
+/// deterministic given a deterministic operation sequence.
+#[derive(Debug, Clone)]
+pub struct FaultyBackend {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyBackend {
+    /// Wrap the real filesystem with `schedule`.
+    pub fn new(schedule: StorageFaultSchedule) -> FaultyBackend {
+        let rng = schedule.seed ^ 0x5357_4F52_4147_4531; // "STORAGE1"
+        FaultyBackend {
+            state: Arc::new(Mutex::new(FaultState {
+                schedule,
+                rng,
+                writes: 0,
+                fsyncs: 0,
+                renames: 0,
+                opens: 0,
+                removes: 0,
+            })),
+        }
+    }
+
+    /// Arm another fault window at runtime (op indices stay absolute, so
+    /// `backend.writes()..` makes a fault persistent "from now on").
+    pub fn arm(&self, kind: FaultKind, window: Range<u64>) {
+        lock_clean(&self.state).schedule.faults.push((kind, window));
+    }
+
+    /// Disarm every scheduled fault (the "disk recovered" transition).
+    pub fn clear_faults(&self) {
+        let mut s = lock_clean(&self.state);
+        s.schedule.faults.clear();
+        s.schedule.write_eio_prob = 0.0;
+    }
+
+    /// Write operations attempted so far (faulted or not).
+    pub fn writes(&self) -> u64 {
+        lock_clean(&self.state).writes
+    }
+
+    /// Fsync operations attempted so far.
+    pub fn fsyncs(&self) -> u64 {
+        lock_clean(&self.state).fsyncs
+    }
+
+    /// Rename operations attempted so far.
+    pub fn renames(&self) -> u64 {
+        lock_clean(&self.state).renames
+    }
+
+    /// Open/create operations attempted so far.
+    pub fn opens(&self) -> u64 {
+        lock_clean(&self.state).opens
+    }
+
+    /// Remove operations attempted so far.
+    pub fn removes(&self) -> u64 {
+        lock_clean(&self.state).removes
+    }
+
+    fn next_write_fault(&self) -> Option<FaultKind> {
+        let mut s = lock_clean(&self.state);
+        let i = s.writes;
+        s.writes += 1;
+        if let Some(k) = s.fault_at(FaultKind::is_write, i) {
+            return Some(k);
+        }
+        if s.schedule.write_eio_prob > 0.0 {
+            let draw = (splitmix64(&mut s.rng) >> 11) as f64 / (1u64 << 53) as f64;
+            if draw < s.schedule.write_eio_prob {
+                return Some(FaultKind::WriteEio);
+            }
+        }
+        None
+    }
+
+    fn next_fsync_fault(&self) -> Option<FaultKind> {
+        let mut s = lock_clean(&self.state);
+        let i = s.fsyncs;
+        s.fsyncs += 1;
+        s.fault_at(|k| k == FaultKind::FsyncEio, i)
+    }
+
+    fn next_rename_fault(&self) -> Option<FaultKind> {
+        let mut s = lock_clean(&self.state);
+        let i = s.renames;
+        s.renames += 1;
+        s.fault_at(|k| k == FaultKind::RenameFail, i)
+    }
+
+    fn next_open_fault(&self) -> Option<FaultKind> {
+        let mut s = lock_clean(&self.state);
+        let i = s.opens;
+        s.opens += 1;
+        s.fault_at(|k| k == FaultKind::OpenFail, i)
+    }
+}
+
+struct FaultyFile {
+    real: File,
+    faults: FaultyBackend,
+}
+
+impl StorageFile for FaultyFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.faults.next_write_fault() {
+            None => io::Write::write_all(&mut self.real, buf),
+            Some(FaultKind::WriteEio) => Err(err_eio()),
+            Some(FaultKind::WriteEnospc) => Err(err_enospc()),
+            Some(FaultKind::WriteShort) => {
+                let _ = io::Write::write_all(&mut self.real, &buf[..buf.len() / 2]);
+                Err(err_eio())
+            }
+            // The lie: every syscall reports success, the bytes are gone.
+            Some(FaultKind::WriteFsyncGate) => Ok(()),
+            Some(_) => Err(err_eio()),
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.faults.next_fsync_fault() {
+            None => self.real.sync_all(),
+            Some(_) => Err(err_eio()),
+        }
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        // Not faulted: truncate is the *recovery* half of the retry path.
+        self.real.set_len(len)
+    }
+
+    fn file_len(&self) -> io::Result<u64> {
+        Ok(self.real.metadata()?.len())
+    }
+}
+
+impl StorageBackend for FaultyBackend {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        if self.next_open_fault().is_some() {
+            return Err(err_eio());
+        }
+        Ok(Box::new(FaultyFile {
+            real: OpenOptions::new().create(true).append(true).open(path)?,
+            faults: self.clone(),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        if self.next_open_fault().is_some() {
+            return Err(err_eio());
+        }
+        Ok(Box::new(FaultyFile {
+            real: File::create(path)?,
+            faults: self.clone(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.next_rename_fault().is_some() {
+            return Err(err_eio());
+        }
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        lock_clean(&self.state).removes += 1;
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.next_fsync_fault() {
+            None => File::open(dir)?.sync_all(),
+            Some(_) => Err(err_eio()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability degradation ladder.
+// ---------------------------------------------------------------------------
+
+/// The durability ladder: how much the session currently promises about
+/// crash survival. Stored as a `u64` in a shared atomic (and exported as
+/// the `durability_rung` gauge), so the writer thread, the hot path, and
+/// fleet rollups all see one truth without locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DurabilityRung {
+    /// Journal + checkpoints healthy: `kill -9` loses at most
+    /// [`PersistConfig::loss_window_slots`].
+    Durable = 0,
+    /// A recent storage error was retried (or recovery from `NonDurable`
+    /// is being confirmed): same bounded loss window, but the disk is
+    /// suspect. Promotes back to `Durable` after a clean-write streak.
+    DurableDegraded = 1,
+    /// Storage failed persistently: decoding continues, nothing is being
+    /// journalled, and the loss window is **unbounded** — reported
+    /// honestly as such. A background probe re-promotes when the disk
+    /// recovers.
+    NonDurable = 2,
+}
+
+impl DurabilityRung {
+    /// All rungs, best first.
+    pub const ALL: [DurabilityRung; 3] = [
+        DurabilityRung::Durable,
+        DurabilityRung::DurableDegraded,
+        DurabilityRung::NonDurable,
+    ];
+
+    /// Stable snake_case name used in rollups and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityRung::Durable => "durable",
+            DurabilityRung::DurableDegraded => "durable_degraded",
+            DurabilityRung::NonDurable => "non_durable",
+        }
+    }
+
+    /// Decode the gauge/atomic encoding (clamps unknown values to
+    /// `NonDurable` — the honest direction to be wrong in).
+    pub fn from_u64(v: u64) -> DurabilityRung {
+        match v {
+            0 => DurabilityRung::Durable,
+            1 => DurabilityRung::DurableDegraded,
+            _ => DurabilityRung::NonDurable,
+        }
+    }
+}
+
+/// Consecutive first-attempt batch writes before `DurableDegraded`
+/// promotes back to `Durable` — the governor's promote-hysteresis shape
+/// applied to disks (one good write after an error streak proves little).
+const PROMOTE_CLEAN_BATCHES: u32 = 4;
+
+/// Base backoff before a failed batch write is retried, doubling per
+/// attempt. Retries run on the writer thread: with the default
+/// `storage_retry_max` of 4 the worst case blocks it ~7.5 ms — bounded,
+/// and invisible to the capture hot path unless its queue fills.
+const RETRY_BACKOFF_BASE_US: u64 = 500;
+
+/// Cap on the re-probe flap backoff exponent
+/// (`reprobe_interval_slots << exp`), the governor's demote-fast /
+/// promote-slow hysteresis shape: 2048-slot probes degrade to ~2
+/// minutes between attempts on a disk that stays dead.
+const MAX_PROBE_FLAP_EXP: u32 = 6;
+
+// ---------------------------------------------------------------------------
 // Binary group-commit batch format.
 //
 //   offset  size  field
@@ -276,8 +769,21 @@ const BATCH_HEADER_LEN: usize = 17;
 const FLAG_DROPPED: u8 = 0b01;
 const FLAG_MICRO: u8 = 0b10;
 
-fn read_u32_le(data: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(data[at..at + 4].try_into().unwrap())
+/// Checked little-endian u32 read: `None` instead of a panic when the
+/// slice is short. Header-length checks at the call sites should make a
+/// short read impossible, but decode paths handle untrusted bytes — a
+/// framing bug must degrade to "corrupt record", never a panic.
+fn read_u32_le(data: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(
+        data.get(at..at.checked_add(4)?)?.try_into().ok()?,
+    ))
+}
+
+/// Checked little-endian u64 read (see [`read_u32_le`]).
+fn read_u64_le(data: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(
+        data.get(at..at.checked_add(8)?)?.try_into().ok()?,
+    ))
 }
 
 fn push_record_bytes(buf: &mut Vec<u8>, seq: u64, dropped: bool, ops: &[SlotOp]) -> usize {
@@ -414,9 +920,9 @@ fn parse_batch(data: &[u8], prev_seq: Option<u64>) -> Option<(Vec<JournalEntry>,
     if data.len() < BATCH_HEADER_LEN || &data[..4] != BATCH_MAGIC || data[4] != BATCH_VERSION {
         return None;
     }
-    let payload_len = read_u32_le(data, 5) as usize;
-    let crc = read_u32_le(data, 9);
-    let n_records = read_u32_le(data, 13);
+    let payload_len = read_u32_le(data, 5)? as usize;
+    let crc = read_u32_le(data, 9)?;
+    let n_records = read_u32_le(data, 13)?;
     let end = BATCH_HEADER_LEN.checked_add(payload_len)?;
     if end > data.len() {
         return None; // torn tail
@@ -525,7 +1031,11 @@ pub fn read_journal_bytes(data: &[u8]) -> (Vec<JournalEntry>, u64) {
     let discarded = if pos >= data.len() {
         0
     } else {
-        (data[pos..].split(|&b| b == b'\n').filter(|s| !s.is_empty()).count() as u64).max(1)
+        (data[pos..]
+            .split(|&b| b == b'\n')
+            .filter(|s| !s.is_empty())
+            .count() as u64)
+            .max(1)
     };
     (out, discarded)
 }
@@ -667,18 +1177,48 @@ fn decode_snapshot_payload(payload: &[u8]) -> Option<SnapFields> {
 }
 
 /// Directory of checkpoints + journals for one session, with atomic
-/// snapshot writes and corruption-tolerant loading.
+/// snapshot writes and corruption-tolerant loading. All mutating file
+/// operations go through the store's [`StorageBackend`].
 #[derive(Debug, Clone)]
 pub struct SessionStore {
     dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl SessionStore {
-    /// Open (creating if needed) a session directory.
+    /// Open (creating if needed) a session directory on the real
+    /// filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<SessionStore> {
+        SessionStore::with_backend(dir, Arc::new(RealBackend))
+    }
+
+    /// Open (creating if needed) a session directory through `backend`.
+    pub fn with_backend(
+        dir: impl Into<PathBuf>,
+        backend: Arc<dyn StorageBackend>,
+    ) -> io::Result<SessionStore> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(SessionStore { dir })
+        backend.create_dir_all(&dir)?;
+        Ok(SessionStore { dir, backend })
+    }
+
+    /// The storage backend mutating operations go through.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// Small test write + fsync to a probe file, then best-effort
+    /// cleanup: the `NonDurable` → recovery check. Returns `true` iff
+    /// the disk accepted and synced the bytes.
+    pub fn probe_write(&self) -> bool {
+        let path = self.dir.join(".probe");
+        let result = (|| -> io::Result<()> {
+            let mut f = self.backend.create(&path)?;
+            f.write_all(b"nrscope-durability-probe")?;
+            f.sync_all()
+        })();
+        let _ = self.backend.remove_file(&path);
+        result.is_ok()
     }
 
     /// The session directory.
@@ -743,19 +1283,23 @@ impl SessionStore {
         meta[18..22].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         let crc = crc32_pair(&meta[..18], &payload);
         let tmp = self.dir.join(format!(".tmp-{SNAP_PREFIX}{slot:012}"));
+        // One contiguous image, one write op: the whole snapshot is the
+        // durability unit, so fault injection (and the device) sees it as
+        // a single all-or-nothing append to the tmp file.
+        let mut image = Vec::with_capacity(SNAP_BIN_HEADER_LEN + payload.len());
+        image.extend_from_slice(SNAP_BIN_MAGIC);
+        image.extend_from_slice(&meta);
+        image.extend_from_slice(&crc.to_le_bytes());
+        image.extend_from_slice(&payload);
         {
-            let mut f = File::create(&tmp)?;
-            f.write_all(SNAP_BIN_MAGIC)?;
-            f.write_all(&meta)?;
-            f.write_all(&crc.to_le_bytes())?;
-            f.write_all(&payload)?;
+            let mut f = self.backend.create(&tmp)?;
+            f.write_all(&image)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.snapshot_path(slot))?;
+        self.backend
+            .rename(&tmp, self.snapshot_path(slot).as_path())?;
         // Persist the rename itself (directory metadata).
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        let _ = self.backend.sync_dir(&self.dir);
         Ok(slot)
     }
 
@@ -841,13 +1385,10 @@ impl SessionStore {
     pub fn prune_checkpoints(&self, keep: usize) {
         let slots = self.snapshot_slots();
         let kept: Vec<u64> = slots.iter().rev().take(keep.max(1)).copied().collect();
-        let needed: Vec<u64> = kept
-            .iter()
-            .filter_map(|&s| self.snapshot_base(s))
-            .collect();
+        let needed: Vec<u64> = kept.iter().filter_map(|&s| self.snapshot_base(s)).collect();
         for &slot in slots.iter().rev().skip(keep.max(1)) {
             if !needed.contains(&slot) {
-                let _ = fs::remove_file(self.snapshot_path(slot));
+                let _ = self.backend.remove_file(&self.snapshot_path(slot));
             }
         }
     }
@@ -860,7 +1401,7 @@ impl SessionStore {
         let starts = self.journal_starts();
         for pair in starts.windows(2) {
             if pair[1] <= oldest_needed {
-                let _ = fs::remove_file(self.journal_path(pair[0]));
+                let _ = self.backend.remove_file(&self.journal_path(pair[0]));
             }
         }
     }
@@ -922,12 +1463,12 @@ fn parse_snapshot_bin(data: &[u8], expect_slot: u64) -> Option<(u8, u64, SnapFie
     if version > crate::SCHEMA_VERSION {
         return None;
     }
-    let kind = data[5];
-    let slot = u64::from_le_bytes(data[6..14].try_into().ok()?);
-    let base_slot = u64::from_le_bytes(data[14..22].try_into().ok()?);
-    let payload_len = read_u32_le(data, 22) as usize;
-    let crc = read_u32_le(data, 26);
-    let payload = &data[SNAP_BIN_HEADER_LEN..];
+    let kind = *data.get(5)?;
+    let slot = read_u64_le(data, 6)?;
+    let base_slot = read_u64_le(data, 14)?;
+    let payload_len = read_u32_le(data, 22)? as usize;
+    let crc = read_u32_le(data, 26)?;
+    let payload = data.get(SNAP_BIN_HEADER_LEN..)?;
     if slot != expect_slot || payload.len() != payload_len {
         return None;
     }
@@ -970,13 +1511,22 @@ fn load_snapshot_json(data: &[u8]) -> Option<SessionState> {
 const WRITER_QUEUE_DEPTH: usize = 8;
 const BUF_POOL_MAX: usize = 16;
 
+/// Everything the writer thread needs to serve one journal file's
+/// durability ladder, bundled so [`WriterCmd::Open`] stays readable.
+struct WriterCtx {
+    path: PathBuf,
+    durable: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
+    store: SessionStore,
+    policy: StoragePolicy,
+    rung: Arc<AtomicU64>,
+}
+
 enum WriterCmd {
     /// Register a journal file under `id` and open it for append.
     Open {
         id: u64,
-        path: PathBuf,
-        durable: Arc<AtomicU64>,
-        metrics: Arc<Metrics>,
+        ctx: Box<WriterCtx>,
         ack: SyncSender<bool>,
     },
     /// Encode and append one sealed batch to file `id`. The records
@@ -998,18 +1548,166 @@ enum WriterCmd {
     /// Ack once every previously queued batch for `id` has been handed to
     /// the OS (`true` iff all of them succeeded since the last rotation).
     Barrier { id: u64, ack: SyncSender<bool> },
+    /// While `NonDurable`: test the disk with a probe write, and on
+    /// success reopen the journal and climb back to `DurableDegraded`.
+    /// Fire-and-forget — the session observes the outcome through the
+    /// shared rung atomic.
+    Probe { id: u64 },
     /// Drain and forget file `id`.
     Close { id: u64, ack: SyncSender<bool> },
 }
 
 struct WriterFile {
-    file: File,
+    file: Box<dyn StorageFile>,
+    /// Path currently open (probe recovery reopens it after a fault).
+    path: PathBuf,
+    /// Bytes known good in `file`: a retry truncates back to this before
+    /// rewriting, so a short write can never leave a torn batch followed
+    /// by a good one.
+    committed_len: u64,
     durable: Arc<AtomicU64>,
     metrics: Arc<Metrics>,
+    /// The store owning this journal — the emergency-prune and re-probe
+    /// paths act on it (same backend, same fault schedule).
+    store: SessionStore,
+    policy: StoragePolicy,
+    /// Shared durability rung (see [`DurabilityRung`]).
+    rung: Arc<AtomicU64>,
+    /// First-attempt successes since the last write error; promotes
+    /// `DurableDegraded` → `Durable` at [`PROMOTE_CLEAN_BATCHES`].
+    clean_streak: u32,
     /// False after a failed batch write; a rotation observed while
     /// unhealthy is refused (the failure is already counted) and the flag
     /// resets so the next attempt can succeed.
     healthy: bool,
+}
+
+impl WriterFile {
+    fn open(ctx: WriterCtx) -> io::Result<WriterFile> {
+        let file = ctx.store.backend().open_append(&ctx.path)?;
+        let committed_len = file.file_len().unwrap_or(0);
+        Ok(WriterFile {
+            file,
+            path: ctx.path,
+            committed_len,
+            durable: ctx.durable,
+            metrics: ctx.metrics,
+            store: ctx.store,
+            policy: ctx.policy,
+            rung: ctx.rung,
+            clean_streak: 0,
+            healthy: true,
+        })
+    }
+
+    fn rung(&self) -> DurabilityRung {
+        DurabilityRung::from_u64(self.rung.load(Relaxed))
+    }
+
+    fn set_rung(&self, rung: DurabilityRung) {
+        self.rung.store(rung as u64, Relaxed);
+        self.metrics.gauge_set(Gauge::DurabilityRung, rung as u64);
+    }
+
+    /// Append one encoded batch with the ladder's bounded-retry policy.
+    /// Transient errors back off and retry (after truncating any torn
+    /// tail); `ENOSPC` gets one emergency prune before its first retry;
+    /// exhausted retries demote to `NonDurable` and drop the batch.
+    fn append_batch(&mut self, bytes: &[u8], n_records: u64, last_seq: u64) {
+        if self.rung() == DurabilityRung::NonDurable {
+            // Demoted (e.g. by writer-death detection racing a recovery):
+            // the batch is lost and counted; the session stops sending
+            // once it observes the rung.
+            self.metrics.add(Counter::JournalWriteFailures, n_records);
+            return;
+        }
+        let mut pruned = false;
+        let mut attempt = 0u32;
+        loop {
+            match self.file.write_all(bytes) {
+                Ok(()) => {
+                    // The batch is in the OS: `kill -9` of this process
+                    // can no longer lose it. (Machine-crash durability
+                    // would need fsync here — same guarantee level the
+                    // old flush-per-slot journal offered.)
+                    self.committed_len += bytes.len() as u64;
+                    self.durable.store(last_seq + 1, Relaxed);
+                    self.metrics.inc(Counter::JournalBatches);
+                    if attempt == 0 {
+                        self.clean_streak = self.clean_streak.saturating_add(1);
+                        if self.clean_streak >= PROMOTE_CLEAN_BATCHES
+                            && self.rung() == DurabilityRung::DurableDegraded
+                        {
+                            self.set_rung(DurabilityRung::Durable);
+                        }
+                    } else {
+                        // Succeeded only on retry: stay degraded, restart
+                        // the streak the promotion needs.
+                        self.clean_streak = 0;
+                    }
+                    return;
+                }
+                Err(e) => {
+                    self.clean_streak = 0;
+                    if self.rung() == DurabilityRung::Durable {
+                        self.set_rung(DurabilityRung::DurableDegraded);
+                    }
+                    if is_enospc(&e) && !pruned {
+                        // Disk full: free what the ladder can spare —
+                        // old checkpoints and the journals they cover —
+                        // then retry the write into the reclaimed space.
+                        pruned = true;
+                        self.store
+                            .prune_checkpoints(self.policy.emergency_prune_keep);
+                        if let Some(&oldest) = self.store.snapshot_slots().first() {
+                            self.store.prune_journals(oldest);
+                        }
+                        self.metrics.inc(Counter::EmergencyPrunes);
+                        self.metrics.note("storage_error", e.to_string());
+                    }
+                    attempt += 1;
+                    if attempt > self.policy.storage_retry_max {
+                        self.set_rung(DurabilityRung::NonDurable);
+                        self.metrics.inc(Counter::StorageDemotions);
+                        self.metrics.add(Counter::JournalWriteFailures, n_records);
+                        self.metrics.note("storage_demotion", e.to_string());
+                        self.healthy = false;
+                        return;
+                    }
+                    self.metrics.inc(Counter::StorageRetries);
+                    // Cut any torn tail back to the last committed batch
+                    // boundary before rewriting (failure tolerated: the
+                    // reader discards a torn batch whole anyway).
+                    let _ = self.file.truncate(self.committed_len);
+                    std::thread::sleep(Duration::from_micros(
+                        RETRY_BACKOFF_BASE_US << (attempt - 1).min(4),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The `NonDurable` → `DurableDegraded` transition: probe the disk,
+    /// and on success reopen the journal path so appends resume.
+    fn try_recover(&mut self) {
+        if self.rung() != DurabilityRung::NonDurable || !self.store.probe_write() {
+            return;
+        }
+        match self.store.backend().open_append(&self.path) {
+            Ok(file) => {
+                self.committed_len = file.file_len().unwrap_or(0);
+                self.file = file;
+                self.healthy = true;
+                self.clean_streak = 0;
+                self.set_rung(DurabilityRung::DurableDegraded);
+            }
+            Err(e) => {
+                // Probe ok but the journal itself will not reopen: stay
+                // demoted and record why.
+                self.metrics.note("storage_error", e.to_string());
+            }
+        }
+    }
 }
 
 struct WriterShared {
@@ -1073,18 +1771,12 @@ impl JournalWriter {
     }
 
     /// Register a journal file for append; returns its id.
-    fn register(
-        &self,
-        path: PathBuf,
-        durable: Arc<AtomicU64>,
-        metrics: Arc<Metrics>,
-    ) -> io::Result<u64> {
+    fn register(&self, ctx: WriterCtx) -> io::Result<u64> {
         let id = self.shared.next_id.fetch_add(1, Relaxed);
+        let path = ctx.path.clone();
         let opened = self.send_acked(|ack| WriterCmd::Open {
             id,
-            path: path.clone(),
-            durable,
-            metrics,
+            ctx: Box::new(ctx),
             ack,
         });
         if opened {
@@ -1116,6 +1808,12 @@ impl JournalWriter {
         self.send_acked(|ack| WriterCmd::Barrier { id, ack })
     }
 
+    /// Queue a disk re-probe for file `id` (fire and forget; the outcome
+    /// lands in the shared rung atomic).
+    fn probe(&self, id: u64) -> bool {
+        self.send(WriterCmd::Probe { id })
+    }
+
     fn close(&self, id: u64) -> bool {
         self.send_acked(|ack| WriterCmd::Close { id, ack })
     }
@@ -1133,25 +1831,10 @@ fn writer_loop(rx: Receiver<WriterCmd>, pool: Arc<Mutex<Vec<Vec<JournalEntry>>>>
     let mut scratch: Vec<u8> = Vec::new();
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            WriterCmd::Open {
-                id,
-                path,
-                durable,
-                metrics,
-                ack,
-            } => {
-                let opened = OpenOptions::new().create(true).append(true).open(&path);
-                let ok = match opened {
-                    Ok(file) => {
-                        files.insert(
-                            id,
-                            WriterFile {
-                                file,
-                                durable,
-                                metrics,
-                                healthy: true,
-                            },
-                        );
+            WriterCmd::Open { id, ctx, ack } => {
+                let ok = match WriterFile::open(*ctx) {
+                    Ok(f) => {
+                        files.insert(id, f);
                         true
                     }
                     Err(_) => false,
@@ -1165,22 +1848,7 @@ fn writer_loop(rx: Receiver<WriterCmd>, pool: Arc<Mutex<Vec<Vec<JournalEntry>>>>
             } => {
                 if let Some(f) = files.get_mut(&id) {
                     encode_batch_into(&mut scratch, &entries);
-                    match f.file.write_all(&scratch) {
-                        Ok(()) => {
-                            // The batch is in the OS: `kill -9` of this
-                            // process can no longer lose it. (Machine-crash
-                            // durability would need fsync here — same
-                            // guarantee level the old flush-per-slot
-                            // journal offered.)
-                            f.durable.store(last_seq + 1, Relaxed);
-                            f.metrics.inc(Counter::JournalBatches);
-                        }
-                        Err(_) => {
-                            f.healthy = false;
-                            f.metrics
-                                .add(Counter::JournalWriteFailures, entries.len() as u64);
-                        }
-                    }
+                    f.append_batch(&scratch, entries.len() as u64, last_seq);
                 }
                 entries.clear();
                 let mut p = lock_clean(&pool);
@@ -1198,9 +1866,11 @@ fn writer_loop(rx: Receiver<WriterCmd>, pool: Arc<Mutex<Vec<Vec<JournalEntry>>>>
                         let was_healthy = f.healthy;
                         f.healthy = true;
                         was_healthy
-                            && match OpenOptions::new().create(true).append(true).open(&path) {
+                            && match f.store.backend().open_append(&path) {
                                 Ok(new_file) => {
+                                    f.committed_len = new_file.file_len().unwrap_or(0);
                                     f.file = new_file;
+                                    f.path = path;
                                     true
                                 }
                                 Err(_) => false,
@@ -1212,6 +1882,11 @@ fn writer_loop(rx: Receiver<WriterCmd>, pool: Arc<Mutex<Vec<Vec<JournalEntry>>>>
             }
             WriterCmd::Barrier { id, ack } => {
                 let _ = ack.send(files.get(&id).is_some_and(|f| f.healthy));
+            }
+            WriterCmd::Probe { id } => {
+                if let Some(f) = files.get_mut(&id) {
+                    f.try_recover();
+                }
             }
             WriterCmd::Close { id, ack } => {
                 files.remove(&id);
@@ -1361,7 +2036,13 @@ impl CheckpointWriter {
                             store.prune_journals(oldest);
                         }
                     }
-                    Err(_) => m.inc(Counter::CheckpointFailures),
+                    Err(e) => {
+                        // A failed write is not a busy-skip: count it
+                        // separately and record *why* so the summary can
+                        // show the reason, not just a tally.
+                        m.inc(Counter::CheckpointFailures);
+                        m.note("checkpoint_error", e.to_string());
+                    }
                 }
             }
         });
@@ -1427,6 +2108,13 @@ pub struct PersistConfig {
     /// image, the rest store only fields changed since the last full.
     /// `1` disables deltas.
     pub full_snapshot_every: u64,
+    /// Storage-fault policy: retry budget, re-probe cadence, emergency
+    /// prune depth (the durability degradation ladder).
+    pub storage: StoragePolicy,
+    /// Backend every mutating file operation goes through. The real
+    /// filesystem by default; tests and the `durafault` bench swap in a
+    /// [`FaultyBackend`].
+    pub backend: Arc<dyn StorageBackend>,
 }
 
 impl PersistConfig {
@@ -1440,7 +2128,15 @@ impl PersistConfig {
             flush_max_slots: 128,
             flush_max_latency_us: 2000,
             full_snapshot_every: 8,
+            storage: StoragePolicy::default(),
+            backend: Arc::new(RealBackend),
         }
+    }
+
+    /// Swap the storage backend (builder style).
+    pub fn with_backend(mut self, backend: Arc<dyn StorageBackend>) -> PersistConfig {
+        self.backend = backend;
+        self
     }
 
     /// Upper bound on slots a `kill -9` can lose: the batch being built,
@@ -1473,6 +2169,17 @@ pub struct PersistentSession {
     /// silently skip a checkpoint.
     last_checkpoint_slot: u64,
     ckpt: CheckpointWriter,
+    /// Shared durability rung (written by the writer thread's ladder,
+    /// observed here once per slot).
+    rung: Arc<AtomicU64>,
+    /// True while `NonDurable` has been observed: journaling is paused
+    /// (slot ops are not even collected) and probes are being scheduled.
+    journaling_paused: bool,
+    /// Watermark at which the next re-probe fires while paused.
+    next_probe_at: u64,
+    /// Probe flap-backoff exponent (`reprobe_interval_slots << exp`,
+    /// capped at [`MAX_PROBE_FLAP_EXP`]); resets once fully `Durable`.
+    probe_flap_exp: u32,
     finalized: bool,
 }
 
@@ -1497,20 +2204,24 @@ impl PersistentSession {
         assumed_pci: Option<Pci>,
         writer: &JournalWriter,
     ) -> io::Result<(PersistentSession, RecoveryReport)> {
-        let store = SessionStore::new(&cfg.dir)?;
+        let store = SessionStore::with_backend(&cfg.dir, Arc::clone(&cfg.backend))?;
         let (mut scope, report) = store.recover(scope_cfg, assumed_pci);
         scope.start_journaling();
         let journal_start = scope.slot_watermark();
         let durable = Arc::new(AtomicU64::new(journal_start));
+        let rung = Arc::new(AtomicU64::new(DurabilityRung::Durable as u64));
         // Append mode: re-opening after a crash-before-rotation continues
         // the same file (the reader tolerates a torn final batch, and
         // sniffs per record, so binary batches may follow a legacy JSONL
         // tail in the same file).
-        let file_id = writer.register(
-            store.journal_path(journal_start),
-            Arc::clone(&durable),
-            Arc::clone(scope.metrics()),
-        )?;
+        let file_id = writer.register(WriterCtx {
+            path: store.journal_path(journal_start),
+            durable: Arc::clone(&durable),
+            metrics: Arc::clone(scope.metrics()),
+            store: store.clone(),
+            policy: cfg.storage,
+            rung: Arc::clone(&rung),
+        })?;
         let ckpt = CheckpointWriter::spawn(
             store.clone(),
             cfg.keep_checkpoints,
@@ -1529,6 +2240,10 @@ impl PersistentSession {
                 batch: BatchBuf::new(),
                 journal_start,
                 ckpt,
+                rung,
+                journaling_paused: false,
+                next_probe_at: 0,
+                probe_flap_exp: 0,
                 finalized: false,
             },
             report,
@@ -1558,6 +2273,23 @@ impl PersistentSession {
         self.durable.load(Relaxed)
     }
 
+    /// Current rung of the durability ladder.
+    pub fn durability_rung(&self) -> DurabilityRung {
+        DurabilityRung::from_u64(self.rung.load(Relaxed))
+    }
+
+    /// The loss window this session honestly promises right now:
+    /// `Some(bound)` while the journal is healthy (`kill -9` loses at
+    /// most that many slots), `None` — **unbounded** — while
+    /// `NonDurable` (nothing has been journalled since the demotion, so
+    /// a crash loses everything back to the last durable watermark).
+    pub fn reported_loss_window(&self) -> Option<u64> {
+        match self.durability_rung() {
+            DurabilityRung::NonDurable => None,
+            _ => Some(self.cfg.loss_window_slots()),
+        }
+    }
+
     /// Seal the in-flight batch (attaching the current end-of-slot
     /// continuous state to its final record) and queue it on the writer.
     fn submit_batch(&mut self) {
@@ -1567,14 +2299,115 @@ impl PersistentSession {
         let records = self.batch.len();
         let (entries, last_seq) = self.batch.seal(self.scope.micro_state());
         if !self.writer.submit(self.file_id, entries, last_seq) {
-            // Writer thread gone (shutdown race): the records are lost,
-            // which is exactly what the failure counter is for.
+            // Writer thread gone (died or shut down under us): the
+            // records are lost and nothing will ever drain again —
+            // that is a storage demotion, not just a counter bump.
+            // `service_durability` observes the rung next slot, pauses
+            // journaling, and keeps decoding.
             self.scope
                 .metrics()
                 .add(Counter::JournalWriteFailures, records);
+            if self.durability_rung() != DurabilityRung::NonDurable {
+                self.rung.store(DurabilityRung::NonDurable as u64, Relaxed);
+                self.scope
+                    .metrics()
+                    .gauge_set(Gauge::DurabilityRung, DurabilityRung::NonDurable as u64);
+                self.scope.metrics().inc(Counter::StorageDemotions);
+                self.scope
+                    .metrics()
+                    .note("storage_demotion", "journal writer thread gone");
+            }
         }
         let recycled = self.writer.pooled_buf();
         self.batch.reset(recycled);
+    }
+
+    /// Seal and drain the in-flight batch, returning once the writer has
+    /// handed everything queued so far to the OS (`true` iff every batch
+    /// since the last rotation succeeded). A durability barrier for
+    /// tests, benches, and shutdown paths — the hot path never calls it.
+    pub fn flush_barrier(&mut self) -> bool {
+        self.submit_batch();
+        self.writer.barrier(self.file_id)
+    }
+
+    /// Observe the durability ladder once per slot: pause journaling on
+    /// demotion to `NonDurable` (decode must outlive the disk), schedule
+    /// flap-backoff re-probes while down, and re-anchor + resume once the
+    /// writer's probe recovered the disk.
+    fn service_durability(&mut self) {
+        let watermark = self.scope.slot_watermark();
+        match self.durability_rung() {
+            DurabilityRung::NonDurable => {
+                if !self.journaling_paused {
+                    // First observation of the demotion. The in-flight
+                    // batch can never drain — count it lost, stop
+                    // collecting slot ops, start probing.
+                    let lost = self.batch.len();
+                    if lost > 0 {
+                        self.scope
+                            .metrics()
+                            .add(Counter::JournalWriteFailures, lost);
+                        self.batch.reset(Vec::new());
+                    }
+                    self.scope.pause_journaling();
+                    self.journaling_paused = true;
+                    self.next_probe_at = watermark + self.cfg.storage.reprobe_interval_slots.max(1);
+                } else if watermark >= self.next_probe_at {
+                    self.writer.probe(self.file_id);
+                    // Governor-style flap backoff: each unanswered probe
+                    // doubles the wait, so a dead disk costs a bounded,
+                    // shrinking fraction of writer-thread time.
+                    self.probe_flap_exp = (self.probe_flap_exp + 1).min(MAX_PROBE_FLAP_EXP);
+                    self.next_probe_at = watermark
+                        + (self.cfg.storage.reprobe_interval_slots.max(1) << self.probe_flap_exp);
+                }
+            }
+            rung => {
+                if self.journaling_paused {
+                    // The writer's probe re-promoted us. Everything since
+                    // the demotion was never journalled: re-anchor with a
+                    // synchronous checkpoint at the current watermark so
+                    // the loss window is bounded again *from here*, then
+                    // resume collecting slot ops.
+                    self.journaling_paused = false;
+                    self.scope.resume_journaling();
+                    match self.checkpoint_now() {
+                        Ok(slot) => {
+                            // State ≤ `slot` is durable via the snapshot;
+                            // align the journal and the durable watermark
+                            // with it.
+                            if self
+                                .writer
+                                .rotate(self.file_id, self.store.journal_path(slot))
+                            {
+                                self.journal_start = slot;
+                            }
+                            self.durable.fetch_max(slot, Relaxed);
+                        }
+                        Err(_) => {
+                            // Disk flapped straight back down: re-demote
+                            // and keep probing (backoff still rising).
+                            self.rung.store(DurabilityRung::NonDurable as u64, Relaxed);
+                            self.scope.metrics().gauge_set(
+                                Gauge::DurabilityRung,
+                                DurabilityRung::NonDurable as u64,
+                            );
+                            self.scope.metrics().inc(Counter::StorageDemotions);
+                            self.scope.pause_journaling();
+                            self.journaling_paused = true;
+                            self.next_probe_at = watermark
+                                + (self.cfg.storage.reprobe_interval_slots.max(1)
+                                    << self.probe_flap_exp);
+                        }
+                    }
+                } else if rung == DurabilityRung::Durable {
+                    // Fully healthy again: the next outage starts its
+                    // probe backoff from scratch.
+                    self.probe_flap_exp = 0;
+                }
+            }
+        }
     }
 
     /// Process one capture durably: decode, append the slot to the
@@ -1584,6 +2417,7 @@ impl PersistentSession {
     /// must not stop capture.
     pub fn process_capture(&mut self, cap: &crate::observe::Capture) -> Vec<TelemetryRecord> {
         let records = self.scope.process_capture(cap);
+        self.service_durability();
         if let Some((seq, dropped, ops)) = self.scope.take_slot_ops() {
             self.batch.push_record(seq, dropped, ops);
             let full = self.batch.len() >= self.cfg.flush_max_slots.max(1);
@@ -1592,7 +2426,10 @@ impl PersistentSession {
             }
         }
         let watermark = self.scope.slot_watermark();
-        if watermark.saturating_sub(self.last_checkpoint_slot) >= self.cfg.checkpoint_every_slots {
+        if !self.journaling_paused
+            && watermark.saturating_sub(self.last_checkpoint_slot)
+                >= self.cfg.checkpoint_every_slots
+        {
             self.last_checkpoint_slot = watermark;
             self.ckpt.try_submit(self.scope.session_state());
         }
@@ -1604,9 +2441,12 @@ impl PersistentSession {
         // writer refuses the switch if any of the old file's batches
         // failed, in which case we keep the old file and retry on a later
         // slot — rotation must never abandon an unflushed tail.
-        if self.ckpt.last_written() > self.journal_start {
+        if !self.journaling_paused && self.ckpt.last_written() > self.journal_start {
             self.submit_batch();
-            if self.writer.rotate(self.file_id, self.store.journal_path(watermark)) {
+            if self
+                .writer
+                .rotate(self.file_id, self.store.journal_path(watermark))
+            {
                 self.journal_start = watermark;
             }
         }
@@ -1809,9 +2649,9 @@ mod tests {
         let good_len = buf.len();
         buf.extend_from_slice(&encode_batch(&[dummy_entry(2), dummy_entry(3)]));
         for cut in [
-            good_len + 3,              // torn batch header
+            good_len + 3,                    // torn batch header
             good_len + BATCH_HEADER_LEN + 4, // torn record mid-batch
-            buf.len() - 1,             // one byte short of complete
+            buf.len() - 1,                   // one byte short of complete
         ] {
             let (entries, discarded) = read_journal_bytes(&buf[..cut]);
             assert_eq!(entries.len(), 2, "cut at {cut}: whole torn batch dropped");
@@ -1994,6 +2834,103 @@ mod tests {
         let (recovered, report) = store.recover(ScopeConfig::default(), Some(Pci(1)));
         assert_eq!(recovered.slot_watermark(), 0);
         assert_eq!(report.corrupt_checkpoints_skipped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Untrusted-input regression: every truncated prefix of a valid
+    /// binary batch and binary snapshot must parse (to rejection) without
+    /// panicking — the raw `try_into().unwrap()` reads these decoders
+    /// used to do would abort on exactly these inputs.
+    #[test]
+    fn truncated_batch_and_snapshot_prefixes_never_panic() {
+        let entries: Vec<JournalEntry> = (0..3).map(dummy_entry).collect();
+        let batch = encode_batch(&entries);
+        for cut in 0..batch.len() {
+            let prefix = &batch[..cut];
+            let _ = parse_batch(prefix, None);
+            let (parsed, _) = read_journal_bytes(prefix);
+            assert!(parsed.is_empty(), "prefix of len {cut} yielded entries");
+        }
+
+        let dir = tmp_dir("snap-prefix");
+        let store = SessionStore::new(&dir).unwrap();
+        let scope = NrScope::new(ScopeConfig::default(), Some(Pci(3)));
+        let mut state = scope.session_state();
+        state.slot = 42;
+        store
+            .write_snapshot_file(
+                42,
+                state.schema_version,
+                SNAP_KIND_FULL,
+                42,
+                &encode_state_fields(&state),
+            )
+            .unwrap();
+        let image = fs::read(store.snapshot_path(42)).unwrap();
+        assert!(parse_snapshot_bin(&image, 42).is_some(), "image is valid");
+        for cut in 0..image.len() {
+            assert!(
+                parse_snapshot_bin(&image[..cut], 42).is_none(),
+                "truncated snapshot (len {cut}) accepted"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The fault layer itself: per-op-class counting, absolute-index
+    /// windows, recovery via `clear_faults`, and the fsync-gate lie
+    /// (write reports success but the bytes never reach the file).
+    #[test]
+    fn faulty_backend_windows_count_and_lie_as_specified() {
+        let dir = tmp_dir("faulty-unit");
+        let backend = FaultyBackend::new(StorageFaultSchedule::new(1));
+        backend.create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+
+        // Window [1, 2): op 0 passes, op 1 fails, op 2 passes again.
+        backend.arm(FaultKind::WriteEio, 1..2);
+        let mut f = backend.create(&path).unwrap();
+        f.write_all(b"aaaa").unwrap();
+        let err = f.write_all(b"bbbb").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5), "EIO");
+        f.write_all(b"cccc").unwrap();
+        assert_eq!(backend.writes(), 3, "failed writes still count as ops");
+        assert_eq!(f.file_len().unwrap(), 8, "only the EIO write was lost");
+
+        // ENOSPC surfaces as the errno the prune path keys on.
+        backend.arm(
+            FaultKind::WriteEnospc,
+            backend.writes()..backend.writes() + 1,
+        );
+        let err = f.write_all(b"dddd").unwrap_err();
+        assert!(is_enospc(&err));
+
+        // Fsync gate: the write *reports* success but drops the bytes —
+        // the lie that makes fsync-hole testing possible.
+        backend.arm(FaultKind::WriteFsyncGate, backend.writes()..u64::MAX);
+        f.write_all(b"eeee").unwrap();
+        assert_eq!(f.file_len().unwrap(), 8, "gated write never landed");
+
+        // clear_faults models the disk coming back: everything works.
+        backend.clear_faults();
+        f.write_all(b"ffff").unwrap();
+        f.sync_all().unwrap();
+        assert_eq!(f.file_len().unwrap(), 12);
+        assert!(backend.fsyncs() >= 1);
+
+        // Open-window faults hit create/open_append alike.
+        backend.arm(FaultKind::OpenFail, backend.opens()..u64::MAX);
+        assert!(backend.create(&dir.join("no.bin")).is_err());
+        assert!(backend.open_append(&path).is_err());
+        backend.clear_faults();
+        assert!(backend.open_append(&path).is_ok());
+
+        // Clones share one fault state: arming through one arm is seen by
+        // the other (the session and the test harness hold clones).
+        let twin = backend.clone();
+        backend.arm(FaultKind::RenameFail, twin.renames()..u64::MAX);
+        let to = dir.join("renamed.bin");
+        assert!(twin.rename(&path, &to).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -322,6 +322,22 @@ impl NrScope {
         self.journaling = true;
     }
 
+    /// Stop collecting per-slot mutations (durability demoted to
+    /// `NonDurable`: nothing can be written, so accumulating ops would
+    /// only grow memory for records that can never drain). Discards any
+    /// undrained ops from the current slot.
+    pub fn pause_journaling(&mut self) {
+        self.journaling = false;
+        self.slot_ops.clear();
+    }
+
+    /// Resume collecting per-slot mutations after a durability
+    /// re-promotion (the caller re-anchors with a checkpoint — slots
+    /// processed while paused were never journalled).
+    pub fn resume_journaling(&mut self) {
+        self.journaling = true;
+    }
+
     /// The next slot to be processed — journal replay's idempotence
     /// watermark (every entry with `seq` below this is already applied).
     pub fn slot_watermark(&self) -> u64 {

@@ -82,6 +82,18 @@ pub struct Ack {
     /// per-slot flush.
     #[serde(default)]
     pub durable: u64,
+    /// Current durability-ladder rung, as
+    /// [`DurabilityRung`](crate::persist::DurabilityRung) `as u8`
+    /// (0 = Durable, 1 = DurableDegraded, 2 = NonDurable). Defaults to 0
+    /// for pre-storage-fault children, whose only rung was "durable".
+    #[serde(default)]
+    pub durability_rung: u8,
+    /// The loss window the child honestly promises right now: `Some(n)` =
+    /// a `kill -9` loses at most `n` slots; `None` = unbounded (the child
+    /// is `NonDurable` — its disk is gone and nothing is being journalled).
+    /// Defaults to `None` for pre-storage-fault children.
+    #[serde(default)]
+    pub loss_window: Option<u64>,
 }
 
 /// Reply to [`WireMsg::Report`].
@@ -159,6 +171,8 @@ pub fn run_child(dir: &Path, assumed_pci: Option<Pci>) -> io::Result<()> {
                     produced: produced.len() as u64,
                     tracked: session.scope().tracked_rntis(),
                     durable: session.durable_watermark(),
+                    durability_rung: session.durability_rung() as u8,
+                    loss_window: session.reported_loss_window(),
                 };
                 send_line(&mut out, &ChildMsg::Ack(ack))?;
             }

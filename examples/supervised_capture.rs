@@ -273,6 +273,22 @@ fn run_parent() {
             other => panic!("expected Ack, got {other:?}"),
         };
         assert_eq!(ack.seq, seq, "lockstep ack sequence");
+        // On a healthy disk the child must stay on the top durability
+        // rung and keep promising the bounded group-commit loss window —
+        // an unbounded (`None`) promise here would mean it silently
+        // stopped journalling.
+        if ack.durability_rung != 0 {
+            violations.push(format!(
+                "slot {seq}: child reported durability rung {} on a healthy disk",
+                ack.durability_rung
+            ));
+        }
+        if ack.loss_window != Some(loss_window) {
+            violations.push(format!(
+                "slot {seq}: child promised loss window {:?}, expected Some({loss_window})",
+                ack.loss_window
+            ));
+        }
         last_durable = ack.durable;
         let synced = ack.sync == SyncState::Synced;
         synced_at[seq as usize] = synced;

@@ -305,3 +305,84 @@ fn cross_cell_handover_is_one_user_in_the_rollup() {
     assert_eq!(m.to_shard, 1);
     assert!(m.discovered_slot >= 1200 && m.discovered_slot < 2200);
 }
+
+/// A shard whose disk dies is durability-degraded, not restart-looped:
+/// once the restart backoff is exhausted and the durable rebuild still
+/// fails, the supervisor adopts a volatile engine at the queue front —
+/// decode continues, the shard reports Healthy, and the rollup says
+/// `non_durable` with an unbounded loss window instead of lying.
+#[test]
+fn dead_disk_shard_degrades_to_volatile_instead_of_restart_looping() {
+    use nr_scope::scope::persist::{FaultKind, FaultyBackend, StorageFaultSchedule};
+    use std::sync::Arc;
+
+    let slots = 3000u64;
+    let (cells, lanes) = two_lane_captures(slots, 7);
+    let dir = temp_dir("dead-disk");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(11));
+    let specs = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            // No cadence rotation: the only journal opens happen at
+            // (re)start, so the armed open-fault window hits exactly the
+            // durable rebuild path.
+            let cfg = PersistConfig {
+                checkpoint_every_slots: 10_000,
+                ..PersistConfig::new(dir.join(format!("shard{i}")))
+            };
+            let cfg = if i == 0 {
+                cfg.with_backend(Arc::new(backend.clone()))
+            } else {
+                cfg
+            };
+            ShardSpec::durable(format!("cell{i}"), Some(c.pci), ScopeConfig::default(), cfg)
+        })
+        .collect();
+    let fleet = Fleet::new(
+        FleetConfig {
+            workers: 2,
+            shard_queue_depth: 512,
+            restart_backoff_ms: 2,
+            max_restart_backoff_exp: 2, // exhaust quickly: test, not production
+            ..FleetConfig::default()
+        },
+        specs,
+    )
+    .expect("fleet");
+    // The disk dies: every file open from now on fails, so the panic's
+    // warm restart can never rebuild a durable session.
+    backend.arm(FaultKind::OpenFail, backend.opens()..u64::MAX);
+    run_fleet_with_fault(
+        &fleet,
+        &lanes,
+        1000,
+        FaultPlan::OneShot(InjectedFault::Panic),
+    );
+
+    let status = fleet.shard_status(0);
+    assert_eq!(status.health, ShardHealth::Healthy, "degraded, not faulted");
+    assert!(status.restarts >= 1);
+    fleet
+        .with_scope(0, |scope| {
+            assert_eq!(scope.slot_watermark(), slots, "decode caught up fully");
+        })
+        .expect("volatile fallback engine live");
+
+    let snap = fleet.rollup();
+    assert_eq!(snap.durability_degraded_cells, 1);
+    assert_eq!(snap.cells[0].durability, "non_durable");
+    assert_eq!(
+        snap.cells[0].loss_window_slots, None,
+        "unbounded loss window reported honestly"
+    );
+    assert_eq!(snap.cells[1].durability, "durable");
+    assert!(
+        snap.cells[1].loss_window_slots.is_some(),
+        "healthy sibling still promises a bounded window"
+    );
+
+    assert_sibling_untouched(&fleet, &cells, &lanes);
+    fleet.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}

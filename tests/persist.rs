@@ -12,10 +12,11 @@ use nr_scope::phy::channel::ChannelProfile;
 use nr_scope::phy::types::{Pci, Rnti};
 use nr_scope::scope::observe::{Capture, Observer};
 use nr_scope::scope::persist::{
-    append_journal_entry, encode_batch, read_journal_bytes, JournalEntry, PersistConfig,
-    PersistentSession, SessionStore,
+    append_journal_entry, encode_batch, read_journal_bytes, DurabilityRung, FaultKind,
+    FaultyBackend, JournalEntry, PersistConfig, PersistentSession, SessionStore,
+    StorageFaultSchedule,
 };
-use nr_scope::scope::{NrScope, ScopeConfig, SyncState};
+use nr_scope::scope::{Counter, Gauge, NrScope, ScopeConfig, StoragePolicy, SyncState};
 use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
 use nr_scope::ue::{MobilityScenario, SimUe};
 use proptest::prelude::*;
@@ -431,7 +432,11 @@ fn batched_fixture() -> &'static (Vec<u8>, Vec<usize>, Vec<JournalEntry>) {
         let (bytes, _) = journal_fixture();
         let (entries, bad) = read_journal_bytes(bytes);
         assert_eq!(bad, 0);
-        assert_eq!(entries.len() % BATCH, 0, "fixture divides into equal batches");
+        assert_eq!(
+            entries.len() % BATCH,
+            0,
+            "fixture divides into equal batches"
+        );
         let mut out = Vec::new();
         let mut bounds = vec![0usize];
         for chunk in entries.chunks(BATCH) {
@@ -511,8 +516,7 @@ fn durable_watermark_trails_by_at_most_the_loss_window() {
     let dir = tmp_dir("loss-window");
     let cfg = PersistConfig::new(&dir);
     let window = cfg.loss_window_slots();
-    let (mut session, _) =
-        PersistentSession::open(cfg, ScopeConfig::default(), Some(pci)).unwrap();
+    let (mut session, _) = PersistentSession::open(cfg, ScopeConfig::default(), Some(pci)).unwrap();
     for cap in &caps {
         session.process_capture(cap);
         let durable = session.durable_watermark();
@@ -567,7 +571,10 @@ fn legacy_jsonl_journal_upgrades_into_binary_session() {
         PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
             .unwrap();
     assert!(report.resumed);
-    assert_eq!(report.resumed_slot, UPGRADE_AT, "every JSONL record replayed");
+    assert_eq!(
+        report.resumed_slot, UPGRADE_AT,
+        "every JSONL record replayed"
+    );
     assert_eq!(report.journal_entries_discarded, 0);
     for cap in &caps[UPGRADE_AT as usize..] {
         session.process_capture(cap);
@@ -666,5 +673,370 @@ fn quarantine_ledger_survives_crash_recovery() {
     }
     assert_eq!(session.scope().tracked_rntis(), gnb.connected_rntis());
     session.finalize().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Storage-fault matrix: the injectable IO-fault layer driving the
+// durability degradation ladder (retry → emergency prune → demotion →
+// re-probe → re-promotion), one test per fault class.
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic batching: seal on slot count only, tiny batches, no
+/// cadence checkpoints competing with the journal for fault-window ops.
+fn faulted_cfg(dir: &PathBuf, backend: &FaultyBackend) -> PersistConfig {
+    PersistConfig {
+        checkpoint_every_slots: u64::MAX,
+        flush_max_slots: 8,
+        flush_max_latency_us: u64::MAX,
+        ..PersistConfig::new(dir)
+    }
+    .with_backend(Arc::new(backend.clone()))
+}
+
+#[test]
+fn transient_write_faults_retry_without_demotion() {
+    let (caps, pci) = capture_tape(200);
+    let dir = tmp_dir("fault-transient");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(5));
+    let (mut session, _) = PersistentSession::open(
+        faulted_cfg(&dir, &backend),
+        ScopeConfig::default(),
+        Some(pci),
+    )
+    .unwrap();
+    for cap in &caps[..40] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    // One whole-write EIO and, one batch later, a short write (half the
+    // bytes land, then EIO): both must be absorbed by truncate-and-retry
+    // well inside the default retry budget.
+    let w = backend.writes();
+    backend.arm(FaultKind::WriteEio, w..w + 1);
+    backend.arm(FaultKind::WriteShort, w + 2..w + 3);
+    for cap in &caps[40..] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    let m = session.scope().metrics();
+    assert!(
+        m.counter(Counter::StorageRetries) >= 2,
+        "both faults retried"
+    );
+    assert_eq!(m.counter(Counter::StorageDemotions), 0);
+    assert_eq!(m.counter(Counter::JournalWriteFailures), 0);
+    assert_eq!(
+        session.durability_rung(),
+        DurabilityRung::Durable,
+        "clean-write streak promoted the rung back"
+    );
+    assert_eq!(m.gauge(Gauge::DurabilityRung), 0);
+    let wm = session.scope().slot_watermark();
+    drop(session);
+
+    // Nothing the retries touched may be lost or duplicated on replay.
+    let (session, report) = PersistentSession::open(
+        faulted_cfg(&dir, &backend),
+        ScopeConfig::default(),
+        Some(pci),
+    )
+    .unwrap();
+    assert!(report.resumed);
+    assert_eq!(report.resumed_slot, wm, "every retried batch replays");
+    assert_eq!(report.journal_entries_discarded, 0);
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enospc_triggers_emergency_prune_not_demotion() {
+    let (caps, pci) = capture_tape(200);
+    let dir = tmp_dir("fault-enospc");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(6));
+    // faulted_cfg disables cadence checkpoints, so no async snapshot
+    // write can race the armed op index; the prunable checkpoints are
+    // created synchronously below.
+    let (mut session, _) = PersistentSession::open(
+        faulted_cfg(&dir, &backend),
+        ScopeConfig::default(),
+        Some(pci),
+    )
+    .unwrap();
+    for cap in &caps[..60] {
+        session.process_capture(cap);
+    }
+    session.checkpoint_now().unwrap();
+    for cap in &caps[60..120] {
+        session.process_capture(cap);
+    }
+    session.checkpoint_now().unwrap();
+    assert!(session.flush_barrier());
+    let before = SessionStore::new(&dir).unwrap().snapshot_slots().len();
+    assert!(before >= 2, "test premise: multiple checkpoints on disk");
+    let w = backend.writes();
+    backend.arm(FaultKind::WriteEnospc, w..w + 1);
+    for cap in &caps[120..] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    let m = session.scope().metrics();
+    assert!(m.counter(Counter::EmergencyPrunes) >= 1, "prune fired");
+    assert!(
+        m.counter(Counter::StorageRetries) >= 1,
+        "write retried after prune"
+    );
+    assert_eq!(m.counter(Counter::StorageDemotions), 0);
+    assert_eq!(session.durability_rung(), DurabilityRung::Durable);
+    assert!(
+        m.snapshot().note("storage_error").is_some(),
+        "the ENOSPC left an operator-visible note"
+    );
+    session.finalize().unwrap();
+    let (_, report) = SessionStore::new(&dir)
+        .unwrap()
+        .recover(ScopeConfig::default(), Some(pci));
+    assert_eq!(
+        report.resumed_slot, 200,
+        "pruned session still recovers fully"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dead_disk_demotes_honestly_and_decoding_continues() {
+    let (caps, pci) = capture_tape(600);
+    let mut reference = NrScope::new(ScopeConfig::default(), Some(pci));
+    for cap in &caps {
+        reference.process_capture(cap);
+    }
+
+    let dir = tmp_dir("fault-dead-disk");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(7));
+    let (mut session, _) = PersistentSession::open(
+        faulted_cfg(&dir, &backend),
+        ScopeConfig::default(),
+        Some(pci),
+    )
+    .unwrap();
+    for cap in &caps[..80] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    // 8 slots/batch × (queue depth 8 + 2 in flight) = 80 slots.
+    assert_eq!(
+        session.reported_loss_window(),
+        Some(80),
+        "bounded while durable"
+    );
+    // Every write fails from here on: the disk is dead, not slow.
+    backend.arm(FaultKind::WriteEio, backend.writes()..u64::MAX);
+    for cap in &caps[80..] {
+        session.process_capture(cap);
+    }
+    // Decode fidelity is untouched by the dying storage layer.
+    assert_eq!(
+        comparable_state(session.scope()),
+        comparable_state(&reference),
+        "a dead disk must not change what was decoded"
+    );
+    // The demotion lands after the writer thread exhausts its retry
+    // budget (~7.5 ms of backoff); give it bounded wall time, observing
+    // through idle slots (real deployments keep capturing too).
+    let mut spins = 0;
+    while session.durability_rung() != DurabilityRung::NonDurable && spins < 2_000 {
+        std::thread::sleep(Duration::from_millis(1));
+        session.process_capture(&Capture::Dropped(
+            nr_scope::scope::observe::DropReason::Stall,
+        ));
+        spins += 1;
+    }
+    let m = session.scope().metrics();
+    assert_eq!(session.durability_rung(), DurabilityRung::NonDurable);
+    assert_eq!(m.gauge(Gauge::DurabilityRung), 2);
+    assert_eq!(m.counter(Counter::StorageDemotions), 1);
+    assert!(
+        m.counter(Counter::JournalWriteFailures) >= 1,
+        "loss is counted"
+    );
+    assert_eq!(
+        session.reported_loss_window(),
+        None,
+        "an unbounded loss window is reported as such, not papered over"
+    );
+    assert!(m.snapshot().note("storage_demotion").is_some());
+    assert!(
+        session.scope().slot_watermark() >= 600,
+        "decode continued through the whole tape"
+    );
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_recovery_reprobes_repromotes_and_reanchors() {
+    let (caps, pci) = capture_tape(1400);
+    let dir = tmp_dir("fault-reprobe");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(8));
+    let cfg = PersistConfig {
+        checkpoint_every_slots: u64::MAX,
+        flush_max_slots: 8,
+        flush_max_latency_us: u64::MAX,
+        storage: StoragePolicy {
+            reprobe_interval_slots: 32, // probe quickly: test, not production
+            ..StoragePolicy::default()
+        },
+        ..PersistConfig::new(&dir)
+    }
+    .with_backend(Arc::new(backend.clone()));
+    let (mut session, _) =
+        PersistentSession::open(cfg.clone(), ScopeConfig::default(), Some(pci)).unwrap();
+    let mut i = 0usize;
+    while i < 80 {
+        session.process_capture(&caps[i]);
+        i += 1;
+    }
+    assert!(session.flush_barrier());
+    backend.arm(FaultKind::WriteEio, backend.writes()..u64::MAX);
+    while session.durability_rung() != DurabilityRung::NonDurable && i < caps.len() / 2 {
+        session.process_capture(&caps[i]);
+        i += 1;
+        if i.is_multiple_of(16) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    assert_eq!(
+        session.durability_rung(),
+        DurabilityRung::NonDurable,
+        "tape exhausted before the demotion landed"
+    );
+    // The disk comes back; the 32-slot probe cadence must notice,
+    // re-anchor with a checkpoint, and climb all the way back.
+    backend.clear_faults();
+    while session.durability_rung() != DurabilityRung::Durable && i < caps.len() {
+        session.process_capture(&caps[i]);
+        i += 1;
+    }
+    assert_eq!(
+        session.durability_rung(),
+        DurabilityRung::Durable,
+        "tape exhausted before re-promotion completed"
+    );
+    assert_eq!(session.scope().metrics().gauge(Gauge::DurabilityRung), 0);
+    assert_eq!(
+        session.reported_loss_window(),
+        Some(80), // 8 slots/batch × (queue depth 8 + 2 in flight)
+        "re-promotion restores the bounded promise"
+    );
+    // Everything journalled after the re-anchor must survive a crash.
+    while i < caps.len() {
+        session.process_capture(&caps[i]);
+        i += 1;
+    }
+    assert!(session.flush_barrier());
+    let wm = session.scope().slot_watermark();
+    drop(session);
+    let (session, report) =
+        PersistentSession::open(cfg, ScopeConfig::default(), Some(pci)).unwrap();
+    assert!(report.resumed);
+    assert_eq!(
+        report.resumed_slot, wm,
+        "post-re-anchor slots replay exactly; the NonDurable gap is gone"
+    );
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_gated_hole_never_resurrects_later_slots() {
+    let (caps, pci) = capture_tape(80);
+    let dir = tmp_dir("fault-fsync-gate");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(9));
+    let (mut session, _) = PersistentSession::open(
+        faulted_cfg(&dir, &backend),
+        ScopeConfig::default(),
+        Some(pci),
+    )
+    .unwrap();
+    for cap in &caps[..40] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    // The lie: one batch write reports success but the bytes vanish —
+    // the firmware/page-cache failure mode fsync is supposed to surface
+    // but sometimes doesn't.
+    let w = backend.writes();
+    backend.arm(FaultKind::WriteFsyncGate, w..w + 1);
+    for cap in &caps[40..] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    // Nothing observable failed, so the session honestly believes it is
+    // durable to slot 80 — the disk lied, not the ladder.
+    assert_eq!(session.durability_rung(), DurabilityRung::Durable);
+    assert_eq!(session.durable_watermark(), 80);
+    drop(session);
+    // Recovery hits the sequence gap where the gated batch should be and
+    // refuses to replay anything after it: slots 48..80 exist on disk but
+    // applying them over the hole would corrupt state.
+    let (session, report) = PersistentSession::open(
+        faulted_cfg(&dir, &backend),
+        ScopeConfig::default(),
+        Some(pci),
+    )
+    .unwrap();
+    assert_eq!(
+        report.resumed_slot, 40,
+        "replay stops at the hole; post-gap entries never resurrect"
+    );
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_write_failure_reason_reaches_the_summary() {
+    let (caps, pci) = capture_tape(300);
+    let dir = tmp_dir("fault-ckpt-rename");
+    let backend = FaultyBackend::new(StorageFaultSchedule::new(10));
+    let cfg = PersistConfig {
+        checkpoint_every_slots: 64,
+        flush_max_slots: 8,
+        flush_max_latency_us: u64::MAX,
+        ..PersistConfig::new(&dir)
+    }
+    .with_backend(Arc::new(backend.clone()));
+    let (mut session, _) = PersistentSession::open(cfg, ScopeConfig::default(), Some(pci)).unwrap();
+    for cap in &caps[..100] {
+        session.process_capture(cap);
+    }
+    std::thread::sleep(Duration::from_millis(20)); // drain in-flight checkpoints
+                                                   // Checkpoints publish via tmp-file + rename; killing renames fails
+                                                   // every future checkpoint while leaving the journal path untouched.
+    backend.arm(FaultKind::RenameFail, backend.renames()..u64::MAX);
+    for cap in &caps[100..] {
+        session.process_capture(cap);
+    }
+    assert!(session.flush_barrier());
+    std::thread::sleep(Duration::from_millis(50)); // let the async failure land
+    let m = session.scope().metrics();
+    assert!(m.counter(Counter::CheckpointFailures) >= 1);
+    let snap = m.snapshot();
+    assert!(
+        snap.note("checkpoint_error").is_some(),
+        "the write-failure reason is distinguishable from a busy skip"
+    );
+    assert!(
+        snap.summary().contains("note checkpoint_error:"),
+        "and it reaches the human-readable summary"
+    );
+    assert_eq!(
+        session.durability_rung(),
+        DurabilityRung::Durable,
+        "journal appends never renamed anything; the rung is untouched"
+    );
+    drop(session);
     let _ = std::fs::remove_dir_all(&dir);
 }
