@@ -1,5 +1,6 @@
 //! NR-Scope runtime configuration.
 
+use crate::clock::ClockRecoveryConfig;
 use crate::governor::GovernorConfig;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +57,12 @@ pub struct ScopeConfig {
     /// Defaulted so configs written before the hardening still parse.
     #[serde(default)]
     pub admission: AdmissionConfig,
+    /// Timing-recovery loop knobs (`clock.*`). The loop itself activates
+    /// lazily, on the first clock observable from the front end — a
+    /// session that never receives one behaves exactly as before.
+    /// Defaulted so configs written before clock hardening still parse.
+    #[serde(default)]
+    pub clock: ClockRecoveryConfig,
 }
 
 /// Stage-2 admission-control knobs: what a recovery-minted (never
@@ -207,6 +214,7 @@ impl Default for ScopeConfig {
             history_retention_slots: crate::throughput::DEFAULT_HISTORY_RETENTION_SLOTS,
             governor: GovernorConfig::default(),
             admission: AdmissionConfig::default(),
+            clock: ClockRecoveryConfig::default(),
         }
     }
 }
@@ -242,5 +250,16 @@ mod tests {
         assert!(!json.contains("admission"), "field really stripped");
         let back = ScopeConfig::from_json(&json).expect("old config accepted");
         assert_eq!(back.admission, AdmissionConfig::default());
+    }
+
+    #[test]
+    fn pre_clock_config_json_gets_default_clock() {
+        let mut json = ScopeConfig::default().to_json();
+        let cfg = ScopeConfig::default();
+        let clk = serde_json::to_string(&cfg.clock).expect("serialises");
+        json = json.replace(&format!(",\"clock\":{clk}"), "");
+        assert!(!json.contains("\"clock\""), "field really stripped");
+        let back = ScopeConfig::from_json(&json).expect("old config accepted");
+        assert_eq!(back.clock, ClockRecoveryConfig::default());
     }
 }

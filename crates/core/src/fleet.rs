@@ -253,6 +253,9 @@ struct CachedStats {
     watermark: u64,
     durability: &'static str,
     loss_window: Option<u64>,
+    clock_lock: &'static str,
+    clock_drift_ppb: i64,
+    timing_slips: u64,
 }
 
 /// One shard's runtime.
@@ -391,6 +394,17 @@ pub struct CellRollup {
     /// `NonDurable` or volatile).
     #[serde(default)]
     pub loss_window_slots: Option<u64>,
+    /// Timing-recovery lock rung name (`locked` / `pulling` / `unlocked`),
+    /// or `ideal` when the shard's front end has no oscillator model.
+    /// Defaulted so pre-clock rollups parse.
+    #[serde(default)]
+    pub clock_lock: String,
+    /// Signed clock-drift estimate (ppb) from the shard's recovery loop.
+    #[serde(default)]
+    pub clock_drift_ppb: i64,
+    /// Integer sample slips commanded by the shard's recovery loop.
+    #[serde(default)]
+    pub timing_slips: u64,
 }
 
 /// Fleet-wide rollup: per-cell rows plus the aggregate, including the
@@ -414,6 +428,14 @@ pub struct FleetSnapshot {
     /// their disk died). Defaulted so pre-storage-fault rollups parse.
     #[serde(default)]
     pub durability_degraded_cells: u64,
+    /// Cells whose timing-recovery loop is currently out of `Locked`
+    /// (`pulling`/`unlocked`; ideal-clock cells don't count). Defaulted
+    /// so pre-clock rollups parse.
+    #[serde(default)]
+    pub clock_unlocked_cells: u64,
+    /// Σ integer sample slips across cells.
+    #[serde(default)]
+    pub total_timing_slips: u64,
     /// The matched handover pairs.
     pub matches: Vec<ContinuityMatch>,
 }
@@ -686,6 +708,9 @@ impl Fleet {
                 restarts: s.restarts.load(Relaxed),
                 durability: cache.durability.to_string(),
                 loss_window_slots: cache.loss_window,
+                clock_lock: cache.clock_lock.to_string(),
+                clock_drift_ppb: cache.clock_drift_ppb,
+                timing_slips: cache.timing_slips,
             });
         }
         let (continuations, matches) = {
@@ -703,6 +728,10 @@ impl Fleet {
                     && (c.durability == "durable_degraded" || c.durability == "non_durable")
             })
             .count() as u64;
+        let clock_unlocked_cells = cells
+            .iter()
+            .filter(|c| c.clock_lock == "pulling" || c.clock_lock == "unlocked")
+            .count() as u64;
         FleetSnapshot {
             total_slots: cells.iter().map(|c| c.slots).sum(),
             total_dcis: cells.iter().map(|c| c.dcis).sum(),
@@ -710,6 +739,8 @@ impl Fleet {
             continuations,
             distinct_users: total_discovered.saturating_sub(continuations),
             durability_degraded_cells,
+            clock_unlocked_cells,
+            total_timing_slips: cells.iter().map(|c| c.timing_slips).sum(),
             matches,
             cells,
         }
@@ -769,6 +800,14 @@ fn refresh_cache_from(cache: &mut CachedStats, engine: &ShardEngine, disk_degrad
     };
     cache.load_rung = scope.governor().rung().name();
     cache.watermark = scope.slot_watermark();
+    cache.clock_lock = match scope.clock_lock() {
+        None => "ideal",
+        Some(crate::ClockLock::Locked) => "locked",
+        Some(crate::ClockLock::Pulling) => "pulling",
+        Some(crate::ClockLock::Unlocked) => "unlocked",
+    };
+    cache.clock_drift_ppb = scope.clock_drift_ppb();
+    cache.timing_slips = st.timing_slips;
     match engine {
         ShardEngine::Durable(s) => {
             cache.durability = s.durability_rung().name();

@@ -18,6 +18,7 @@
 //! (scheduler + worker pool + result queue) with real threads.
 
 pub mod binfmt;
+pub mod clock;
 pub mod config;
 pub mod decoder;
 pub mod fleet;
@@ -41,6 +42,9 @@ pub mod worker;
 /// missing-field errors to catch true incompatibilities.
 pub const SCHEMA_VERSION: u32 = 1;
 
+pub use clock::{
+    ClockEvents, ClockLock, ClockObservable, ClockRecovery, ClockRecoveryConfig, ClockRecoveryState,
+};
 pub use config::{AdmissionConfig, Fidelity, FleetConfig, ScopeConfig, StoragePolicy};
 pub use fleet::{
     CellRollup, ContinuityMatch, FaultPlan, FeedOutcome, Fleet, FleetSnapshot, ShardHealth,

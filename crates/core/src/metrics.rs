@@ -62,11 +62,22 @@ pub enum Stage {
     RungBroadcast,
     /// Slot latency at the `Shedding` rung.
     RungShedding,
+    /// Clock-lock reacquisition time (air time from leaving `Locked` to
+    /// re-entering it), all governor rungs.
+    ClockReacquire,
+    /// Reacquisition time while the governor sat at the `Full` rung.
+    ClockReacquireFull,
+    /// Reacquisition time at the `PrunedSearch` rung.
+    ClockReacquirePruned,
+    /// Reacquisition time at the `BroadcastOnly` rung.
+    ClockReacquireBroadcast,
+    /// Reacquisition time at the `Shedding` rung.
+    ClockReacquireShedding,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 17] = [
         Stage::Capture,
         Stage::Demod,
         Stage::PdcchSearch,
@@ -79,6 +90,11 @@ impl Stage {
         Stage::RungPruned,
         Stage::RungBroadcast,
         Stage::RungShedding,
+        Stage::ClockReacquire,
+        Stage::ClockReacquireFull,
+        Stage::ClockReacquirePruned,
+        Stage::ClockReacquireBroadcast,
+        Stage::ClockReacquireShedding,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -96,6 +112,11 @@ impl Stage {
             Stage::RungPruned => "rung_pruned_search",
             Stage::RungBroadcast => "rung_broadcast_only",
             Stage::RungShedding => "rung_shedding",
+            Stage::ClockReacquire => "clock_reacquire",
+            Stage::ClockReacquireFull => "clock_reacquire_full",
+            Stage::ClockReacquirePruned => "clock_reacquire_pruned_search",
+            Stage::ClockReacquireBroadcast => "clock_reacquire_broadcast_only",
+            Stage::ClockReacquireShedding => "clock_reacquire_shedding",
         }
     }
 }
@@ -175,11 +196,18 @@ pub enum Counter {
     StorageDemotions,
     /// Emergency checkpoint/journal prunes triggered by `ENOSPC`.
     EmergencyPrunes,
+    /// Integer sample slips commanded by the timing-recovery loop.
+    TimingSlips,
+    /// Clock-lock losses (transitions out of `Locked`).
+    ClockLockLosses,
+    /// Clock step discontinuities detected (timing jumps beyond the
+    /// tracking loop's fine range, including reported overrun gaps).
+    ClockSteps,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 34] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -211,6 +239,9 @@ impl Counter {
         Counter::StorageRetries,
         Counter::StorageDemotions,
         Counter::EmergencyPrunes,
+        Counter::TimingSlips,
+        Counter::ClockLockLosses,
+        Counter::ClockSteps,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -247,6 +278,9 @@ impl Counter {
             Counter::StorageRetries => "storage_retries",
             Counter::StorageDemotions => "storage_demotions",
             Counter::EmergencyPrunes => "emergency_prunes",
+            Counter::TimingSlips => "timing_slips",
+            Counter::ClockLockLosses => "clock_lock_losses",
+            Counter::ClockSteps => "clock_steps",
         }
     }
 }
@@ -267,17 +301,25 @@ pub enum Gauge {
     /// Current durability-ladder rung (0 = Durable, 1 = DurableDegraded,
     /// 2 = NonDurable).
     DurabilityRung,
+    /// Magnitude of the estimated sniffer clock drift, in parts-per-
+    /// billion (gauges are unsigned; the signed value lives in
+    /// [`crate::scope::NrScope::clock`] state and the fleet rollup).
+    ClockDriftPpb,
+    /// Current clock-lock rung (0 = Locked, 1 = Pulling, 2 = Unlocked).
+    ClockLockState,
 }
 
 impl Gauge {
     /// All gauges.
-    pub const ALL: [Gauge; 6] = [
+    pub const ALL: [Gauge; 8] = [
         Gauge::QueueDepth,
         Gauge::TrackedUes,
         Gauge::WorkersAlive,
         Gauge::LoadRung,
         Gauge::QuarantineSize,
         Gauge::DurabilityRung,
+        Gauge::ClockDriftPpb,
+        Gauge::ClockLockState,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -289,6 +331,8 @@ impl Gauge {
             Gauge::LoadRung => "load_rung",
             Gauge::QuarantineSize => "quarantine_size",
             Gauge::DurabilityRung => "durability_rung",
+            Gauge::ClockDriftPpb => "clock_drift_ppb",
+            Gauge::ClockLockState => "clock_lock_state",
         }
     }
 }
@@ -424,7 +468,8 @@ impl Metrics {
         Metrics {
             enabled: AtomicBool::new(enabled),
             stages: Default::default(),
-            counters: Default::default(),
+            // `Default` for arrays stops at 32 elements; build in place.
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: Default::default(),
             notes: Mutex::new(Vec::new()),
         }

@@ -23,11 +23,12 @@ use nr_phy::pdcch::AggregationLevel;
 use nr_phy::sequence::{pdcch_scrambling_cinit, scramble_in_place};
 use nr_phy::types::{Rnti, RntiType};
 pub use nr_radio::ImpairmentSchedule;
-use nr_radio::VirtualUsrp;
+use nr_radio::{ClockModel, Resampler, VirtualUsrp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::clock::ClockObservable;
 use crate::metrics::{Counter, Metrics, Stage};
 use std::sync::Arc;
 
@@ -117,11 +118,37 @@ pub struct Observer {
     stall_remaining: u32,
     /// Pipeline metrics (capture-stage latency, radio counters).
     metrics: Option<Arc<Metrics>>,
+    /// Oscillator truth (drift/CFO injection); `None` = ideal clock.
+    clock: Option<ClockModel>,
+    /// Receiver-commanded total timing correction (µs). The recovery
+    /// loop pushes its running total here; only the *residual* (truth
+    /// minus correction) degrades capture.
+    corr_timing_us: f64,
+    /// Receiver-commanded total CFO correction (Hz).
+    corr_cfo_hz: f64,
+    /// Clock observable produced by the most recent capture.
+    last_clock_obs: Option<ClockObservable>,
+    /// IQ-path steering resampler (unity ratio, fractional-phase
+    /// commands only) plus the timing already applied through it, in
+    /// samples. Created lazily on the first skewed IQ slot.
+    steer: Option<Resampler>,
+    steer_applied: f64,
+    /// Subcarrier spacing (Hz) — CFO residuals degrade in units of it.
+    scs_hz: f64,
+    /// Normal cyclic prefix (µs) — timing residuals degrade in units
+    /// of it.
+    cp_us: f64,
+    /// Front-end sample period (µs) at this cell's sample rate.
+    sample_period_us: f64,
 }
 
 impl Observer {
     /// Observer at a position with the given receive SNR.
     pub fn new(cfg: &CellConfig, snr_db: f64, iq: bool, seed: u64) -> Observer {
+        let numerology = cfg.numerology;
+        let scs_hz = numerology.scs_hz();
+        let fft = numerology.fft_size(cfg.carrier_prbs);
+        let sample_rate_hz = numerology.sample_rate_hz(fft);
         Observer {
             snr_db,
             usrp: VirtualUsrp::new(snr_db, 0.0, seed),
@@ -131,6 +158,17 @@ impl Observer {
             capture_slot: 0,
             stall_remaining: 0,
             metrics: None,
+            clock: None,
+            corr_timing_us: 0.0,
+            corr_cfo_hz: 0.0,
+            last_clock_obs: None,
+            steer: None,
+            steer_applied: 0.0,
+            scs_hz,
+            // Normal CP: 144 reference samples against a 2048-FFT symbol
+            // whose useful part spans 1/SCS seconds.
+            cp_us: 144.0 / 2048.0 * 1e6 / scs_hz,
+            sample_period_us: 1e6 / sample_rate_hz,
         }
     }
 
@@ -155,6 +193,36 @@ impl Observer {
         self.schedule = Some(schedule);
     }
 
+    /// Attach a deterministic oscillator model. Every subsequent
+    /// [`Observer::capture`] is skewed by the modelled timing offset and
+    /// CFO (minus whatever correction the recovery loop has commanded),
+    /// and per-slot clock observables become available through
+    /// [`Observer::take_clock_observable`].
+    pub fn set_clock(&mut self, model: ClockModel) {
+        self.clock = Some(model);
+    }
+
+    /// Whether an oscillator model is attached.
+    pub fn has_clock(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Feedback path from the timing-recovery loop: the loop's current
+    /// *total* corrections (µs of timing, Hz of CFO) — absolute running
+    /// sums, not per-slot deltas.
+    pub fn apply_clock_correction(&mut self, timing_us: f64, cfo_hz: f64) {
+        self.corr_timing_us = timing_us;
+        self.corr_cfo_hz = cfo_hz;
+    }
+
+    /// The clock observable generated by the most recent capture, if an
+    /// oscillator model is attached. `timing_us`/`cfo_hz` are `None` on
+    /// slots where no sync signal was decodable (starvation still ages
+    /// the loop's health horizon).
+    pub fn take_clock_observable(&mut self) -> Option<ClockObservable> {
+        self.last_clock_obs.take()
+    }
+
     /// Observe one slot under the impairment schedule. Equivalent to
     /// [`Observer::observe`] when no schedule is set (every slot clean).
     pub fn capture(&mut self, out: &SlotOutput, t: f64) -> Capture {
@@ -165,6 +233,13 @@ impl Observer {
             .as_ref()
             .map(|s| s.verdict(slot))
             .unwrap_or_default();
+        // Oscillator truth for this slot (the clock keeps drifting even
+        // through stalls and drops — only capture stops, not time).
+        let truth = self.clock.as_mut().map(|c| c.state_at(slot));
+        self.last_clock_obs = truth.as_ref().map(|tr| ClockObservable {
+            gap_us: tr.gap_us,
+            ..ClockObservable::default()
+        });
         if self.stall_remaining > 0 {
             self.stall_remaining -= 1;
             return Capture::Dropped(DropReason::Stall);
@@ -176,6 +251,15 @@ impl Observer {
         }
         if imp.drop {
             return Capture::Dropped(DropReason::Overflow);
+        }
+        if let Some(tr) = &truth {
+            if tr.is_overrun() {
+                // USRP overrun: samples fell on the floor. The driver
+                // reports the gap size, so the recovery loop feeds the
+                // slip forward without waiting for a measurement — the
+                // observable above already carries `gap_us`.
+                return Capture::Dropped(DropReason::Overflow);
+            }
         }
         if imp.agc_kick_db != 0.0 {
             self.usrp.kick_agc_db(imp.agc_kick_db as f32);
@@ -191,14 +275,115 @@ impl Observer {
             // corruption model runs at the degraded SNR for this slot.
             self.usrp.inject_snr_penalty_db(imp.snr_penalty_db);
         }
+        // Residual clock error = oscillator truth minus the recovery
+        // loop's commanded correction. Only the residual hurts.
+        let (resid_us, resid_hz) = truth
+            .as_ref()
+            .map(|tr| {
+                (
+                    tr.timing_offset_us - self.corr_timing_us,
+                    tr.cfo_hz - self.corr_cfo_hz,
+                )
+            })
+            .unwrap_or((0.0, 0.0));
+        // Message-fidelity stand-in for what residual timing/CFO does to
+        // the demodulator: ICI grows with CFO as a fraction of the
+        // subcarrier spacing, ISI with timing error as a fraction of the
+        // CP. Quadratic in both (small residuals are nearly free).
+        let clock_penalty_db = if truth.is_some() {
+            let ti = (resid_us.abs() / self.cp_us).min(4.0);
+            let fr = (resid_hz.abs() / self.scs_hz).min(4.0);
+            12.0 * ti * ti + 18.0 * fr * fr
+        } else {
+            0.0
+        };
         let clean_snr = self.snr_db;
-        self.snr_db -= imp.snr_penalty_db;
+        self.snr_db -= imp.snr_penalty_db + clock_penalty_db;
         let mut observed = self.observe(out, t);
         self.snr_db = clean_snr;
+        if truth.is_some() {
+            self.measure_clock(out, &imp, clock_penalty_db, resid_us, resid_hz);
+            if let ObservedSlot::Iq { samples, .. } = &mut observed {
+                self.apply_iq_residual(samples, resid_us, resid_hz, t);
+            }
+        }
         if let Some(frac) = imp.truncate {
             truncate_slot(&mut observed, frac);
         }
         Capture::Slot(observed)
+    }
+
+    /// Generate the per-slot timing/CFO measurement a real receiver pulls
+    /// from SSB (coarse) or DMRS (fine) correlation, or nothing when the
+    /// residual has already pushed those signals out of acquisition range.
+    fn measure_clock(
+        &mut self,
+        out: &SlotOutput,
+        imp: &nr_radio::SlotImpairment,
+        clock_penalty_db: f64,
+        resid_us: f64,
+        resid_hz: f64,
+    ) {
+        let Some(obs) = self.last_clock_obs.as_mut() else {
+            return;
+        };
+        let fine_snr = self.snr_db - imp.snr_penalty_db - clock_penalty_db;
+        let coarse_snr = self.snr_db - imp.snr_penalty_db;
+        let has_dcis = !out.dcis.is_empty();
+        let has_ssb = out.mib.is_some();
+        if has_dcis
+            && fine_snr > 3.0
+            && resid_us.abs() <= 0.5 * self.cp_us
+            && resid_hz.abs() <= 0.25 * self.scs_hz
+        {
+            // DMRS-based fine estimate: tight pull-in range, low noise.
+            obs.timing_us = Some(resid_us + self.rng.gen_range(-0.02..0.02));
+            obs.cfo_hz = Some(resid_hz + self.rng.gen_range(-30.0..30.0));
+            obs.coarse = false;
+        } else if has_ssb
+            && coarse_snr > 3.0
+            && resid_us.abs() <= 250.0
+            && resid_hz.abs() <= 2.0 * self.scs_hz
+        {
+            // SSB correlation search: hypothesis-swept, so it tolerates
+            // residuals that would blind the demodulator — this is the
+            // bootstrap (and post-step reacquisition) path.
+            obs.timing_us = Some(resid_us + self.rng.gen_range(-0.05..0.05));
+            obs.cfo_hz = Some(resid_hz + self.rng.gen_range(-100.0..100.0));
+            obs.coarse = true;
+        }
+    }
+
+    /// Imprint the residual clock error on a rendered IQ slot: a phase
+    /// ramp at the residual CFO, and a timing shift steered through the
+    /// streaming resampler (integer slips + fractional phase).
+    fn apply_iq_residual(&mut self, samples: &mut Vec<Cf32>, resid_us: f64, resid_hz: f64, t: f64) {
+        if resid_hz != 0.0 {
+            let w = std::f64::consts::TAU * resid_hz * self.sample_period_us * 1e-6;
+            let phi0 = std::f64::consts::TAU * resid_hz * t;
+            for (n, s) in samples.iter_mut().enumerate() {
+                let phi = (phi0 + w * n as f64) as f32;
+                *s *= Cf32::new(phi.cos(), phi.sin());
+            }
+        }
+        let target = resid_us / self.sample_period_us;
+        let pending = target - self.steer_applied;
+        if pending.abs() > 1e-6 {
+            let steer = self.steer.get_or_insert_with(|| Resampler::new(1, 1));
+            let whole = pending.trunc();
+            // Both commands are clamped by the resampler's slip margin;
+            // whatever it accepts is recorded as applied, the rest stays
+            // pending for the next slot (the window slides, it does not
+            // teleport).
+            self.steer_applied += steer.slip(whole as i64) as f64;
+            let frac = target - self.steer_applied;
+            if frac.abs() > 1e-6 {
+                self.steer_applied += steer.adjust_phase(frac);
+            }
+        }
+        if let Some(steer) = &mut self.steer {
+            *samples = steer.process(samples);
+        }
     }
 
     /// Residual per-candidate miss probability at arbitrarily good SNR:

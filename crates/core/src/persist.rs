@@ -36,6 +36,7 @@
 //! format at every record boundary.
 
 use crate::binfmt;
+use crate::clock::ClockRecoveryState;
 use crate::config::{ScopeConfig, StoragePolicy};
 use crate::governor::OverloadGovernor;
 use crate::metrics::{Counter, Gauge, Metrics, MetricsSnapshot};
@@ -169,6 +170,10 @@ pub struct MicroState {
     pub governor: OverloadGovernor,
     /// Tracker bookkeeping (pending TC-RNTIs, expiry shadow, RRC cache).
     pub tracker_aux: TrackerAux,
+    /// Timing-recovery loop state (`None` when no clock observables ever
+    /// arrived). Defaulted so pre-clock journals still parse.
+    #[serde(default)]
+    pub clock: Option<ClockRecoveryState>,
 }
 
 /// One journal record: everything slot `seq` did to the session.
@@ -216,6 +221,10 @@ pub struct SessionState {
     pub throughput: ThroughputState,
     /// Metrics counters at snapshot time.
     pub metrics: MetricsSnapshot,
+    /// Timing-recovery loop state (`None` when no clock observables ever
+    /// arrived). Defaulted so pre-clock snapshots still parse.
+    #[serde(default)]
+    pub clock: Option<ClockRecoveryState>,
 }
 
 /// What recovery found and did — written as `RECOVERY_report.json` by the
@@ -1097,7 +1106,13 @@ const F_GOVERNOR: u8 = 8;
 const F_TRACKER: u8 = 9;
 const F_THROUGHPUT: u8 = 10;
 const F_METRICS: u8 = 11;
-const SNAP_FIELDS: usize = 12;
+const F_CLOCK: u8 = 12;
+/// Field count written by this version.
+const SNAP_FIELDS: usize = 13;
+/// Minimum accepted field count: pre-clock snapshots carry 12 fields and
+/// load with `clock: None` (the same admission older JSON snapshots get
+/// from `#[serde(default)]`).
+const SNAP_FIELDS_MIN: usize = 12;
 
 type SnapFields = Vec<(u8, Vec<u8>)>;
 
@@ -1115,11 +1130,12 @@ fn encode_state_fields(state: &SessionState) -> SnapFields {
         (F_TRACKER, binfmt::encode_value(&state.tracker)),
         (F_THROUGHPUT, binfmt::encode_value(&state.throughput)),
         (F_METRICS, binfmt::encode_value(&state.metrics)),
+        (F_CLOCK, binfmt::encode_value(&state.clock)),
     ]
 }
 
 fn state_from_fields(fields: &SnapFields) -> Option<SessionState> {
-    if fields.len() != SNAP_FIELDS {
+    if fields.len() < SNAP_FIELDS_MIN || fields.len() > SNAP_FIELDS {
         return None;
     }
     let get = |id: u8| {
@@ -1141,6 +1157,10 @@ fn state_from_fields(fields: &SnapFields) -> Option<SessionState> {
         tracker: binfmt::decode_value(get(F_TRACKER)?)?,
         throughput: binfmt::decode_value(get(F_THROUGHPUT)?)?,
         metrics: binfmt::decode_value(get(F_METRICS)?)?,
+        clock: match get(F_CLOCK) {
+            Some(bytes) => binfmt::decode_value(bytes)?,
+            None => None,
+        },
     })
 }
 
@@ -2574,6 +2594,7 @@ mod tests {
             stats: ScopeStats::default(),
             governor: OverloadGovernor::new(crate::governor::GovernorConfig::default()),
             tracker_aux: TrackerAux::default(),
+            clock: None,
         }
     }
 

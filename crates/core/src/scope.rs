@@ -1,6 +1,7 @@
 //! The top-level NR-Scope session: cell search → SIB acquisition →
 //! per-TTI telemetry (paper Fig 2 and Fig 3).
 
+use crate::clock::{ClockEvents, ClockLock, ClockObservable, ClockRecovery};
 use crate::config::ScopeConfig;
 use crate::decoder::{
     decode_grid_budgeted, decode_message_slot, decode_message_slot_budgeted, DecodeWork,
@@ -135,6 +136,16 @@ pub struct ScopeStats {
     /// admission control: never corroborated inside the window).
     #[serde(default)]
     pub ghosts_quarantined: u64,
+    /// Integer sample slips commanded by the timing-recovery loop.
+    #[serde(default)]
+    pub timing_slips: u64,
+    /// Times the timing-recovery loop fell out of `Locked`.
+    #[serde(default)]
+    pub clock_lock_losses: u64,
+    /// Clock step discontinuities absorbed (oscillator steps and
+    /// USRP-overrun gap feed-forwards).
+    #[serde(default)]
+    pub clock_steps: u64,
 }
 
 /// The passive telemetry engine.
@@ -185,6 +196,10 @@ pub struct NrScope {
     /// UE lifecycle edges since the last [`NrScope::drain_ue_events`],
     /// bounded (oldest dropped) — the fleet layer's continuity feed.
     ue_events: std::collections::VecDeque<UeEvent>,
+    /// Closed-loop timing recovery (the clock DPLL). Created lazily on
+    /// the first clock observable — a front end with no oscillator model
+    /// never instantiates it, and sync health behaves exactly as before.
+    clock: Option<ClockRecovery>,
 }
 
 /// Cap on buffered [`UeEvent`]s when nobody drains them (a single-cell
@@ -254,6 +269,7 @@ impl NrScope {
             last_dropped: false,
             pending_sib1: None,
             ue_events: std::collections::VecDeque::new(),
+            clock: None,
         }
     }
 
@@ -292,6 +308,9 @@ impl NrScope {
         scope.tracker = UeTracker::from_state(&state.tracker, state.slot);
         scope.throughput = ThroughputEstimator::from_state(&state.throughput);
         scope.slot = state.slot;
+        scope.clock = state
+            .clock
+            .map(|st| ClockRecovery::from_state(cfg.clock, st));
         scope
     }
 
@@ -312,6 +331,7 @@ impl NrScope {
             tracker: self.tracker.state(),
             throughput: self.throughput.state(),
             metrics: self.metrics.snapshot(),
+            clock: self.clock.as_ref().map(|c| c.state()),
         }
     }
 
@@ -380,6 +400,7 @@ impl NrScope {
             stats: self.stats,
             governor: self.governor.clone(),
             tracker_aux: self.tracker.aux_state(),
+            clock: self.clock.as_ref().map(|c| c.state()),
         }
     }
 
@@ -447,6 +468,9 @@ impl NrScope {
             self.governor = micro.governor.clone();
             self.governor.set_config(self.cfg.governor);
             self.tracker.set_aux(&micro.tracker_aux);
+            self.clock = micro
+                .clock
+                .map(|st| ClockRecovery::from_state(self.cfg.clock, st));
         }
         // Mirror the live housekeeping cadence for departed-UE history.
         if e.seq.is_multiple_of(512) {
@@ -469,6 +493,140 @@ impl NrScope {
     /// Current synchronisation health.
     pub fn sync_state(&self) -> SyncState {
         self.sync
+    }
+
+    /// The air-interface SFN (mod-1024) the session currently derives
+    /// from its MIB anchor — the sniffer-local `u64` slot counter never
+    /// wraps, but its projection onto the air interface must.
+    pub fn derived_sfn(&self) -> u32 {
+        self.sfn()
+    }
+
+    /// Current timing-recovery lock rung, or `None` when no clock
+    /// observables have ever arrived (ideal-clock front end).
+    pub fn clock_lock(&self) -> Option<ClockLock> {
+        self.clock.as_ref().map(|c| c.lock())
+    }
+
+    /// Signed clock-drift estimate (ppb) from the recovery loop's
+    /// integral term; 0 with no loop or before acquisition.
+    pub fn clock_drift_ppb(&self) -> i64 {
+        self.clock
+            .as_ref()
+            .map(|c| c.drift_ppb(self.slot_s()))
+            .unwrap_or(0)
+    }
+
+    /// The recovery loop's current total correction command for the
+    /// front end: `(timing_us, cfo_hz)`. Zero before any observable.
+    pub fn clock_command(&self) -> (f64, f64) {
+        self.clock
+            .as_ref()
+            .map(|c| (c.correction_us(), c.correction_cfo_hz()))
+            .unwrap_or((0.0, 0.0))
+    }
+
+    /// Whether decode silence is currently attributed to the clock
+    /// domain rather than the cell (out of lock, inside the bounded
+    /// reacquisition window).
+    fn clock_masks_sync(&self) -> bool {
+        self.clock.as_ref().is_some_and(|c| c.masks_sync())
+    }
+
+    /// Slot duration (s) from the MIB numerology, µ=1 until known.
+    fn slot_s(&self) -> f64 {
+        self.cell
+            .mib
+            .as_ref()
+            .map(|m| m.scs_common.slot_duration_s())
+            .unwrap_or(5e-4)
+    }
+
+    /// Feed one slot of clock evidence into the timing-recovery loop
+    /// (creating it on first use) and record the slot's loop events into
+    /// stats, metrics, and operator notes. Call once per captured slot,
+    /// *before* [`NrScope::process_capture`], so the lock state composes
+    /// with this slot's sync-health accounting.
+    pub fn note_clock_observable(&mut self, obs: &ClockObservable) {
+        let rung = self.governor.rung();
+        let slot_s = self.slot_s();
+        let clock = self
+            .clock
+            .get_or_insert_with(|| ClockRecovery::new(self.cfg.clock));
+        let ev = clock.on_slot(obs);
+        let st = clock.state();
+        let drift_ppb = clock.drift_ppb(slot_s);
+        let lock = clock.lock();
+        self.note_clock_events(&ev, st.reacquire_slots, drift_ppb, lock, rung, slot_s);
+    }
+
+    /// Stats/metrics/notes fallout of one clock-loop slot.
+    fn note_clock_events(
+        &mut self,
+        ev: &ClockEvents,
+        reacquire_slots: u64,
+        drift_ppb: i64,
+        lock: ClockLock,
+        rung: LoadRung,
+        slot_s: f64,
+    ) {
+        if ev.slipped > 0 {
+            self.stats.timing_slips += ev.slipped;
+            self.metrics.add(Counter::TimingSlips, ev.slipped);
+        }
+        if ev.step {
+            self.stats.clock_steps += 1;
+            self.metrics.inc(Counter::ClockSteps);
+            self.metrics.note(
+                "clock_step",
+                format!(
+                    "step/gap absorbed at slot {} (total {})",
+                    self.slot, self.stats.clock_steps
+                ),
+            );
+        }
+        if ev.lost_lock {
+            self.stats.clock_lock_losses += 1;
+            self.metrics.inc(Counter::ClockLockLosses);
+            self.metrics.note(
+                "clock_unlock",
+                format!(
+                    "lock lost at slot {} (drift {} ppb, losses {})",
+                    self.slot, drift_ppb, self.stats.clock_lock_losses
+                ),
+            );
+        }
+        if let Some(excursion) = ev.locked {
+            // Reacquisition time, overall and under the rung that was in
+            // force — overload and clock trouble compound, and the
+            // per-rung histograms show where the time went.
+            let dur = Duration::from_secs_f64(excursion.max(reacquire_slots) as f64 * slot_s);
+            self.metrics.observe(Stage::ClockReacquire, dur);
+            self.metrics.observe(clock_reacquire_stage(rung), dur);
+        }
+        self.metrics
+            .gauge_set(Gauge::ClockDriftPpb, drift_ppb.unsigned_abs());
+        self.metrics.gauge_set(Gauge::ClockLockState, lock.index());
+    }
+
+    /// Convenience for front ends built on [`crate::Observer`]: capture
+    /// one slot, feed the loop any clock observable, process the capture,
+    /// and push the loop's updated correction command back to the
+    /// observer. Equivalent to the manual capture → note → process →
+    /// command sequence.
+    pub fn process_observer_slot(
+        &mut self,
+        observer: &mut crate::observe::Observer,
+        out: &gnb_sim::gnb::SlotOutput,
+        t: f64,
+    ) -> Vec<TelemetryRecord> {
+        let cap = observer.capture(out, t);
+        if let Some(obs) = observer.take_clock_observable() {
+            self.note_clock_observable(&obs);
+            let (timing_us, cfo_hz) = self.clock_command();
+            observer.apply_clock_correction(timing_us, cfo_hz);
+        }
+        self.process_capture(&cap)
     }
 
     /// The degradation-ladder rung currently in force.
@@ -592,23 +750,29 @@ impl NrScope {
     }
 
     /// Slot-in-frame as derived from the MIB anchor (0 until synchronised).
+    /// `checked_sub`: a restored anchor can sit past the live counter for
+    /// a few slots after a lossy restart — underflow here must not panic.
     fn slot_in_frame(&self) -> usize {
         let (Some(anchor), Some(mib)) = (self.cell.frame_anchor_slot, self.cell.mib.as_ref())
         else {
             return 0;
         };
         let spf = mib.scs_common.slots_per_frame() as u64;
-        ((self.slot - anchor) % spf) as usize
+        let since = self.slot.saturating_sub(anchor);
+        (since % spf) as usize
     }
 
-    /// Current SFN as derived from the anchor.
+    /// Current SFN as derived from the anchor. The sniffer-local slot
+    /// counter is a non-wrapping `u64`; only the projection onto the air
+    /// interface wraps, via [`nr_phy::frame::sfn_add`]'s mod-1024 rule.
     fn sfn(&self) -> u32 {
         let (Some(anchor), Some(mib)) = (self.cell.frame_anchor_slot, self.cell.mib.as_ref())
         else {
             return 0;
         };
         let spf = mib.scs_common.slots_per_frame() as u64;
-        ((self.cell.anchor_sfn as u64 + (self.slot - anchor) / spf) % 1024) as u32
+        let since = self.slot.saturating_sub(anchor);
+        nr_phy::frame::sfn_add(self.cell.anchor_sfn, since / spf)
     }
 
     /// Expected RA-RNTIs for PRACH occasions inside the response window.
@@ -646,8 +810,13 @@ impl NrScope {
                     .budget(self.cell.mib.as_ref().map(|m| m.scs_common));
                 let verdict = self.governor.on_dropped_slot(self.slot, tti);
                 self.note_governor(rung, tti * 2, verdict);
-                // Drops are front-end reality, not governor-induced
-                // silence, so they always count against sync health.
+                // Drops are front-end reality, not governor-induced (or
+                // clock-induced) silence, so they always count against
+                // sync health: the clock mask covers *decode* silence
+                // while pulling in — a front end that stops delivering
+                // slots is an outage regardless of the oscillator, and
+                // clock-overrun gaps are rare one-slot events the
+                // feed-forward path absorbs without an excursion.
                 self.note_unhealthy_slot();
                 self.housekeeping(self.slot);
                 self.slot += 1;
@@ -737,13 +906,19 @@ impl NrScope {
                 self.stats.resyncs += 1;
                 self.metrics.inc(Counter::Resyncs);
             }
-        } else if !matches!(rung, LoadRung::BroadcastOnly | LoadRung::Shedding) {
+        } else if !matches!(rung, LoadRung::BroadcastOnly | LoadRung::Shedding)
+            && !self.clock_masks_sync()
+        {
             // At BroadcastOnly and below, UE-pass silence is
             // self-inflicted by the governor — feeding it to the sync
             // machine would declare a healthy cell lost and discard the
             // PCI. Broadcast decodes (SI/RA/TC) still reset the streak
             // above, so genuine cell loss is detected via SIB silence
-            // once the ladder recovers.
+            // once the ladder recovers. Likewise while the clock loop is
+            // out of lock (bounded by `clock.max_reacquire_slots`):
+            // drift-induced silence is the loop's to fix, not a cell
+            // outage — but a clock that never relocks hands control back
+            // to the sync machine once the bound lapses.
             self.note_unhealthy_slot();
         }
         self.housekeeping(slot);
@@ -1359,6 +1534,17 @@ fn rung_stage(rung: LoadRung) -> Stage {
         LoadRung::PrunedSearch => Stage::RungPruned,
         LoadRung::BroadcastOnly => Stage::RungBroadcast,
         LoadRung::Shedding => Stage::RungShedding,
+    }
+}
+
+/// Per-rung clock-reacquisition histogram: which degradation rung was in
+/// force when the loop finished pulling back in.
+fn clock_reacquire_stage(rung: LoadRung) -> Stage {
+    match rung {
+        LoadRung::Full => Stage::ClockReacquireFull,
+        LoadRung::PrunedSearch => Stage::ClockReacquirePruned,
+        LoadRung::BroadcastOnly => Stage::ClockReacquireBroadcast,
+        LoadRung::Shedding => Stage::ClockReacquireShedding,
     }
 }
 

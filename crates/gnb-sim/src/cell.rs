@@ -158,6 +158,22 @@ impl CellConfig {
         self.numerology.slot_duration_s()
     }
 
+    /// Front-end sample rate (Hz) for this cell's carrier: the FFT that
+    /// fits the carrier PRBs, scaled by the subcarrier spacing (30.72 MHz
+    /// for the 20 MHz µ=1 cells).
+    pub fn sample_rate_hz(&self) -> f64 {
+        let fft = self.numerology.fft_size(self.carrier_prbs);
+        self.numerology.sample_rate_hz(fft)
+    }
+
+    /// A seeded oscillator model pre-bound to this cell's carrier
+    /// frequency and slot duration — the deterministic drift/CFO source
+    /// the observation layer skews captures with. Callers chain the
+    /// `with_*` builders for the drift profile under test.
+    pub fn clock_model(&self, seed: u64) -> nr_radio::ClockModel {
+        nr_radio::ClockModel::new(seed, self.center_freq_hz, self.slot_s())
+    }
+
     /// Number of data symbols per slot (after the CORESET and DMRS layout
     /// used by the schedulers: symbols 2..14).
     pub fn data_symbols(&self) -> usize {

@@ -104,6 +104,36 @@ impl TddPattern {
     }
 }
 
+/// Advance an SFN by `frames`, wrapping at the mod-1024 air-interface
+/// period. The canonical way to derive a future (or far-future) frame
+/// number — `sfn + n` overflows the air meaning as soon as it crosses
+/// 1024, even though the `u32` arithmetic happily continues.
+pub fn sfn_add(sfn: u32, frames: u64) -> u32 {
+    debug_assert!(sfn < SFN_PERIOD);
+    ((sfn as u64 + frames) % SFN_PERIOD as u64) as u32
+}
+
+/// Forward distance in frames from SFN `from` to SFN `to` on the mod-1024
+/// circle: how many frames elapse before the counter next reads `to`.
+/// Always in `[0, 1024)`.
+pub fn sfn_forward(from: u32, to: u32) -> u32 {
+    debug_assert!(from < SFN_PERIOD && to < SFN_PERIOD);
+    (to + SFN_PERIOD - from) % SFN_PERIOD
+}
+
+/// Signed shortest distance in frames from SFN `a` to SFN `b` on the
+/// mod-1024 circle, in `(-512, 512]`. The safe way to compare two air
+/// frame numbers for "before/after": plain subtraction underflows (or
+/// inverts its meaning) at every wrap.
+pub fn sfn_delta(a: u32, b: u32) -> i32 {
+    let fwd = sfn_forward(a, b);
+    if fwd <= SFN_PERIOD / 2 {
+        fwd as i32
+    } else {
+        fwd as i32 - SFN_PERIOD as i32
+    }
+}
+
 /// A monotonically advancing (SFN, slot) clock.
 ///
 /// Wraps at SFN 1024 exactly like the over-the-air system frame number, but
@@ -190,6 +220,20 @@ mod tests {
         let p = TddPattern::dddddddsuu();
         let expect = (7.0 + 6.0 / 14.0) / 10.0;
         assert!((p.downlink_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sfn_helpers_respect_the_wrap() {
+        assert_eq!(sfn_add(1020, 10), 6);
+        assert_eq!(sfn_add(0, 1024 * 7 + 5), 5);
+        assert_eq!(sfn_forward(1020, 6), 10);
+        assert_eq!(sfn_forward(6, 1020), 1014);
+        assert_eq!(sfn_forward(512, 512), 0);
+        // Signed distance: short hops keep their sign across the wrap.
+        assert_eq!(sfn_delta(1020, 6), 10);
+        assert_eq!(sfn_delta(6, 1020), -10);
+        assert_eq!(sfn_delta(0, 512), 512, "antipode resolves forward");
+        assert_eq!(sfn_delta(100, 100), 0);
     }
 
     #[test]

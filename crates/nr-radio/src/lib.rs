@@ -7,11 +7,13 @@
 //! daughterboards (§4 footnote 5).
 
 pub mod agc;
+pub mod clock;
 pub mod impairment;
 pub mod resampler;
 pub mod usrp;
 
 pub use agc::Agc;
+pub use clock::{ClockModel, ClockSlotState};
 pub use impairment::{Burst, ImpairmentSchedule, SlotImpairment};
 pub use resampler::Resampler;
 pub use usrp::{RadioStats, RxSlot, VirtualUsrp};

@@ -16,7 +16,9 @@ use nr_scope::scope::persist::{
     FaultyBackend, JournalEntry, PersistConfig, PersistentSession, SessionStore,
     StorageFaultSchedule,
 };
-use nr_scope::scope::{Counter, Gauge, NrScope, ScopeConfig, StoragePolicy, SyncState};
+use nr_scope::scope::{
+    ClockLock, ClockObservable, Counter, Gauge, NrScope, ScopeConfig, StoragePolicy, SyncState,
+};
 use nr_scope::ue::traffic::{TrafficKind, TrafficSource};
 use nr_scope::ue::{MobilityScenario, SimUe};
 use proptest::prelude::*;
@@ -1038,5 +1040,140 @@ fn checkpoint_write_failure_reason_reaches_the_summary() {
         "journal appends never renamed anything; the rung is untouched"
     );
     drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Clocked tape: the captures *and* the per-slot clock observables the
+/// observer produced, recorded with the reference scope closing the
+/// recovery loop. Replaying `(capture, observable)` pairs into any scope
+/// reproduces the reference's clock trajectory exactly (the loop is
+/// deterministic in its inputs), which is what lets the kill-9 test
+/// compare restored state against a fresh prefix replay.
+#[allow(clippy::type_complexity)]
+fn clocked_tape(slots: u64) -> (Vec<(Capture, Option<ClockObservable>)>, Pci, NrScope) {
+    let cell = CellConfig::srsran_n41();
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), 23);
+    for i in 1..=2u64 {
+        gnb.ue_arrives(SimUe::new(
+            i,
+            ChannelProfile::Awgn,
+            MobilityScenario::Static,
+            TrafficSource::new(
+                TrafficKind::FileDownload {
+                    total_bytes: 1 << 30,
+                },
+                i,
+            ),
+            0.05 * i as f64,
+            600.0,
+            i,
+        ));
+    }
+    let mut obs = Observer::new(&cell, 35.0, false, 9);
+    // 15 ppm plus wander and rare short overrun gaps: slips, steps, and
+    // a nonzero drift estimate all in play across the kill.
+    obs.set_clock(
+        cell.clock_model(31)
+            .with_static_ppm(15.0)
+            .with_random_walk(0.03)
+            .with_gap_prob(0.002, 8.0),
+    );
+    let mut reference = NrScope::new(ScopeConfig::default(), Some(cell.pci));
+    let slot_s = cell.slot_s();
+    let tape = (0..slots)
+        .map(|s| {
+            let out = gnb.step();
+            let cap = obs.capture(&out, s as f64 * slot_s);
+            let cobs = obs.take_clock_observable();
+            if let Some(o) = &cobs {
+                reference.note_clock_observable(o);
+                let (timing_us, cfo_hz) = reference.clock_command();
+                obs.apply_clock_correction(timing_us, cfo_hz);
+            }
+            reference.process_capture(&cap);
+            (cap, cobs)
+        })
+        .collect();
+    (tape, cell.pci, reference)
+}
+
+fn replay_clocked<'a>(
+    session: &mut PersistentSession,
+    tape: impl Iterator<Item = &'a (Capture, Option<ClockObservable>)>,
+) {
+    for (cap, cobs) in tape {
+        if let Some(o) = cobs {
+            session.scope_mut().note_clock_observable(o);
+        }
+        session.process_capture(cap);
+    }
+}
+
+#[test]
+fn clock_loop_state_survives_kill9_and_warm_restart() {
+    const TOTAL: u64 = 2_400;
+    const KILL_AT: u64 = 1_650; // not checkpoint-aligned
+    let (tape, pci, reference) = clocked_tape(TOTAL);
+    assert_eq!(reference.clock_lock(), Some(ClockLock::Locked));
+    assert!(reference.stats.timing_slips > 0, "tape exercises slips");
+
+    let dir = tmp_dir("clock-kill9");
+    {
+        let (mut session, _) =
+            PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+                .unwrap();
+        replay_clocked(&mut session, tape[..KILL_AT as usize].iter());
+        // kill -9: no drop-time drain, no finalize.
+        std::mem::forget(session);
+    }
+    std::thread::sleep(Duration::from_millis(50)); // leaked writer goes quiet
+
+    let (mut session, report) =
+        PersistentSession::open(PersistConfig::new(&dir), ScopeConfig::default(), Some(pci))
+            .unwrap();
+    assert!(report.resumed);
+    let resumed = report.resumed_slot;
+    assert!(resumed <= KILL_AT, "cannot resume past the kill");
+
+    // The restored loop must carry the drift estimate, lock rung, and
+    // slip/step/loss counters of the moment the journal last saw — i.e.
+    // match a fresh scope replaying the same prefix.
+    let mut prefix = NrScope::new(ScopeConfig::default(), Some(pci));
+    for (cap, cobs) in &tape[..resumed as usize] {
+        if let Some(o) = cobs {
+            prefix.note_clock_observable(o);
+        }
+        prefix.process_capture(cap);
+    }
+    assert_eq!(
+        session.scope().session_state().clock,
+        prefix.session_state().clock,
+        "restored recovery-loop state diverges from the journaled truth"
+    );
+    assert_eq!(session.scope().clock_drift_ppb(), prefix.clock_drift_ppb());
+    assert_eq!(
+        session.scope().stats.timing_slips,
+        prefix.stats.timing_slips
+    );
+    assert_eq!(session.scope().stats.clock_steps, prefix.stats.clock_steps);
+
+    // And it *continues* identically: finishing the tape lands on the
+    // uninterrupted run, clock trajectory included.
+    replay_clocked(&mut session, tape[resumed as usize..].iter());
+    assert_eq!(
+        comparable_state(session.scope()),
+        comparable_state(&reference),
+        "post-restart continuation diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        session.scope().session_state().clock,
+        reference.session_state().clock
+    );
+    assert_eq!(session.scope().clock_lock(), Some(ClockLock::Locked));
+    assert!(
+        session.scope().clock_drift_ppb() > 10_000,
+        "drift estimate restored and still tracking ≈15 ppm"
+    );
+    session.finalize().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
