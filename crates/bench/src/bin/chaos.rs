@@ -1,0 +1,636 @@
+//! chaos — the composed-chaos soak: every fault class armed at once.
+//!
+//! Three legs, frozen into `BENCH_chaos.json`:
+//!
+//! 1. **baseline** — a clean supervised run (no faults) that yields the
+//!    byte-parity yardstick.
+//! 2. **chaos** — [`ChaosSchedule::compose`] with [`ChaosArms::all`]:
+//!    front-end impairments, child overload dwell, storage-fault windows,
+//!    an oscillator model with a scripted timing step, hostile air, two
+//!    `kill -9`s, a scripted slot-loop hang, and a journal-writer wedge —
+//!    all on one seeded timeline, with the invariant monitors evaluated
+//!    on every fed slot.
+//! 3. **fleet** — a three-shard fleet with a scripted shard hang (a
+//!    pathological in-flight delay) that the watchdog must fence without
+//!    starving the sibling shards (the bulkhead-isolation monitor).
+//!
+//! The gate exits non-zero unless: every monitor stays green, zero
+//! panics escape any leg, the scripted hang is detected within the hang
+//! deadline (plus scheduling slop) and the child is restarted, both
+//! kill-9s are survived, the restart breaker never opens under the
+//! default budget, legitimate byte parity under full chaos stays within
+//! `[0.88, 1.02]` of the no-fault baseline, and the fleet leg fences its
+//! hang with zero breaker-parked cells.
+//!
+//! `--short` shrinks the horizons for CI smoke tests.
+
+use gnb_sim::{CellConfig, Gnb, HostileConfig};
+use nr_mac::RoundRobin;
+use nr_phy::channel::ChannelProfile;
+use nr_phy::types::{Pci, Rnti};
+use nrscope::chaos::{
+    drive_supervised, monitor_statuses, ranges_of, standard_monitors, BulkheadIsolationMonitor,
+    ChaosArms, ChaosSchedule, DriveStats, InvariantMonitor, MonitorStatus,
+};
+use nrscope::observe::Observer;
+use nrscope::supervise::{self, BreakerState, RestartCause, Supervisor};
+use nrscope::{
+    ClockRecovery, ClockRecoveryConfig, FaultPlan, Fleet, FleetConfig, HangTarget, InjectedFault,
+    Metrics, ScopeConfig, ShardSpec, CHAOS_PLAN_FILE,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything scripted derives from this seed (reproducibility rule).
+const SEED: u64 = 0xC0_FFEE;
+/// Hang-detection latency slop on top of the hang deadline: pipe polls,
+/// scheduler jitter, and the force-kill itself.
+const HANG_SLOP_MS: u64 = 1_000;
+/// Parity gate relative to the clean baseline (same bound the supervised
+/// soak example enforces).
+const PARITY_MIN: f64 = 0.88;
+const PARITY_MAX: f64 = 1.02;
+
+fn session_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nrscope-bench-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create session dir");
+    dir
+}
+
+/// The supervised legs' config: deadlines tightened so hang detection is
+/// measured in hundreds of milliseconds, not the production 2 s.
+fn tuned_config(short: bool) -> ScopeConfig {
+    let mut cfg = ScopeConfig::default();
+    cfg.supervise.heartbeat_interval_ms = if short { 50 } else { 100 };
+    cfg.supervise.hang_deadline_ms = if short { 400 } else { 800 };
+    cfg
+}
+
+fn build_gnb(cell: &CellConfig, n_ues: u64, seed: u64) -> Gnb {
+    let mut gnb = Gnb::new(cell.clone(), Box::new(RoundRobin::new()), seed);
+    for i in 1..=n_ues {
+        gnb.ue_arrives(ue_sim::SimUe::new(
+            i,
+            ChannelProfile::Awgn,
+            ue_sim::MobilityScenario::Static,
+            // Permanent backlog: every slot carries data, so parity
+            // between scope estimate and gNB truth is tight.
+            ue_sim::traffic::TrafficSource::new(
+                ue_sim::traffic::TrafficKind::FileDownload {
+                    total_bytes: 1 << 30,
+                },
+                seed + i,
+            ),
+            0.05 * i as f64,
+            600.0,
+            seed * 31 + i,
+        ));
+    }
+    gnb
+}
+
+/// One supervised leg's outcome (baseline and chaos share the shape).
+struct LegResult {
+    name: &'static str,
+    slots: u64,
+    acked: u64,
+    lost: u64,
+    hangs_detected: u64,
+    hang_detect_ms_max: u64,
+    killed_restarts: u64,
+    hang_restarts: u64,
+    breaker_openings: u64,
+    breaker_final: &'static str,
+    parity_ratio: f64,
+    monitors: Vec<MonitorStatus>,
+    ok: bool,
+    detail: String,
+}
+
+impl LegResult {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\": \"{name}\", \"slots\": {slots}, \"acked\": {acked}, ",
+                "\"lost\": {lost}, \"hangs_detected\": {hangs}, ",
+                "\"hang_detect_ms_max\": {detect}, \"killed_restarts\": {killed}, ",
+                "\"hang_restarts\": {hrestarts}, \"breaker_openings\": {openings}, ",
+                "\"breaker_final\": \"{breaker}\", \"parity_ratio\": {parity:.4}, ",
+                "\"monitors\": {monitors}, \"ok\": {ok}, \"detail\": {detail}}}"
+            ),
+            name = self.name,
+            slots = self.slots,
+            acked = self.acked,
+            lost = self.lost,
+            hangs = self.hangs_detected,
+            detect = self.hang_detect_ms_max,
+            killed = self.killed_restarts,
+            hrestarts = self.hang_restarts,
+            openings = self.breaker_openings,
+            breaker = self.breaker_final,
+            parity = self.parity_ratio,
+            monitors = serde_json::to_string(&self.monitors).expect("monitor statuses"),
+            ok = self.ok,
+            detail = serde_json::to_string(&self.detail).expect("detail string"),
+        )
+    }
+
+    fn failed(name: &'static str, detail: String) -> LegResult {
+        LegResult {
+            name,
+            slots: 0,
+            acked: 0,
+            lost: 0,
+            hangs_detected: 0,
+            hang_detect_ms_max: 0,
+            killed_restarts: 0,
+            hang_restarts: 0,
+            breaker_openings: 0,
+            breaker_final: "unknown",
+            parity_ratio: 0.0,
+            monitors: Vec::new(),
+            ok: false,
+            detail,
+        }
+    }
+}
+
+fn breaker_name(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half_open",
+    }
+}
+
+/// Aggregate parity over the leg's observed ranges: Σ estimated bits /
+/// Σ ground-truth bits across every connected UE.
+fn parity_ratio(sup: &mut Supervisor, gnb: &Gnb, stats: &DriveStats) -> Option<f64> {
+    let ranges = ranges_of(&stats.observed);
+    if ranges.is_empty() {
+        return None;
+    }
+    let reply = sup.request_report(ranges.clone())?;
+    let mut truth_bits = 0u64;
+    let mut est_bits = 0u64;
+    for rnti in gnb.connected_rntis() {
+        let ue = gnb.ue(rnti).expect("connected UE");
+        truth_bits += ranges
+            .iter()
+            .map(|&(a, b)| ue.delivered_bytes_in(a..b) as u64 * 8)
+            .sum::<u64>();
+        est_bits += reply
+            .per_ue
+            .iter()
+            .find(|(r, _)| *r == rnti)
+            .map(|(_, bits)| bits.iter().sum::<u64>())
+            .unwrap_or(0);
+    }
+    Some(est_bits as f64 / truth_bits.max(1) as f64)
+}
+
+/// Run one supervised leg under `schedule`. The baseline passes
+/// [`ChaosArms::none`]-composed schedules (nothing fires); the chaos leg
+/// passes the full composition.
+fn supervised_leg(
+    name: &'static str,
+    short: bool,
+    schedule: &ChaosSchedule,
+    mut monitors: Vec<Box<dyn InvariantMonitor>>,
+    ghosts: Vec<Rnti>,
+) -> LegResult {
+    let cell = CellConfig::srsran_n41();
+    let dir = session_dir(name);
+    let scope_cfg = tuned_config(short);
+    std::fs::write(dir.join(supervise::CONFIG_FILE), scope_cfg.to_json())
+        .expect("write scope config");
+    if schedule.has_child_faults() {
+        std::fs::write(dir.join(CHAOS_PLAN_FILE), schedule.child_plan().to_json())
+            .expect("write chaos plan");
+    }
+
+    let mut gnb = build_gnb(&cell, 3, SEED);
+    let mut obs = Observer::new(&cell, 35.0, false, SEED ^ 0xD15C);
+    if let Some(sched) = schedule.impairment_schedule() {
+        obs.set_impairments(sched);
+    }
+    if schedule.clock_static_ppm != 0.0 {
+        let mut model = cell
+            .clock_model(SEED ^ 0xC10C)
+            .with_static_ppm(schedule.clock_static_ppm)
+            .with_drift_ppm_per_s(schedule.clock_drift_ppm_per_s);
+        if let Some((slot, us)) = schedule.clock_step {
+            model = model.with_step(slot, us);
+        }
+        obs.set_clock(model);
+    }
+    let hostile = HostileConfig::seeded(schedule.seed);
+    let hostile_windows = schedule.hostile_windows.clone();
+    let slot_s = cell.slot_s();
+    // The timing-recovery loop is front-end-local: the parent owns the
+    // radio, so the parent closes the loop (exactly as a real SDR host
+    // would) — the child receives already-corrected captures.
+    let mut recovery = ClockRecovery::new(ClockRecoveryConfig::default());
+
+    let exe = std::env::current_exe().expect("current exe path");
+    let args = vec![
+        "--child".to_string(),
+        dir.display().to_string(),
+        cell.pci.0.to_string(),
+    ];
+    let metrics = Arc::new(Metrics::new(true));
+    let mut sup = Supervisor::new(&exe, &args, &[], scope_cfg.supervise, metrics);
+    let hello = match sup.start() {
+        Ok(h) => h,
+        Err(e) => return LegResult::failed(name, format!("child failed to start: {e}")),
+    };
+    if hello.report.resumed {
+        return LegResult::failed(name, "first start claimed to resume prior state".into());
+    }
+
+    let stats = drive_supervised(&mut sup, schedule, &ghosts, &mut monitors, |seq| {
+        for &(a, b) in &hostile_windows {
+            if seq == a {
+                gnb.arm_hostile(hostile);
+            }
+            if seq == b {
+                gnb.disarm_hostile();
+            }
+        }
+        let out = gnb.step();
+        let cap = obs.capture(&out, seq as f64 * slot_s);
+        if let Some(cobs) = obs.take_clock_observable() {
+            recovery.on_slot(&cobs);
+            obs.apply_clock_correction(recovery.correction_us(), recovery.correction_cfo_hz());
+        }
+        cap
+    });
+
+    let parity = parity_ratio(&mut sup, &gnb, &stats);
+    let sup_stats = sup.stats();
+    let killed_restarts = sup
+        .restart_log()
+        .iter()
+        .filter(|e| e.cause == RestartCause::Killed)
+        .count() as u64;
+    let hang_restarts = sup
+        .restart_log()
+        .iter()
+        .filter(|e| e.cause == RestartCause::Hang)
+        .count() as u64;
+    let breaker_final = breaker_name(sup.breaker_state());
+    let _ = sup.finish();
+
+    let statuses = monitor_statuses(&monitors);
+    let monitors_green = statuses.iter().all(|m| m.ok);
+    let detect_max = stats
+        .hang_observations
+        .iter()
+        .map(|h| h.detect_ms)
+        .max()
+        .unwrap_or(0);
+    let hang_bound = scope_cfg.supervise.hang_deadline_ms + HANG_SLOP_MS;
+
+    let want_faults = !schedule.kill_slots.is_empty();
+    let mut ok = monitors_green
+        && parity.is_some()
+        && sup_stats.breaker_openings == 0
+        && breaker_final == "closed"
+        && stats.final_sync_synced;
+    if want_faults {
+        // The chaos leg must have *survived* its script, not dodged it.
+        ok = ok
+            && killed_restarts >= 2
+            && hang_restarts >= 1
+            && !stats.hang_observations.is_empty()
+            && detect_max <= hang_bound;
+    }
+    let detail = format!(
+        "acked={} lost={} hangs={} detect_max={}ms (bound {}ms) kills={} \
+         breaker={} parity={:?} monitors_green={}",
+        stats.acked,
+        stats.lost_child_down + stats.lost_lame_duck,
+        sup_stats.hangs_detected,
+        detect_max,
+        hang_bound,
+        killed_restarts,
+        breaker_final,
+        parity,
+        monitors_green,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    LegResult {
+        name,
+        slots: stats.slots,
+        acked: stats.acked,
+        lost: stats.lost_child_down + stats.lost_lame_duck,
+        hangs_detected: sup_stats.hangs_detected,
+        hang_detect_ms_max: detect_max,
+        killed_restarts,
+        hang_restarts,
+        breaker_openings: sup_stats.breaker_openings,
+        breaker_final,
+        parity_ratio: parity.unwrap_or(0.0),
+        monitors: statuses,
+        ok,
+        detail,
+    }
+}
+
+/// The fleet leg's outcome.
+struct FleetLegResult {
+    slots: u64,
+    wedges: u64,
+    restarts: u64,
+    breaker_open_cells: u64,
+    unhealthy_cells: u64,
+    monitors: Vec<MonitorStatus>,
+    ok: bool,
+    detail: String,
+}
+
+impl FleetLegResult {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\": \"fleet\", \"slots\": {slots}, \"wedges\": {wedges}, ",
+                "\"restarts\": {restarts}, \"breaker_open_cells\": {open}, ",
+                "\"unhealthy_cells\": {unhealthy}, \"monitors\": {monitors}, ",
+                "\"ok\": {ok}, \"detail\": {detail}}}"
+            ),
+            slots = self.slots,
+            wedges = self.wedges,
+            restarts = self.restarts,
+            open = self.breaker_open_cells,
+            unhealthy = self.unhealthy_cells,
+            monitors = serde_json::to_string(&self.monitors).expect("monitor statuses"),
+            ok = self.ok,
+            detail = serde_json::to_string(&self.detail).expect("detail string"),
+        )
+    }
+}
+
+/// Three shards, one scripted shard hang (a pathological in-flight
+/// delay), a 50 ms watchdog: the hang must be fenced and warm-restarted
+/// while the sibling shards keep advancing (bulkhead isolation), and the
+/// default restart budget must absorb it without parking anything.
+fn fleet_leg(short: bool) -> FleetLegResult {
+    let slots: u64 = if short { 4_000 } else { 8_000 };
+    let schedule = ChaosSchedule::compose(
+        SEED ^ 0xF1EE7,
+        slots,
+        ChaosArms {
+            hangs: true,
+            ..ChaosArms::none()
+        },
+    );
+    let cell = CellConfig::srsran_n41();
+    let cfg = FleetConfig {
+        workers: 2,
+        watchdog_ms: 50,
+        ..FleetConfig::default()
+    };
+    let specs: Vec<ShardSpec> = (0..3)
+        .map(|i| ShardSpec::volatile(format!("cell-{i}"), Some(cell.pci), ScopeConfig::default()))
+        .collect();
+    let n_shards = specs.len();
+    let fleet = match Fleet::new(cfg, specs) {
+        Ok(f) => f,
+        Err(e) => {
+            return FleetLegResult {
+                slots,
+                wedges: 0,
+                restarts: 0,
+                breaker_open_cells: 0,
+                unhealthy_cells: 0,
+                monitors: Vec::new(),
+                ok: false,
+                detail: format!("fleet failed to start: {e}"),
+            }
+        }
+    };
+
+    let mut feeds: Vec<(Gnb, Observer)> = (0..n_shards as u64)
+        .map(|i| {
+            (
+                build_gnb(&cell, 2, SEED + 100 * i),
+                Observer::new(&cell, 35.0, false, SEED ^ (0xF00 + i)),
+            )
+        })
+        .collect();
+    // A shard hang longer than the watchdog deadline, capped so the
+    // bench's wall clock stays bounded.
+    let shard_hangs: Vec<(usize, u64, u64)> = schedule
+        .hangs
+        .hangs
+        .iter()
+        .filter_map(|p| match p.target {
+            HangTarget::FleetShard(s) => Some((s % n_shards, p.slot, p.duration_ms.min(1_500))),
+            _ => None,
+        })
+        .collect();
+
+    let mut monitor = BulkheadIsolationMonitor::new(512);
+    let slot_s = cell.slot_s();
+    for seq in 0..slots {
+        for &(shard, at, dur_ms) in &shard_hangs {
+            if seq == at {
+                fleet.inject_fault(
+                    shard,
+                    FaultPlan::OneShot(InjectedFault::Delay(Duration::from_millis(dur_ms))),
+                );
+            }
+        }
+        for (shard, (gnb, obs)) in feeds.iter_mut().enumerate() {
+            let out = gnb.step();
+            let cap = obs.capture(&out, seq as f64 * slot_s);
+            fleet.feed(shard, seq, cap);
+        }
+        if seq % 64 == 63 {
+            fleet.supervise();
+            // Pacing: give the shared workers real time per chunk so a
+            // rollup gap of 512 slots spans several watchdog periods.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if seq % 512 == 511 {
+            monitor.on_fleet(seq, &fleet.rollup());
+        }
+    }
+    fleet.quiesce(Duration::from_secs(10));
+    let snap = fleet.rollup();
+    let wedges: u64 = snap.cells.iter().map(|c| c.hangs_detected).sum();
+    let restarts: u64 = snap.cells.iter().map(|c| c.restarts).sum();
+    let unhealthy = snap.cells.iter().filter(|c| c.health != "healthy").count() as u64;
+    let breaker_open_cells = snap.breaker_open_cells;
+    fleet.finish();
+
+    let monitors: Vec<Box<dyn InvariantMonitor>> = vec![Box::new(monitor)];
+    let statuses = monitor_statuses(&monitors);
+    let monitors_green = statuses.iter().all(|m| m.ok);
+    let ok = monitors_green
+        && !shard_hangs.is_empty()
+        && wedges >= 1
+        && restarts >= 1
+        && breaker_open_cells == 0
+        && unhealthy == 0;
+    let detail = format!(
+        "scripted_hangs={} wedges={wedges} restarts={restarts} \
+         breaker_open_cells={breaker_open_cells} unhealthy={unhealthy} \
+         monitors_green={monitors_green}",
+        shard_hangs.len()
+    );
+    FleetLegResult {
+        slots,
+        wedges,
+        restarts,
+        breaker_open_cells,
+        unhealthy_cells: unhealthy,
+        monitors: statuses,
+        ok,
+        detail,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 4 && args[1] == "--child" {
+        // Child mode: recover from the session directory, apply any
+        // scripted chaos plan found there, and serve slots.
+        let pci: u16 = args[3].parse().expect("child PCI argument");
+        supervise::run_child(Path::new(&args[2]), Some(Pci(pci))).expect("child pipeline");
+        return;
+    }
+    let short = args.iter().any(|a| a == "--short");
+    let horizon: u64 = if short { 6_000 } else { 12_000 };
+
+    let baseline_schedule = ChaosSchedule::compose(SEED, horizon, ChaosArms::none());
+    let chaos_schedule = ChaosSchedule::compose(SEED, horizon, ChaosArms::all());
+    // The chaos-gate preconditions the composition engine promises.
+    assert!(
+        chaos_schedule.kill_slots.len() >= 2,
+        "compose arms >= 2 kills"
+    );
+    assert!(
+        chaos_schedule
+            .hangs
+            .hangs
+            .iter()
+            .any(|p| p.target == HangTarget::SlotLoop),
+        "compose arms a scripted slot-loop hang"
+    );
+    let ghosts = vec![Rnti(HostileConfig::default().persistent_ghost_rnti)];
+
+    let mut panics = 0u64;
+    let mut run_supervised = |name: &'static str,
+                              schedule: &ChaosSchedule,
+                              monitors: Vec<Box<dyn InvariantMonitor>>,
+                              ghosts: Vec<Rnti>|
+     -> LegResult {
+        match catch_unwind(AssertUnwindSafe(|| {
+            supervised_leg(name, short, schedule, monitors, ghosts)
+        })) {
+            Ok(r) => r,
+            Err(_) => {
+                panics += 1;
+                LegResult::failed(name, "leg panicked".into())
+            }
+        }
+    };
+
+    let baseline = run_supervised("baseline", &baseline_schedule, Vec::new(), Vec::new());
+    let chaos = run_supervised(
+        "chaos",
+        &chaos_schedule,
+        standard_monitors(ghosts.clone()),
+        ghosts,
+    );
+    let fleet = match catch_unwind(AssertUnwindSafe(|| fleet_leg(short))) {
+        Ok(r) => r,
+        Err(_) => {
+            panics += 1;
+            FleetLegResult {
+                slots: 0,
+                wedges: 0,
+                restarts: 0,
+                breaker_open_cells: 0,
+                unhealthy_cells: 0,
+                monitors: Vec::new(),
+                ok: false,
+                detail: "fleet leg panicked".into(),
+            }
+        }
+    };
+
+    // Parity under full chaos, relative to the clean baseline.
+    let rel_parity = if baseline.parity_ratio > 0.0 {
+        chaos.parity_ratio / baseline.parity_ratio
+    } else {
+        0.0
+    };
+    let parity_ok = (PARITY_MIN..=PARITY_MAX).contains(&rel_parity);
+    let all_ok = panics == 0 && baseline.ok && chaos.ok && fleet.ok && parity_ok;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"chaos\",\n",
+            "  \"short\": {short},\n",
+            "  \"seed\": {seed},\n",
+            "  \"horizon_slots\": {horizon},\n",
+            "  \"relative_parity\": {rel:.4},\n",
+            "  \"parity_bounds\": [{pmin}, {pmax}],\n",
+            "  \"panics\": {panics},\n",
+            "  \"legs\": [\n    {baseline},\n    {chaos},\n    {fleet}\n  ],\n",
+            "  \"gate_ok\": {ok}\n",
+            "}}\n"
+        ),
+        short = short,
+        seed = SEED,
+        horizon = horizon,
+        rel = rel_parity,
+        pmin = PARITY_MIN,
+        pmax = PARITY_MAX,
+        panics = panics,
+        baseline = baseline.to_json(),
+        chaos = chaos.to_json(),
+        fleet = fleet.to_json(),
+        ok = all_ok,
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+
+    println!("chaos bench ({horizon} slots/leg, short={short})");
+    for leg in [&baseline, &chaos] {
+        println!(
+            "  {:<9} acked {:>6}/{:<6} parity {:.4}  hangs {} (max {} ms)  kills {}  breaker {:<9} {}",
+            leg.name,
+            leg.acked,
+            leg.slots,
+            leg.parity_ratio,
+            leg.hangs_detected,
+            leg.hang_detect_ms_max,
+            leg.killed_restarts,
+            leg.breaker_final,
+            if leg.ok { "ok" } else { "FAIL" }
+        );
+        println!("    {}", leg.detail);
+    }
+    println!(
+        "  fleet     wedges {}  restarts {}  breaker-open cells {}  {}",
+        fleet.wedges,
+        fleet.restarts,
+        fleet.breaker_open_cells,
+        if fleet.ok { "ok" } else { "FAIL" }
+    );
+    println!("    {}", fleet.detail);
+    println!("  relative parity    {rel_parity:.4} (bounds [{PARITY_MIN}, {PARITY_MAX}])");
+    println!("  panics             {panics}");
+    println!("wrote BENCH_chaos.json");
+    if !all_ok {
+        eprintln!("chaos gate breached: see leg details above");
+        std::process::exit(1);
+    }
+}

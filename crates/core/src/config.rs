@@ -63,6 +63,59 @@ pub struct ScopeConfig {
     /// Defaulted so configs written before clock hardening still parse.
     #[serde(default)]
     pub clock: ClockRecoveryConfig,
+    /// Liveness-supervision knobs (`supervise.*`): heartbeat cadence, hang
+    /// deadline, and the restart-storm circuit breaker. Defaulted so
+    /// configs written before liveness supervision still parse.
+    #[serde(default)]
+    pub supervise: SuperviseConfig,
+}
+
+/// Liveness-supervision knobs: how the parent decides a child is hung
+/// rather than busy, and how the restart-storm circuit breaker meters
+/// respawns. Shared across the supervised-child path and (budget/window)
+/// the fleet's per-shard breakers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SuperviseConfig {
+    /// Child side: emit a [`ChildMsg::Heartbeat`](crate::supervise::ChildMsg)
+    /// if this long has passed since the last line it wrote — keeps a
+    /// busy-but-alive child (long gap-fill, slow slot) distinguishable
+    /// from a wedged one.
+    pub heartbeat_interval_ms: u64,
+    /// Parent side: pipe silence longer than this classifies the child as
+    /// hung — force-kill and warm-restart, exactly like a crash. Must
+    /// comfortably exceed `heartbeat_interval_ms`.
+    pub hang_deadline_ms: u64,
+    /// Token-bucket restart budget: restarts the breaker grants before it
+    /// opens. Tokens refill at `restart_budget` per
+    /// `restart_budget_window_slots`.
+    pub restart_budget: u32,
+    /// Slot window over which the full restart budget refills.
+    pub restart_budget_window_slots: u64,
+    /// Slots the supervisor waits after a kill before respawning (lets a
+    /// transient cause clear instead of restarting into it).
+    pub restart_backoff_slots: u64,
+    /// Slots an open breaker parks the child in lame-duck mode before
+    /// granting a single half-open probe restart.
+    pub breaker_halfopen_after_slots: u64,
+    /// Bound on waiting for a finishing child to exit before the
+    /// supervisor escalates to SIGKILL ([`ChildHandle::wait_timeout`]
+    /// (crate::supervise::ChildHandle::wait_timeout)).
+    pub wait_timeout_ms: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            heartbeat_interval_ms: 200,
+            hang_deadline_ms: 2_000,
+            restart_budget: 6,
+            restart_budget_window_slots: 20_000, // 10 s at µ=1
+            restart_backoff_slots: 8,
+            breaker_halfopen_after_slots: 4_000, // 2 s at µ=1
+            wait_timeout_ms: 5_000,
+        }
+    }
 }
 
 /// Stage-2 admission-control knobs: what a recovery-minted (never
@@ -159,6 +212,34 @@ pub struct FleetConfig {
     /// configs written before group commit still parse.
     #[serde(default)]
     pub per_shard_journal_writers: bool,
+    /// Per-shard restart-storm budget: engine rebuilds the breaker grants
+    /// before it opens and the shard is parked in lame-duck mode (a
+    /// volatile-degraded engine, no further rebuild attempts until the
+    /// half-open probe). Tokens refill at `restart_budget` per
+    /// `restart_budget_window_slots` of that shard's feed. 0 disables the
+    /// breaker. Defaulted so pre-breaker configs still parse.
+    #[serde(default = "default_fleet_restart_budget")]
+    pub restart_budget: u32,
+    /// Slot window (of the shard's own feed) over which the full restart
+    /// budget refills.
+    #[serde(default = "default_fleet_restart_budget_window")]
+    pub restart_budget_window_slots: u64,
+    /// Slots an open shard breaker waits before granting one half-open
+    /// probe rebuild.
+    #[serde(default = "default_fleet_breaker_halfopen")]
+    pub breaker_halfopen_after_slots: u64,
+}
+
+fn default_fleet_restart_budget() -> u32 {
+    10
+}
+
+fn default_fleet_restart_budget_window() -> u64 {
+    20_000 // 10 s at µ=1
+}
+
+fn default_fleet_breaker_halfopen() -> u64 {
+    4_000 // 2 s at µ=1
 }
 
 impl Default for FleetConfig {
@@ -172,6 +253,9 @@ impl Default for FleetConfig {
             backoff_calm_ms: 10_000,
             continuity_window_slots: 2_000, // 1 s at µ=1
             per_shard_journal_writers: false,
+            restart_budget: default_fleet_restart_budget(),
+            restart_budget_window_slots: default_fleet_restart_budget_window(),
+            breaker_halfopen_after_slots: default_fleet_breaker_halfopen(),
         }
     }
 }
@@ -215,6 +299,7 @@ impl Default for ScopeConfig {
             governor: GovernorConfig::default(),
             admission: AdmissionConfig::default(),
             clock: ClockRecoveryConfig::default(),
+            supervise: SuperviseConfig::default(),
         }
     }
 }
@@ -250,6 +335,21 @@ mod tests {
         assert!(!json.contains("admission"), "field really stripped");
         let back = ScopeConfig::from_json(&json).expect("old config accepted");
         assert_eq!(back.admission, AdmissionConfig::default());
+    }
+
+    #[test]
+    fn pre_liveness_config_json_gets_default_supervise() {
+        let mut json = ScopeConfig::default().to_json();
+        let cfg = ScopeConfig::default();
+        let sup = serde_json::to_string(&cfg.supervise).expect("serialises");
+        json = json.replace(&format!(",\"supervise\":{sup}"), "");
+        assert!(!json.contains("supervise"), "field really stripped");
+        let back = ScopeConfig::from_json(&json).expect("old config accepted");
+        assert_eq!(back.supervise, SuperviseConfig::default());
+        assert!(
+            back.supervise.hang_deadline_ms > back.supervise.heartbeat_interval_ms,
+            "a heartbeat cadence slower than the hang deadline would flag every slot"
+        );
     }
 
     #[test]

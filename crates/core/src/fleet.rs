@@ -46,6 +46,7 @@ use crate::persist::{
     DurabilityRung, JournalWriter, PersistConfig, PersistentSession, RecoveryReport,
 };
 use crate::scope::{NrScope, SyncState, UeEvent};
+use crate::supervise::{BreakerState, RestartBreaker};
 use crate::worker::{spawn_background, InjectedFault};
 use nr_phy::types::{Pci, Rnti};
 use serde::{Deserialize, Serialize};
@@ -281,6 +282,11 @@ struct Shard {
     /// volatile fallback (restart can't fix a disk). Cleared if a later
     /// rebuild gets the durable engine back.
     degraded: AtomicBool,
+    /// Token-bucket restart budget; exhaustion parks the shard lame-duck
+    /// instead of hot-looping rebuilds. Slot clock = `highest_fed`.
+    breaker: Mutex<RestartBreaker>,
+    /// Parked behind an open breaker on a volatile fallback engine.
+    lame_duck: AtomicBool,
 }
 
 /// An unmatched continuity edge.
@@ -354,6 +360,11 @@ pub struct ShardStatus {
     pub queue_len: usize,
     /// Recovery report of the latest warm restart, if any.
     pub last_recovery: Option<RecoveryReport>,
+    /// Restart-breaker position.
+    pub breaker: BreakerState,
+    /// Parked lame-duck behind an open breaker (serving on a volatile
+    /// fallback engine, rebuilds withheld until the half-open probe).
+    pub lame_duck: bool,
 }
 
 /// One cell's rollup row ([`FleetSnapshot::cells`]).
@@ -385,6 +396,16 @@ pub struct CellRollup {
     pub wedges: u64,
     /// Completed warm restarts.
     pub restarts: u64,
+    /// Hangs detected on this cell (watchdog fences — every wedge is a
+    /// detected hang). Defaulted so pre-liveness rollups parse.
+    #[serde(default)]
+    pub hangs_detected: u64,
+    /// Restart-breaker position name (`closed` / `open` / `half_open`).
+    #[serde(default)]
+    pub breaker: String,
+    /// Times this cell's breaker has opened.
+    #[serde(default)]
+    pub breaker_openings: u64,
     /// Durability rung name: `durable` / `durable_degraded` /
     /// `non_durable` for durable shards, `volatile` for shards configured
     /// without persistence. Defaulted so pre-storage-fault rollups parse.
@@ -436,6 +457,10 @@ pub struct FleetSnapshot {
     /// Σ integer sample slips across cells.
     #[serde(default)]
     pub total_timing_slips: u64,
+    /// Cells currently parked behind an open restart breaker. Defaulted
+    /// so pre-liveness rollups parse.
+    #[serde(default)]
+    pub breaker_open_cells: u64,
     /// The matched handover pairs.
     pub matches: Vec<ContinuityMatch>,
 }
@@ -504,6 +529,12 @@ impl Fleet {
                 wedges: AtomicU64::new(0),
                 restarts: AtomicU64::new(0),
                 degraded: AtomicBool::new(false),
+                breaker: Mutex::new(RestartBreaker::new(
+                    cfg.restart_budget,
+                    cfg.restart_budget_window_slots,
+                    cfg.breaker_halfopen_after_slots,
+                )),
+                lame_duck: AtomicBool::new(false),
             });
         }
         let cores = std::thread::available_parallelism()
@@ -602,9 +633,9 @@ impl Fleet {
                     lock_clean(&self.workers).push(handle);
                 }
             }
-            // Due restarts. `try_lock`: if a stuck worker still holds the
-            // engine, postpone without charging the backoff — the fault
-            // already paid its delay.
+            // Due restarts, metered by the per-shard breaker. `try_lock`:
+            // if a stuck worker still holds the engine, postpone without
+            // charging the backoff — the fault already paid its delay.
             let due = {
                 let c = lock_clean(&shard.control);
                 c.restart_due.is_some_and(|d| now >= d)
@@ -612,7 +643,33 @@ impl Fleet {
             if due {
                 match shard.engine.try_lock() {
                     Ok(mut cell) => {
-                        restart_shard(shared, shard, &mut cell);
+                        let now_slot = shard.highest_fed.load(Relaxed);
+                        let granted = lock_clean(&shard.breaker).try_acquire(now_slot);
+                        if !granted {
+                            // Budget exhausted: park lame-duck instead of
+                            // hot-looping rebuilds, and keep the due flag
+                            // set so the half-open probe fires once the
+                            // backoff elapses.
+                            park_lame_duck(shared, shard, &mut cell);
+                            let mut c = lock_clean(&shard.control);
+                            c.restart_due = Some(now + Duration::from_millis(1));
+                        } else {
+                            let probing =
+                                lock_clean(&shard.breaker).state() == BreakerState::HalfOpen;
+                            let ok = restart_shard(shared, shard, &mut cell);
+                            lock_clean(&shard.breaker).probe_result(ok, now_slot);
+                            if ok && (probing || shard.lame_duck.swap(false, Relaxed)) {
+                                shard.lame_duck.store(false, Relaxed);
+                                if let Some(engine) = cell.engine.as_ref() {
+                                    let m = engine.scope().metrics();
+                                    m.gauge_set(Gauge::RestartBreakerOpen, 0);
+                                    m.note(
+                                        "restart_breaker",
+                                        "closed: half-open probe rebuild succeeded",
+                                    );
+                                }
+                            }
+                        }
                     }
                     Err(_) => {
                         let mut c = lock_clean(&shard.control);
@@ -653,6 +710,8 @@ impl Fleet {
             sheds: s.sheds.load(Relaxed),
             queue_len: lock_clean(&s.queue).len(),
             last_recovery: c.last_recovery.clone(),
+            breaker: lock_clean(&s.breaker).state(),
+            lame_duck: s.lame_duck.load(Relaxed),
         }
     }
 
@@ -692,6 +751,10 @@ impl Fleet {
             }
             let cache = lock_clean(&s.cache).clone();
             let health = lock_clean(&s.control).health;
+            let (breaker, breaker_openings) = {
+                let b = lock_clean(&s.breaker);
+                (b.state().name().to_string(), b.openings())
+            };
             cells.push(CellRollup {
                 name: s.spec.name.clone(),
                 pci: s.spec.pci.map(|p| p.0),
@@ -706,6 +769,9 @@ impl Fleet {
                 panics: s.panics.load(Relaxed),
                 wedges: s.wedges.load(Relaxed),
                 restarts: s.restarts.load(Relaxed),
+                hangs_detected: s.wedges.load(Relaxed),
+                breaker,
+                breaker_openings,
                 durability: cache.durability.to_string(),
                 loss_window_slots: cache.loss_window,
                 clock_lock: cache.clock_lock.to_string(),
@@ -732,6 +798,7 @@ impl Fleet {
             .iter()
             .filter(|c| c.clock_lock == "pulling" || c.clock_lock == "unlocked")
             .count() as u64;
+        let breaker_open_cells = cells.iter().filter(|c| c.breaker != "closed").count() as u64;
         FleetSnapshot {
             total_slots: cells.iter().map(|c| c.slots).sum(),
             total_dcis: cells.iter().map(|c| c.dcis).sum(),
@@ -741,6 +808,7 @@ impl Fleet {
             durability_degraded_cells,
             clock_unlocked_cells,
             total_timing_slips: cells.iter().map(|c| c.timing_slips).sum(),
+            breaker_open_cells,
             matches,
             cells,
         }
@@ -849,8 +917,51 @@ fn schedule_restart(shared: &FleetShared, shard: &Shard, health: ShardHealth, no
     c.last_fault_at = Some(now);
 }
 
+/// Park a shard in lame-duck mode behind an open restart breaker: the
+/// rebuild budget is exhausted, so instead of hot-looping respawns the
+/// shard gets one volatile fallback engine (degraded but still decoding)
+/// and real rebuilds wait for the breaker's half-open probe.
+fn park_lame_duck(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
+    let was_parked = shard.lame_duck.swap(true, Relaxed);
+    if was_parked && cell.engine.is_some() {
+        return; // already parked and still serving
+    }
+    let mut scope = NrScope::new(shard.spec.scope, shard.spec.pci);
+    scope.set_load_model(shard.spec.load_model);
+    let adopt = lock_clean(&shard.queue)
+        .front()
+        .map(|e| e.seq)
+        .unwrap_or_else(|| shard.highest_fed.load(Relaxed).saturating_add(1));
+    scope.fast_forward(adopt);
+    {
+        let m = scope.metrics();
+        m.gauge_set(Gauge::RestartBreakerOpen, 1);
+        m.note(
+            "restart_breaker",
+            format!(
+                "restart budget exhausted ({} per {} slots): shard parked \
+                 lame-duck on a volatile fallback until the half-open probe",
+                shared.cfg.restart_budget, shared.cfg.restart_budget_window_slots
+            ),
+        );
+        if shard.spec.persist.is_some() {
+            m.gauge_set(Gauge::DurabilityRung, DurabilityRung::NonDurable as u64);
+        }
+    }
+    if shard.spec.persist.is_some() {
+        shard.degraded.store(true, Relaxed);
+    }
+    cell.engine = Some(ShardEngine::Volatile(Box::new(scope)));
+    cell.gen = shard.gen.load(SeqCst);
+    let mut c = lock_clean(&shard.control);
+    c.health = ShardHealth::Healthy;
+}
+
 /// Rebuild a shard's engine in place (the caller holds the engine lock).
-fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
+/// Returns true when an engine was installed (including the volatile
+/// fallback after a dead disk), false when the rebuild failed and another
+/// attempt was scheduled.
+fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) -> bool {
     match ShardEngine::build(&shard.spec, shared.journal_writer.as_ref()) {
         Ok((mut engine, recovery)) => {
             if shard.spec.persist.is_none() {
@@ -863,6 +974,7 @@ fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
                     .unwrap_or_else(|| shard.highest_fed.load(Relaxed).saturating_add(1));
                 engine.scope_mut().fast_forward(adopt);
             }
+            engine.scope().metrics().inc(Counter::RestartsTotal);
             cell.engine = Some(engine);
             cell.gen = shard.gen.load(SeqCst);
             shard.restarts.fetch_add(1, Relaxed);
@@ -877,6 +989,7 @@ fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
             if recovery.is_some() {
                 c.last_recovery = recovery;
             }
+            true
         }
         Err(e) => {
             let backoff_exhausted =
@@ -906,10 +1019,12 @@ fn restart_shard(shared: &FleetShared, shard: &Shard, cell: &mut EngineCell) {
                 let mut c = lock_clean(&shard.control);
                 c.health = ShardHealth::Healthy;
                 c.restart_due = None;
+                true
             } else {
                 // Rebuild failed (I/O): treat as another fault — back off
                 // and try again rather than spinning.
                 schedule_restart(shared, shard, ShardHealth::Faulted, Instant::now());
+                false
             }
         }
     }
@@ -1282,6 +1397,64 @@ mod tests {
         assert!(a.wedges >= 1, "watchdog fenced the wedged shard");
         assert!(a.restarts >= 1, "and it was restarted");
         assert_eq!(fleet.shard_status(1).wedges, 0);
+        assert!(fleet.quiesce(Duration::from_secs(10)));
+        fleet.finish();
+    }
+
+    #[test]
+    fn breaker_parks_storming_shard_and_halfopen_probe_recovers() {
+        let mut c = cfg();
+        c.restart_budget = 2;
+        c.restart_budget_window_slots = 1_000_000; // no meaningful refill
+        c.breaker_halfopen_after_slots = 50;
+        let fleet = Fleet::new(c, vec![spec("storm"), spec("calm")]).unwrap();
+        // Keep panicking the shard until the restart budget runs dry and
+        // the breaker parks it lame-duck.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut s = 0u64;
+        while Instant::now() < deadline {
+            fleet.inject_fault(0, FaultPlan::OneShot(InjectedFault::Panic));
+            for _ in 0..8 {
+                fleet.feed(0, s, empty_slot());
+                fleet.feed(1, s, empty_slot());
+                s += 1;
+            }
+            fleet.supervise();
+            std::thread::sleep(Duration::from_millis(2));
+            if fleet.shard_status(0).lame_duck {
+                break;
+            }
+        }
+        let st = fleet.shard_status(0);
+        assert!(st.lame_duck, "breaker parked the storming shard");
+        assert_ne!(st.breaker, BreakerState::Closed);
+        let snap = fleet.rollup();
+        assert_eq!(snap.breaker_open_cells, 1);
+        assert!(snap.cells[0].breaker_openings >= 1);
+        assert_eq!(snap.cells[1].breaker, "closed", "sibling unaffected");
+        // Stop injecting and advance the feed past the half-open backoff:
+        // the probe rebuild succeeds and the breaker closes.
+        fleet.inject_fault(0, FaultPlan::None);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            for _ in 0..16 {
+                fleet.feed(0, s, empty_slot());
+                s += 1;
+            }
+            fleet.supervise();
+            std::thread::sleep(Duration::from_millis(2));
+            let st = fleet.shard_status(0);
+            if !st.lame_duck && st.breaker == BreakerState::Closed {
+                break;
+            }
+        }
+        let st = fleet.shard_status(0);
+        assert_eq!(
+            st.breaker,
+            BreakerState::Closed,
+            "half-open probe closed the breaker"
+        );
+        assert!(!st.lame_duck);
         assert!(fleet.quiesce(Duration::from_secs(10)));
         fleet.finish();
     }

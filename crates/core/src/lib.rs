@@ -18,6 +18,7 @@
 //! (scheduler + worker pool + result queue) with real threads.
 
 pub mod binfmt;
+pub mod chaos;
 pub mod clock;
 pub mod config;
 pub mod decoder;
@@ -42,6 +43,10 @@ pub mod worker;
 /// missing-field errors to catch true incompatibilities.
 pub const SCHEMA_VERSION: u32 = 1;
 
+pub use chaos::{
+    ChaosArms, ChaosChildPlan, ChaosObs, ChaosSchedule, HangPoint, HangSchedule, HangTarget,
+    InvariantMonitor, MonitorStatus, OverloadWindow, StorageWindow, Violation, CHAOS_PLAN_FILE,
+};
 pub use clock::{
     ClockEvents, ClockLock, ClockObservable, ClockRecovery, ClockRecoveryConfig, ClockRecoveryState,
 };

@@ -203,11 +203,18 @@ pub enum Counter {
     /// Clock step discontinuities detected (timing jumps beyond the
     /// tracking loop's fine range, including reported overrun gaps).
     ClockSteps,
+    /// Hangs detected by liveness supervision: a supervised child silent
+    /// past its hang deadline, or a worker abandoned by a watchdog while
+    /// still holding a slot.
+    HangsDetected,
+    /// Warm restarts completed by any supervisor (child respawns, shard
+    /// engine rebuilds, worker-pool respawns).
+    RestartsTotal,
 }
 
 impl Counter {
     /// All counters.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 36] = [
         Counter::SlotsProcessed,
         Counter::SlotsDropped,
         Counter::LayoutMismatches,
@@ -242,6 +249,8 @@ impl Counter {
         Counter::TimingSlips,
         Counter::ClockLockLosses,
         Counter::ClockSteps,
+        Counter::HangsDetected,
+        Counter::RestartsTotal,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -281,6 +290,8 @@ impl Counter {
             Counter::TimingSlips => "timing_slips",
             Counter::ClockLockLosses => "clock_lock_losses",
             Counter::ClockSteps => "clock_steps",
+            Counter::HangsDetected => "hangs_detected",
+            Counter::RestartsTotal => "restarts_total",
         }
     }
 }
@@ -307,11 +318,17 @@ pub enum Gauge {
     ClockDriftPpb,
     /// Current clock-lock rung (0 = Locked, 1 = Pulling, 2 = Unlocked).
     ClockLockState,
+    /// 1 while a restart-storm circuit breaker is open (the child/shard is
+    /// parked in lame-duck mode), 0 otherwise.
+    RestartBreakerOpen,
+    /// Microseconds of pipe silence a child heartbeat (or ack) ended — how
+    /// close the supervised child last came to its hang deadline.
+    HeartbeatLagUs,
 }
 
 impl Gauge {
     /// All gauges.
-    pub const ALL: [Gauge; 8] = [
+    pub const ALL: [Gauge; 10] = [
         Gauge::QueueDepth,
         Gauge::TrackedUes,
         Gauge::WorkersAlive,
@@ -320,6 +337,8 @@ impl Gauge {
         Gauge::DurabilityRung,
         Gauge::ClockDriftPpb,
         Gauge::ClockLockState,
+        Gauge::RestartBreakerOpen,
+        Gauge::HeartbeatLagUs,
     ];
 
     /// Stable snake_case name used in snapshots and JSON.
@@ -333,6 +352,8 @@ impl Gauge {
             Gauge::DurabilityRung => "durability_rung",
             Gauge::ClockDriftPpb => "clock_drift_ppb",
             Gauge::ClockLockState => "clock_lock_state",
+            Gauge::RestartBreakerOpen => "restart_breaker_open",
+            Gauge::HeartbeatLagUs => "heartbeat_lag_us",
         }
     }
 }

@@ -361,8 +361,9 @@ fn is_enospc(e: &io::Error) -> bool {
     e.raw_os_error() == Some(28)
 }
 
-/// One kind of injectable storage fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One kind of injectable storage fault. Serialisable so a chaos plan can
+/// script storage windows for a supervised child process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// `write` fails with `EIO` (transient within its window, persistent
     /// when the window is unbounded).
@@ -1531,6 +1532,24 @@ fn load_snapshot_json(data: &[u8]) -> Option<SessionState> {
 const WRITER_QUEUE_DEPTH: usize = 8;
 const BUF_POOL_MAX: usize = 16;
 
+/// How long a batch submit will wait on a full writer queue before giving
+/// the batch up and demoting durability. Generous next to the ~2 ms flush
+/// latency deadline, tiny next to a real wedge — the slot loop must keep
+/// decoding while storage is stuck.
+const SUBMIT_GRACE_US: u64 = 5_000;
+
+/// What became of a submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubmitOutcome {
+    /// Queued on the writer thread.
+    Queued,
+    /// Queue full past [`SUBMIT_GRACE_US`]: the writer is wedged or
+    /// hopelessly behind. The batch was dropped.
+    Full,
+    /// The writer thread is gone (died or shut down).
+    Gone,
+}
+
 /// Everything the writer thread needs to serve one journal file's
 /// durability ladder, bundled so [`WriterCmd::Open`] stays readable.
 struct WriterCtx {
@@ -1573,6 +1592,11 @@ enum WriterCmd {
     /// Fire-and-forget — the session observes the outcome through the
     /// shared rung atomic.
     Probe { id: u64 },
+    /// Chaos injection: sleep in-line on the writer thread for the given
+    /// duration, so queued batches back up exactly as they would behind a
+    /// blocked disk driver. The submit path's bounded patience must then
+    /// demote durability honestly instead of stalling the slot loop.
+    Wedge { duration_ms: u64 },
     /// Drain and forget file `id`.
     Close { id: u64, ack: SyncSender<bool> },
 }
@@ -1687,10 +1711,17 @@ impl WriterFile {
                     }
                     attempt += 1;
                     if attempt > self.policy.storage_retry_max {
-                        self.set_rung(DurabilityRung::NonDurable);
-                        self.metrics.inc(Counter::StorageDemotions);
+                        // Atomic swap: the session (queue-full path) may
+                        // have demoted concurrently — one outage is one
+                        // demotion, whoever observes it first counts it.
+                        let prev = self.rung.swap(DurabilityRung::NonDurable as u64, Relaxed);
+                        self.metrics
+                            .gauge_set(Gauge::DurabilityRung, DurabilityRung::NonDurable as u64);
+                        if prev != DurabilityRung::NonDurable as u64 {
+                            self.metrics.inc(Counter::StorageDemotions);
+                            self.metrics.note("storage_demotion", e.to_string());
+                        }
                         self.metrics.add(Counter::JournalWriteFailures, n_records);
-                        self.metrics.note("storage_demotion", e.to_string());
                         self.healthy = false;
                         return;
                     }
@@ -1785,6 +1816,16 @@ impl JournalWriter {
         }
     }
 
+    /// Non-blocking command enqueue: `Full` when the queue is backed up
+    /// (a wedged or hopelessly behind writer), `Gone` when the thread has
+    /// exited. Returns the command on `Full` so the caller can retry.
+    fn try_send(&self, cmd: WriterCmd) -> Result<(), TrySendError<WriterCmd>> {
+        match lock_clean(&self.shared.tx).as_ref() {
+            Some(tx) => tx.try_send(cmd),
+            None => Err(TrySendError::Disconnected(cmd)),
+        }
+    }
+
     fn send_acked(&self, make: impl FnOnce(SyncSender<bool>) -> WriterCmd) -> bool {
         let (ack_tx, ack_rx) = sync_channel(1);
         self.send(make(ack_tx)) && ack_rx.recv() == Ok(true)
@@ -1810,14 +1851,31 @@ impl JournalWriter {
     }
 
     /// Queue one sealed batch (fire and forget — failures are counted by
-    /// the writer thread against the file's metrics). Returns `false`
-    /// only if the writer thread is gone.
-    fn submit(&self, id: u64, entries: Vec<JournalEntry>, last_seq: u64) -> bool {
-        self.send(WriterCmd::Batch {
+    /// the writer thread against the file's metrics) with bounded
+    /// patience: if the queue stays full past [`SUBMIT_GRACE_US`] the
+    /// batch is given up as [`SubmitOutcome::Full`] rather than blocking
+    /// the slot loop behind a wedged writer — the liveness contract is
+    /// that decode outlives storage, whatever storage is doing.
+    fn submit(&self, id: u64, entries: Vec<JournalEntry>, last_seq: u64) -> SubmitOutcome {
+        let mut cmd = WriterCmd::Batch {
             id,
             entries,
             last_seq,
-        })
+        };
+        let deadline = Instant::now() + Duration::from_micros(SUBMIT_GRACE_US);
+        loop {
+            match self.try_send(cmd) {
+                Ok(()) => return SubmitOutcome::Queued,
+                Err(TrySendError::Disconnected(_)) => return SubmitOutcome::Gone,
+                Err(TrySendError::Full(c)) => {
+                    if Instant::now() >= deadline {
+                        return SubmitOutcome::Full;
+                    }
+                    cmd = c;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
     }
 
     fn rotate(&self, id: u64, path: PathBuf) -> bool {
@@ -1829,9 +1887,22 @@ impl JournalWriter {
     }
 
     /// Queue a disk re-probe for file `id` (fire and forget; the outcome
-    /// lands in the shared rung atomic).
+    /// lands in the shared rung atomic). Non-blocking: while the writer
+    /// is wedged with a full queue the probe is simply skipped — the
+    /// flap backoff schedules another.
     fn probe(&self, id: u64) -> bool {
-        self.send(WriterCmd::Probe { id })
+        self.try_send(WriterCmd::Probe { id }).is_ok()
+    }
+
+    /// Chaos hook: wedge the writer thread for `dur`. It sleeps in-line,
+    /// so everything queued behind the wedge backs up exactly like a
+    /// blocked disk driver. Returns `false` if the command could not be
+    /// enqueued (thread gone or queue already full).
+    pub fn inject_wedge(&self, dur: Duration) -> bool {
+        self.try_send(WriterCmd::Wedge {
+            duration_ms: dur.as_millis() as u64,
+        })
+        .is_ok()
     }
 
     fn close(&self, id: u64) -> bool {
@@ -1907,6 +1978,9 @@ fn writer_loop(rx: Receiver<WriterCmd>, pool: Arc<Mutex<Vec<Vec<JournalEntry>>>>
                 if let Some(f) = files.get_mut(&id) {
                     f.try_recover();
                 }
+            }
+            WriterCmd::Wedge { duration_ms } => {
+                std::thread::sleep(Duration::from_millis(duration_ms));
             }
             WriterCmd::Close { id, ack } => {
                 files.remove(&id);
@@ -2318,28 +2392,57 @@ impl PersistentSession {
         }
         let records = self.batch.len();
         let (entries, last_seq) = self.batch.seal(self.scope.micro_state());
-        if !self.writer.submit(self.file_id, entries, last_seq) {
-            // Writer thread gone (died or shut down under us): the
-            // records are lost and nothing will ever drain again —
-            // that is a storage demotion, not just a counter bump.
+        match self.writer.submit(self.file_id, entries, last_seq) {
+            SubmitOutcome::Queued => {}
+            // Writer gone (died or shut down under us) or unresponsive
+            // past the submit grace (wedged thread, queue full): the
+            // records are lost and nothing is draining — that is a
+            // storage demotion, not just a counter bump.
             // `service_durability` observes the rung next slot, pauses
-            // journaling, and keeps decoding.
-            self.scope
-                .metrics()
-                .add(Counter::JournalWriteFailures, records);
-            if self.durability_rung() != DurabilityRung::NonDurable {
-                self.rung.store(DurabilityRung::NonDurable as u64, Relaxed);
+            // journaling, schedules probes, and keeps decoding; when a
+            // mere wedge ends, a probe re-promotes and the session
+            // re-anchors with a fresh checkpoint.
+            outcome => {
+                self.scope
+                    .metrics()
+                    .add(Counter::JournalWriteFailures, records);
+                // Atomic swap: the writer thread's retry-exhaustion path
+                // may demote concurrently (a dead disk backs the queue up
+                // while it burns retries) — one outage is one demotion,
+                // whoever observes it first counts it.
+                let prev = self.rung.swap(DurabilityRung::NonDurable as u64, Relaxed);
                 self.scope
                     .metrics()
                     .gauge_set(Gauge::DurabilityRung, DurabilityRung::NonDurable as u64);
-                self.scope.metrics().inc(Counter::StorageDemotions);
-                self.scope
-                    .metrics()
-                    .note("storage_demotion", "journal writer thread gone");
+                if prev != DurabilityRung::NonDurable as u64 {
+                    self.scope.metrics().inc(Counter::StorageDemotions);
+                    let why = match outcome {
+                        SubmitOutcome::Full => {
+                            "journal writer unresponsive (queue full past grace)"
+                        }
+                        _ => "journal writer thread gone",
+                    };
+                    self.scope.metrics().note("storage_demotion", why);
+                }
             }
         }
         let recycled = self.writer.pooled_buf();
         self.batch.reset(recycled);
+    }
+
+    /// Chaos hook
+    /// ([`HangTarget::JournalWriter`](crate::chaos::HangTarget)): wedge
+    /// this session's journal-writer thread for `dur`. Decode continues;
+    /// batches back up behind the wedge, and once the submit grace runs
+    /// out the ladder demotes honestly ([`DurabilityRung::NonDurable`],
+    /// loss window reported unbounded) until a post-wedge probe
+    /// re-promotes and the session re-anchors on a fresh checkpoint.
+    pub fn inject_writer_wedge(&mut self, dur: Duration) {
+        self.scope.metrics().note(
+            "chaos",
+            format!("journal writer wedged for {} ms", dur.as_millis()),
+        );
+        self.writer.inject_wedge(dur);
     }
 
     /// Seal and drain the in-flight batch, returning once the writer has

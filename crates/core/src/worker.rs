@@ -587,6 +587,7 @@ impl WorkerPool {
             if let Some(m) = &self.metrics {
                 m.inc(Counter::WorkerPanics);
                 m.inc(Counter::JobsQuarantined);
+                m.inc(Counter::RestartsTotal);
             }
             self.quarantined.push(*ev.job);
             let _ = ev.panic_msg; // kept for debugging via quarantined jobs
@@ -612,6 +613,10 @@ impl WorkerPool {
                 self.stats.respawns += 1;
                 if let Some(m) = &self.metrics {
                     m.inc(Counter::WorkerStalls);
+                    // A stall past the watchdog deadline IS a detected
+                    // hang — same class the supervise-layer counts.
+                    m.inc(Counter::HangsDetected);
+                    m.inc(Counter::RestartsTotal);
                 }
                 self.spawn_worker();
             }

@@ -81,6 +81,28 @@ impl HostileConfig {
         }
     }
 
+    /// A full-vector profile derived from `seed`: same attack mix as the
+    /// default, but the hostile RNG and emission phases vary with the
+    /// seed so composed chaos runs don't all see an identical hostile
+    /// stream. Deterministic per seed (the chaos-reproducibility rule).
+    pub fn seeded(seed: u64) -> Self {
+        // Small coprime period perturbations keep every vector active
+        // while shifting which slots the emissions land on.
+        let wobble = |base: u64, span: u64, salt: u64| {
+            base + (seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt) % span)
+        };
+        HostileConfig {
+            ghost_dci_period: wobble(5, 5, 1),
+            persistent_ghost_period: wobble(241, 23, 2),
+            reserved_bits_period: wobble(9, 5, 3),
+            malformed_fields_period: wobble(11, 5, 4),
+            bad_rrc_period: wobble(15, 5, 5),
+            sib1_spoof_period: wobble(17, 5, 6),
+            seed: seed ^ 0xADBEEF,
+            ..HostileConfig::default()
+        }
+    }
+
     /// Is an emission with period `period` due this slot? Phased to
     /// `period - 1` so vectors avoid the frame-boundary broadcast slots.
     pub fn due(period: u64, slot: u64) -> bool {

@@ -379,7 +379,14 @@ fn run_parent() {
         ChildMsg::Done { final_slot } => println!("child finished at slot {final_slot}"),
         other => panic!("expected Done, got {other:?}"),
     }
-    child.wait().expect("child exit");
+    // Deadline-bounded: a child that wedges on its way out is killed
+    // rather than deadlocking the soak.
+    let (_, escalated) = child
+        .wait_timeout(std::time::Duration::from_secs(5))
+        .expect("child exit");
+    if escalated {
+        violations.push("clean shutdown needed SIGKILL escalation".into());
+    }
 
     let report = SoakReport {
         schema_version: 1,

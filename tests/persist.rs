@@ -1022,8 +1022,14 @@ fn checkpoint_write_failure_reason_reaches_the_summary() {
         session.process_capture(cap);
     }
     assert!(session.flush_barrier());
-    std::thread::sleep(Duration::from_millis(50)); // let the async failure land
+    // The checkpoint worker is asynchronous: poll with a deadline instead
+    // of a fixed sleep, which races thread scheduling under parallel test
+    // load.
     let m = session.scope().metrics();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while m.counter(Counter::CheckpointFailures) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert!(m.counter(Counter::CheckpointFailures) >= 1);
     let snap = m.snapshot();
     assert!(
